@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * branch-and-bound *with vs without* the root/in-tree diving heuristic,
+//! * *binary-priority* branching vs plain most-fractional (approximated by
+//!   comparing the scheduling-preset solve against a no-dive run — the
+//!   in-tree dive is what binary-priority branching enables),
+//! * BIRP planning with *LCB estimates vs raw means* (exploration value),
+//! * Taylor-linearised compute constraint vs the exact-power evaluation
+//!   cost (how much the linearisation saves per solve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use birp_core::{DemandMatrix, ProblemConfig, SlotProblem, TirMatrix};
+use birp_models::{AppId, Catalog, EdgeId};
+use birp_solver::SolverConfig;
+use birp_tir::{latency, linearized_latency, TirParams};
+
+fn hot_demand(catalog: &Catalog) -> DemandMatrix {
+    let mut d = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+    d.set(AppId(0), EdgeId(2), 40);
+    d.set(AppId(0), EdgeId(0), 12);
+    d
+}
+
+fn bench_dive_ablation(c: &mut Criterion) {
+    let catalog = Catalog::small_scale(42);
+    let demand = hot_demand(&catalog);
+    let tir = TirMatrix::oracle(&catalog);
+    let problem = SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
+    let mut g = c.benchmark_group("ablation_dive");
+    g.sample_size(20);
+    g.bench_function("with_dive", |b| {
+        b.iter(|| black_box(problem.solve(&SolverConfig::scheduling())))
+    });
+    g.bench_function("without_dive", |b| {
+        let cfg = SolverConfig { root_dive: false, ..SolverConfig::scheduling() };
+        b.iter(|| black_box(problem.solve(&cfg)))
+    });
+    g.finish();
+
+    // Report solution quality difference once.
+    let with = problem.solve(&SolverConfig::scheduling()).unwrap().1;
+    let without = problem
+        .solve(&SolverConfig { root_dive: false, ..SolverConfig::scheduling() })
+        .unwrap()
+        .1;
+    println!(
+        "\nablation_dive quality: with dive obj={:.2} gap={:.4}; without obj={:.2} gap={:.4}\n",
+        with.objective, with.gap, without.objective, without.gap
+    );
+}
+
+fn bench_estimate_ablation(c: &mut Criterion) {
+    // LCB (conservative) vs oracle TIR estimates: how much optimality the
+    // exploration padding costs per slot.
+    let catalog = Catalog::small_scale(42);
+    let demand = hot_demand(&catalog);
+    let lcb = TirMatrix::initial(&catalog); // the fresh-arm LCB state
+    let oracle = TirMatrix::oracle(&catalog);
+    let mut g = c.benchmark_group("ablation_estimates");
+    g.sample_size(20);
+    for (label, tir) in [("initial_lcb", &lcb), ("oracle", &oracle)] {
+        let p = SlotProblem::build(&catalog, 0, &demand, tir, None, &ProblemConfig::default());
+        g.bench_function(label.to_string(), |b| {
+            b.iter(|| black_box(p.solve(&SolverConfig::scheduling())))
+        });
+    }
+    g.finish();
+
+    let p_lcb = SlotProblem::build(&catalog, 0, &demand, &lcb, None, &ProblemConfig::default());
+    let p_orc = SlotProblem::build(&catalog, 0, &demand, &oracle, None, &ProblemConfig::default());
+    let o1 = p_lcb.solve(&SolverConfig::scheduling()).unwrap().1.objective;
+    let o2 = p_orc.solve(&SolverConfig::scheduling()).unwrap().1.objective;
+    println!("\nablation_estimates objective: initial LCB {o1:.2} vs oracle {o2:.2}\n");
+}
+
+fn bench_taylor_vs_exact(c: &mut Criterion) {
+    // Pure arithmetic cost of the compute term: linear h(b) vs exact power.
+    let p = TirParams::consistent(0.25, 12);
+    let mut g = c.benchmark_group("ablation_compute_term");
+    g.bench_function("taylor_linear", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bb in 1..=16u32 {
+                acc += linearized_latency(black_box(240.0), p.eta, bb as f64);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("exact_power", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bb in 1..=16u32 {
+                acc += latency(black_box(240.0), bb, &p);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dive_ablation, bench_estimate_ablation, bench_taylor_vs_exact);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 2 bench: times the TIR profiling sweep + piecewise fit and prints
+//! the regenerated fits once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use birp_core::experiments::fig2_experiment;
+use birp_tir::{fit_piecewise, TirParams, TirSample};
+
+fn print_fits_once() {
+    println!("\n--- Fig. 2 (regenerated TIR fits) ---");
+    for r in fig2_experiment(11, 16, 5) {
+        println!(
+            "{:<10} fitted TIR=b^{:.2} (b<={}), {:.2} beyond | truth b^{:.2} (b<={})",
+            r.model, r.fit.params.eta, r.fit.params.beta, r.fit.params.c, r.truth.eta, r.truth.beta
+        );
+    }
+    println!();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    print_fits_once();
+    c.bench_function("fig2/profile_and_fit_b8_r3", |b| {
+        b.iter(|| black_box(fig2_experiment(11, 8, 3)))
+    });
+    // Pure fitting cost on a synthetic 80-sample cloud.
+    let truth = TirParams::consistent(0.22, 9);
+    let samples: Vec<TirSample> = (1..=16u32)
+        .flat_map(|bb| (0..5).map(move |r| TirSample::new(bb, truth.tir(bb) * (1.0 + 0.001 * r as f64))))
+        .collect();
+    c.bench_function("fig2/fit_piecewise_80_samples", |b| {
+        b.iter(|| black_box(fit_piecewise(&samples)))
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 4 bench: the (eps1, eps2) -> ΔLoss sweep, scaled down, with the
+//! grid surface printed once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use birp_core::experiments::{epsilon_sweep, SweepConfig};
+
+fn print_surface_once() {
+    let mut cfg = SweepConfig::quick(42, 24);
+    cfg.checkpoints = vec![10, 23];
+    let result = epsilon_sweep(&cfg);
+    println!("\n--- Fig. 4 (scaled): ΔLoss = cum(BIRP) - cum(BIRP-OFF) ---");
+    for &t in &result.checkpoints {
+        println!("  t = {t}:");
+        for p in &result.points {
+            let d = p.delta_loss.iter().find(|(ct, _)| *ct == t).unwrap().1;
+            println!("    eps1={:.2} eps2={:.2}  dLoss={:>9.2}", p.eps1, p.eps2, d);
+        }
+    }
+    println!();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    print_surface_once();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("sweep_2x2_grid_8_slots", |b| {
+        let mut cfg = SweepConfig::quick(42, 8);
+        cfg.eps1_grid = vec![0.02, 0.06];
+        cfg.eps2_grid = vec![0.05, 0.09];
+        cfg.checkpoints = vec![7];
+        b.iter(|| black_box(epsilon_sweep(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

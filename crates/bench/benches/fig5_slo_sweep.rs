@@ -1,0 +1,42 @@
+//! Fig. 5 bench: the (eps1, eps2) -> p% (SLO failure rate) surface,
+//! scaled down, printed once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use birp_core::experiments::{epsilon_sweep, SweepConfig};
+
+fn print_surface_once() {
+    let mut cfg = SweepConfig::quick(42, 24);
+    cfg.checkpoints = vec![11, 23];
+    // Push load up so SLO pressure is visible even on a short horizon.
+    cfg.trace.mean_rate = 9.0;
+    let result = epsilon_sweep(&cfg);
+    println!("\n--- Fig. 5 (scaled): SLO failure rate p% over the eps grid ---");
+    for &t in &result.checkpoints {
+        println!("  t = {t}:");
+        for p in &result.points {
+            let pct = p.failure_pct.iter().find(|(ct, _)| *ct == t).unwrap().1;
+            println!("    eps1={:.2} eps2={:.2}  p%={pct:>6.2}", p.eps1, p.eps2);
+        }
+    }
+    println!();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    print_surface_once();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("sweep_high_load_2x2_grid_8_slots", |b| {
+        let mut cfg = SweepConfig::quick(42, 8);
+        cfg.eps1_grid = vec![0.01, 0.07];
+        cfg.eps2_grid = vec![0.04, 0.10];
+        cfg.checkpoints = vec![7];
+        cfg.trace.mean_rate = 9.0;
+        b.iter(|| black_box(epsilon_sweep(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 6 bench: the small-scale 4-way scheduler comparison (CDF, per-slot
+//! loss, cumulative loss), scaled down, with the key series printed once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use birp_bench::series_summary;
+use birp_core::experiments::{compare_schedulers, ComparisonConfig};
+
+fn print_series_once() {
+    let mut cfg = ComparisonConfig::small_scale(42, 32);
+    cfg.trace.mean_rate = 7.0;
+    let results = compare_schedulers(&cfg);
+    println!("\n--- Fig. 6 (scaled): small-scale comparison, 32 slots ---");
+    for r in &results {
+        let m = &r.run.metrics;
+        println!(
+            "{:<9} loss={:>9.1} p%={:>5.2} cdf: {}",
+            r.run.scheduler,
+            m.total_loss,
+            m.failure_rate_pct,
+            series_summary(&m.cdf.series(1.5, 16))
+        );
+    }
+    println!();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    print_series_once();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    let mut cfg = ComparisonConfig::small_scale(42, 6);
+    cfg.trace.mean_rate = 6.0;
+    g.bench_function("small_scale_4way_6_slots", |b| {
+        b.iter(|| black_box(compare_schedulers(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

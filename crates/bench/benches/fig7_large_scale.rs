@@ -1,0 +1,41 @@
+//! Fig. 7 bench: the large-scale (5 apps x 25 models) comparison, scaled
+//! down, with the key series printed once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use birp_bench::series_summary;
+use birp_core::experiments::{compare_schedulers, ComparisonConfig};
+
+fn print_series_once() {
+    let mut cfg = ComparisonConfig::large_scale(42, 8);
+    cfg.trace.mean_rate = 1.8;
+    let results = compare_schedulers(&cfg);
+    println!("\n--- Fig. 7 (scaled): large-scale comparison, 8 slots ---");
+    for r in &results {
+        let m = &r.run.metrics;
+        println!(
+            "{:<9} loss={:>9.1} p%={:>5.2} cdf: {}",
+            r.run.scheduler,
+            m.total_loss,
+            m.failure_rate_pct,
+            series_summary(&m.cdf.series(2.0, 16))
+        );
+    }
+    println!();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    print_series_once();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    let mut cfg = ComparisonConfig::large_scale(42, 1);
+    cfg.trace.mean_rate = 1.5;
+    g.bench_function("large_scale_3way_1_slot", |b| {
+        b.iter(|| black_box(compare_schedulers(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Solver micro-benchmarks: the substrate the whole reproduction stands on.
+//!
+//! Times the bounded-variable simplex against the reference engine, branch
+//! and bound on knapsacks, and a representative BIRP per-slot MILP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use birp_core::{DemandMatrix, ProblemConfig, SlotProblem, TirMatrix};
+use birp_models::{AppId, Catalog, EdgeId};
+use birp_solver::lp::{LpProblem, RowCmp};
+use birp_solver::milp::{branch_and_bound, BnbConfig, MilpProblem};
+use birp_solver::simplex::{solve_bounded, solve_reference};
+use birp_solver::SolverConfig;
+
+/// A dense-ish random LP with `n` columns and `m` rows (deterministic).
+fn random_lp(n: usize, m: usize, seed: u64) -> LpProblem {
+    let mut lp = LpProblem::with_columns(n);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 1000.0
+    };
+    for j in 0..n {
+        lp.objective[j] = next() * 2.0 - 1.0;
+        lp.upper[j] = 1.0 + next() * 9.0;
+    }
+    for _ in 0..m {
+        let coeffs: Vec<(usize, f64)> = (0..n)
+            .filter_map(|j| {
+                let v = next();
+                (v > 0.6).then_some((j, v * 4.0 - 1.0))
+            })
+            .collect();
+        let rhs = 1.0 + next() * (n as f64);
+        lp.push_row(coeffs, RowCmp::Le, rhs);
+    }
+    lp
+}
+
+fn knapsack(n: usize) -> MilpProblem {
+    let mut lp = LpProblem::with_columns(n);
+    lp.upper = vec![1.0; n];
+    lp.objective = (0..n).map(|i| -(((i * 37) % 13) as f64 + 1.0)).collect();
+    let weights: Vec<(usize, f64)> = (0..n).map(|i| (i, ((i * 17) % 7) as f64 + 1.0)).collect();
+    let cap: f64 = weights.iter().map(|(_, w)| w).sum::<f64>() * 0.4;
+    lp.push_row(weights, RowCmp::Le, cap);
+    MilpProblem { lp, integers: (0..n).collect() }
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex");
+    for &(n, m) in &[(40usize, 25usize), (120, 80), (300, 200)] {
+        let lp = random_lp(n, m, 42);
+        g.bench_function(format!("bounded_{n}x{m}"), |b| {
+            b.iter(|| black_box(solve_bounded(&lp)))
+        });
+    }
+    // The reference oracle is only worth timing on the small instance.
+    let lp = random_lp(40, 25, 42);
+    g.bench_function("reference_40x25", |b| b.iter(|| black_box(solve_reference(&lp))));
+    g.finish();
+}
+
+fn bench_bnb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("branch_and_bound");
+    for &n in &[12usize, 18, 24] {
+        let p = knapsack(n);
+        g.bench_function(format!("knapsack_{n}"), |b| {
+            b.iter(|| black_box(branch_and_bound(&p, &BnbConfig::default())))
+        });
+    }
+    let p = knapsack(24);
+    g.bench_function("knapsack_24_parallel", |b| {
+        b.iter(|| {
+            black_box(branch_and_bound(
+                &p,
+                &BnbConfig { parallel: true, ..Default::default() },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_slot_problem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slot_problem");
+    g.sample_size(10);
+    for (label, catalog) in [
+        ("small_scale", Catalog::small_scale(42)),
+        ("large_scale", Catalog::large_scale(42)),
+    ] {
+        let mut demand = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+        for i in 0..catalog.num_apps() {
+            for k in 0..catalog.num_edges() {
+                demand.set(AppId(i), EdgeId(k), ((3 * i + 5 * k) % 14) as u32);
+            }
+        }
+        let tir = TirMatrix::oracle(&catalog);
+        g.bench_function(format!("build_{label}"), |b| {
+            b.iter(|| {
+                black_box(SlotProblem::build(
+                    &catalog,
+                    0,
+                    &demand,
+                    &tir,
+                    None,
+                    &ProblemConfig::default(),
+                ))
+            })
+        });
+        let problem =
+            SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
+        g.bench_function(format!("solve_{label}"), |b| {
+            b.iter(|| black_box(problem.solve(&SolverConfig::scheduling())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_bnb, bench_slot_problem);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table 1 bench: times the serial-utilisation measurement sweep and
+//! prints the regenerated table once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use birp_core::experiments::table1_experiment;
+use birp_models::{Catalog, EdgeId, ModelId};
+use birp_sim::measure_utilization;
+
+fn print_table_once() {
+    println!("\n--- Table 1 (regenerated, 300 windows) ---");
+    println!(
+        "{:<10} {:<12} {:>7} {:>7} {:>7} {:>9} {:>8} {:>8}",
+        "model", "device", "cpu%", "gpu%", "npu%", "npucore%", "fps", "ref fps"
+    );
+    for r in table1_experiment(3, 300) {
+        println!(
+            "{:<10} {:<12} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>8.1} {:>8.1}",
+            r.model,
+            r.device,
+            r.measured.cpu_pct,
+            r.measured.gpu_pct,
+            r.measured.npu_pct,
+            r.measured.npu_core_pct,
+            r.measured.avg_fps,
+            r.reference_fps
+        );
+    }
+    println!();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    print_table_once();
+    let catalog = Catalog::table1(3);
+    c.bench_function("table1/measure_one_cell_100w", |b| {
+        b.iter(|| black_box(measure_utilization(&catalog, EdgeId(0), ModelId(0), 100, 7)))
+    });
+    c.bench_function("table1/full_sweep_50w", |b| {
+        b.iter(|| black_box(table1_experiment(3, 50)))
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerate paper Fig. 2: TIR raw data and piecewise fits for
+//! LeNet / GoogLeNet / ResNet-18 on a simulated Jetson Nano.
+//!
+//! ```bash
+//! cargo run --release -p birp-bench --bin repro-fig2
+//! ```
+
+use birp_bench::write_json;
+use birp_core::experiments::fig2_experiment;
+
+fn main() {
+    let results = fig2_experiment(11, 16, 5);
+    for r in &results {
+        println!("--- Fig. 2: {} ---", r.model);
+        println!(
+            "fitted : TIR = b^{:.2}, b <= {}   |   TIR = {:.2}, b > {}",
+            r.fit.params.eta, r.fit.params.beta, r.fit.params.c, r.fit.params.beta
+        );
+        println!(
+            "truth  : TIR = b^{:.2}, b <= {}   |   TIR = {:.2}, b > {}   (rmse {:.4})",
+            r.truth.eta, r.truth.beta, r.truth.c, r.truth.beta, r.fit.rmse()
+        );
+        println!("batch-size -> mean measured TIR (raw dots):");
+        for b in 1..=16u32 {
+            let vals: Vec<f64> = r.samples.iter().filter(|s| s.batch == b).map(|s| s.tir).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+            let fitted = r.fit.params.tir(b);
+            println!("  b={b:>2}  measured {mean:>5.3}  fitted {fitted:>5.3}");
+        }
+        println!();
+    }
+    let path = write_json("fig2", &results);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,47 @@
+//! Regenerate paper Fig. 5: impact of (eps1, eps2) on the SLO failure rate
+//! p%, at t = 100 and t = 300.
+//!
+//! ```bash
+//! cargo run --release -p birp-bench --bin repro-fig5
+//! ```
+
+use birp_bench::write_json;
+use birp_core::experiments::{epsilon_sweep, SweepConfig};
+
+fn main() {
+    let mut cfg = SweepConfig::paper(42, 300);
+    cfg.checkpoints = vec![100, 299];
+    eprintln!(
+        "sweeping {}x{} grid over {} slots ({} BIRP runs, rayon-parallel)...",
+        cfg.eps1_grid.len(),
+        cfg.eps2_grid.len(),
+        cfg.trace.num_slots,
+        cfg.eps1_grid.len() * cfg.eps2_grid.len()
+    );
+    let result = epsilon_sweep(&cfg);
+
+    for &t in &result.checkpoints {
+        println!("--- Fig. 5: p% surface at t = {t} ---");
+        print!("{:>7}", "e1\\e2");
+        for e2 in &cfg.eps2_grid {
+            print!(" {e2:>7.2}");
+        }
+        println!();
+        for e1 in &cfg.eps1_grid {
+            print!("{e1:>7.2}");
+            for e2 in &cfg.eps2_grid {
+                let p = result
+                    .points
+                    .iter()
+                    .find(|p| (p.eps1 - e1).abs() < 1e-9 && (p.eps2 - e2).abs() < 1e-9)
+                    .unwrap();
+                let pct = p.failure_pct.iter().find(|(ct, _)| *ct == t).unwrap().1;
+                print!(" {pct:>7.2}");
+            }
+            println!();
+        }
+        println!();
+    }
+    let path = write_json("fig5", &result);
+    println!("wrote {}", path.display());
+}

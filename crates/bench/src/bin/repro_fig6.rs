@@ -1,0 +1,70 @@
+//! Regenerate paper Fig. 6: small-scale comparison (1 app, 3 models,
+//! offline-profiled TIR) — completion-time CDF, per-slot loss and
+//! cumulative loss for BIRP / BIRP-OFF / OAEI / MAX over 300 slots.
+//!
+//! ```bash
+//! cargo run --release -p birp-bench --bin repro-fig6
+//! ```
+
+use birp_bench::write_json;
+use birp_core::experiments::{compare_schedulers, ComparisonConfig};
+
+fn main() {
+    let cfg = ComparisonConfig::small_scale(42, 300);
+    eprintln!("running {} schedulers over 300 slots...", cfg.schedulers.len());
+    let results = compare_schedulers(&cfg);
+
+    println!("--- Fig. 6a: completion-time CDF (x = completed time / slot) ---");
+    print!("{:>6}", "x");
+    for r in &results {
+        print!(" {:>9}", r.run.scheduler);
+    }
+    println!();
+    for i in 0..=15 {
+        let x = 1.5 * i as f64 / 15.0;
+        print!("{x:>6.2}");
+        for r in &results {
+            print!(" {:>9.3}", r.run.metrics.cdf.at(x));
+        }
+        println!();
+    }
+
+    println!("\n--- Fig. 6b: per-slot loss (every 20th slot) ---");
+    print!("{:>6}", "t");
+    for r in &results {
+        print!(" {:>10}", r.run.scheduler);
+    }
+    println!();
+    for t in (0..300).step_by(20) {
+        print!("{t:>6}");
+        for r in &results {
+            print!(" {:>10.1}", r.run.metrics.loss_per_slot[t]);
+        }
+        println!();
+    }
+
+    println!("\n--- Fig. 6c: cumulative loss ---");
+    print!("{:>6}", "t");
+    for r in &results {
+        print!(" {:>11}", r.run.scheduler);
+    }
+    println!();
+    for t in (0..300).step_by(50).chain([299]) {
+        print!("{t:>6}");
+        for r in &results {
+            print!(" {:>11.1}", r.run.metrics.cumulative_loss_at(t));
+        }
+        println!();
+    }
+
+    println!("\n--- summary ---");
+    for r in &results {
+        let m = &r.run.metrics;
+        println!(
+            "{:<9} total loss {:>10.1}   p% {:>6.2}   served {:>7}   dropped {:>6}",
+            r.run.scheduler, m.total_loss, m.failure_rate_pct, m.served, m.dropped
+        );
+    }
+    let path = write_json("fig6", &results);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,127 @@
+//! Check the paper's headline claims against full-size simulated runs:
+//!
+//! * "overall inference loss reduction of at least 32.9 %" (32.3 % in
+//!   Fig. 7c) for BIRP vs OAEI,
+//! * "the failure rate of SLO has been reduced to 19.8 % of OAEI"
+//!   (small scale: 1.9 % vs 10.0 %; large scale: 0.21 % vs 4.1 %),
+//! * BIRP tracks BIRP-OFF closely (the tuning module works).
+//!
+//! ```bash
+//! cargo run --release -p birp-bench --bin repro-headline
+//! ```
+
+use birp_bench::write_json;
+use birp_core::experiments::{compare_schedulers, ComparisonConfig, SchedulerKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Headline {
+    scale: &'static str,
+    birp_loss: f64,
+    oaei_loss: f64,
+    loss_reduction_pct: f64,
+    birp_fail_pct: f64,
+    oaei_fail_pct: f64,
+    fail_ratio_pct: f64,
+    birp_off_loss: Option<f64>,
+}
+
+fn evaluate(scale: &'static str, cfg: &ComparisonConfig) -> Headline {
+    let results = compare_schedulers(cfg);
+    let get = |k: SchedulerKind| results.iter().find(|r| r.kind == k);
+    let birp = get(SchedulerKind::Birp).expect("BIRP run");
+    let oaei = get(SchedulerKind::Oaei).expect("OAEI run");
+    let birp_loss = birp.run.metrics.total_loss;
+    let oaei_loss = oaei.run.metrics.total_loss;
+    let birp_fail = birp.run.metrics.failure_rate_pct;
+    let oaei_fail = oaei.run.metrics.failure_rate_pct;
+    Headline {
+        scale,
+        birp_loss,
+        oaei_loss,
+        loss_reduction_pct: 100.0 * (1.0 - birp_loss / oaei_loss),
+        birp_fail_pct: birp_fail,
+        oaei_fail_pct: oaei_fail,
+        fail_ratio_pct: if oaei_fail > 0.0 { 100.0 * birp_fail / oaei_fail } else { f64::NAN },
+        birp_off_loss: get(SchedulerKind::BirpOff).map(|r| r.run.metrics.total_loss),
+    }
+}
+
+fn report(h: &Headline) {
+    println!("--- {} scale ---", h.scale);
+    println!("  BIRP loss {:>10.1}   OAEI loss {:>10.1}", h.birp_loss, h.oaei_loss);
+    println!(
+        "  loss reduction vs OAEI: {:>6.1}%   (paper: >= 32.9%, Fig. 7c: 32.3%)",
+        h.loss_reduction_pct
+    );
+    println!("  BIRP p% {:>6.2}   OAEI p% {:>6.2}", h.birp_fail_pct, h.oaei_fail_pct);
+    println!(
+        "  SLO failure ratio BIRP/OAEI: {:>6.1}%   (paper: 19.8%)",
+        h.fail_ratio_pct
+    );
+    if let Some(off) = h.birp_off_loss {
+        println!(
+            "  BIRP vs BIRP-OFF loss: {:>10.1} vs {:>10.1} ({:+.1}% — tuning overhead)",
+            h.birp_loss,
+            off,
+            100.0 * (h.birp_loss / off - 1.0)
+        );
+    }
+    println!();
+}
+
+/// Reuse a previously generated `repro-fig6` / `repro-fig7` record when
+/// available, so the headline check does not re-run 300-slot comparisons.
+fn load_or_run(
+    scale: &'static str,
+    cached: &str,
+    cfg: &ComparisonConfig,
+) -> Headline {
+    let path = birp_bench::results_dir().join(format!("{cached}.json"));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(results) =
+            serde_json::from_str::<Vec<birp_core::experiments::ComparisonResult>>(&text)
+        {
+            eprintln!("reusing {}", path.display());
+            let get = |k: SchedulerKind| results.iter().find(|r| r.kind == k);
+            if let (Some(birp), Some(oaei)) = (get(SchedulerKind::Birp), get(SchedulerKind::Oaei)) {
+                let birp_loss = birp.run.metrics.total_loss;
+                let oaei_loss = oaei.run.metrics.total_loss;
+                let birp_fail = birp.run.metrics.failure_rate_pct;
+                let oaei_fail = oaei.run.metrics.failure_rate_pct;
+                return Headline {
+                    scale,
+                    birp_loss,
+                    oaei_loss,
+                    loss_reduction_pct: 100.0 * (1.0 - birp_loss / oaei_loss),
+                    birp_fail_pct: birp_fail,
+                    oaei_fail_pct: oaei_fail,
+                    fail_ratio_pct: if oaei_fail > 0.0 {
+                        100.0 * birp_fail / oaei_fail
+                    } else {
+                        f64::NAN
+                    },
+                    birp_off_loss: get(SchedulerKind::BirpOff).map(|r| r.run.metrics.total_loss),
+                };
+            }
+        }
+    }
+    eprintln!("no cached {cached}.json — running the {scale}-scale comparison...");
+    evaluate(scale, cfg)
+}
+
+fn main() {
+    let small = load_or_run("small", "fig6", &ComparisonConfig::small_scale(42, 300));
+    let large = load_or_run("large", "fig7", &ComparisonConfig::large_scale(42, 300));
+    report(&small);
+    report(&large);
+
+    let verdict_loss = large.loss_reduction_pct > 20.0;
+    let verdict_slo = large.fail_ratio_pct < 60.0;
+    println!("qualitative reproduction verdict:");
+    println!("  BIRP substantially reduces loss vs OAEI:      {verdict_loss}");
+    println!("  BIRP substantially reduces SLO failures:      {verdict_slo}");
+
+    let path = write_json("headline", &vec![small, large]);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,78 @@
+//! # birp-bench
+//!
+//! The experiment harness: one Criterion bench *and* one `repro-*` binary
+//! per table/figure of the paper.
+//!
+//! * `cargo bench -p birp-bench` times scaled-down versions of every
+//!   experiment (and the solver micro-benchmarks) — fast, CI-friendly,
+//! * `cargo run --release -p birp-bench --bin repro-figN` runs the
+//!   full-size experiment and prints the same rows/series the paper plots,
+//!   plus a JSON record under `results/` for EXPERIMENTS.md.
+//!
+//! This library crate holds the shared formatting/serialisation helpers.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Directory the `repro-*` binaries write JSON records into.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Persist an experiment record as pretty JSON; returns the path.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialisable record");
+    fs::write(&path, json).expect("write results file");
+    path
+}
+
+/// Render a `(x, y)` series as a compact single-line summary.
+pub fn series_summary(series: &[(f64, f64)]) -> String {
+    let picks = [0usize, series.len() / 4, series.len() / 2, 3 * series.len() / 4, series.len().saturating_sub(1)];
+    let mut parts = Vec::new();
+    for &i in &picks {
+        if let Some(&(x, y)) = series.get(i) {
+            parts.push(format!("({x:.2}, {y:.3})"));
+        }
+    }
+    parts.join(" ")
+}
+
+/// Fixed-width table row helper.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_summary_samples_endpoints() {
+        let s: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (i * i) as f64)).collect();
+        let out = series_summary(&s);
+        assert!(out.starts_with("(0.00, 0.000)"));
+        assert!(out.ends_with("(9.00, 81.000)"));
+    }
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn results_dir_exists() {
+        assert!(results_dir().exists());
+    }
+}

@@ -1,0 +1,238 @@
+//! `birp` — command-line front end for the BIRP reproduction.
+//!
+//! ```text
+//! birp run      [--scale small|large] [--slots N] [--seed S] [--scheduler birp|birp-off|oaei|max]
+//! birp compare  [--scale small|large] [--slots N] [--seed S]
+//! birp sweep    [--slots N] [--seed S]
+//! birp table1   [--windows N] [--seed S]
+//! birp fig2     [--reps N] [--seed S]
+//! birp trace    [--scale small|large] [--slots N] [--seed S] [--csv|--json]
+//! ```
+//!
+//! Argument parsing is hand-rolled over `std::env::args` — the workspace
+//! deliberately keeps its dependency set to the paper-relevant crates
+//! (DESIGN.md, dependency section).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use birp_core::experiments::{
+    compare_schedulers, epsilon_sweep, fig2_experiment, table1_experiment, ComparisonConfig,
+    SchedulerKind, SweepConfig,
+};
+use birp_core::{run_scheduler, RunConfig};
+use birp_mab::MabConfig;
+use birp_models::Catalog;
+use birp_solver::SolverConfig;
+use birp_workload::{io as trace_io, TraceConfig, TraceStats};
+
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    flags.insert(name.to_string(), raw[i + 1].clone());
+                    i += 2;
+                } else {
+                    switches.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { flags, switches }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "birp — batch-aware inference workload redistribution (ICPP 2023 reproduction)
+
+USAGE:
+    birp run      [--scale small|large] [--slots N] [--seed S] [--scheduler birp|birp-off|oaei|max]
+    birp compare  [--scale small|large] [--slots N] [--seed S]
+    birp sweep    [--slots N] [--seed S]
+    birp table1   [--windows N] [--seed S]
+    birp fig2     [--reps N] [--seed S]
+    birp trace    [--scale small|large] [--slots N] [--seed S] [--csv] [--json]
+"
+    );
+    ExitCode::from(2)
+}
+
+fn catalog_for(scale: &str, seed: u64) -> Catalog {
+    match scale {
+        "large" => Catalog::large_scale(seed),
+        _ => Catalog::small_scale(seed),
+    }
+}
+
+fn trace_cfg_for(scale: &str, seed: u64, slots: usize) -> TraceConfig {
+    let base = match scale {
+        "large" => TraceConfig::large_scale(seed),
+        _ => TraceConfig::small_scale(seed),
+    };
+    TraceConfig { num_slots: slots, ..base }
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let scale = args.get("scale").unwrap_or("small").to_string();
+    let seed = args.num("seed", 42u64);
+    let slots = args.num("slots", 48usize);
+    let catalog = catalog_for(&scale, seed);
+    let trace = trace_cfg_for(&scale, seed, slots).generate();
+    let kind = match args.get("scheduler").unwrap_or("birp") {
+        "birp" => SchedulerKind::Birp,
+        "birp-off" => SchedulerKind::BirpOff,
+        "oaei" => SchedulerKind::Oaei,
+        "max" => SchedulerKind::Max,
+        other => {
+            eprintln!("unknown scheduler '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    let solver = if scale == "large" {
+        SolverConfig { node_limit: 16, ..SolverConfig::scheduling() }
+    } else {
+        SolverConfig::scheduling()
+    };
+    let mut scheduler = kind.build(&catalog, MabConfig::paper_preset(), seed, &solver);
+    let result = run_scheduler(&catalog, &trace, scheduler.as_mut(), &RunConfig::default());
+    let m = &result.metrics;
+    println!("scheduler      {}", result.scheduler);
+    println!("slots          {}", result.slots);
+    println!("offered        {}", result.offered);
+    println!("served         {}", m.served);
+    println!("dropped        {}", m.dropped);
+    println!("total loss     {:.2}", m.total_loss);
+    println!("SLO failures   {} ({:.2}%)", m.slo_failures, m.failure_rate_pct);
+    println!("median compl.  {:.3}", m.cdf.quantile(0.5));
+    println!("p95 compl.     {:.3}", m.cdf.quantile(0.95));
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &Args) -> ExitCode {
+    let scale = args.get("scale").unwrap_or("small").to_string();
+    let seed = args.num("seed", 42u64);
+    let slots = args.num("slots", 48usize);
+    let cfg = match scale.as_str() {
+        "large" => ComparisonConfig::large_scale(seed, slots),
+        _ => ComparisonConfig::small_scale(seed, slots),
+    };
+    let results = compare_schedulers(&cfg);
+    println!(
+        "{:<10} {:>12} {:>8} {:>9} {:>9}",
+        "scheduler", "total loss", "p%", "served", "dropped"
+    );
+    for r in &results {
+        let m = &r.run.metrics;
+        println!(
+            "{:<10} {:>12.1} {:>7.2}% {:>9} {:>9}",
+            r.run.scheduler, m.total_loss, m.failure_rate_pct, m.served, m.dropped
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(args: &Args) -> ExitCode {
+    let seed = args.num("seed", 42u64);
+    let slots = args.num("slots", 48usize);
+    let cfg = SweepConfig::quick(seed, slots);
+    let result = epsilon_sweep(&cfg);
+    println!("{:>6} {:>6} {:>12} {:>8}", "eps1", "eps2", "dLoss(end)", "p%(end)");
+    for p in &result.points {
+        let d = p.delta_loss.last().map_or(f64::NAN, |&(_, v)| v);
+        let f = p.failure_pct.last().map_or(f64::NAN, |&(_, v)| v);
+        println!("{:>6.2} {:>6.2} {:>12.2} {:>8.2}", p.eps1, p.eps2, d, f);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_table1(args: &Args) -> ExitCode {
+    let seed = args.num("seed", 3u64);
+    let windows = args.num("windows", 300usize);
+    println!(
+        "{:<10} {:<12} {:>7} {:>7} {:>9} {:>8}",
+        "model", "device", "cpu%", "gpu%", "npucore%", "fps"
+    );
+    for r in table1_experiment(seed, windows) {
+        println!(
+            "{:<10} {:<12} {:>7.1} {:>7.1} {:>9.1} {:>8.1}",
+            r.model, r.device, r.measured.cpu_pct, r.measured.gpu_pct, r.measured.npu_core_pct, r.measured.avg_fps
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_fig2(args: &Args) -> ExitCode {
+    let seed = args.num("seed", 11u64);
+    let reps = args.num("reps", 5usize);
+    for r in fig2_experiment(seed, 16, reps) {
+        println!(
+            "{:<10} TIR = b^{:.2} (b <= {}), {:.2} beyond   [truth b^{:.2}, {}]",
+            r.model, r.fit.params.eta, r.fit.params.beta, r.fit.params.c, r.truth.eta, r.truth.beta
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(args: &Args) -> ExitCode {
+    let scale = args.get("scale").unwrap_or("small").to_string();
+    let seed = args.num("seed", 42u64);
+    let slots = args.num("slots", 96usize);
+    let trace = trace_cfg_for(&scale, seed, slots).generate();
+    if args.has("csv") {
+        print!("{}", trace_io::to_csv(&trace));
+    } else if args.has("json") {
+        println!("{}", trace_io::to_json(&trace).expect("serializable"));
+    } else {
+        let s = TraceStats::compute(&trace);
+        println!("slots          {}", trace.num_slots());
+        println!("apps x edges   {} x {}", trace.num_apps(), trace.num_edges());
+        println!("total requests {}", s.total_requests);
+        println!("peak/mean      {:.2}", s.peak_to_mean);
+        println!("edge imbalance {:.2}", s.edge_imbalance);
+        println!("edge gini      {:.3}", s.edge_gini);
+        println!("(use --csv or --json to dump the full trace)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        return usage();
+    };
+    let args = Args::parse(&raw[1..]);
+    match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "sweep" => cmd_sweep(&args),
+        "table1" => cmd_table1(&args),
+        "fig2" => cmd_fig2(&args),
+        "trace" => cmd_trace(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,113 @@
+//! The per-slot demand matrix handed to schedulers.
+//!
+//! This is `r^t_{ik}` for one fixed `t` — the trace's row plus any
+//! requests the runner carried over from earlier slots.
+
+use birp_models::{AppId, EdgeId};
+use birp_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Demand per `[app][edge]` for one slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DemandMatrix {
+    num_apps: usize,
+    num_edges: usize,
+    data: Vec<u32>,
+}
+
+impl DemandMatrix {
+    pub fn zeros(num_apps: usize, num_edges: usize) -> Self {
+        DemandMatrix { num_apps, num_edges, data: vec![0; num_apps * num_edges] }
+    }
+
+    /// Extract slot `t` of a trace.
+    pub fn from_trace(trace: &Trace, t: usize) -> Self {
+        let mut m = Self::zeros(trace.num_apps(), trace.num_edges());
+        for a in 0..trace.num_apps() {
+            for e in 0..trace.num_edges() {
+                m.set(AppId(a), EdgeId(e), trace.demand(t, AppId(a), EdgeId(e)));
+            }
+        }
+        m
+    }
+
+    #[inline]
+    fn idx(&self, a: usize, e: usize) -> usize {
+        debug_assert!(a < self.num_apps && e < self.num_edges);
+        a * self.num_edges + e
+    }
+
+    #[inline]
+    pub fn get(&self, app: AppId, edge: EdgeId) -> u32 {
+        self.data[self.idx(app.index(), edge.index())]
+    }
+
+    #[inline]
+    pub fn set(&mut self, app: AppId, edge: EdgeId, v: u32) {
+        let i = self.idx(app.index(), edge.index());
+        self.data[i] = v;
+    }
+
+    #[inline]
+    pub fn add(&mut self, app: AppId, edge: EdgeId, v: u32) {
+        let i = self.idx(app.index(), edge.index());
+        self.data[i] += v;
+    }
+
+    pub fn num_apps(&self) -> usize {
+        self.num_apps
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    pub fn total(&self) -> u64 {
+        self.data.iter().map(|&v| v as u64).sum()
+    }
+
+    /// Total demand of one application across edges.
+    pub fn app_total(&self, app: AppId) -> u64 {
+        (0..self.num_edges).map(|e| self.data[self.idx(app.index(), e)] as u64).sum()
+    }
+
+    /// Total demand arriving at one edge across applications.
+    pub fn edge_total(&self, edge: EdgeId) -> u64 {
+        (0..self.num_apps).map(|a| self.data[self.idx(a, edge.index())] as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_add() {
+        let mut d = DemandMatrix::zeros(2, 3);
+        d.set(AppId(1), EdgeId(2), 5);
+        d.add(AppId(1), EdgeId(2), 3);
+        assert_eq!(d.get(AppId(1), EdgeId(2)), 8);
+        assert_eq!(d.get(AppId(0), EdgeId(0)), 0);
+        assert_eq!(d.total(), 8);
+    }
+
+    #[test]
+    fn totals_by_axis() {
+        let mut d = DemandMatrix::zeros(2, 2);
+        d.set(AppId(0), EdgeId(0), 1);
+        d.set(AppId(0), EdgeId(1), 2);
+        d.set(AppId(1), EdgeId(0), 4);
+        assert_eq!(d.app_total(AppId(0)), 3);
+        assert_eq!(d.edge_total(EdgeId(0)), 5);
+    }
+
+    #[test]
+    fn from_trace_slices_one_slot() {
+        let mut t = Trace::zeros(2, 1, 2);
+        t.set_demand(1, AppId(0), EdgeId(1), 9);
+        let d = DemandMatrix::from_trace(&t, 1);
+        assert_eq!(d.get(AppId(0), EdgeId(1)), 9);
+        let d0 = DemandMatrix::from_trace(&t, 0);
+        assert_eq!(d0.total(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Fig. 2 reproduction: TIR raw data and piecewise fits for
+//! LeNet / GoogLeNet / ResNet-18 on a Jetson Nano.
+//!
+//! The experiment mirrors the paper's procedure: for every batch size
+//! `b in 1..=16`, run the batch `reps` times (the paper uses 5), compute
+//! the throughput ratio against the measured batch-1 baseline, then fit
+//! the piecewise power/constant model to the samples.
+
+use birp_models::{AppId, Catalog, EdgeId, ModelId};
+use birp_sim::{Deployment, EdgeSim, Schedule, SimConfig};
+use birp_tir::{fit_piecewise, FitResult, TirParams, TirSample};
+use serde::{Deserialize, Serialize};
+
+/// Fit result for one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Result {
+    pub model: String,
+    /// Raw `(batch, TIR)` measurements (the blue dots of Fig. 2).
+    pub samples: Vec<TirSample>,
+    /// The fitted piecewise function (the red/green lines of Fig. 2).
+    pub fit: FitResult,
+    /// Ground truth the simulator executed (the paper's published fit).
+    pub truth: TirParams,
+}
+
+/// Execute one (model, batch) run on the Fig. 2 testbed and return the
+/// measured execution time.
+fn measure_exec_ms(sim: &EdgeSim, model: usize, batch: u32, rep: usize) -> f64 {
+    let catalog = sim.catalog();
+    let mut s = Schedule::empty(rep, catalog.num_apps(), catalog.num_edges());
+    s.routing.set(AppId(0), EdgeId(0), EdgeId(0), batch);
+    s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(model), batch });
+    let out = sim.execute_slot(&s, None);
+    out.batches[0].exec_ms
+}
+
+/// Run the Fig. 2 profiling sweep.
+pub fn fig2_experiment(seed: u64, max_batch: u32, reps: usize) -> Vec<Fig2Result> {
+    let catalog = Catalog::fig2(seed);
+    // Profiling runs on an otherwise idle device: low measurement noise,
+    // like the paper's 5-repetition offline sweep.
+    let sim = EdgeSim::new(
+        catalog.clone(),
+        SimConfig { seed, exec_noise_sigma: 0.01, ..Default::default() },
+    );
+    let mut results = Vec::new();
+    for m in 0..catalog.num_models() {
+        // Baseline throughput at batch 1 (mean over reps).
+        let base_ms: f64 =
+            (0..reps).map(|r| measure_exec_ms(&sim, m, 1, r * 1000 + 1)).sum::<f64>() / reps as f64;
+        let thr1 = 1.0 / base_ms;
+
+        let mut samples = Vec::new();
+        for b in 1..=max_batch {
+            for r in 0..reps {
+                let exec = measure_exec_ms(&sim, m, b, (b as usize) * 100 + r);
+                let thr_b = b as f64 / exec;
+                samples.push(TirSample::new(b, thr_b / thr1));
+            }
+        }
+        let fit = fit_piecewise(&samples).expect("fig2 sweep always identifiable");
+        results.push(Fig2Result {
+            model: catalog.model(ModelId(m)).name.clone(),
+            samples,
+            fit,
+            truth: catalog.edges[0].tir_truth[m],
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_recover_paper_parameters() {
+        let results = fig2_experiment(11, 16, 5);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(
+                (r.fit.params.eta - r.truth.eta).abs() < 0.06,
+                "{}: eta {} vs truth {}",
+                r.model,
+                r.fit.params.eta,
+                r.truth.eta
+            );
+            assert!(
+                (r.fit.params.beta as i64 - r.truth.beta as i64).abs() <= 2,
+                "{}: beta {} vs truth {}",
+                r.model,
+                r.fit.params.beta,
+                r.truth.beta
+            );
+        }
+    }
+
+    #[test]
+    fn lenet_batches_best() {
+        // Fig. 2's qualitative story: LeNet (smallest) gains the most from
+        // batching (eta 0.32 vs 0.12).
+        let results = fig2_experiment(11, 16, 5);
+        let lenet = results.iter().find(|r| r.model == "LeNet").unwrap();
+        let resnet = results.iter().find(|r| r.model == "ResNet-18").unwrap();
+        assert!(lenet.fit.params.eta > resnet.fit.params.eta + 0.1);
+    }
+
+    #[test]
+    fn sample_counts() {
+        let results = fig2_experiment(1, 8, 3);
+        for r in &results {
+            assert_eq!(r.samples.len(), 8 * 3);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! One entry point per paper table / figure.
+//!
+//! Every function returns a serialisable record; the `birp-bench` crate's
+//! `repro-*` binaries print them as the rows/series the paper reports, and
+//! the integration tests assert the qualitative claims on scaled-down runs.
+//!
+//! | module | reproduces |
+//! |--------|------------|
+//! | [`table1`] | Table 1 — serial utilisation + FPS |
+//! | [`fig2`] | Fig. 2 — TIR raw data + piecewise fits |
+//! | [`sweep`] | Figs. 4 & 5 — (eps1, eps2) grids of ΔLoss and p% |
+//! | [`comparison`] | Figs. 6 & 7 — CDF / per-slot loss / cumulative loss |
+
+pub mod comparison;
+pub mod fig2;
+pub mod sweep;
+pub mod table1;
+
+pub use comparison::{compare_schedulers, ComparisonConfig, ComparisonResult, SchedulerKind};
+pub use fig2::{fig2_experiment, Fig2Result};
+pub use sweep::{epsilon_sweep, SweepConfig, SweepPoint, SweepResult};
+pub use table1::{table1_experiment, Table1Result};

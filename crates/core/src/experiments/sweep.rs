@@ -1,0 +1,160 @@
+//! Figs. 4 & 5 reproduction: the (eps1, eps2) preset-parameter sweep.
+//!
+//! For every grid point the sweep runs BIRP with `MabConfig(eps1, eps2)`
+//! on the small-scale scenario and reports, at the requested checkpoint
+//! slots,
+//!
+//! * `ΔLoss(t) = Σ_{t' <= t} (loss_BIRP - loss_BIRP-OFF)` (Fig. 4), and
+//! * the SLO failure rate `p%` up to `t` (Fig. 5).
+//!
+//! BIRP-OFF is trace-deterministic, so it runs once and is shared across
+//! the grid; the grid itself fans out with rayon.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use birp_mab::MabConfig;
+use birp_models::Catalog;
+use birp_workload::TraceConfig;
+
+use crate::runner::{run_scheduler, RunConfig};
+use crate::schedulers::{Birp, BirpOff};
+
+/// Sweep configuration. The paper's grid is `eps1 in {0.01..0.07}` (x-axis,
+/// 10^-2 units) by `eps2 in {0.04..0.10}` (10^-1 units).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    pub catalog: Catalog,
+    pub trace: TraceConfig,
+    pub eps1_grid: Vec<f64>,
+    pub eps2_grid: Vec<f64>,
+    /// Slots at which ΔLoss / p% are sampled (paper: 10/100 and 100/300).
+    pub checkpoints: Vec<usize>,
+    pub run: RunConfig,
+}
+
+impl SweepConfig {
+    /// The paper's full grid on the small-scale scenario.
+    pub fn paper(seed: u64, slots: usize) -> Self {
+        SweepConfig {
+            catalog: Catalog::small_scale(seed),
+            trace: TraceConfig { num_slots: slots, ..TraceConfig::small_scale(seed) },
+            eps1_grid: (1..=7).map(|i| i as f64 * 0.01).collect(),
+            eps2_grid: (4..=10).map(|i| i as f64 * 0.01).collect(),
+            checkpoints: vec![10, 100, 300],
+            run: RunConfig::default(),
+        }
+    }
+
+    /// A scaled-down grid for tests and benches.
+    pub fn quick(seed: u64, slots: usize) -> Self {
+        SweepConfig {
+            catalog: Catalog::small_scale(seed),
+            trace: TraceConfig { num_slots: slots, ..TraceConfig::small_scale(seed) },
+            eps1_grid: vec![0.01, 0.04, 0.07],
+            eps2_grid: vec![0.04, 0.07, 0.10],
+            checkpoints: vec![slots / 2, slots - 1],
+            run: RunConfig::default(),
+        }
+    }
+}
+
+/// One grid point's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    pub eps1: f64,
+    pub eps2: f64,
+    /// `(checkpoint, delta_loss)` pairs.
+    pub delta_loss: Vec<(usize, f64)>,
+    /// `(checkpoint, p%)` pairs.
+    pub failure_pct: Vec<(usize, f64)>,
+}
+
+/// The whole sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    pub points: Vec<SweepPoint>,
+    pub checkpoints: Vec<usize>,
+    /// The shared BIRP-OFF reference cumulative loss at each checkpoint.
+    pub off_loss: Vec<(usize, f64)>,
+}
+
+/// Run the sweep.
+pub fn epsilon_sweep(cfg: &SweepConfig) -> SweepResult {
+    let trace = cfg.trace.generate();
+    let checkpoints: Vec<usize> =
+        cfg.checkpoints.iter().map(|&c| c.min(trace.num_slots().saturating_sub(1))).collect();
+
+    // Shared BIRP-OFF reference.
+    let mut off = BirpOff::new(cfg.catalog.clone());
+    let off_run = run_scheduler(&cfg.catalog, &trace, &mut off, &cfg.run);
+    let off_loss: Vec<(usize, f64)> = checkpoints
+        .iter()
+        .map(|&t| (t, off_run.metrics.cumulative_loss_at(t)))
+        .collect();
+
+    let grid: Vec<(f64, f64)> = cfg
+        .eps1_grid
+        .iter()
+        .flat_map(|&e1| cfg.eps2_grid.iter().map(move |&e2| (e1, e2)))
+        .collect();
+
+    let points: Vec<SweepPoint> = grid
+        .par_iter()
+        .map(|&(eps1, eps2)| {
+            let mut birp = Birp::new(cfg.catalog.clone(), MabConfig::new(eps1, eps2));
+            let run = run_scheduler(&cfg.catalog, &trace, &mut birp, &cfg.run);
+            let delta_loss = checkpoints
+                .iter()
+                .map(|&t| {
+                    let off_at = off_loss.iter().find(|(ot, _)| *ot == t).unwrap().1;
+                    (t, run.metrics.cumulative_loss_at(t) - off_at)
+                })
+                .collect();
+            let failure_pct = checkpoints
+                .iter()
+                .map(|&t| (t, run.metrics.failure_rate_pct_at(t)))
+                .collect();
+            SweepPoint { eps1, eps2, delta_loss, failure_pct }
+        })
+        .collect();
+
+    SweepResult { points, checkpoints, off_loss }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_grid() {
+        let mut cfg = SweepConfig::quick(42, 10);
+        cfg.eps1_grid = vec![0.02, 0.06];
+        cfg.eps2_grid = vec![0.05, 0.09];
+        cfg.trace.mean_rate = 4.0;
+        let result = epsilon_sweep(&cfg);
+        assert_eq!(result.points.len(), 4);
+        for p in &result.points {
+            assert_eq!(p.delta_loss.len(), 2);
+            assert_eq!(p.failure_pct.len(), 2);
+            for &(_, pct) in &p.failure_pct {
+                assert!((0.0..=100.0).contains(&pct));
+            }
+            // Delta loss is finite and not absurd.
+            for &(_, d) in &p.delta_loss {
+                assert!(d.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoints_are_clamped_to_horizon() {
+        let mut cfg = SweepConfig::quick(42, 6);
+        cfg.checkpoints = vec![3, 999];
+        cfg.eps1_grid = vec![0.04];
+        cfg.eps2_grid = vec![0.07];
+        cfg.trace.mean_rate = 4.0;
+        let result = epsilon_sweep(&cfg);
+        assert_eq!(result.checkpoints, vec![3, 5]);
+    }
+}

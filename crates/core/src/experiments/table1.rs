@@ -1,0 +1,74 @@
+//! Table 1 reproduction: serial-execution utilisation and FPS.
+
+use birp_models::{Catalog, EdgeId, ModelId};
+use birp_sim::{measure_utilization, UtilSample};
+use serde::{Deserialize, Serialize};
+
+/// One measured row plus the paper's published reference values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Result {
+    pub model: String,
+    pub device: String,
+    pub measured: UtilSample,
+    pub reference_fps: f64,
+    pub reference_cpu_pct: f64,
+}
+
+/// Re-measure every row of paper Table 1 in simulation.
+pub fn table1_experiment(seed: u64, windows: usize) -> Vec<Table1Result> {
+    let catalog = Catalog::table1(seed);
+    let reference = birp_models::table1_reference();
+    let mut rows = Vec::new();
+    for e in 0..catalog.num_edges() {
+        for m in 0..catalog.num_models() {
+            let edge = catalog.edge(EdgeId(e));
+            let model = catalog.model(ModelId(m));
+            let measured = measure_utilization(&catalog, EdgeId(e), ModelId(m), windows, seed);
+            let refrow = reference
+                .iter()
+                .find(|r| r.model == model.name && r.device == edge.kind)
+                .expect("reference row");
+            rows.push(Table1Result {
+                model: model.name.clone(),
+                device: edge.kind.name().to_string(),
+                measured,
+                reference_fps: refrow.avg_fps,
+                reference_cpu_pct: refrow.util.cpu_pct,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_eight_rows_near_reference() {
+        let rows = table1_experiment(3, 300);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(
+                (r.measured.avg_fps - r.reference_fps).abs() / r.reference_fps < 0.05,
+                "{} on {}: fps {} vs ref {}",
+                r.model,
+                r.device,
+                r.measured.avg_fps,
+                r.reference_fps
+            );
+        }
+    }
+
+    #[test]
+    fn motivation_holds_small_models_underutilise() {
+        let rows = table1_experiment(3, 300);
+        let yolo_nano = rows
+            .iter()
+            .find(|r| r.model == "Yolov4-t" && r.device == "Jetson Nano")
+            .unwrap();
+        assert!(yolo_nano.measured.gpu_pct < 78.0, "gpu {}", yolo_nano.measured.gpu_pct);
+        let bert_nano = rows.iter().find(|r| r.model == "BERT" && r.device == "Jetson Nano").unwrap();
+        assert!(bert_nano.measured.cpu_pct < 50.0);
+    }
+}

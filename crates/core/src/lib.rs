@@ -1,0 +1,31 @@
+//! # birp-core
+//!
+//! The BIRP scheduler and its comparison baselines — the paper's primary
+//! contribution (Sections 3–4), built on the substrate crates:
+//!
+//! * [`problem`] — the per-slot optimisation problem `P1^t` / `P2^t`
+//!   (paper Section 4.1): decision variables `x`, `b`, `y`, the memory /
+//!   compute / network constraints with the Taylor-linearised TIR term
+//!   (Eq. 24/25), lowered to a [`birp_solver::Model`] and decoded back into
+//!   a [`birp_sim::Schedule`],
+//! * [`schedulers`] — the four algorithms of Section 5.2:
+//!   [`schedulers::Birp`] (MAB-tuned, batch-aware),
+//!   [`schedulers::BirpOff`] (oracle TIR, no tuning),
+//!   [`schedulers::Oaei`] (serial, model-selection, online latency learning
+//!   + randomised rounding) and [`schedulers::MaxBatch`] (fixed large
+//!   batches),
+//! * [`runner`] — drives a scheduler over a trace slot by slot, with
+//!   carry-over of unserved requests and full metric collection,
+//! * [`experiments`] — one entry point per paper table/figure, producing
+//!   serialisable result records the bench harness prints.
+
+pub mod demand;
+pub mod experiments;
+pub mod problem;
+pub mod runner;
+pub mod schedulers;
+
+pub use demand::DemandMatrix;
+pub use problem::{ExecutionMode, ProblemConfig, SlotProblem, TirMatrix};
+pub use runner::{run_scheduler, RunConfig, RunResult};
+pub use schedulers::{Birp, BirpOff, LocalOnly, MaxBatch, Oaei, Scheduler};

@@ -1,0 +1,852 @@
+//! The per-slot optimisation problem `P1^t` / `P2^t` (paper Section 4).
+//!
+//! Decision variables (paper Section 3.1):
+//!
+//! * `x[k][m] in {0,1}` — deploy model `m` on edge `k` this slot,
+//! * `b[k][m] in N` — its batch size,
+//! * `y[i][k][k'] in N` — requests of app `i` moved from `k` to `k'`,
+//! * `o[i][k] in N` — requests left unserved (carried to the next slot);
+//!   the paper's formulation implicitly assumes capacity suffices, the
+//!   overflow variable makes the problem always feasible and its penalty
+//!   (`> max loss`) guarantees serving is preferred whenever possible.
+//!
+//! Constraints: flow conservation (Eq. 3), deployment/batch coupling
+//! (Eq. 4), batch/arrival balance (Eq. 5), memory (Eq. 6), the
+//! Taylor-linearised compute constraint (Eqs. 12, 24, 25) and the
+//! network constraint with the `x^{t-1}`-dependent model-transfer term
+//! (Eqs. 9, 13, 14).
+//!
+//! The bilinear objective `Σ loss * x * b` of Eq. 10 collapses to the
+//! linear `Σ loss * b` on the feasible set because Eq. 4 forces `b = 0`
+//! whenever `x = 0` — the same exact reduction a MIQP solver applies
+//! internally (see `birp_solver::Model::linearized_product` for the general
+//! machinery, which this builder does not need).
+
+use birp_models::catalog::MAX_BATCH;
+use birp_models::{Catalog, EdgeId, ModelId};
+use birp_sim::{Deployment, Schedule};
+use birp_solver::{LinExpr, Model, ModelStatus, Solution, SolverConfig, SolverError, VarId, VarKind};
+use birp_tir::{linear_coeffs, TirParams};
+use serde::{Deserialize, Serialize};
+
+use crate::demand::DemandMatrix;
+
+/// Per-(edge, model) TIR parameter estimates used by the planner.
+#[derive(Debug, Clone)]
+pub struct TirMatrix {
+    num_models: usize,
+    params: Vec<TirParams>,
+}
+
+impl TirMatrix {
+    /// Build from a function of (edge index, model index).
+    pub fn from_fn(num_edges: usize, num_models: usize, f: impl Fn(usize, usize) -> TirParams) -> Self {
+        let mut params = Vec::with_capacity(num_edges * num_models);
+        for e in 0..num_edges {
+            for m in 0..num_models {
+                params.push(f(e, m));
+            }
+        }
+        TirMatrix { num_models, params }
+    }
+
+    /// The ground truth (for the BIRP-OFF oracle and tests).
+    pub fn oracle(catalog: &Catalog) -> Self {
+        Self::from_fn(catalog.num_edges(), catalog.num_models(), |e, m| {
+            catalog.edges[e].tir_truth[m]
+        })
+    }
+
+    /// The paper's conservative initialisation for every arm (Eq. 23).
+    pub fn initial(catalog: &Catalog) -> Self {
+        Self::from_fn(catalog.num_edges(), catalog.num_models(), |_, _| TirParams::paper_initial())
+    }
+
+    #[inline]
+    pub fn get(&self, e: EdgeId, m: ModelId) -> &TirParams {
+        &self.params[e.index() * self.num_models + m.index()]
+    }
+}
+
+/// Whether the planned schedule executes batched (BIRP family) or serially
+/// (the OAEI baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Batch-aware: compute follows the Taylor-linearised TIR model and
+    /// batches are capped by the TIR threshold `beta`.
+    Batched,
+    /// Serial: no batching benefit (`TIR = 1`), per-request memory, batch
+    /// variable bounded by `max_serial` only.
+    Serial { max_serial: u32 },
+}
+
+/// Builder knobs.
+#[derive(Debug, Clone)]
+pub struct ProblemConfig {
+    pub mode: ExecutionMode,
+    /// Objective penalty per unserved request; must exceed the worst model
+    /// loss (0.49) so that serving always dominates dropping.
+    pub drop_penalty: f64,
+}
+
+impl Default for ProblemConfig {
+    fn default() -> Self {
+        ProblemConfig { mode: ExecutionMode::Batched, drop_penalty: 1.0 }
+    }
+}
+
+/// Solve statistics surfaced to experiment logs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveStats {
+    pub objective: f64,
+    pub gap: f64,
+    pub nodes: usize,
+    pub optimal: bool,
+}
+
+/// The lowered per-slot problem plus the variable maps needed to decode.
+///
+/// ## Routing aggregation
+///
+/// The paper's `y[i][k][k']` tensor only ever enters the constraints as
+/// per-edge sums — outbound `Σ_{k'} y[i][k][k']`, arriving
+/// `Σ_k y[i][k][k']`, and the network charge on both. The builder therefore
+/// lowers three aggregate variables per (app, edge) instead of `K^2` flows:
+///
+/// * `local[i][k]` — served where generated,
+/// * `out[i][k]` — shipped away from `k`,
+/// * `inn[i][k]` — received by `k` from elsewhere,
+///
+/// with a per-app balance `Σ_k out = Σ_k inn`. This shrinks the large-scale
+/// problem by ~90 integer variables and is exactly equivalent: `decode`
+/// reconstructs a pairwise routing with the same sums (any such routing has
+/// identical loss, memory, compute and network behaviour).
+pub struct SlotProblem {
+    model: Model,
+    t: usize,
+    num_apps: usize,
+    num_edges: usize,
+    num_models: usize,
+    serial: bool,
+    /// Owning app of each model (decode lookup).
+    model_app: Vec<birp_models::AppId>,
+    x: Vec<Vec<VarId>>,
+    b: Vec<Vec<VarId>>,
+    local: Vec<Vec<VarId>>,
+    out: Vec<Vec<VarId>>,
+    inn: Vec<Vec<VarId>>,
+    o: Vec<Vec<VarId>>,
+    /// Feasible-by-construction warm start (loss-greedy local packing)
+    /// computed at build time; branch and bound starts from its objective
+    /// as the incumbent cutoff.
+    warm: Vec<f64>,
+}
+
+impl SlotProblem {
+    /// Lower the slot-`t` problem. `prev` supplies `x^{t-1}` (Eqs. 13/14);
+    /// `tir` supplies the `(eta, beta)` estimates of Eq. 12.
+    pub fn build(
+        catalog: &Catalog,
+        t: usize,
+        demand: &DemandMatrix,
+        tir: &TirMatrix,
+        prev: Option<&Schedule>,
+        cfg: &ProblemConfig,
+    ) -> SlotProblem {
+        let na = catalog.num_apps();
+        let ne = catalog.num_edges();
+        let nm = catalog.num_models();
+        let mut model = Model::new();
+
+        let serial = matches!(cfg.mode, ExecutionMode::Serial { .. });
+        let batch_cap = |e: usize, m: usize| -> u32 {
+            match cfg.mode {
+                ExecutionMode::Batched => tir.get(EdgeId(e), ModelId(m)).beta.min(MAX_BATCH).max(1),
+                ExecutionMode::Serial { max_serial } => max_serial.max(1),
+            }
+        };
+
+        // --- variables ----------------------------------------------------
+        let x: Vec<Vec<VarId>> = (0..ne)
+            .map(|e| {
+                (0..nm)
+                    .map(|m| model.add_binary(&format!("x[{e}][{m}]"), 0.0))
+                    .collect()
+            })
+            .collect();
+        let b: Vec<Vec<VarId>> = (0..ne)
+            .map(|e| {
+                (0..nm)
+                    .map(|m| {
+                        model.add_var(
+                            &format!("b[{e}][{m}]"),
+                            VarKind::Integer,
+                            0.0,
+                            batch_cap(e, m) as f64,
+                            catalog.models[m].loss, // objective: loss * b
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let app_total = |i: usize| -> f64 {
+            (0..ne)
+                .map(|k| demand.get(birp_models::AppId(i), EdgeId(k)) as u64)
+                .sum::<u64>() as f64
+        };
+        let mut local = Vec::with_capacity(na);
+        let mut out = Vec::with_capacity(na);
+        let mut inn = Vec::with_capacity(na);
+        for i in 0..na {
+            let total = app_total(i);
+            let mut l_row = Vec::with_capacity(ne);
+            let mut o_row = Vec::with_capacity(ne);
+            let mut i_row = Vec::with_capacity(ne);
+            for k in 0..ne {
+                let supply = demand.get(birp_models::AppId(i), EdgeId(k)) as f64;
+                l_row.push(model.add_var(&format!("local[{i}][{k}]"), VarKind::Integer, 0.0, supply, 0.0));
+                o_row.push(model.add_var(&format!("out[{i}][{k}]"), VarKind::Integer, 0.0, supply, 0.0));
+                i_row.push(model.add_var(&format!("in[{i}][{k}]"), VarKind::Integer, 0.0, total, 0.0));
+            }
+            local.push(l_row);
+            out.push(o_row);
+            inn.push(i_row);
+        }
+        let o: Vec<Vec<VarId>> = (0..na)
+            .map(|i| {
+                (0..ne)
+                    .map(|k| {
+                        let supply = demand.get(birp_models::AppId(i), EdgeId(k));
+                        model.add_var(
+                            &format!("o[{i}][{k}]"),
+                            VarKind::Integer,
+                            0.0,
+                            supply as f64,
+                            cfg.drop_penalty,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // --- Eq. 3: flow conservation + overflow ---------------------------
+        // local + out + o = r per (app, edge).
+        for i in 0..na {
+            for k in 0..ne {
+                let supply = demand.get(birp_models::AppId(i), EdgeId(k));
+                let expr = local[i][k] + out[i][k] + o[i][k];
+                model.add_eq(&format!("flow[{i}][{k}]"), expr, supply as f64);
+            }
+        }
+
+        // Per-app routing balance: everything shipped is received somewhere.
+        for i in 0..na {
+            let expr = LinExpr::sum(out[i].iter().copied()) - LinExpr::sum(inn[i].iter().copied());
+            model.add_eq(&format!("balance[{i}]"), expr, 0.0);
+        }
+
+        // --- Eq. 4: deployment/batch coupling ------------------------------
+        // Only `b <= cap * x` is lowered; the paper's `b >= x` merely forbids
+        // idle deployments (x = 1, b = 0), which are weakly dominated and
+        // pruned at decode time — dropping the row halves the coupling
+        // constraints.
+        for e in 0..ne {
+            for m in 0..nm {
+                let cap = batch_cap(e, m) as f64;
+                model.add_le(
+                    &format!("cap[{e}][{m}]"),
+                    LinExpr::term(b[e][m], 1.0) - LinExpr::term(x[e][m], cap),
+                    0.0,
+                );
+            }
+        }
+
+        // --- Eq. 5: batches equal arriving workload ------------------------
+        // Σ_j b[k][j of app i] = local[i][k] + in[i][k].
+        for i in 0..na {
+            for k in 0..ne {
+                let mut expr = LinExpr::new();
+                for &m in catalog.models_of(birp_models::AppId(i)) {
+                    expr.add_term(b[k][m.index()], 1.0);
+                }
+                expr.add_term(local[i][k], -1.0);
+                expr.add_term(inn[i][k], -1.0);
+                model.add_eq(&format!("serve[{i}][{k}]"), expr, 0.0);
+            }
+        }
+
+        // --- Eq. 6: memory --------------------------------------------------
+        for e in 0..ne {
+            let mut expr = LinExpr::new();
+            for m in 0..nm {
+                let mv = &catalog.models[m];
+                if serial {
+                    // One request's intermediates at a time.
+                    expr.add_term(x[e][m], mv.weight_mb + mv.intermediate_mb);
+                } else {
+                    expr.add_term(x[e][m], mv.weight_mb);
+                    expr.add_term(b[e][m], mv.intermediate_mb);
+                }
+            }
+            model.add_le(&format!("mem[{e}]"), expr, catalog.edges[e].memory_mb);
+        }
+
+        // --- Eqs. 12/24/25: compute -----------------------------------------
+        for e in 0..ne {
+            let mut expr = LinExpr::new();
+            for m in 0..nm {
+                let gamma = catalog.edges[e].gamma_ms[m];
+                match cfg.mode {
+                    ExecutionMode::Batched => {
+                        // x * h(b) = gamma[(1-eta) b + eta x] using x*b = b.
+                        let eta = tir.get(EdgeId(e), ModelId(m)).eta;
+                        let (slope, intercept) = linear_coeffs(gamma, eta);
+                        expr.add_term(b[e][m], slope);
+                        expr.add_term(x[e][m], intercept);
+                    }
+                    ExecutionMode::Serial { .. } => {
+                        expr.add_term(b[e][m], gamma);
+                    }
+                }
+            }
+            model.add_le(&format!("compute[{e}]"), expr, catalog.slot_ms);
+        }
+
+        // --- Eqs. 9/13/14: network -------------------------------------------
+        for k in 0..ne {
+            let mut expr = LinExpr::new();
+            for i in 0..na {
+                let zeta = catalog.apps[i].request_mb;
+                expr.add_term(out[i][k], zeta);
+                expr.add_term(inn[i][k], zeta);
+            }
+            for m in 0..nm {
+                let was = prev.is_some_and(|p| p.is_deployed(EdgeId(k), ModelId(m)));
+                if !was {
+                    // [x^t - x^{t-1}]^+ = x^t when x^{t-1} = 0, else 0.
+                    expr.add_term(x[k][m], catalog.models[m].compressed_mb);
+                }
+            }
+            model.add_le(&format!("net[{k}]"), expr, catalog.edges[k].network_budget_mb);
+        }
+
+        // --- warm start: LP-guided greedy packing with redistribution -------
+        // The LP relaxation knows the right *structure* (which models carry
+        // which cell's traffic, what ships where); the greedy `place()`
+        // machinery adds the integrality and budget discipline the LP
+        // lacks. Pass 1 serves locally following the LP's local shares and
+        // model preferences, pass 2 ships leftovers to the LP's preferred
+        // receivers, pass 3 mops up anywhere with spare compute. Feasible
+        // by construction — the incumbent cutoff branch and bound starts
+        // from.
+        let lp_guide: Option<Vec<f64>> = model
+            .solve_relaxation()
+            .ok()
+            .filter(|s| s.status == birp_solver::LpStatus::Optimal)
+            .map(|s| s.x);
+        let mut warm = vec![0.0; model.num_vars()];
+        {
+            let guide = |v: VarId| -> f64 {
+                lp_guide.as_ref().map_or(0.0, |g| g[v.index()])
+            };
+            let mut mem_left: Vec<f64> = catalog.edges.iter().map(|e| e.memory_mb).collect();
+            let mut compute_left = vec![catalog.slot_ms; ne];
+            let mut net_left: Vec<f64> =
+                catalog.edges.iter().map(|e| e.network_budget_mb).collect();
+            let mut batches = vec![vec![0u32; nm]; ne];
+
+            // Place up to `want` requests of `app` on edge `k`; returns the
+            // number placed. Most accurate (lowest loss) versions first.
+            let place = |k: usize,
+                         app: birp_models::AppId,
+                         want: u32,
+                         mem_left: &mut [f64],
+                         compute_left: &mut [f64],
+                         net_left: &mut [f64],
+                         batches: &mut [Vec<u32>]|
+             -> u32 {
+                let mut left = want;
+                // LP-preferred models first (largest fractional batch),
+                // then by accuracy.
+                let mut order: Vec<ModelId> = catalog.models_of(app).to_vec();
+                order.sort_by(|ma, mb| {
+                    let ga = guide(b[k][ma.index()]);
+                    let gb = guide(b[k][mb.index()]);
+                    gb.partial_cmp(&ga)
+                        .unwrap()
+                        .then_with(|| {
+                            catalog
+                                .model(*ma)
+                                .loss
+                                .partial_cmp(&catalog.model(*mb).loss)
+                                .unwrap()
+                        })
+                });
+                for mid in order {
+                    let m = mid.index();
+                    let mv = &catalog.models[m];
+                    let cap = batch_cap(k, m);
+                    let gamma = catalog.edges[k].gamma_ms[m];
+                    while left > 0 && batches[k][m] < cap {
+                        let fresh = batches[k][m] == 0;
+                        let (dc, dm);
+                        match cfg.mode {
+                            ExecutionMode::Batched => {
+                                let eta = tir.get(EdgeId(k), ModelId(m)).eta;
+                                let (slope, intercept) = linear_coeffs(gamma, eta);
+                                dc = slope + if fresh { intercept } else { 0.0 };
+                                dm = if fresh {
+                                    mv.weight_mb + mv.intermediate_mb
+                                } else {
+                                    mv.intermediate_mb
+                                };
+                            }
+                            ExecutionMode::Serial { .. } => {
+                                dc = gamma;
+                                dm = if fresh { mv.weight_mb + mv.intermediate_mb } else { 0.0 };
+                            }
+                        }
+                        let dn = if fresh
+                            && !prev.is_some_and(|p| p.is_deployed(EdgeId(k), mid))
+                        {
+                            mv.compressed_mb
+                        } else {
+                            0.0
+                        };
+                        if dc <= compute_left[k] && dm <= mem_left[k] && dn <= net_left[k] {
+                            compute_left[k] -= dc;
+                            mem_left[k] -= dm;
+                            net_left[k] -= dn;
+                            batches[k][m] += 1;
+                            left -= 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                want - left
+            };
+
+            // Pass 1: local service, following the LP's local share for the
+            // cell (leave the LP's shipped share for pass 2, so receiving
+            // edges' capacity is not consumed by greedy local overreach).
+            let mut leftover = vec![vec![0u32; ne]; na];
+            for k in 0..ne {
+                for i in 0..na {
+                    let app = birp_models::AppId(i);
+                    let d = demand.get(app, EdgeId(k));
+                    let want = if lp_guide.is_some() {
+                        d.min((guide(local[i][k]) + 0.999).floor() as u32)
+                    } else {
+                        d
+                    };
+                    let served =
+                        place(k, app, want, &mut mem_left, &mut compute_left, &mut net_left, &mut batches);
+                    warm[local[i][k].index()] = served as f64;
+                    leftover[i][k] = d - served;
+                }
+            }
+
+            // Pass 2 ships leftovers to the LP's preferred receivers; pass 3
+            // retries everything left: more local service, then any edge
+            // with spare compute.
+            for pass in [2, 3] {
+                for i in 0..na {
+                    let app = birp_models::AppId(i);
+                    let zeta = catalog.apps[i].request_mb;
+                    for src in 0..ne {
+                        if pass == 3 && leftover[i][src] > 0 {
+                            // Extra local service beyond the LP's share.
+                            let extra = place(
+                                src,
+                                app,
+                                leftover[i][src],
+                                &mut mem_left,
+                                &mut compute_left,
+                                &mut net_left,
+                                &mut batches,
+                            );
+                            warm[local[i][src].index()] += extra as f64;
+                            leftover[i][src] -= extra;
+                        }
+                        while leftover[i][src] > 0 {
+                            let mut order: Vec<usize> = (0..ne).filter(|&d| d != src).collect();
+                            if pass == 2 {
+                                // LP's receivers first.
+                                order.sort_by(|&a, &c| {
+                                    guide(inn[i][c]).partial_cmp(&guide(inn[i][a])).unwrap()
+                                });
+                            } else {
+                                order.sort_by(|&a, &c| {
+                                    compute_left[c].partial_cmp(&compute_left[a]).unwrap()
+                                });
+                            }
+                            let mut moved_any = false;
+                            for dest in order {
+                                if pass == 2 && guide(inn[i][dest]) < 0.5 {
+                                    continue; // not an LP receiver
+                                }
+                                let net_cap = ((net_left[src] / zeta).min(net_left[dest] / zeta))
+                                    .floor()
+                                    .max(0.0) as u32;
+                                let block = leftover[i][src].min(net_cap);
+                                if block == 0 {
+                                    continue;
+                                }
+                                let placed = place(
+                                    dest,
+                                    app,
+                                    block,
+                                    &mut mem_left,
+                                    &mut compute_left,
+                                    &mut net_left,
+                                    &mut batches,
+                                );
+                                if placed > 0 {
+                                    let cost = zeta * placed as f64;
+                                    net_left[src] -= cost;
+                                    net_left[dest] -= cost;
+                                    warm[out[i][src].index()] += placed as f64;
+                                    warm[inn[i][dest].index()] += placed as f64;
+                                    leftover[i][src] -= placed;
+                                    moved_any = true;
+                                    break;
+                                }
+                            }
+                            if !moved_any {
+                                break;
+                            }
+                        }
+                        if pass == 3 {
+                            warm[o[i][src].index()] = leftover[i][src] as f64;
+                        }
+                    }
+                }
+            }
+
+            for k in 0..ne {
+                for m in 0..nm {
+                    if batches[k][m] > 0 {
+                        warm[x[k][m].index()] = 1.0;
+                        warm[b[k][m].index()] = batches[k][m] as f64;
+                    }
+                }
+            }
+        }
+
+        SlotProblem {
+            model,
+            t,
+            num_apps: na,
+            num_edges: ne,
+            num_models: nm,
+            serial,
+            model_app: catalog.models.iter().map(|m| m.app).collect(),
+            x,
+            b,
+            local,
+            out,
+            inn,
+            o,
+            warm,
+        }
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.model.num_vars()
+    }
+
+    pub fn num_constraints(&self) -> usize {
+        self.model.num_constraints()
+    }
+
+    /// Solve and decode into a schedule. The loss-greedy warm start built
+    /// alongside the model guarantees branch and bound always holds a
+    /// usable incumbent, even under the tightest node budgets.
+    pub fn solve(&self, solver_cfg: &SolverConfig) -> Result<(Schedule, SolveStats), SolverError> {
+        let sol = self.model.solve_warm(solver_cfg, Some(self.warm.clone()))?;
+        let stats = SolveStats {
+            objective: sol.objective,
+            gap: sol.gap,
+            nodes: sol.nodes,
+            optimal: sol.status == ModelStatus::Optimal,
+        };
+        Ok((self.decode(&sol), stats))
+    }
+
+    /// Fractional deployment variables of the LP relaxation — the input to
+    /// OAEI's randomised rounding.
+    pub fn relaxation_x(&self) -> Result<Vec<Vec<f64>>, SolverError> {
+        let lp = self.model.solve_relaxation()?;
+        match lp.status {
+            birp_solver::LpStatus::Optimal => Ok((0..self.num_edges)
+                .map(|e| (0..self.num_models).map(|m| lp.x[self.x[e][m].index()]).collect())
+                .collect()),
+            birp_solver::LpStatus::Infeasible => Err(SolverError::Infeasible),
+            birp_solver::LpStatus::Unbounded => Err(SolverError::Unbounded),
+        }
+    }
+
+    /// Solve with the deployment variables pinned to `fixed` (OAEI's second
+    /// stage after rounding).
+    pub fn solve_with_fixed_x(
+        &self,
+        fixed: &[Vec<bool>],
+        solver_cfg: &SolverConfig,
+    ) -> Result<(Schedule, SolveStats), SolverError> {
+        let mut pinned = self.model.clone();
+        // Warm start consistent with the pinned deployments: serve nothing,
+        // overflow everything (valid whenever the pinned deployments fit in
+        // memory/network on their own; if they do not, the pinned problem
+        // is infeasible and the caller's fallback path takes over).
+        let mut warm = vec![0.0; pinned.num_vars()];
+        for e in 0..self.num_edges {
+            for m in 0..self.num_models {
+                let v = if fixed[e][m] { 1.0 } else { 0.0 };
+                pinned.set_bounds(self.x[e][m], v, v);
+                warm[self.x[e][m].index()] = v;
+            }
+        }
+        for row in &self.o {
+            for &ov in row {
+                warm[ov.index()] = pinned.bounds(ov).1;
+            }
+        }
+        let sol = pinned.solve_warm(solver_cfg, Some(warm))?;
+        let stats = SolveStats {
+            objective: sol.objective,
+            gap: sol.gap,
+            nodes: sol.nodes,
+            optimal: sol.status == ModelStatus::Optimal,
+        };
+        Ok((self.decode(&sol), stats))
+    }
+
+    /// Translate a solver point into a [`Schedule`].
+    ///
+    /// Deployments with `x = 1, b = 0` are pruned (see the Eq. 4 note in
+    /// `build`). The aggregate `local/out/in` solution is expanded into a
+    /// concrete pairwise routing: same-edge out/in pairs are first cancelled
+    /// into local service (never worse — it only releases network budget),
+    /// then sources and sinks are matched greedily in index order. Any such
+    /// matching realises exactly the aggregate sums the constraints were
+    /// enforced on.
+    pub fn decode(&self, sol: &Solution) -> Schedule {
+        let mut schedule = Schedule::empty(self.t, self.num_apps, self.num_edges);
+        schedule.serial = self.serial;
+        for e in 0..self.num_edges {
+            for m in 0..self.num_models {
+                let deployed = sol.int_value(self.x[e][m]) == 1;
+                let batch = sol.int_value(self.b[e][m]).max(0) as u32;
+                if deployed && batch > 0 {
+                    schedule.deployments[e].push(Deployment {
+                        app: self.model_app[m],
+                        model: ModelId(m),
+                        batch,
+                    });
+                }
+            }
+        }
+        for i in 0..self.num_apps {
+            let app = birp_models::AppId(i);
+            let ne = self.num_edges;
+            let mut local: Vec<i64> =
+                (0..ne).map(|k| sol.int_value(self.local[i][k]).max(0)).collect();
+            let mut out: Vec<i64> = (0..ne).map(|k| sol.int_value(self.out[i][k]).max(0)).collect();
+            let mut inn: Vec<i64> = (0..ne).map(|k| sol.int_value(self.inn[i][k]).max(0)).collect();
+
+            // Cancel same-edge ship-and-receive into local service.
+            for k in 0..ne {
+                let c = out[k].min(inn[k]);
+                if c > 0 {
+                    local[k] += c;
+                    out[k] -= c;
+                    inn[k] -= c;
+                }
+            }
+            for k in 0..ne {
+                if local[k] > 0 {
+                    schedule.routing.set(app, EdgeId(k), EdgeId(k), local[k] as u32);
+                }
+                schedule.unserved[i][k] = sol.int_value(self.o[i][k]).max(0) as u32;
+            }
+            // Greedy source/sink matching (disjoint after cancellation).
+            let mut sink = 0usize;
+            for src in 0..ne {
+                while out[src] > 0 {
+                    while sink < ne && inn[sink] == 0 {
+                        sink += 1;
+                    }
+                    if sink >= ne {
+                        break; // sums matched by the balance row; defensive
+                    }
+                    let amount = out[src].min(inn[sink]);
+                    schedule.routing.add(app, EdgeId(src), EdgeId(sink), amount as u32);
+                    out[src] -= amount;
+                    inn[sink] -= amount;
+                }
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birp_models::AppId;
+    use birp_sim::schedule::validate_against_trace;
+    use birp_workload::Trace;
+
+    fn demand_of(catalog: &Catalog, cells: &[(usize, usize, u32)]) -> DemandMatrix {
+        let mut d = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+        for &(i, k, v) in cells {
+            d.set(AppId(i), EdgeId(k), v);
+        }
+        d
+    }
+
+    fn trace_of(catalog: &Catalog, t: usize, d: &DemandMatrix) -> Trace {
+        let mut tr = Trace::zeros(t + 1, catalog.num_apps(), catalog.num_edges());
+        for i in 0..catalog.num_apps() {
+            for k in 0..catalog.num_edges() {
+                tr.set_demand(t, AppId(i), EdgeId(k), d.get(AppId(i), EdgeId(k)));
+            }
+        }
+        tr
+    }
+
+    #[test]
+    fn batched_problem_serves_everything_under_light_load() {
+        let catalog = Catalog::small_scale(42);
+        let demand = demand_of(&catalog, &[(0, 0, 6), (0, 3, 4)]);
+        let tir = TirMatrix::oracle(&catalog);
+        let p = SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
+        let (schedule, stats) = p.solve(&SolverConfig::default()).unwrap();
+        assert_eq!(schedule.total_unserved(), 0, "light load must be fully served");
+        assert_eq!(schedule.served(), 10);
+        assert!(stats.objective > 0.0);
+        // The decoded schedule satisfies every structural constraint.
+        let trace = trace_of(&catalog, 0, &demand);
+        validate_against_trace(&catalog, &trace, &schedule, None).unwrap();
+    }
+
+    #[test]
+    fn light_load_prefers_accurate_models() {
+        // With tiny demand and ample compute, the lowest-loss model should
+        // carry the traffic.
+        let catalog = Catalog::small_scale(42);
+        let demand = demand_of(&catalog, &[(0, 0, 2)]);
+        let tir = TirMatrix::oracle(&catalog);
+        let p = SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
+        let (schedule, _) = p.solve(&SolverConfig::default()).unwrap();
+        let best_loss = catalog.models.iter().map(|m| m.loss).fold(f64::INFINITY, f64::min);
+        let expected = best_loss * 2.0;
+        assert!(
+            (schedule.loss(&catalog) - expected).abs() < 1e-6,
+            "loss {} vs expected {expected}",
+            schedule.loss(&catalog)
+        );
+    }
+
+    #[test]
+    fn heavy_load_spills_to_other_edges_or_overflow() {
+        let catalog = Catalog::small_scale(42);
+        // Far beyond one edge's capacity: must redistribute.
+        let demand = demand_of(&catalog, &[(0, 2, 40)]);
+        let tir = TirMatrix::oracle(&catalog);
+        let p = SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
+        let (schedule, _) = p.solve(&SolverConfig::scheduling()).unwrap();
+        let moved: u32 = (0..catalog.num_edges())
+            .filter(|&k2| k2 != 2)
+            .map(|k2| schedule.routing.get(AppId(0), EdgeId(2), EdgeId(k2)))
+            .sum();
+        assert!(moved > 0, "expected redistribution away from the hot edge");
+        let trace = trace_of(&catalog, 0, &demand);
+        validate_against_trace(&catalog, &trace, &schedule, None).unwrap();
+    }
+
+    #[test]
+    fn batch_sizes_respect_beta_estimates() {
+        let catalog = Catalog::small_scale(42);
+        let demand = demand_of(&catalog, &[(0, 0, 30)]);
+        // Pessimistic estimates: beta = 2 everywhere.
+        let tir = TirMatrix::from_fn(catalog.num_edges(), catalog.num_models(), |_, _| {
+            TirParams::consistent(0.2, 2)
+        });
+        let p = SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
+        let (schedule, _) = p.solve(&SolverConfig::scheduling()).unwrap();
+        for d in schedule.deployments.iter().flatten() {
+            assert!(d.batch <= 2, "batch {} exceeds beta estimate", d.batch);
+        }
+    }
+
+    #[test]
+    fn serial_mode_produces_serial_schedule() {
+        let catalog = Catalog::small_scale(42);
+        let demand = demand_of(&catalog, &[(0, 0, 12)]);
+        let tir = TirMatrix::initial(&catalog);
+        let cfg = ProblemConfig {
+            mode: ExecutionMode::Serial { max_serial: 256 },
+            ..Default::default()
+        };
+        let p = SlotProblem::build(&catalog, 0, &demand, &tir, None, &cfg);
+        let (schedule, _) = p.solve(&SolverConfig::scheduling()).unwrap();
+        assert!(schedule.serial);
+        assert_eq!(schedule.served() + schedule.total_unserved(), 12);
+        let trace = trace_of(&catalog, 0, &demand);
+        validate_against_trace(&catalog, &trace, &schedule, None).unwrap();
+    }
+
+    #[test]
+    fn network_constraint_limits_model_churn() {
+        let catalog = Catalog::small_scale(42);
+        let demand = demand_of(&catalog, &[(0, 0, 4)]);
+        let tir = TirMatrix::oracle(&catalog);
+        // Previous slot deployed model 0 on edge 0; redeploying it is free,
+        // any other model pays its compressed weight.
+        let mut prev = Schedule::empty(0, catalog.num_apps(), catalog.num_edges());
+        prev.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 1 });
+        let p = SlotProblem::build(&catalog, 1, &demand, &tir, Some(&prev), &ProblemConfig::default());
+        let (schedule, _) = p.solve(&SolverConfig::default()).unwrap();
+        let trace = trace_of(&catalog, 1, &demand);
+        validate_against_trace(&catalog, &trace, &schedule, Some(&prev)).unwrap();
+    }
+
+    #[test]
+    fn zero_demand_yields_empty_schedule() {
+        let catalog = Catalog::small_scale(42);
+        let demand = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+        let tir = TirMatrix::initial(&catalog);
+        let p = SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
+        let (schedule, stats) = p.solve(&SolverConfig::default()).unwrap();
+        assert_eq!(schedule.served(), 0);
+        assert_eq!(schedule.total_unserved(), 0);
+        assert!(schedule.deployments.iter().all(|d| d.is_empty()));
+        assert!(stats.objective.abs() < 1e-9);
+    }
+
+    #[test]
+    fn problem_dimensions_scale_with_catalog() {
+        let catalog = Catalog::small_scale(42);
+        let demand = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+        let tir = TirMatrix::initial(&catalog);
+        let p = SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
+        // x: 18, b: 18, local/out/in: 3 x 6, o: 6.
+        assert_eq!(p.num_vars(), 18 + 18 + 18 + 6);
+        assert!(p.num_constraints() > 0);
+    }
+}
+
+impl SlotProblem {
+    /// Debug-only: the lowered MILP (used by diagnostics examples).
+    pub fn debug_milp(&self) -> birp_solver::MilpProblem {
+        self.model.to_milp().unwrap()
+    }
+
+    /// Debug-only: warm-start objective and max violation.
+    pub fn debug_warm(&self) -> (f64, f64) {
+        let milp = self.model.to_milp().unwrap();
+        (milp.lp.objective_at(&self.warm), milp.lp.max_violation(&self.warm))
+    }
+}

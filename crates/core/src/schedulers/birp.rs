@@ -1,0 +1,269 @@
+//! BIRP and its offline-oracle variant.
+//!
+//! BIRP (paper Fig. 3) per slot:
+//!
+//! 1. read the MAB tuner's lower-confidence-bound estimates of every
+//!    (edge, model) TIR curve,
+//! 2. build the batch-aware problem `P1^t`/`P2^t` with the Taylor-linearised
+//!    compute constraint,
+//! 3. solve the resulting MILP (the paper calls Gurobi; we call
+//!    `birp_solver`),
+//! 4. dispatch, then feed the observed per-batch TIRs back into the tuner
+//!    (Eqs. 15–23).
+//!
+//! BIRP-OFF seeds the same machinery with offline-profiled ground truth and
+//! disables tuning (paper Section 5.2).
+
+use birp_mab::{MabConfig, Tuner};
+use birp_models::Catalog;
+use birp_sim::{Schedule, SlotOutcome};
+use birp_solver::SolverConfig;
+
+use crate::demand::DemandMatrix;
+use crate::problem::{ExecutionMode, ProblemConfig, SlotProblem, SolveStats, TirMatrix};
+use crate::schedulers::{all_unserved, Scheduler};
+
+/// The batch-aware, MAB-tuned scheduler (the paper's contribution).
+pub struct Birp {
+    catalog: Catalog,
+    tuner: Tuner,
+    solver_cfg: SolverConfig,
+    problem_cfg: ProblemConfig,
+    /// When false the tuner is frozen (BIRP-OFF behaviour).
+    tune: bool,
+    /// When false, plan with the running-mean estimates instead of the
+    /// lower-confidence bounds — the exploration-ablation variant
+    /// ("BIRP-MEAN"). The paper's Eq. 17/22 argue the LCB avoids local
+    /// optima; this switch lets the benches quantify that.
+    use_lcb: bool,
+    /// Solve statistics of the most recent slot (for experiment logs).
+    pub last_stats: Option<SolveStats>,
+}
+
+impl Birp {
+    /// Standard BIRP with the paper's initial estimates (Eq. 23).
+    pub fn new(catalog: Catalog, mab: MabConfig) -> Self {
+        let tuner = Tuner::new(catalog.num_edges(), catalog.num_models(), mab);
+        Birp {
+            catalog,
+            tuner,
+            solver_cfg: SolverConfig::scheduling(),
+            problem_cfg: ProblemConfig { mode: ExecutionMode::Batched, ..Default::default() },
+            tune: true,
+            use_lcb: true,
+            last_stats: None,
+        }
+    }
+
+    /// The exploration-ablation variant: identical machinery but planning
+    /// with the running-mean TIR estimates instead of the LCBs.
+    pub fn without_lcb(catalog: Catalog, mab: MabConfig) -> Self {
+        let mut s = Self::new(catalog, mab);
+        s.use_lcb = false;
+        s
+    }
+
+    /// Override the branch-and-bound configuration.
+    pub fn with_solver(mut self, cfg: SolverConfig) -> Self {
+        self.solver_cfg = cfg;
+        self
+    }
+
+    /// Access the tuner (diagnostics and tests).
+    pub fn tuner(&self) -> &Tuner {
+        &self.tuner
+    }
+
+    fn estimates(&self) -> TirMatrix {
+        TirMatrix::from_fn(self.catalog.num_edges(), self.catalog.num_models(), |e, m| {
+            if self.use_lcb {
+                self.tuner.estimate(e, m)
+            } else {
+                self.tuner.arm(e, m).mean_estimate()
+            }
+        })
+    }
+
+    fn decide_inner(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
+        let tir = self.estimates();
+        let problem = SlotProblem::build(&self.catalog, t, demand, &tir, prev, &self.problem_cfg);
+        match problem.solve(&self.solver_cfg) {
+            Ok((schedule, stats)) => {
+                self.last_stats = Some(stats);
+                schedule
+            }
+            Err(_) => {
+                // The problem is always feasible (overflow absorbs demand);
+                // reaching this means the node budget produced no incumbent.
+                // Carry everything to the next slot rather than crash.
+                self.last_stats = None;
+                all_unserved(t, demand)
+            }
+        }
+    }
+
+    fn observe_inner(&mut self, outcome: &SlotOutcome) {
+        if !self.tune {
+            return;
+        }
+        for b in &outcome.batches {
+            if b.batch >= 2 {
+                self.tuner.observe(
+                    outcome.t as u64,
+                    b.edge.index(),
+                    b.model.index(),
+                    b.batch,
+                    b.observed_tir,
+                );
+            }
+        }
+    }
+}
+
+impl Scheduler for Birp {
+    fn name(&self) -> &'static str {
+        if self.use_lcb {
+            "BIRP"
+        } else {
+            "BIRP-MEAN"
+        }
+    }
+
+    fn decide(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
+        self.decide_inner(t, demand, prev)
+    }
+
+    fn observe(&mut self, outcome: &SlotOutcome) {
+        self.observe_inner(outcome);
+    }
+}
+
+/// BIRP with offline-profiled (oracle) TIR curves and no online tuning.
+pub struct BirpOff {
+    inner: Birp,
+}
+
+impl BirpOff {
+    pub fn new(catalog: Catalog) -> Self {
+        let tuner = Tuner::with_ground_truth(
+            catalog.num_edges(),
+            catalog.num_models(),
+            MabConfig::paper_preset(),
+            |e, m| catalog.edges[e].tir_truth[m],
+        );
+        let mut inner = Birp::new(catalog, MabConfig::paper_preset());
+        inner.tuner = tuner;
+        inner.tune = false;
+        BirpOff { inner }
+    }
+
+    pub fn with_solver(mut self, cfg: SolverConfig) -> Self {
+        self.inner.solver_cfg = cfg;
+        self
+    }
+
+    pub fn last_stats(&self) -> Option<&SolveStats> {
+        self.inner.last_stats.as_ref()
+    }
+}
+
+impl Scheduler for BirpOff {
+    fn name(&self) -> &'static str {
+        "BIRP-OFF"
+    }
+
+    fn decide(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
+        self.inner.decide_inner(t, demand, prev)
+    }
+
+    fn observe(&mut self, _outcome: &SlotOutcome) {
+        // Oracle mode: nothing to learn.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birp_models::{AppId, EdgeId};
+    use birp_sim::{EdgeSim, SimConfig};
+
+    fn demand(catalog: &Catalog, cells: &[(usize, usize, u32)]) -> DemandMatrix {
+        let mut d = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+        for &(i, k, v) in cells {
+            d.set(AppId(i), EdgeId(k), v);
+        }
+        d
+    }
+
+    #[test]
+    fn birp_serves_demand_and_batches() {
+        let catalog = Catalog::small_scale(42);
+        let mut birp = Birp::new(catalog.clone(), MabConfig::paper_preset());
+        let d = demand(&catalog, &[(0, 0, 10), (0, 1, 6)]);
+        let s = birp.decide(0, &d, None);
+        assert!(!s.serial);
+        assert_eq!(s.served() + s.total_unserved(), 16);
+        assert!(s.served() > 0);
+        assert!(birp.last_stats.is_some());
+    }
+
+    #[test]
+    fn observe_updates_tuner_state() {
+        let catalog = Catalog::small_scale(42);
+        let mut birp = Birp::new(catalog.clone(), MabConfig::paper_preset());
+        let d = demand(&catalog, &[(0, 0, 12)]);
+        let s = birp.decide(0, &d, None);
+        let sim = EdgeSim::new(catalog, SimConfig::default());
+        let out = sim.execute_slot(&s, None);
+        let before: Vec<u64> = (0..birp.tuner().num_arms())
+            .map(|_| 0)
+            .collect();
+        birp.observe(&out);
+        // At least one arm observed a batch >= 2 under this demand.
+        let touched = (0..6)
+            .flat_map(|e| (0..3).map(move |m| (e, m)))
+            .any(|(e, m)| {
+                let a = birp.tuner().arm(e, m);
+                a.n1 + a.n2 > 0
+            });
+        assert!(touched, "no arm updated (before: {before:?})");
+    }
+
+    #[test]
+    fn birp_off_never_learns() {
+        let catalog = Catalog::small_scale(42);
+        let mut off = BirpOff::new(catalog.clone());
+        let d = demand(&catalog, &[(0, 0, 10)]);
+        let s = off.decide(0, &d, None);
+        let sim = EdgeSim::new(catalog.clone(), SimConfig::default());
+        let out = sim.execute_slot(&s, None);
+        off.observe(&out);
+        for e in 0..catalog.num_edges() {
+            for m in 0..catalog.num_models() {
+                let a = off.inner.tuner().arm(e, m);
+                assert_eq!(a.n1 + a.n2, 0);
+                // Oracle arms carry the ground truth.
+                assert_eq!(a.estimate(), catalog.edges[e].tir_truth[m]);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_names() {
+        let catalog = Catalog::small_scale(1);
+        assert_eq!(Birp::new(catalog.clone(), MabConfig::paper_preset()).name(), "BIRP");
+        assert_eq!(Birp::without_lcb(catalog.clone(), MabConfig::paper_preset()).name(), "BIRP-MEAN");
+        assert_eq!(BirpOff::new(catalog).name(), "BIRP-OFF");
+    }
+
+    #[test]
+    fn mean_variant_plans_with_means() {
+        let catalog = Catalog::small_scale(42);
+        let mean = Birp::without_lcb(catalog.clone(), MabConfig::paper_preset());
+        // Fresh arms: mean estimate equals the Eq. 23 initialisation.
+        let est = mean.estimates();
+        let m0 = est.get(EdgeId(0), birp_models::ModelId(0));
+        assert_eq!(m0.beta, 16);
+        assert!((m0.eta - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! The no-redistribution ablation baseline.
+//!
+//! Serves every (app, edge) cell strictly locally with a loss-greedy
+//! batched packing — i.e. BIRP's batching without its redistribution.
+//! Quantifies how much of BIRP's advantage comes from moving work versus
+//! batching it (an ablation the paper motivates but does not plot).
+
+use birp_models::catalog::MAX_BATCH;
+use birp_models::{AppId, Catalog, EdgeId, ModelId};
+use birp_sim::{Deployment, Schedule};
+use birp_tir::TirParams;
+
+use crate::demand::DemandMatrix;
+use crate::schedulers::Scheduler;
+
+pub struct LocalOnly {
+    catalog: Catalog,
+    /// Planning TIR estimate (conservative paper initialisation).
+    planning_tir: TirParams,
+}
+
+impl LocalOnly {
+    pub fn new(catalog: Catalog) -> Self {
+        LocalOnly { catalog, planning_tir: TirParams::paper_initial() }
+    }
+}
+
+impl Scheduler for LocalOnly {
+    fn name(&self) -> &'static str {
+        "LOCAL"
+    }
+
+    fn decide(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
+        let na = self.catalog.num_apps();
+        let ne = self.catalog.num_edges();
+        let nm = self.catalog.num_models();
+        let mut schedule = Schedule::empty(t, na, ne);
+        for k in 0..ne {
+            let edge = &self.catalog.edges[k];
+            let mut compute_left = self.catalog.slot_ms;
+            let mut mem_left = edge.memory_mb;
+            let mut net_left = edge.network_budget_mb;
+            let mut batches = vec![0u32; nm];
+            for i in 0..na {
+                let app = AppId(i);
+                let mut left = demand.get(app, EdgeId(k));
+                let mut order: Vec<ModelId> = self.catalog.models_of(app).to_vec();
+                order.sort_by(|a, b| {
+                    self.catalog.model(*a).loss.partial_cmp(&self.catalog.model(*b).loss).unwrap()
+                });
+                let mut served = 0u32;
+                for mid in order {
+                    let m = mid.index();
+                    let mv = &self.catalog.models[m];
+                    let cap = self.planning_tir.beta.min(MAX_BATCH);
+                    let gamma = edge.gamma_ms[m];
+                    while left > 0 && batches[m] < cap {
+                        let fresh = batches[m] == 0;
+                        let (slope, intercept) =
+                            birp_tir::linear_coeffs(gamma, self.planning_tir.eta);
+                        let dc = slope + if fresh { intercept } else { 0.0 };
+                        let dm = if fresh {
+                            mv.weight_mb + mv.intermediate_mb
+                        } else {
+                            mv.intermediate_mb
+                        };
+                        let dn = if fresh && !prev.is_some_and(|p| p.is_deployed(EdgeId(k), mid)) {
+                            mv.compressed_mb
+                        } else {
+                            0.0
+                        };
+                        if dc <= compute_left && dm <= mem_left && dn <= net_left {
+                            compute_left -= dc;
+                            mem_left -= dm;
+                            net_left -= dn;
+                            batches[m] += 1;
+                            left -= 1;
+                            served += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                if served > 0 {
+                    schedule.routing.set(app, EdgeId(k), EdgeId(k), served);
+                }
+                schedule.unserved[i][k] = left;
+            }
+            for m in 0..nm {
+                if batches[m] > 0 {
+                    schedule.deployments[k].push(Deployment {
+                        app: self.catalog.models[m].app,
+                        model: ModelId(m),
+                        batch: batches[m],
+                    });
+                }
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_only_never_ships() {
+        let catalog = Catalog::small_scale(42);
+        let mut s = LocalOnly::new(catalog.clone());
+        let mut d = DemandMatrix::zeros(1, 6);
+        d.set(AppId(0), EdgeId(0), 50);
+        d.set(AppId(0), EdgeId(3), 5);
+        let schedule = s.decide(0, &d, None);
+        for k in 0..6 {
+            assert_eq!(schedule.routing.outbound(AppId(0), EdgeId(k)), 0);
+            assert_eq!(schedule.routing.inbound(AppId(0), EdgeId(k)), 0);
+        }
+        let demand_fn = |a: AppId, e: EdgeId| d.get(a, e);
+        birp_sim::validate(&catalog, &demand_fn, &schedule, None).unwrap();
+        // The hot edge overflows (that's the point of this baseline).
+        assert!(schedule.unserved[0][0] > 0, "hot edge should overflow without redistribution");
+        assert_eq!(schedule.unserved[0][3], 0);
+    }
+
+    #[test]
+    fn light_load_served_with_best_model() {
+        let catalog = Catalog::small_scale(42);
+        let mut s = LocalOnly::new(catalog.clone());
+        let mut d = DemandMatrix::zeros(1, 6);
+        d.set(AppId(0), EdgeId(1), 3);
+        let schedule = s.decide(0, &d, None);
+        assert_eq!(schedule.total_unserved(), 0);
+        let best_loss = catalog.models.iter().map(|m| m.loss).fold(f64::INFINITY, f64::min);
+        assert!((schedule.loss(&catalog) - 3.0 * best_loss).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,271 @@
+//! The MAX baseline: utilisation-maximising fixed-size batching.
+//!
+//! Paper Section 5.2: "set a large batch size `B0` which can optimize
+//! resource utilization, and when performing workload redistribution, the
+//! inference batch transfer must be followed according to `B0`."
+//!
+//! MAX greedily packs each edge with batches of the *highest-throughput*
+//! (smallest) models — maximising utilisation at the cost of accuracy —
+//! and moves overflow between edges only in whole `B0` blocks. It plans
+//! with the paper's conservative initial TIR estimate (Eq. 23) rather than
+//! any learned curve.
+
+use birp_models::catalog::MAX_BATCH;
+use birp_models::{AppId, Catalog, EdgeId, ModelId};
+use birp_sim::{Deployment, Schedule};
+use birp_tir::TirParams;
+
+use crate::demand::DemandMatrix;
+use crate::schedulers::Scheduler;
+
+pub struct MaxBatch {
+    catalog: Catalog,
+    b0: u32,
+    /// Models of each app sorted by ascending latency (highest throughput
+    /// first) — the utilisation-maximising fill order.
+    fill_order: Vec<Vec<ModelId>>,
+    planning_tir: TirParams,
+}
+
+struct EdgeState {
+    compute_left: f64,
+    mem_left: f64,
+    net_left: f64,
+    batches: Vec<u32>,
+}
+
+impl MaxBatch {
+    pub fn new(catalog: Catalog, b0: u32) -> Self {
+        let fill_order = catalog
+            .apps
+            .iter()
+            .map(|app| {
+                let mut ms: Vec<ModelId> = app.models.clone();
+                ms.sort_by(|a, b| {
+                    catalog.model(*a)
+                        .gamma_base_ms
+                        .partial_cmp(&catalog.model(*b).gamma_base_ms)
+                        .unwrap()
+                });
+                ms
+            })
+            .collect();
+        MaxBatch { catalog, b0: b0.min(MAX_BATCH).max(1), fill_order, planning_tir: TirParams::paper_initial() }
+    }
+
+    /// The paper's default `B0 = 16`.
+    pub fn paper_default(catalog: Catalog) -> Self {
+        Self::new(catalog, 16)
+    }
+
+    fn est_latency(&self, e: usize, m: usize, b: u32) -> f64 {
+        birp_tir::latency(self.catalog.edges[e].gamma_ms[m], b, &self.planning_tir)
+    }
+
+    /// Greedily assign up to `count` requests of `app` to edge `e`,
+    /// respecting compute / memory / (deployment) network budgets.
+    /// Returns the number actually placed.
+    fn try_assign(
+        &self,
+        st: &mut EdgeState,
+        e: usize,
+        app: AppId,
+        count: u32,
+        prev: Option<&Schedule>,
+    ) -> u32 {
+        let mut left = count;
+        for &mid in &self.fill_order[app.index()] {
+            let m = mid.index();
+            let mv = &self.catalog.models[m];
+            while left > 0 && st.batches[m] < self.b0 {
+                let b = st.batches[m];
+                let delta_compute = self.est_latency(e, m, b + 1) - self.est_latency(e, m, b);
+                let fresh = b == 0;
+                let delta_mem = if fresh { mv.weight_mb + mv.intermediate_mb } else { mv.intermediate_mb };
+                let deploy_net = if fresh && !prev.is_some_and(|p| p.is_deployed(EdgeId(e), mid)) {
+                    mv.compressed_mb
+                } else {
+                    0.0
+                };
+                if delta_compute <= st.compute_left
+                    && delta_mem <= st.mem_left
+                    && deploy_net <= st.net_left
+                {
+                    st.compute_left -= delta_compute;
+                    st.mem_left -= delta_mem;
+                    st.net_left -= deploy_net;
+                    st.batches[m] = b + 1;
+                    left -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        count - left
+    }
+}
+
+impl Scheduler for MaxBatch {
+    fn name(&self) -> &'static str {
+        "MAX"
+    }
+
+    fn decide(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
+        let na = self.catalog.num_apps();
+        let ne = self.catalog.num_edges();
+        let nm = self.catalog.num_models();
+        let mut schedule = Schedule::empty(t, na, ne);
+
+        let mut states: Vec<EdgeState> = (0..ne)
+            .map(|e| EdgeState {
+                compute_left: self.catalog.slot_ms,
+                mem_left: self.catalog.edges[e].memory_mb,
+                net_left: self.catalog.edges[e].network_budget_mb,
+                batches: vec![0; nm],
+            })
+            .collect();
+
+        // Pass 1: serve locally.
+        let mut remaining = vec![vec![0u32; ne]; na];
+        for i in 0..na {
+            for e in 0..ne {
+                let d = demand.get(AppId(i), EdgeId(e));
+                if d == 0 {
+                    continue;
+                }
+                let placed = self.try_assign(&mut states[e], e, AppId(i), d, prev);
+                if placed > 0 {
+                    schedule.routing.set(AppId(i), EdgeId(e), EdgeId(e), placed);
+                }
+                remaining[i][e] = d - placed;
+            }
+        }
+
+        // Pass 2: move overflow in whole B0 blocks to the emptiest edges.
+        for i in 0..na {
+            let zeta = self.catalog.apps[i].request_mb;
+            for src in 0..ne {
+                'blocks: while remaining[i][src] >= self.b0 {
+                    // Destinations ordered by remaining compute.
+                    let mut order: Vec<usize> = (0..ne).filter(|&d| d != src).collect();
+                    order.sort_by(|&a, &b| {
+                        states[b].compute_left.partial_cmp(&states[a].compute_left).unwrap()
+                    });
+                    for dest in order {
+                        // Network pre-check on both sides.
+                        let max_by_net = (states[src].net_left / zeta)
+                            .min(states[dest].net_left / zeta)
+                            .floor()
+                            .max(0.0) as u32;
+                        let block = self.b0.min(max_by_net);
+                        if block == 0 {
+                            continue;
+                        }
+                        let placed = self.try_assign(&mut states[dest], dest, AppId(i), block, prev);
+                        if placed > 0 {
+                            let cost = zeta * placed as f64;
+                            states[src].net_left -= cost;
+                            states[dest].net_left -= cost;
+                            schedule.routing.add(AppId(i), EdgeId(src), EdgeId(dest), placed);
+                            remaining[i][src] -= placed;
+                            continue 'blocks;
+                        }
+                    }
+                    break; // no destination accepted anything
+                }
+                schedule.unserved[i][src] = remaining[i][src];
+            }
+        }
+
+        // Materialise deployments.
+        for (e, st) in states.iter().enumerate() {
+            for m in 0..nm {
+                if st.batches[m] > 0 {
+                    schedule.deployments[e].push(Deployment {
+                        app: self.catalog.models[m].app,
+                        model: ModelId(m),
+                        batch: st.batches[m],
+                    });
+                }
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(catalog: &Catalog, cells: &[(usize, usize, u32)]) -> DemandMatrix {
+        let mut d = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+        for &(i, k, v) in cells {
+            d.set(AppId(i), EdgeId(k), v);
+        }
+        d
+    }
+
+    #[test]
+    fn max_prefers_small_models() {
+        let catalog = Catalog::small_scale(42);
+        let mut max = MaxBatch::paper_default(catalog.clone());
+        let d = demand(&catalog, &[(0, 0, 10)]);
+        let s = max.decide(0, &d, None);
+        // Everything lands on the smallest (highest-loss) model.
+        let dep = &s.deployments[0];
+        assert_eq!(dep.len(), 1);
+        assert_eq!(dep[0].model, ModelId(0));
+        assert_eq!(dep[0].batch, 10);
+    }
+
+    #[test]
+    fn max_schedule_is_structurally_valid() {
+        let catalog = Catalog::small_scale(42);
+        let mut max = MaxBatch::paper_default(catalog.clone());
+        let d = demand(&catalog, &[(0, 0, 45), (0, 1, 3), (0, 5, 20)]);
+        let s = max.decide(0, &d, None);
+        let demand_fn = |a: AppId, e: EdgeId| d.get(a, e);
+        birp_sim::validate(&catalog, &demand_fn, &s, None).unwrap();
+    }
+
+    #[test]
+    fn overflow_moves_in_b0_blocks() {
+        let catalog = Catalog::small_scale(42);
+        let b0 = 8;
+        let mut max = MaxBatch::new(catalog.clone(), b0);
+        // Saturate edge 0 so overflow must move.
+        let d = demand(&catalog, &[(0, 0, 200)]);
+        let s = max.decide(0, &d, None);
+        let moved: u32 = (1..catalog.num_edges())
+            .map(|k| s.routing.get(AppId(0), EdgeId(0), EdgeId(k)))
+            .sum();
+        assert!(moved > 0, "expected overflow redistribution");
+        // No single deployed batch exceeds B0.
+        for dep in s.deployments.iter().flatten() {
+            assert!(dep.batch <= b0);
+        }
+    }
+
+    #[test]
+    fn served_plus_unserved_equals_demand() {
+        let catalog = Catalog::large_scale(42);
+        let mut max = MaxBatch::paper_default(catalog.clone());
+        let mut d = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+        for i in 0..catalog.num_apps() {
+            for e in 0..catalog.num_edges() {
+                d.set(AppId(i), EdgeId(e), ((i * 7 + e * 3) % 20) as u32);
+            }
+        }
+        let s = max.decide(0, &d, None);
+        assert_eq!(s.served() + s.total_unserved(), d.total());
+        let demand_fn = |a: AppId, e: EdgeId| d.get(a, e);
+        birp_sim::validate(&catalog, &demand_fn, &s, None).unwrap();
+    }
+
+    #[test]
+    fn b0_is_clamped_to_max_batch() {
+        let catalog = Catalog::small_scale(1);
+        let max = MaxBatch::new(catalog, 999);
+        assert_eq!(max.b0, MAX_BATCH);
+    }
+}

@@ -1,0 +1,213 @@
+//! The OAEI baseline [19]: serial, model-selection-based workload
+//! redistribution via online learning and randomised rounding.
+//!
+//! Faithful to how the paper uses it as a comparator:
+//!
+//! * **serial execution** — no batching benefit; requests run one at a time
+//!   (`Schedule::serial = true`),
+//! * **online learning** — OAEI does not know device-specific latencies; it
+//!   starts from the model zoo's published reference latency and learns each
+//!   (edge, model) latency from observed executions with an EWMA,
+//! * **randomised rounding** — the per-slot problem's LP relaxation is
+//!   solved, the fractional deployment variables `x` are rounded to `{0,1}`
+//!   Bernoulli-proportionally, and the remaining (routing, volume) problem
+//!   is re-solved with `x` pinned.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use birp_models::Catalog;
+use birp_sim::{Schedule, SlotOutcome};
+use birp_solver::SolverConfig;
+
+use crate::demand::DemandMatrix;
+use crate::problem::{ExecutionMode, ProblemConfig, SlotProblem, TirMatrix};
+use crate::schedulers::{all_unserved, Scheduler};
+
+/// EWMA weight on new latency observations.
+const LEARN_RATE: f64 = 0.3;
+/// Upper bound on per-model serial request count per slot.
+const MAX_SERIAL: u32 = 128;
+
+pub struct Oaei {
+    catalog: Catalog,
+    /// Learned single-request latency per `[edge][model]`, ms.
+    gamma_est: Vec<Vec<f64>>,
+    solver_cfg: SolverConfig,
+    rng: StdRng,
+}
+
+impl Oaei {
+    pub fn new(catalog: Catalog, seed: u64) -> Self {
+        // Prior: the reference latency from the public model card — what an
+        // operator knows before ever running the model on this device class.
+        let gamma_est = (0..catalog.num_edges())
+            .map(|_| catalog.models.iter().map(|m| m.gamma_base_ms).collect())
+            .collect();
+        Oaei { catalog, gamma_est, solver_cfg: SolverConfig::scheduling(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    pub fn with_solver(mut self, cfg: SolverConfig) -> Self {
+        self.solver_cfg = cfg;
+        self
+    }
+
+    /// Current latency estimate (diagnostics and tests).
+    pub fn gamma_estimate(&self, edge: usize, model: usize) -> f64 {
+        self.gamma_est[edge][model]
+    }
+
+    /// Catalog clone carrying the learned latencies instead of ground truth.
+    fn estimated_catalog(&self) -> Catalog {
+        let mut cat = self.catalog.clone();
+        for (e, edge) in cat.edges.iter_mut().enumerate() {
+            edge.gamma_ms.clone_from(&self.gamma_est[e]);
+        }
+        cat
+    }
+}
+
+impl Scheduler for Oaei {
+    fn name(&self) -> &'static str {
+        "OAEI"
+    }
+
+    fn decide(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
+        let cat = self.estimated_catalog();
+        let cfg = ProblemConfig {
+            mode: ExecutionMode::Serial { max_serial: MAX_SERIAL },
+            ..Default::default()
+        };
+        // TIR estimates are irrelevant in serial mode but required by the
+        // builder's signature.
+        let tir = TirMatrix::initial(&cat);
+        let problem = SlotProblem::build(&cat, t, demand, &tir, prev, &cfg);
+
+        // Stage 1: LP relaxation -> fractional deployments.
+        let Ok(frac_x) = problem.relaxation_x() else {
+            return all_unserved(t, demand);
+        };
+        // Stage 2: randomised rounding.
+        let fixed: Vec<Vec<bool>> = frac_x
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&f| {
+                        let p = f.clamp(0.0, 1.0);
+                        // Deterministic extremes avoid wasting randomness.
+                        if p > 0.999 {
+                            true
+                        } else if p < 1e-3 {
+                            false
+                        } else {
+                            self.rng.random_range(0.0..1.0) < p
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Stage 3: re-solve with x pinned; fall back to the unpinned MILP,
+        // then to carrying everything over.
+        match problem.solve_with_fixed_x(&fixed, &self.solver_cfg) {
+            Ok((schedule, _)) => schedule,
+            Err(_) => match problem.solve(&self.solver_cfg) {
+                Ok((schedule, _)) => schedule,
+                Err(_) => all_unserved(t, demand),
+            },
+        }
+    }
+
+    fn observe(&mut self, outcome: &SlotOutcome) {
+        // Serial executions expose single-request latency directly.
+        for b in &outcome.batches {
+            if b.batch == 1 {
+                let est = &mut self.gamma_est[b.edge.index()][b.model.index()];
+                *est += LEARN_RATE * (b.exec_ms - *est);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birp_models::{AppId, EdgeId};
+    use birp_sim::{EdgeSim, SimConfig};
+
+    fn demand(catalog: &Catalog, cells: &[(usize, usize, u32)]) -> DemandMatrix {
+        let mut d = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+        for &(i, k, v) in cells {
+            d.set(AppId(i), EdgeId(k), v);
+        }
+        d
+    }
+
+    #[test]
+    fn oaei_produces_serial_schedules() {
+        let catalog = Catalog::small_scale(42);
+        let mut oaei = Oaei::new(catalog.clone(), 1);
+        let d = demand(&catalog, &[(0, 0, 8), (0, 4, 5)]);
+        let s = oaei.decide(0, &d, None);
+        assert!(s.serial);
+        assert_eq!(s.served() + s.total_unserved(), 13);
+    }
+
+    #[test]
+    fn oaei_learns_latency_from_observations() {
+        // OAEI chooses which (edge, model) pairs to run; assert that every
+        // pair it actually executed has its estimate pulled toward the
+        // ground truth, and that at least one estimate moved.
+        let catalog = Catalog::small_scale(42);
+        let mut oaei = Oaei::new(catalog.clone(), 1);
+        let priors: Vec<Vec<f64>> = (0..catalog.num_edges())
+            .map(|e| (0..catalog.num_models()).map(|m| oaei.gamma_estimate(e, m)).collect())
+            .collect();
+
+        let mut d = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+        d.set(AppId(0), EdgeId(2), 6);
+        d.set(AppId(0), EdgeId(4), 6);
+        let sim = EdgeSim::new(
+            catalog.clone(),
+            SimConfig { exec_noise_sigma: 0.0, ..Default::default() },
+        );
+        let mut executed = std::collections::HashSet::new();
+        for t in 0..25 {
+            let s = oaei.decide(t, &d, None);
+            let out = sim.execute_slot(&s, None);
+            for b in &out.batches {
+                executed.insert((b.edge.index(), b.model.index()));
+            }
+            oaei.observe(&out);
+        }
+        assert!(!executed.is_empty(), "OAEI served nothing");
+        let mut moved = 0;
+        for &(e, m) in &executed {
+            let truth = catalog.edges[e].gamma_ms[m];
+            let prior = priors[e][m];
+            let learned = oaei.gamma_estimate(e, m);
+            assert!(
+                (learned - truth).abs() <= (prior - truth).abs() + 1e-9,
+                "estimate for ({e},{m}) moved away: prior {prior}, learned {learned}, truth {truth}"
+            );
+            if (learned - prior).abs() > 1e-9 {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "no estimate moved despite {} executed pairs", executed.len());
+    }
+
+    #[test]
+    fn oaei_is_deterministic_per_seed() {
+        let catalog = Catalog::small_scale(42);
+        let d = demand(&catalog, &[(0, 0, 10)]);
+        let s1 = Oaei::new(catalog.clone(), 7).decide(0, &d, None);
+        let s2 = Oaei::new(catalog.clone(), 7).decide(0, &d, None);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn oaei_name() {
+        let catalog = Catalog::small_scale(1);
+        assert_eq!(Oaei::new(catalog, 0).name(), "OAEI");
+    }
+}

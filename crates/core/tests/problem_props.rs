@@ -1,0 +1,69 @@
+//! Property-based tests: for arbitrary demand matrices, every schedule the
+//! per-slot problem (and every scheduler) emits is structurally feasible
+//! and conserves requests.
+
+use proptest::prelude::*;
+
+use birp_core::{DemandMatrix, ProblemConfig, SlotProblem, TirMatrix};
+use birp_core::{Birp, BirpOff, MaxBatch, Oaei, Scheduler};
+use birp_mab::MabConfig;
+use birp_models::{AppId, Catalog, EdgeId};
+use birp_solver::SolverConfig;
+
+fn arb_demand(num_apps: usize, num_edges: usize, max: u32) -> impl Strategy<Value = DemandMatrix> {
+    proptest::collection::vec(0..=max, num_apps * num_edges).prop_map(move |vals| {
+        let mut d = DemandMatrix::zeros(num_apps, num_edges);
+        for (i, v) in vals.into_iter().enumerate() {
+            d.set(AppId(i / num_edges), EdgeId(i % num_edges), v);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Decoded MILP schedules always validate and conserve requests.
+    #[test]
+    fn slot_problem_schedules_are_feasible(d in arb_demand(1, 6, 30)) {
+        let catalog = Catalog::small_scale(42);
+        let tir = TirMatrix::oracle(&catalog);
+        let p = SlotProblem::build(&catalog, 0, &d, &tir, None, &ProblemConfig::default());
+        let (schedule, _) = p.solve(&SolverConfig::scheduling()).unwrap();
+        let demand_fn = |a: AppId, e: EdgeId| d.get(a, e);
+        birp_sim::validate(&catalog, &demand_fn, &schedule, None).unwrap();
+        prop_assert_eq!(schedule.served() + schedule.total_unserved(), d.total());
+    }
+
+    /// Every scheduler's decisions validate on random demand.
+    #[test]
+    fn all_schedulers_emit_feasible_schedules(d in arb_demand(1, 6, 20), which in 0usize..4) {
+        let catalog = Catalog::small_scale(42);
+        let mut s: Box<dyn Scheduler> = match which {
+            0 => Box::new(Birp::new(catalog.clone(), MabConfig::paper_preset())),
+            1 => Box::new(BirpOff::new(catalog.clone())),
+            2 => Box::new(Oaei::new(catalog.clone(), 1)),
+            _ => Box::new(MaxBatch::paper_default(catalog.clone())),
+        };
+        let schedule = s.decide(0, &d, None);
+        let demand_fn = |a: AppId, e: EdgeId| d.get(a, e);
+        birp_sim::validate(&catalog, &demand_fn, &schedule, None).unwrap();
+        prop_assert_eq!(schedule.served() + schedule.total_unserved(), d.total());
+    }
+
+    /// The serial (OAEI-mode) problem is feasible for any demand too.
+    #[test]
+    fn serial_problems_are_feasible(d in arb_demand(1, 6, 40)) {
+        let catalog = Catalog::small_scale(42);
+        let tir = TirMatrix::initial(&catalog);
+        let cfg = ProblemConfig {
+            mode: birp_core::ExecutionMode::Serial { max_serial: 256 },
+            ..Default::default()
+        };
+        let p = SlotProblem::build(&catalog, 0, &d, &tir, None, &cfg);
+        let (schedule, _) = p.solve(&SolverConfig::scheduling()).unwrap();
+        prop_assert!(schedule.serial);
+        let demand_fn = |a: AppId, e: EdgeId| d.get(a, e);
+        birp_sim::validate(&catalog, &demand_fn, &schedule, None).unwrap();
+    }
+}

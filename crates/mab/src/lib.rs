@@ -1,0 +1,367 @@
+//! # birp-mab
+//!
+//! Online tuning of the TIR hyper-parameters `(eta, beta, C)` with a
+//! Multi-Armed-Bandit scheme — paper Section 4.2, Eqs. 15–23.
+//!
+//! Each (edge device, model version) pair is an *arm* holding running-mean
+//! *historical estimates* and the *lower-confidence-bound* (LCB) values the
+//! planner actually uses. After every slot the scheduler feeds back the
+//! observed TIR of the batch it executed; the arm then:
+//!
+//! 1. decides whether the observation is *beyond the threshold*
+//!    (`TIR_hat >= (1 + eps1) * C_bar`, Eq. 15) or *within* it,
+//! 2. beyond: moves `beta_bar`, `C_bar` toward the observation with weight
+//!    `1/(n2+1)` (Eq. 16) and bumps `n2` (Eq. 18),
+//!    within: moves `eta_bar` toward `ln TIR / ln b` with weight
+//!    `1/(n1+1)` (Eqs. 19–21) and bumps `n1`,
+//! 3. recomputes the LCBs by shrinking the means by the padding factor
+//!    `sqrt(eps2 ln(t+1) / (n2+1))` (Eqs. 17 and 22) — the
+//!    exploration/exploitation balance: a rarely-updated arm is pushed to
+//!    optimistic *small* `beta`/`eta`, making its compute constraint
+//!    conservative until evidence accumulates.
+//!
+//! Initial values follow Eq. 23: `eta = 0.1, beta = 16, C = 16^0.1`.
+
+use birp_tir::TirParams;
+use serde::{Deserialize, Serialize};
+
+/// The two preset exploration parameters of BIRP (paper Section 5.3 selects
+/// `eps1 = 0.04`, `eps2 = 0.07` after the Fig. 4/5 sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MabConfig {
+    /// Tolerance band above `C_bar` before an observation counts as
+    /// beyond-threshold evidence (Eq. 15).
+    pub eps1: f64,
+    /// Scale of the confidence-interval padding (Eqs. 17, 22).
+    pub eps2: f64,
+}
+
+impl MabConfig {
+    pub fn new(eps1: f64, eps2: f64) -> Self {
+        MabConfig { eps1, eps2 }
+    }
+
+    /// The values the paper settles on (Section 5.3).
+    pub fn paper_preset() -> Self {
+        MabConfig { eps1: 0.04, eps2: 0.07 }
+    }
+}
+
+impl Default for MabConfig {
+    fn default() -> Self {
+        Self::paper_preset()
+    }
+}
+
+/// Which update branch an observation triggered (useful for tests and
+/// diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Eq. 15 fired: `beta_bar`/`C_bar` adjusted.
+    BeyondThreshold,
+    /// `eta_bar` adjusted.
+    WithinThreshold,
+    /// Observation unusable (batch <= 1 or non-positive TIR): counts only.
+    Skipped,
+}
+
+/// Per-(device, model) bandit state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArmState {
+    /// Historical (running-mean) estimates — the "bar" quantities.
+    pub eta_bar: f64,
+    pub beta_bar: f64,
+    pub c_bar: f64,
+    /// Times an observation fell within / beyond the threshold.
+    pub n1: u64,
+    pub n2: u64,
+    /// LCB values handed to the planner — the "underline" quantities.
+    eta_lcb: f64,
+    beta_lcb: u32,
+    c_lcb: f64,
+}
+
+impl ArmState {
+    /// Fresh arm with the paper's conservative initialisation (Eq. 23).
+    pub fn new() -> Self {
+        Self::with_initial(TirParams::paper_initial())
+    }
+
+    /// Fresh arm seeded with explicit initial parameters (used by tests and
+    /// by BIRP-OFF, which seeds arms with offline-profiled ground truth).
+    pub fn with_initial(init: TirParams) -> Self {
+        ArmState {
+            eta_bar: init.eta,
+            beta_bar: init.beta as f64,
+            c_bar: init.c,
+            n1: 0,
+            n2: 0,
+            eta_lcb: init.eta,
+            beta_lcb: init.beta,
+            c_lcb: init.c,
+        }
+    }
+
+    /// The LCB parameters the planner should use this slot.
+    pub fn estimate(&self) -> TirParams {
+        TirParams { eta: self.eta_lcb, beta: self.beta_lcb, c: self.c_lcb }
+    }
+
+    /// The raw running-mean parameters (no exploration padding).
+    pub fn mean_estimate(&self) -> TirParams {
+        TirParams {
+            eta: self.eta_bar,
+            beta: (self.beta_bar.round() as u32).max(1),
+            c: self.c_bar,
+        }
+    }
+
+    /// Confidence-interval padding ratio (shared by Eqs. 17 and 22).
+    fn padding(&self, t: u64, eps2: f64) -> f64 {
+        let raw = (eps2 * ((t + 1) as f64).ln() / (self.n2 + 1) as f64).sqrt();
+        raw.clamp(0.0, 0.95)
+    }
+
+    /// Feed back an observed TIR for the batch size `b` executed at slot `t`.
+    pub fn observe(&mut self, t: u64, b: u32, tir_hat: f64, cfg: &MabConfig) -> UpdateKind {
+        if b <= 1 || !tir_hat.is_finite() || tir_hat <= 0.0 {
+            return UpdateKind::Skipped;
+        }
+        let kind = if tir_hat >= (1.0 + cfg.eps1) * self.c_bar {
+            // --- beyond threshold: Eq. 16 ---------------------------------
+            let w = 1.0 / (self.n2 + 1) as f64;
+            self.beta_bar += w * (b as f64 - self.beta_bar);
+            self.c_bar += w * (tir_hat - self.c_bar);
+            self.n2 += 1; // Eq. 18
+            UpdateKind::BeyondThreshold
+        } else {
+            // --- within threshold: Eqs. 19-21 -----------------------------
+            if let Some(eta_hat) = TirParams::observed_eta(b, tir_hat) {
+                let w = 1.0 / (self.n1 + 1) as f64;
+                self.eta_bar += w * (eta_hat.clamp(0.0, 1.0) - self.eta_bar);
+            }
+            self.n1 += 1; // Eq. 20
+            UpdateKind::WithinThreshold
+        };
+        // --- recompute LCBs: Eqs. 17 and 22 ---------------------------------
+        let pad = self.padding(t, cfg.eps2);
+        self.eta_lcb = (self.eta_bar * (1.0 - pad)).max(0.0);
+        self.beta_lcb = ((self.beta_bar * (1.0 - pad)).ceil() as u32).max(1);
+        self.c_lcb = (self.c_bar * (1.0 - pad)).max(1.0);
+        kind
+    }
+}
+
+impl Default for ArmState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bank of arms indexed by `(device, model)` over dense ranges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tuner {
+    pub cfg: MabConfig,
+    num_models: usize,
+    arms: Vec<ArmState>,
+}
+
+impl Tuner {
+    /// A tuner for `num_devices x num_models` arms, all at the paper's
+    /// initial estimates.
+    pub fn new(num_devices: usize, num_models: usize, cfg: MabConfig) -> Self {
+        Tuner {
+            cfg,
+            num_models,
+            arms: (0..num_devices * num_models).map(|_| ArmState::new()).collect(),
+        }
+    }
+
+    /// A tuner seeded with per-arm ground truth (BIRP-OFF / oracle mode).
+    pub fn with_ground_truth(
+        num_devices: usize,
+        num_models: usize,
+        cfg: MabConfig,
+        truth: impl Fn(usize, usize) -> TirParams,
+    ) -> Self {
+        let mut arms = Vec::with_capacity(num_devices * num_models);
+        for d in 0..num_devices {
+            for m in 0..num_models {
+                arms.push(ArmState::with_initial(truth(d, m)));
+            }
+        }
+        Tuner { cfg, num_models, arms }
+    }
+
+    #[inline]
+    fn idx(&self, device: usize, model: usize) -> usize {
+        debug_assert!(model < self.num_models);
+        device * self.num_models + model
+    }
+
+    pub fn arm(&self, device: usize, model: usize) -> &ArmState {
+        &self.arms[self.idx(device, model)]
+    }
+
+    /// LCB estimate for a (device, model) arm.
+    pub fn estimate(&self, device: usize, model: usize) -> TirParams {
+        self.arm(device, model).estimate()
+    }
+
+    /// Feed back one observation.
+    pub fn observe(
+        &mut self,
+        t: u64,
+        device: usize,
+        model: usize,
+        batch: u32,
+        tir_hat: f64,
+    ) -> UpdateKind {
+        let cfg = self.cfg;
+        let i = self.idx(device, model);
+        self.arms[i].observe(t, batch, tir_hat, &cfg)
+    }
+
+    pub fn num_arms(&self) -> usize {
+        self.arms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialisation_matches_eq23() {
+        let a = ArmState::new();
+        let e = a.estimate();
+        assert_eq!(e.eta, 0.1);
+        assert_eq!(e.beta, 16);
+        assert!((e.c - 1.31).abs() < 0.01);
+    }
+
+    #[test]
+    fn beyond_threshold_branch_updates_beta_and_c() {
+        let mut a = ArmState::new();
+        let cfg = MabConfig::paper_preset();
+        // Observed TIR well above C_bar (1.31): Eq. 15 fires.
+        let kind = a.observe(0, 8, 2.0, &cfg);
+        assert_eq!(kind, UpdateKind::BeyondThreshold);
+        assert_eq!(a.n2, 1);
+        assert_eq!(a.n1, 0);
+        // Running means moved toward the observation with weight 1.
+        assert!((a.beta_bar - 8.0).abs() < 1e-12);
+        assert!((a.c_bar - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_threshold_branch_updates_eta() {
+        let mut a = ArmState::new();
+        let cfg = MabConfig::paper_preset();
+        // TIR = 4^0.3 ~= 1.516 > (1+eps1)*1.31 would be beyond... pick a
+        // lower observation: TIR = 4^0.15 = 1.231 < 1.04 * 1.31 = 1.363.
+        let tir = 4.0_f64.powf(0.15);
+        let kind = a.observe(0, 4, tir, &cfg);
+        assert_eq!(kind, UpdateKind::WithinThreshold);
+        assert_eq!(a.n1, 1);
+        // eta_bar moved fully (weight 1) to the observed exponent 0.15.
+        assert!((a.eta_bar - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_mean_weights_shrink() {
+        let mut a = ArmState::new();
+        let cfg = MabConfig::new(0.04, 0.0); // no padding: LCB = mean
+        // All observed TIRs stay below (1 + eps1) * C_bar = 1.363, so every
+        // observation lands in the within-threshold branch.
+        let tir = |eta: f64, b: u32| (b as f64).powf(eta);
+        a.observe(0, 4, tir(0.1, 4), &cfg);
+        assert!((a.eta_bar - 0.1).abs() < 1e-9);
+        a.observe(1, 4, tir(0.2, 4), &cfg);
+        // mean of 0.1 and 0.2
+        assert!((a.eta_bar - 0.15).abs() < 1e-9);
+        a.observe(2, 4, tir(0.15, 4), &cfg);
+        assert!((a.eta_bar - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skipped_observations_do_not_change_state() {
+        let mut a = ArmState::new();
+        let before = a.clone();
+        let cfg = MabConfig::paper_preset();
+        assert_eq!(a.observe(5, 1, 1.0, &cfg), UpdateKind::Skipped);
+        assert_eq!(a.observe(5, 0, 1.0, &cfg), UpdateKind::Skipped);
+        assert_eq!(a.observe(5, 4, -2.0, &cfg), UpdateKind::Skipped);
+        assert_eq!(a.observe(5, 4, f64::NAN, &cfg), UpdateKind::Skipped);
+        assert_eq!(a.eta_bar, before.eta_bar);
+        assert_eq!(a.n1, 0);
+        assert_eq!(a.n2, 0);
+    }
+
+    #[test]
+    fn padding_shrinks_with_evidence() {
+        let mut a = ArmState::new();
+        // eps1 = 0 keeps every TIR = C_bar observation in the
+        // beyond-threshold branch, so n2 grows each slot.
+        let cfg = MabConfig::new(0.0, 0.5);
+        // One beyond observation at late t: big padding, floored LCB.
+        a.observe(100, 8, 3.0, &cfg);
+        let early = a.estimate();
+        // Many more observations grow n2 faster than ln(t+1), shrinking the
+        // padding; the LCB approaches the mean from below.
+        for t in 101..160 {
+            a.observe(t, 8, 3.0, &cfg);
+        }
+        let late = a.estimate();
+        assert!(late.c > early.c, "LCB should rise: {} -> {}", early.c, late.c);
+        assert!(late.beta >= early.beta);
+    }
+
+    #[test]
+    fn converges_to_planted_truth() {
+        // Simulate a ground-truth TIR curve and feed noiseless observations;
+        // the mean estimates must converge to the truth.
+        let truth = TirParams::consistent(0.28, 9);
+        let mut a = ArmState::new();
+        let cfg = MabConfig::paper_preset();
+        for t in 0..400u64 {
+            let b = 2 + (t % 12) as u32; // sweep batches 2..=13
+            a.observe(t, b, truth.tir(b), &cfg);
+        }
+        let m = a.mean_estimate();
+        assert!((m.eta - 0.28).abs() < 0.05, "eta_bar={}", m.eta);
+        // C_bar should be near the plateau value beta^eta ~ 1.85.
+        assert!((a.c_bar - truth.c).abs() < 0.25, "c_bar={}", a.c_bar);
+    }
+
+    #[test]
+    fn lcb_is_never_above_mean() {
+        let mut a = ArmState::new();
+        let cfg = MabConfig::new(0.04, 0.3);
+        for t in 0..50u64 {
+            a.observe(t, 2 + (t % 10) as u32, 1.0 + 0.1 * ((t % 7) as f64), &cfg);
+            let e = a.estimate();
+            assert!(e.eta <= a.eta_bar + 1e-12);
+            assert!(e.c <= a.c_bar.max(1.0) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tuner_indexes_arms_independently() {
+        let mut t = Tuner::new(3, 2, MabConfig::paper_preset());
+        assert_eq!(t.num_arms(), 6);
+        t.observe(0, 2, 1, 8, 2.5);
+        assert_eq!(t.arm(2, 1).n2, 1);
+        assert_eq!(t.arm(0, 0).n2, 0);
+        assert_eq!(t.arm(2, 0).n2, 0);
+    }
+
+    #[test]
+    fn ground_truth_seeding() {
+        let t = Tuner::with_ground_truth(2, 2, MabConfig::paper_preset(), |d, m| {
+            TirParams::consistent(0.1 + 0.1 * d as f64, 4 + m as u32)
+        });
+        assert_eq!(t.estimate(1, 1).beta, 5);
+        assert!((t.estimate(1, 0).eta - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for the MAB tuner: convergence toward arbitrary
+//! planted TIR curves and state-machine invariants.
+
+use birp_mab::{ArmState, MabConfig, UpdateKind};
+use birp_tir::TirParams;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With noiseless observations sweeping the batch range, the running
+    /// mean of eta converges to the planted exponent.
+    #[test]
+    fn eta_converges(eta in 0.1f64..0.35, beta in 5u32..14) {
+        let truth = TirParams::consistent(eta, beta);
+        let mut arm = ArmState::new();
+        let cfg = MabConfig::paper_preset();
+        for t in 0..300u64 {
+            let b = 2 + (t % (beta as u64)) as u32;
+            arm.observe(t, b, truth.tir(b), &cfg);
+        }
+        prop_assert!((arm.eta_bar - eta).abs() < 0.08,
+            "eta_bar {} vs planted {}", arm.eta_bar, eta);
+    }
+
+    /// Counters n1/n2 sum to the number of usable observations.
+    #[test]
+    fn counters_account_for_observations(obs in proptest::collection::vec((2u32..16, 0.5f64..3.0), 1..60)) {
+        let mut arm = ArmState::new();
+        let cfg = MabConfig::paper_preset();
+        let mut usable = 0u64;
+        for (t, (b, tir)) in obs.into_iter().enumerate() {
+            match arm.observe(t as u64, b, tir, &cfg) {
+                UpdateKind::Skipped => {}
+                _ => usable += 1,
+            }
+        }
+        prop_assert_eq!(arm.n1 + arm.n2, usable);
+    }
+
+    /// LCB estimates never exceed the running means and always stay in the
+    /// valid parameter region.
+    #[test]
+    fn lcb_invariants(obs in proptest::collection::vec((2u32..16, 0.2f64..4.0), 1..80), eps2 in 0.0f64..0.5) {
+        let mut arm = ArmState::new();
+        let cfg = MabConfig::new(0.04, eps2);
+        for (t, (b, tir)) in obs.into_iter().enumerate() {
+            arm.observe(t as u64, b, tir, &cfg);
+            let e = arm.estimate();
+            prop_assert!(e.eta <= arm.eta_bar + 1e-12);
+            prop_assert!(e.beta as f64 <= arm.beta_bar.ceil() + 1e-9);
+            prop_assert!(e.eta >= 0.0);
+            prop_assert!(e.beta >= 1);
+            prop_assert!(e.c >= 1.0);
+        }
+    }
+
+    /// Beyond-threshold evidence raises the plateau estimate.
+    #[test]
+    fn plateau_rises_on_beyond_evidence(c_obs in 2.0f64..4.0) {
+        let mut arm = ArmState::new();
+        let cfg = MabConfig::paper_preset();
+        let before = arm.c_bar;
+        arm.observe(0, 10, c_obs, &cfg);
+        prop_assert!(arm.c_bar > before);
+        prop_assert!((arm.c_bar - c_obs).abs() < 1e-9, "first beyond obs replaces the mean");
+    }
+}

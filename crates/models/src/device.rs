@@ -1,0 +1,184 @@
+//! Heterogeneous edge devices.
+//!
+//! The paper's testbed has three device types, two instances each. The
+//! speed factors below are calibrated from the paper's own Table 1 FPS
+//! measurements (e.g. ResNet-18: 32.2 FPS on Nano vs 78.8 FPS on the Atlas
+//! 200DK NPU), with the Jetson NX taken as the 1.0 reference.
+
+use serde::{Deserialize, Serialize};
+
+use birp_tir::TirParams;
+
+use crate::ids::EdgeId;
+
+/// The three edge accelerator types of the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    JetsonNX,
+    JetsonNano,
+    Atlas200DK,
+}
+
+impl DeviceKind {
+    /// Multiplier applied to a model's reference latency on this device
+    /// (> 1 means slower than the Jetson NX reference).
+    pub fn speed_factor(self) -> f64 {
+        match self {
+            DeviceKind::JetsonNX => 1.0,
+            DeviceKind::JetsonNano => 2.4,
+            DeviceKind::Atlas200DK => 1.15,
+        }
+    }
+
+    /// Typical device memory in MB, centre of the paper's [4500, 6500] range.
+    pub fn memory_mb(self) -> f64 {
+        match self {
+            DeviceKind::JetsonNX => 6500.0,
+            DeviceKind::JetsonNano => 4500.0,
+            DeviceKind::Atlas200DK => 5500.0,
+        }
+    }
+
+    /// Which accelerator the compute-bound stage runs on (drives the
+    /// Table 1 utilisation columns).
+    pub fn accelerator(self) -> Accelerator {
+        match self {
+            DeviceKind::JetsonNX | DeviceKind::JetsonNano => Accelerator::Gpu,
+            DeviceKind::Atlas200DK => Accelerator::Npu,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::JetsonNX => "Jetson NX",
+            DeviceKind::JetsonNano => "Jetson Nano",
+            DeviceKind::Atlas200DK => "Atlas 200DK",
+        }
+    }
+
+    /// All three kinds, testbed order.
+    pub fn all() -> [DeviceKind; 3] {
+        [DeviceKind::JetsonNX, DeviceKind::JetsonNano, DeviceKind::Atlas200DK]
+    }
+}
+
+/// Accelerator class (GPU for Jetsons, NPU for Ascend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Accelerator {
+    Gpu,
+    Npu,
+}
+
+/// Mean resource utilisation while serially executing one model
+/// (the quantities of paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilProfile {
+    pub cpu_pct: f64,
+    /// GPU utilisation; 0 on NPU devices.
+    pub gpu_pct: f64,
+    /// NPU utilisation; 0 on GPU devices.
+    pub npu_pct: f64,
+    /// NPU AI-core utilisation; 0 on GPU devices.
+    pub npu_core_pct: f64,
+}
+
+impl UtilProfile {
+    pub fn zero() -> Self {
+        UtilProfile { cpu_pct: 0.0, gpu_pct: 0.0, npu_pct: 0.0, npu_core_pct: 0.0 }
+    }
+
+    /// The utilisation of the compute-bound accelerator.
+    pub fn bottleneck(&self, acc: Accelerator) -> f64 {
+        match acc {
+            Accelerator::Gpu => self.gpu_pct,
+            Accelerator::Npu => self.npu_core_pct,
+        }
+    }
+}
+
+/// One edge device instance with its per-model ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeDevice {
+    pub id: EdgeId,
+    pub kind: DeviceKind,
+    pub name: String,
+    /// Memory available for inference, MB (`M_k` in paper Eq. 6).
+    pub memory_mb: f64,
+    /// Wireless bandwidth, Mbps (drives `N_k^t` in paper Eq. 9).
+    pub bandwidth_mbps: f64,
+    /// Network budget per slot in MB (`N_k^t`); see `Catalog` for the
+    /// calibration from Mbps.
+    pub network_budget_mb: f64,
+    /// Ground-truth single-request latency per global model, ms
+    /// (`gamma^k_{ji}`, paper's nn-Meter substitute).
+    pub gamma_ms: Vec<f64>,
+    /// Ground-truth TIR curve per global model. Online algorithms must not
+    /// read this directly; it parameterises the simulator and the BIRP-OFF
+    /// oracle.
+    pub tir_truth: Vec<TirParams>,
+    /// Serial-execution utilisation profile per global model (Table 1).
+    pub util: Vec<UtilProfile>,
+}
+
+impl EdgeDevice {
+    /// Ground-truth batch latency of model `m` at batch `b` on this edge
+    /// (paper Eq. 7 with the true TIR).
+    pub fn true_batch_latency_ms(&self, model: usize, b: u32) -> f64 {
+        birp_tir::latency(self.gamma_ms[model], b, &self.tir_truth[model])
+    }
+
+    /// Serial frames-per-second of model `m` (Table 1's "Average FPS").
+    pub fn serial_fps(&self, model: usize) -> f64 {
+        1000.0 / self.gamma_ms[model]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_factors_order_matches_table1() {
+        // Table 1: Atlas beats Nano on every model; NX (newer) is fastest.
+        assert!(DeviceKind::JetsonNX.speed_factor() < DeviceKind::Atlas200DK.speed_factor());
+        assert!(DeviceKind::Atlas200DK.speed_factor() < DeviceKind::JetsonNano.speed_factor());
+    }
+
+    #[test]
+    fn memory_within_paper_range() {
+        for k in DeviceKind::all() {
+            assert!((4500.0..=6500.0).contains(&k.memory_mb()), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn accelerator_assignment() {
+        assert_eq!(DeviceKind::JetsonNano.accelerator(), Accelerator::Gpu);
+        assert_eq!(DeviceKind::Atlas200DK.accelerator(), Accelerator::Npu);
+    }
+
+    #[test]
+    fn bottleneck_picks_right_column() {
+        let u = UtilProfile { cpu_pct: 50.0, gpu_pct: 72.4, npu_pct: 12.6, npu_core_pct: 31.2 };
+        assert_eq!(u.bottleneck(Accelerator::Gpu), 72.4);
+        assert_eq!(u.bottleneck(Accelerator::Npu), 31.2);
+    }
+
+    #[test]
+    fn edge_ground_truth_latency() {
+        let e = EdgeDevice {
+            id: EdgeId(0),
+            kind: DeviceKind::JetsonNano,
+            name: "nano-0".into(),
+            memory_mb: 4500.0,
+            bandwidth_mbps: 80.0,
+            network_budget_mb: 200.0,
+            gamma_ms: vec![40.0],
+            tir_truth: vec![TirParams::consistent(0.3, 8)],
+            util: vec![UtilProfile::zero()],
+        };
+        assert!((e.serial_fps(0) - 25.0).abs() < 1e-9);
+        let l4 = e.true_batch_latency_ms(0, 4);
+        assert!((l4 - 40.0 * 4.0_f64.powf(0.7)).abs() < 1e-9);
+    }
+}

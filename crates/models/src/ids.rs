@@ -1,0 +1,85 @@
+//! Newtype indices for the three entity spaces.
+//!
+//! All three are dense `usize` indices into the corresponding `Catalog`
+//! vectors; the newtypes exist so that an application index can never be
+//! accidentally used where an edge index is expected (the per-slot problem
+//! builder juggles all three constantly).
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(i)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name).chars().next().unwrap(), self.0)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Index of an intelligent application (paper: `i` in `I`).
+    AppId
+);
+dense_id!(
+    /// Global index of a DNN model version (paper: `j_i`; we flatten the
+    /// per-application model lists into one global space).
+    ModelId
+);
+dense_id!(
+    /// Index of an edge device (paper: `k` in `K`).
+    EdgeId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_indices() {
+        let a = AppId(3);
+        let m = ModelId(3);
+        let e = EdgeId(3);
+        assert_eq!(a.index(), 3);
+        assert_eq!(m.index(), 3);
+        assert_eq!(e.index(), 3);
+    }
+
+    #[test]
+    fn display_prefixes_differ() {
+        assert_eq!(AppId(1).to_string(), "A1");
+        assert_eq!(ModelId(2).to_string(), "M2");
+        assert_eq!(EdgeId(0).to_string(), "E0");
+    }
+
+    #[test]
+    fn from_usize() {
+        let m: ModelId = 7usize.into();
+        assert_eq!(m, ModelId(7));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(EdgeId(1) < EdgeId(2));
+        assert!(AppId(0) < AppId(5));
+    }
+}

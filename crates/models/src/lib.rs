@@ -1,0 +1,36 @@
+//! # birp-models
+//!
+//! The static "world" of the BIRP reproduction: intelligent applications,
+//! their DNN model versions, and the heterogeneous edge devices of the
+//! paper's testbed (2x Jetson NX, 2x Jetson Nano, 2x Atlas 200DK).
+//!
+//! Every scalar the optimisation problem consumes lives here, drawn from the
+//! ranges the paper publishes in Section 5.1:
+//!
+//! | quantity                     | paper range     | field |
+//! |------------------------------|-----------------|-------|
+//! | inference loss               | [0.15, 0.49]    | [`ModelVersion::loss`] |
+//! | 1-request latency            | [18, 770] ms    | [`ModelVersion::gamma_base_ms`] |
+//! | model weights                | [33, 550] MB    | [`ModelVersion::weight_mb`] |
+//! | compressed weights (network) | [7, 98] MB      | [`ModelVersion::compressed_mb`] |
+//! | intermediate tensors (b = 1) | [55, 480] MB    | [`ModelVersion::intermediate_mb`] |
+//! | request size                 | [0.2, 3] MB     | [`Application::request_mb`] |
+//! | edge memory                  | [4500, 6500] MB | [`EdgeDevice::memory_mb`] |
+//! | edge bandwidth               | [50, 100] Mbps  | [`EdgeDevice::bandwidth_mbps`] |
+//!
+//! Per-(device, model) ground truth — single-request latency `gamma` and the
+//! true TIR curve — is what the simulator executes against and what the
+//! BIRP-OFF oracle is allowed to see; the online algorithms only ever
+//! observe it through measurements.
+
+pub mod catalog;
+pub mod device;
+pub mod ids;
+pub mod table1;
+pub mod zoo;
+
+pub use catalog::Catalog;
+pub use device::{DeviceKind, EdgeDevice, UtilProfile};
+pub use ids::{AppId, EdgeId, ModelId};
+pub use table1::{table1_reference, Table1Row};
+pub use zoo::{Application, ModelVersion};

@@ -1,0 +1,158 @@
+//! Applications and DNN model versions (the "model zoo").
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AppId, ModelId};
+
+/// One intelligent application (paper: `i`), owning a list of model
+/// versions ordered from smallest/least-accurate to largest/most-accurate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Application {
+    pub id: AppId,
+    pub name: String,
+    /// Size of one inference request in MB — `zeta_i` in the bandwidth
+    /// constraint (paper Eq. 9).
+    pub request_mb: f64,
+    /// Global model ids of this application's versions.
+    pub models: Vec<ModelId>,
+}
+
+impl Application {
+    /// Number of available versions (`J_i`).
+    pub fn num_versions(&self) -> usize {
+        self.models.len()
+    }
+}
+
+/// One DNN model version (paper: `j_i`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelVersion {
+    pub id: ModelId,
+    pub app: AppId,
+    pub name: String,
+    /// Inference error `loss_{ij}` (lower is better), in [0.15, 0.49].
+    pub loss: f64,
+    /// Single-request latency on the reference device (Jetson NX), ms;
+    /// per-edge `gamma` scales this by the device speed factor.
+    pub gamma_base_ms: f64,
+    /// Weight memory `delta_{ji}`, MB.
+    pub weight_mb: f64,
+    /// Compressed weights `xi_{ji}` — network cost of (re)deploying the
+    /// model, MB.
+    pub compressed_mb: f64,
+    /// Intermediate-tensor memory at batch size 1, `mu_{ji}`, MB; total
+    /// activation memory scales linearly with the batch size (paper Eq. 6).
+    pub intermediate_mb: f64,
+}
+
+impl ModelVersion {
+    /// Memory footprint when deployed with batch size `b` (paper Eq. 6
+    /// per-model term): `delta + mu * b`.
+    pub fn memory_mb(&self, b: u32) -> f64 {
+        self.weight_mb + self.intermediate_mb * b as f64
+    }
+
+    /// Sanity check against the paper's published ranges.
+    pub fn in_paper_ranges(&self) -> bool {
+        (0.15..=0.49).contains(&self.loss)
+            && (18.0..=770.0).contains(&self.gamma_base_ms)
+            && (33.0..=550.0).contains(&self.weight_mb)
+            && (7.0..=98.0).contains(&self.compressed_mb)
+            && (55.0..=480.0).contains(&self.intermediate_mb)
+    }
+}
+
+/// The canonical 5-version ladder for an application, spanning the paper's
+/// parameter ranges: version 0 is the small fast model (high loss), version
+/// 4 the large accurate one (low loss). `spread` in [0,1] perturbs the
+/// ladder per application so the 5 applications are not identical.
+pub fn version_ladder(app: AppId, base_model_id: usize, spread: f64) -> Vec<ModelVersion> {
+    // (loss, gamma_ms, weights, compressed, intermediates)
+    const LADDER: [(f64, f64, f64, f64, f64); 5] = [
+        (0.47, 22.0, 40.0, 9.0, 60.0),
+        (0.40, 65.0, 95.0, 18.0, 115.0),
+        (0.32, 150.0, 180.0, 35.0, 190.0),
+        (0.24, 320.0, 310.0, 58.0, 290.0),
+        (0.17, 620.0, 480.0, 85.0, 410.0),
+    ];
+    let names = ["tiny", "small", "medium", "large", "xl"];
+    LADDER
+        .iter()
+        .zip(names)
+        .enumerate()
+        .map(|(v, (&(loss, gamma, w, c, inter), suffix))| {
+            // Deterministic per-app wobble keeps every value inside the
+            // published ranges while differentiating applications.
+            let f = 1.0 + spread * (0.13 * ((app.0 * 5 + v) as f64).sin());
+            ModelVersion {
+                id: ModelId(base_model_id + v),
+                app,
+                name: format!("app{}-{}", app.0, suffix),
+                loss: (loss * f).clamp(0.15, 0.49),
+                gamma_base_ms: (gamma * f).clamp(18.0, 770.0),
+                weight_mb: (w * f).clamp(33.0, 550.0),
+                compressed_mb: (c * f).clamp(7.0, 98.0),
+                intermediate_mb: (inter * f).clamp(55.0, 480.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_loss_and_latency() {
+        let ms = version_ladder(AppId(0), 0, 0.0);
+        for w in ms.windows(2) {
+            assert!(w[0].loss > w[1].loss, "loss must decrease with size");
+            assert!(w[0].gamma_base_ms < w[1].gamma_base_ms, "latency must increase");
+            assert!(w[0].weight_mb < w[1].weight_mb);
+        }
+    }
+
+    #[test]
+    fn ladder_respects_paper_ranges_for_all_apps() {
+        for a in 0..5 {
+            for m in version_ladder(AppId(a), a * 5, 1.0) {
+                assert!(m.in_paper_ranges(), "{:?} outside ranges", m);
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_ids_are_dense() {
+        let ms = version_ladder(AppId(2), 10, 0.5);
+        let ids: Vec<usize> = ms.iter().map(|m| m.id.index()).collect();
+        assert_eq!(ids, vec![10, 11, 12, 13, 14]);
+        assert!(ms.iter().all(|m| m.app == AppId(2)));
+    }
+
+    #[test]
+    fn spread_differentiates_applications() {
+        let a = version_ladder(AppId(0), 0, 1.0);
+        let b = version_ladder(AppId(1), 5, 1.0);
+        assert!(a.iter().zip(&b).any(|(x, y)| (x.loss - y.loss).abs() > 1e-6));
+    }
+
+    #[test]
+    fn memory_scales_linearly_with_batch() {
+        let m = &version_ladder(AppId(0), 0, 0.0)[0];
+        let m1 = m.memory_mb(1);
+        let m4 = m.memory_mb(4);
+        assert!((m4 - m1 - 3.0 * m.intermediate_mb).abs() < 1e-9);
+        assert!((m.memory_mb(0) - m.weight_mb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn application_version_count() {
+        let app = Application {
+            id: AppId(0),
+            name: "det".into(),
+            request_mb: 1.2,
+            models: vec![ModelId(0), ModelId(1)],
+        };
+        assert_eq!(app.num_versions(), 2);
+    }
+}

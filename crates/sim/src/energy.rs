@@ -1,0 +1,114 @@
+//! Edge energy model.
+//!
+//! The paper notes that edge accelerators "prioritize energy efficiency"
+//! (Section 2.1); this module quantifies the energy side of scheduling
+//! decisions so experiments can report joules per request next to loss and
+//! SLO metrics. Power figures follow the boards' published envelopes:
+//! Jetson NX 10/20 W modes, Jetson Nano 5/10 W, Atlas 200DK ~9.5/24 W.
+
+use serde::{Deserialize, Serialize};
+
+use birp_models::{Catalog, DeviceKind, EdgeId};
+
+use crate::executor::SlotOutcome;
+
+/// Idle / busy power draw of a device kind, watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    pub idle_w: f64,
+    pub busy_w: f64,
+}
+
+impl PowerProfile {
+    /// Nominal envelope for a device kind.
+    pub fn of(kind: DeviceKind) -> PowerProfile {
+        match kind {
+            DeviceKind::JetsonNX => PowerProfile { idle_w: 5.0, busy_w: 20.0 },
+            DeviceKind::JetsonNano => PowerProfile { idle_w: 2.0, busy_w: 10.0 },
+            DeviceKind::Atlas200DK => PowerProfile { idle_w: 6.0, busy_w: 24.0 },
+        }
+    }
+
+    /// Energy for a slot of `slot_ms` with `busy_ms` of accelerator
+    /// activity, joules.
+    pub fn slot_energy_j(&self, slot_ms: f64, busy_ms: f64) -> f64 {
+        let busy = busy_ms.clamp(0.0, slot_ms.max(busy_ms));
+        (self.idle_w * slot_ms + (self.busy_w - self.idle_w) * busy) / 1000.0
+    }
+}
+
+/// Per-edge energy of one executed slot, joules.
+pub fn slot_energy(catalog: &Catalog, outcome: &SlotOutcome) -> Vec<f64> {
+    (0..catalog.num_edges())
+        .map(|e| {
+            let kind = catalog.edge(EdgeId(e)).kind;
+            PowerProfile::of(kind).slot_energy_j(catalog.slot_ms, outcome.compute_used_ms[e])
+        })
+        .collect()
+}
+
+/// Joules per served request for one slot (NaN when nothing served).
+pub fn energy_per_request(catalog: &Catalog, outcome: &SlotOutcome) -> f64 {
+    let total: f64 = slot_energy(catalog, outcome).iter().sum();
+    if outcome.served == 0 {
+        f64::NAN
+    } else {
+        total / outcome.served as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{EdgeSim, SimConfig};
+    use crate::schedule::{Deployment, Schedule};
+    use birp_models::{AppId, ModelId};
+
+    #[test]
+    fn idle_slot_costs_idle_power() {
+        let p = PowerProfile::of(DeviceKind::JetsonNano);
+        let e = p.slot_energy_j(10_000.0, 0.0);
+        assert!((e - 2.0 * 10.0).abs() < 1e-9); // 2 W x 10 s = 20 J
+    }
+
+    #[test]
+    fn busy_time_adds_delta_power() {
+        let p = PowerProfile { idle_w: 5.0, busy_w: 20.0 };
+        let e = p.slot_energy_j(10_000.0, 4_000.0);
+        // 5 W x 10 s + 15 W x 4 s = 50 + 60 = 110 J.
+        assert!((e - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batching_saves_energy_per_request() {
+        let catalog = Catalog::small_scale(5);
+        let mut s = Schedule::empty(0, catalog.num_apps(), catalog.num_edges());
+        s.routing.set(AppId(0), EdgeId(0), EdgeId(0), 8);
+        s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 8 });
+        let sim = EdgeSim::new(catalog.clone(), SimConfig { exec_noise_sigma: 0.0, ..Default::default() });
+
+        let batched = sim.execute_slot(&s, None);
+        let mut serial = s.clone();
+        serial.serial = true;
+        let serial_out = sim.execute_slot(&serial, None);
+
+        let e_batched = energy_per_request(&catalog, &batched);
+        let e_serial = energy_per_request(&catalog, &serial_out);
+        assert!(
+            e_batched < e_serial,
+            "batched {e_batched} J/req should beat serial {e_serial} J/req"
+        );
+    }
+
+    #[test]
+    fn per_edge_vector_length() {
+        let catalog = Catalog::small_scale(5);
+        let s = Schedule::empty(0, catalog.num_apps(), catalog.num_edges());
+        let sim = EdgeSim::new(catalog.clone(), SimConfig::default());
+        let out = sim.execute_slot(&s, None);
+        let v = slot_energy(&catalog, &out);
+        assert_eq!(v.len(), catalog.num_edges());
+        assert!(v.iter().all(|&j| j > 0.0)); // idle power is never free
+        assert!(energy_per_request(&catalog, &out).is_nan());
+    }
+}

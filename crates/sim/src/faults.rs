@@ -1,0 +1,129 @@
+//! Failure injection: edge outages and performance degradations.
+//!
+//! The paper's testbed assumes healthy edges; a production deployment does
+//! not get that luxury. The fault plan lets experiments and tests inject
+//!
+//! * **outages** — an edge is dark for a slot range: its batches never
+//!   execute (their requests blow far past the SLO), and the observed TIR
+//!   collapses, which the MAB tuner perceives as the arm going bad,
+//! * **degradations** — an edge runs slower by a factor for a slot range
+//!   (thermal throttling, co-tenant interference).
+//!
+//! Schedulers are *not* told about faults; they only see the outcomes —
+//! exactly the information asymmetry a real redistribution scheduler faces.
+
+use serde::{Deserialize, Serialize};
+
+use birp_models::EdgeId;
+
+/// Completion-time (normalised) assigned to requests whose batch never ran
+/// because its edge was down. Far beyond any SLO; distinguishable from slow
+///-but-finished work in the CDF tail.
+pub const OUTAGE_COMPLETION: f64 = 8.0;
+
+/// One edge outage window (inclusive start, exclusive end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outage {
+    pub edge: EdgeId,
+    pub from_slot: usize,
+    pub to_slot: usize,
+}
+
+/// One degradation window: execution on `edge` is `slowdown`x slower.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    pub edge: EdgeId,
+    pub from_slot: usize,
+    pub to_slot: usize,
+    pub slowdown: f64,
+}
+
+/// The full fault schedule for a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub outages: Vec<Outage>,
+    pub degradations: Vec<Degradation>,
+}
+
+impl FaultPlan {
+    /// No faults (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn with_outage(mut self, edge: EdgeId, from_slot: usize, to_slot: usize) -> Self {
+        self.outages.push(Outage { edge, from_slot, to_slot });
+        self
+    }
+
+    pub fn with_degradation(
+        mut self,
+        edge: EdgeId,
+        from_slot: usize,
+        to_slot: usize,
+        slowdown: f64,
+    ) -> Self {
+        self.degradations.push(Degradation { edge, from_slot, to_slot, slowdown });
+        self
+    }
+
+    /// Is `edge` dark during `slot`?
+    pub fn is_down(&self, edge: EdgeId, slot: usize) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.edge == edge && slot >= o.from_slot && slot < o.to_slot)
+    }
+
+    /// Execution-time multiplier for `edge` during `slot` (1.0 = healthy).
+    pub fn slowdown(&self, edge: EdgeId, slot: usize) -> f64 {
+        self.degradations
+            .iter()
+            .filter(|d| d.edge == edge && slot >= d.from_slot && slot < d.to_slot)
+            .map(|d| d.slowdown.max(1.0))
+            .fold(1.0, f64::max)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty() && self.degradations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_healthy() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.is_down(EdgeId(0), 5));
+        assert_eq!(p.slowdown(EdgeId(0), 5), 1.0);
+    }
+
+    #[test]
+    fn outage_windows_are_half_open() {
+        let p = FaultPlan::none().with_outage(EdgeId(2), 3, 6);
+        assert!(!p.is_down(EdgeId(2), 2));
+        assert!(p.is_down(EdgeId(2), 3));
+        assert!(p.is_down(EdgeId(2), 5));
+        assert!(!p.is_down(EdgeId(2), 6));
+        assert!(!p.is_down(EdgeId(1), 4));
+    }
+
+    #[test]
+    fn overlapping_degradations_take_the_worst() {
+        let p = FaultPlan::none()
+            .with_degradation(EdgeId(0), 0, 10, 2.0)
+            .with_degradation(EdgeId(0), 5, 8, 3.5);
+        assert_eq!(p.slowdown(EdgeId(0), 2), 2.0);
+        assert_eq!(p.slowdown(EdgeId(0), 6), 3.5);
+        assert_eq!(p.slowdown(EdgeId(0), 9), 2.0);
+        assert_eq!(p.slowdown(EdgeId(0), 10), 1.0);
+    }
+
+    #[test]
+    fn sub_unity_slowdowns_are_clamped() {
+        let p = FaultPlan::none().with_degradation(EdgeId(0), 0, 5, 0.1);
+        assert_eq!(p.slowdown(EdgeId(0), 1), 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # birp-sim
+//!
+//! Slot-driven simulator of the edge collaborative system — the substitute
+//! for the paper's physical 3-type / 6-device testbed (see DESIGN.md).
+//!
+//! Each slot, a scheduler (from `birp-core`) hands the simulator a
+//! [`Schedule`]: the workload routing `y`, the model deployments `x` and
+//! batch sizes `b`. The simulator then
+//!
+//! 1. checks the schedule's structural feasibility ([`schedule::validate`]),
+//! 2. executes every edge's batches against the *ground-truth* TIR curves
+//!    with multiplicative measurement noise ([`executor`]),
+//! 3. charges network transfers and model (re)deployments against the
+//!    per-edge bandwidth budget,
+//! 4. emits per-request completion times, per-batch observed TIRs (the MAB
+//!    feedback signal), loss and SLO accounting ([`SlotOutcome`]).
+//!
+//! Edges execute independently within a slot, so the executor fans out with
+//! rayon; determinism is preserved by giving every (edge, slot) pair its own
+//! counter-derived RNG stream.
+//!
+//! The [`utilization`] module reproduces the serial-execution resource
+//! measurements of paper Table 1.
+
+pub mod energy;
+pub mod executor;
+pub mod faults;
+pub mod metrics;
+pub mod noise;
+pub mod schedule;
+pub mod utilization;
+
+pub use executor::{BatchOutcome, EdgeSim, SimConfig, SlotOutcome};
+pub use energy::{energy_per_request, slot_energy, PowerProfile};
+pub use faults::{Degradation, FaultPlan, Outage};
+pub use metrics::{Cdf, MetricsCollector, RunMetrics};
+pub use schedule::{validate, validate_against_trace, Deployment, Routing, Schedule, ScheduleError};
+pub use utilization::{measure_utilization, UtilSample};

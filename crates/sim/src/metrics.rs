@@ -1,0 +1,305 @@
+//! Run-level metrics: completion-time CDFs, per-slot and cumulative loss,
+//! and the SLO failure rate `p%` — the two evaluation metrics of paper
+//! Section 5.2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::executor::SlotOutcome;
+
+/// Loss charged per *dropped* request. Exceeds the worst model loss (0.49)
+/// so that a scheduler can never look better by refusing to serve; mirrors
+/// the overflow penalty in the per-slot optimisation problem.
+pub const DROP_LOSS: f64 = 1.0;
+
+/// An empirical CDF over completion times.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Sorted samples.
+    samples: Vec<f64>,
+}
+
+impl Cdf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { samples }
+    }
+
+    pub fn push(&mut self, v: f64) {
+        // Insert-sorted lazily: callers push in bulk then query; we keep it
+        // simple and re-sort on demand boundaries instead.
+        let pos = self.samples.partition_point(|&s| s <= v);
+        self.samples.insert(pos, v);
+    }
+
+    pub fn extend(&mut self, vals: impl IntoIterator<Item = f64>) {
+        self.samples.extend(vals);
+        self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.partition_point(|&s| s <= x) as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (q in [0, 1]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let i = ((q.clamp(0.0, 1.0)) * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[i]
+    }
+
+    /// Evaluate the CDF on an even grid over `[0, max_x]` — the series the
+    /// figure harnesses print.
+    pub fn series(&self, max_x: f64, points: usize) -> Vec<(f64, f64)> {
+        (0..points)
+            .map(|i| {
+                let x = max_x * i as f64 / (points - 1).max(1) as f64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+}
+
+/// Streaming collector over a run's slots.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsCollector {
+    completion_samples: Vec<f64>,
+    loss_per_slot: Vec<f64>,
+    served: u64,
+    /// Requests never served at all (dropped after max carryover age).
+    dropped: u64,
+    slo_failures: u64,
+    /// Per-slot failure / request counters (for p% checkpoints, Fig. 5).
+    failures_by_slot: Vec<u64>,
+    requests_by_slot: Vec<u64>,
+}
+
+impl MetricsCollector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark the start of a new slot; subsequent completions/drops are
+    /// attributed to it.
+    pub fn begin_slot(&mut self) {
+        self.failures_by_slot.push(0);
+        self.requests_by_slot.push(0);
+    }
+
+    fn bump_slot(&mut self, failed: bool) {
+        if self.requests_by_slot.is_empty() {
+            self.begin_slot();
+        }
+        *self.requests_by_slot.last_mut().unwrap() += 1;
+        if failed {
+            *self.failures_by_slot.last_mut().unwrap() += 1;
+        }
+    }
+
+    /// Record a whole slot outcome (no carry-over attribution; the runner
+    /// uses `record_completion` when it needs to age requests).
+    pub fn record_slot(&mut self, outcome: &SlotOutcome) {
+        self.begin_slot();
+        self.loss_per_slot.push(outcome.loss);
+        for b in &outcome.batches {
+            for _ in 0..b.batch {
+                self.completion_samples.push(b.completion_norm);
+                let failed = b.completion_norm > 1.0;
+                if failed {
+                    self.slo_failures += 1;
+                }
+                self.served += 1;
+                self.bump_slot(failed);
+            }
+        }
+    }
+
+    /// Record one request completion directly (used by the runner for
+    /// carried-over requests whose effective completion spans slots).
+    pub fn record_completion(&mut self, completion_norm: f64) {
+        self.completion_samples.push(completion_norm);
+        let failed = completion_norm > 1.0;
+        if failed {
+            self.slo_failures += 1;
+        }
+        self.served += 1;
+        self.bump_slot(failed);
+    }
+
+    /// Record requests that were never served. Each counts as an SLO
+    /// failure and charges [`DROP_LOSS`] to the current slot's loss, so a
+    /// scheduler can never improve its loss curve by refusing work.
+    pub fn record_dropped(&mut self, count: u64) {
+        self.dropped += count;
+        self.slo_failures += count;
+        for _ in 0..count {
+            self.bump_slot(true);
+        }
+        if count > 0 {
+            match self.loss_per_slot.last_mut() {
+                Some(l) => *l += DROP_LOSS * count as f64,
+                None => self.loss_per_slot.push(DROP_LOSS * count as f64),
+            }
+        }
+    }
+
+    /// Add a raw loss sample for a slot recorded via `record_completion`.
+    pub fn record_loss(&mut self, loss: f64) {
+        self.loss_per_slot.push(loss);
+    }
+
+    pub fn finish(self) -> RunMetrics {
+        let cum: Vec<f64> = self
+            .loss_per_slot
+            .iter()
+            .scan(0.0, |acc, &l| {
+                *acc += l;
+                Some(*acc)
+            })
+            .collect();
+        let total_requests = self.served + self.dropped;
+        RunMetrics {
+            cdf: Cdf::from_samples(self.completion_samples),
+            total_loss: self.loss_per_slot.iter().sum(),
+            loss_per_slot: self.loss_per_slot,
+            cumulative_loss: cum,
+            served: self.served,
+            dropped: self.dropped,
+            slo_failures: self.slo_failures,
+            failure_rate_pct: if total_requests > 0 {
+                100.0 * self.slo_failures as f64 / total_requests as f64
+            } else {
+                0.0
+            },
+            failures_by_slot: self.failures_by_slot,
+            requests_by_slot: self.requests_by_slot,
+        }
+    }
+}
+
+/// Final metrics of one run (one scheduler over one trace).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    pub cdf: Cdf,
+    pub total_loss: f64,
+    /// `loss^t` series (paper Fig. 6b / 7b).
+    pub loss_per_slot: Vec<f64>,
+    /// `Σ_{t' <= t} loss^{t'}` series (paper Fig. 6c / 7c).
+    pub cumulative_loss: Vec<f64>,
+    pub served: u64,
+    pub dropped: u64,
+    pub slo_failures: u64,
+    /// The paper's `p%`: share of requests violating the response-time SLO.
+    pub failure_rate_pct: f64,
+    /// Per-slot SLO-failure counts (for p% evaluated at a checkpoint slot).
+    pub failures_by_slot: Vec<u64>,
+    pub requests_by_slot: Vec<u64>,
+}
+
+impl RunMetrics {
+    /// `p%` restricted to slots `0..=t` (paper Fig. 5 checkpoints).
+    pub fn failure_rate_pct_at(&self, t: usize) -> f64 {
+        let end = (t + 1).min(self.failures_by_slot.len());
+        let fails: u64 = self.failures_by_slot[..end].iter().sum();
+        let reqs: u64 = self.requests_by_slot[..end].iter().sum();
+        if reqs == 0 {
+            0.0
+        } else {
+            100.0 * fails as f64 / reqs as f64
+        }
+    }
+
+    /// Cumulative loss up to and including slot `t` (clamped to the end).
+    pub fn cumulative_loss_at(&self, t: usize) -> f64 {
+        if self.cumulative_loss.is_empty() {
+            return 0.0;
+        }
+        self.cumulative_loss[t.min(self.cumulative_loss.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_basic_queries() {
+        let c = Cdf::from_samples(vec![0.5, 0.1, 0.9, 0.3]);
+        assert_eq!(c.len(), 4);
+        assert!((c.at(0.05) - 0.0).abs() < 1e-12);
+        assert!((c.at(0.3) - 0.5).abs() < 1e-12);
+        assert!((c.at(1.0) - 1.0).abs() < 1e-12);
+        assert!((c.quantile(0.0) - 0.1).abs() < 1e-12);
+        assert!((c.quantile(1.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_push_keeps_sorted() {
+        let mut c = Cdf::new();
+        for v in [0.7, 0.2, 0.9, 0.1] {
+            c.push(v);
+        }
+        assert!((c.at(0.2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_series_grid() {
+        let c = Cdf::from_samples(vec![0.25, 0.75]);
+        let s = c.series(1.0, 5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], (0.0, 0.0));
+        assert!((s[2].1 - 0.5).abs() < 1e-12); // at 0.5
+        assert!((s[4].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.at(0.5), 0.0);
+        assert!(c.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn collector_aggregates_loss_and_failures() {
+        let mut m = MetricsCollector::new();
+        m.record_loss(2.0);
+        m.record_completion(0.5);
+        m.record_completion(1.5); // violation
+        m.record_loss(3.0);
+        m.record_completion(0.9);
+        m.record_dropped(1);
+        let r = m.finish();
+        // 2.0 + 3.0 of model loss plus DROP_LOSS for the dropped request.
+        assert!((r.total_loss - 6.0).abs() < 1e-12);
+        assert_eq!(r.cumulative_loss, vec![2.0, 6.0]);
+        assert_eq!(r.served, 3);
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.slo_failures, 2);
+        assert!((r.failure_rate_pct - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_rate_of_empty_run_is_zero() {
+        let r = MetricsCollector::new().finish();
+        assert_eq!(r.failure_rate_pct, 0.0);
+        assert_eq!(r.total_loss, 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic per-(edge, slot) randomness.
+//!
+//! Every edge in every slot draws from its own counter-derived RNG stream,
+//! so the rayon-parallel executor produces bit-identical results regardless
+//! of thread count or scheduling order.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal};
+
+/// Mix a base seed with (edge, slot) into an independent stream seed
+/// (SplitMix64-style finaliser).
+pub fn stream_seed(base: u64, edge: usize, slot: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(edge as u64 + 1))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(slot as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// RNG for one (edge, slot) cell.
+pub fn stream_rng(base: u64, edge: usize, slot: usize) -> StdRng {
+    StdRng::seed_from_u64(stream_seed(base, edge, slot))
+}
+
+/// Mean-1 log-normal execution-time noise with multiplicative sigma.
+/// `sigma = 0` returns exactly 1.
+pub fn exec_noise(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    let d = LogNormal::new(-sigma * sigma / 2.0, sigma).expect("valid lognormal");
+    d.sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for e in 0..16 {
+            for t in 0..64 {
+                assert!(seen.insert(stream_seed(42, e, t)), "collision at ({e},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        use rand::RngExt;
+        let a: f64 = stream_rng(7, 3, 5).random_range(0.0..1.0);
+        let b: f64 = stream_rng(7, 3, 5).random_range(0.0..1.0);
+        assert_eq!(a, b);
+        let c: f64 = stream_rng(8, 3, 5).random_range(0.0..1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_sigma_noise_is_one() {
+        let mut rng = stream_rng(1, 0, 0);
+        assert_eq!(exec_noise(&mut rng, 0.0), 1.0);
+    }
+
+    #[test]
+    fn noise_is_mean_one_ish() {
+        let mut rng = stream_rng(2, 0, 0);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exec_noise(&mut rng, 0.2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn noise_is_positive() {
+        let mut rng = stream_rng(3, 1, 1);
+        for _ in 0..1000 {
+            assert!(exec_noise(&mut rng, 0.5) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The per-slot decision object and its structural validation.
+//!
+//! A [`Schedule`] encodes exactly the paper's three decision families for
+//! one slot: `y^t_{ikk'}` ([`Routing`]), `x^t_{ijk}` and `b^t_{ijk}`
+//! ([`Deployment`], at most one per (edge, model)).
+
+use birp_models::{AppId, Catalog, EdgeId, ModelId};
+use birp_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One deployed model executing one batch this slot (paper: `x_{ijk} = 1`
+/// with batch size `b_{ijk}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deployment {
+    pub app: AppId,
+    pub model: ModelId,
+    /// Batch size; >= 1 (a deployed model with `b = 0` is not deployed).
+    pub batch: u32,
+}
+
+/// The routing tensor `y[app][from][to]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Routing {
+    num_apps: usize,
+    num_edges: usize,
+    flows: Vec<u32>,
+}
+
+impl Routing {
+    pub fn zeros(num_apps: usize, num_edges: usize) -> Self {
+        Routing { num_apps, num_edges, flows: vec![0; num_apps * num_edges * num_edges] }
+    }
+
+    #[inline]
+    fn idx(&self, a: usize, from: usize, to: usize) -> usize {
+        (a * self.num_edges + from) * self.num_edges + to
+    }
+
+    #[inline]
+    pub fn get(&self, app: AppId, from: EdgeId, to: EdgeId) -> u32 {
+        self.flows[self.idx(app.index(), from.index(), to.index())]
+    }
+
+    #[inline]
+    pub fn set(&mut self, app: AppId, from: EdgeId, to: EdgeId, v: u32) {
+        let i = self.idx(app.index(), from.index(), to.index());
+        self.flows[i] = v;
+    }
+
+    #[inline]
+    pub fn add(&mut self, app: AppId, from: EdgeId, to: EdgeId, v: u32) {
+        let i = self.idx(app.index(), from.index(), to.index());
+        self.flows[i] += v;
+    }
+
+    /// Requests of `app` leaving `from` (sum over destinations != from).
+    pub fn outbound(&self, app: AppId, from: EdgeId) -> u32 {
+        (0..self.num_edges)
+            .filter(|&to| to != from.index())
+            .map(|to| self.get(app, from, EdgeId(to)))
+            .sum()
+    }
+
+    /// Requests of `app` arriving at `to` from elsewhere.
+    pub fn inbound(&self, app: AppId, to: EdgeId) -> u32 {
+        (0..self.num_edges)
+            .filter(|&from| from != to.index())
+            .map(|from| self.get(app, EdgeId(from), to))
+            .sum()
+    }
+
+    /// All requests of `app` to be executed at `to` (local + remote).
+    pub fn arriving(&self, app: AppId, to: EdgeId) -> u32 {
+        (0..self.num_edges).map(|from| self.get(app, EdgeId(from), to)).sum()
+    }
+
+    /// Total requests routed away from `from` for `app`, including the
+    /// self-loop (locally executed).
+    pub fn departing_total(&self, app: AppId, from: EdgeId) -> u32 {
+        (0..self.num_edges).map(|to| self.get(app, from, EdgeId(to))).sum()
+    }
+}
+
+/// The full per-slot decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    pub t: usize,
+    /// Deployments per edge (outer index = edge).
+    pub deployments: Vec<Vec<Deployment>>,
+    pub routing: Routing,
+    /// Requests left unassigned per `[app][edge-of-origin]`; the runner
+    /// carries them into the next slot.
+    pub unserved: Vec<Vec<u32>>,
+    /// If true the executor runs each deployment's `batch` requests as
+    /// single-request serial executions (no TIR benefit) — how the OAEI
+    /// baseline executes.
+    pub serial: bool,
+}
+
+impl Schedule {
+    /// An empty schedule (nothing deployed, everything unserved).
+    pub fn empty(t: usize, num_apps: usize, num_edges: usize) -> Self {
+        Schedule {
+            t,
+            deployments: vec![Vec::new(); num_edges],
+            routing: Routing::zeros(num_apps, num_edges),
+            unserved: vec![vec![0; num_edges]; num_apps],
+            serial: false,
+        }
+    }
+
+    /// Total requests executed this slot.
+    pub fn served(&self) -> u64 {
+        self.deployments.iter().flatten().map(|d| d.batch as u64).sum()
+    }
+
+    /// Total requests left unserved.
+    pub fn total_unserved(&self) -> u64 {
+        self.unserved.iter().flatten().map(|&v| v as u64).sum()
+    }
+
+    /// Inference loss `Σ loss_ij * b_ijk` of this schedule (paper Eq. 10,
+    /// one slot).
+    pub fn loss(&self, catalog: &Catalog) -> f64 {
+        self.deployments
+            .iter()
+            .flatten()
+            .map(|d| catalog.model(d.model).loss * d.batch as f64)
+            .sum()
+    }
+
+    /// Whether model `m` is deployed on edge `e` (the `x^t_{ijk}` bit).
+    pub fn is_deployed(&self, e: EdgeId, m: ModelId) -> bool {
+        self.deployments[e.index()].iter().any(|d| d.model == m)
+    }
+}
+
+/// Structural feasibility violations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// Eq. 3 broken: routed + unserved != demand.
+    FlowConservation { app: AppId, edge: EdgeId, routed: u32, unserved: u32, demand: u32 },
+    /// Eq. 5 broken: batches at an edge != arriving requests.
+    BatchMismatch { app: AppId, edge: EdgeId, batches: u32, arriving: u32 },
+    /// A deployment with batch 0 or above the global cap.
+    BadBatch { edge: EdgeId, model: ModelId, batch: u32 },
+    /// Two deployments of the same model on one edge.
+    DuplicateDeployment { edge: EdgeId, model: ModelId },
+    /// A deployment whose model does not belong to its app.
+    WrongApp { edge: EdgeId, model: ModelId, app: AppId },
+    /// Eq. 6 broken: memory over capacity.
+    MemoryExceeded { edge: EdgeId, used_mb: f64, capacity_mb: f64 },
+    /// Eq. 9 broken: network over budget.
+    NetworkExceeded { edge: EdgeId, used_mb: f64, budget_mb: f64 },
+    /// Shape mismatch against the catalog.
+    Shape(String),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::FlowConservation { app, edge, routed, unserved, demand } => write!(
+                f,
+                "flow conservation broken at ({app},{edge}): routed {routed} + unserved {unserved} != demand {demand}"
+            ),
+            ScheduleError::BatchMismatch { app, edge, batches, arriving } => write!(
+                f,
+                "batch total {batches} != arriving {arriving} for ({app},{edge})"
+            ),
+            ScheduleError::BadBatch { edge, model, batch } => {
+                write!(f, "deployment ({edge},{model}) has invalid batch {batch}")
+            }
+            ScheduleError::DuplicateDeployment { edge, model } => {
+                write!(f, "model {model} deployed twice on {edge}")
+            }
+            ScheduleError::WrongApp { edge, model, app } => {
+                write!(f, "deployment ({edge},{model}) does not belong to app {app}")
+            }
+            ScheduleError::MemoryExceeded { edge, used_mb, capacity_mb } => {
+                write!(f, "memory on {edge}: {used_mb:.1} MB > {capacity_mb:.1} MB")
+            }
+            ScheduleError::NetworkExceeded { edge, used_mb, budget_mb } => {
+                write!(f, "network on {edge}: {used_mb:.1} MB > {budget_mb:.1} MB")
+            }
+            ScheduleError::Shape(s) => write!(f, "shape error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Network MB charged to edge `k` by `schedule` (paper Eq. 9 LHS):
+/// request forwarding in both directions plus compressed-weight transfers
+/// for newly deployed models (`prev` = previous slot's deployment bits).
+pub fn network_usage_mb(catalog: &Catalog, schedule: &Schedule, prev: Option<&Schedule>, k: EdgeId) -> f64 {
+    let mut used = 0.0;
+    for app in &catalog.apps {
+        let zeta = app.request_mb;
+        used += zeta
+            * (schedule.routing.outbound(app.id, k) + schedule.routing.inbound(app.id, k)) as f64;
+    }
+    for d in &schedule.deployments[k.index()] {
+        let was_deployed = prev.is_some_and(|p| p.is_deployed(k, d.model));
+        if !was_deployed {
+            used += catalog.model(d.model).compressed_mb;
+        }
+    }
+    used
+}
+
+/// Validate the structural constraints (Eqs. 3–6, 9) of `schedule` against
+/// a per-(app, edge) demand accessor (the runner passes trace demand plus
+/// carry-over). Compute (Eq. 8) is deliberately *not* checked: planners
+/// satisfy it w.r.t. their TIR estimates, and overruns against ground truth
+/// are precisely how SLO violations arise.
+pub fn validate(
+    catalog: &Catalog,
+    demand: &impl Fn(AppId, EdgeId) -> u32,
+    schedule: &Schedule,
+    prev: Option<&Schedule>,
+) -> Result<(), ScheduleError> {
+    let (na, ne) = (catalog.num_apps(), catalog.num_edges());
+    if schedule.deployments.len() != ne {
+        return Err(ScheduleError::Shape(format!(
+            "deployments for {} edges, catalog has {ne}",
+            schedule.deployments.len()
+        )));
+    }
+    if schedule.unserved.len() != na || schedule.unserved.iter().any(|v| v.len() != ne) {
+        return Err(ScheduleError::Shape("unserved shape mismatch".into()));
+    }
+
+    // Eq. 3 + unserved bookkeeping.
+    for app in &catalog.apps {
+        for e in 0..ne {
+            let edge = EdgeId(e);
+            let d = demand(app.id, edge);
+            let routed = schedule.routing.departing_total(app.id, edge);
+            let unserved = schedule.unserved[app.id.index()][e];
+            if routed + unserved != d {
+                return Err(ScheduleError::FlowConservation {
+                    app: app.id,
+                    edge,
+                    routed,
+                    unserved,
+                    demand: d,
+                });
+            }
+        }
+    }
+
+    // Deployment sanity + Eq. 5 per (app, edge).
+    for e in 0..ne {
+        let edge = EdgeId(e);
+        let mut seen = std::collections::HashSet::new();
+        for d in &schedule.deployments[e] {
+            // Serial schedules may assign any number of requests to a model
+            // (they run one at a time); batched ones are capped by MAX_BATCH.
+            let over_cap = !schedule.serial && d.batch > birp_models::catalog::MAX_BATCH;
+            if d.batch == 0 || over_cap {
+                return Err(ScheduleError::BadBatch { edge, model: d.model, batch: d.batch });
+            }
+            if !seen.insert(d.model) {
+                return Err(ScheduleError::DuplicateDeployment { edge, model: d.model });
+            }
+            if catalog.model(d.model).app != d.app {
+                return Err(ScheduleError::WrongApp { edge, model: d.model, app: d.app });
+            }
+        }
+        for app in &catalog.apps {
+            let batches: u32 = schedule.deployments[e]
+                .iter()
+                .filter(|d| d.app == app.id)
+                .map(|d| d.batch)
+                .sum();
+            let arriving = schedule.routing.arriving(app.id, edge);
+            if batches != arriving {
+                return Err(ScheduleError::BatchMismatch { app: app.id, edge, batches, arriving });
+            }
+        }
+
+        // Eq. 6: memory. Serial execution holds one request's intermediates
+        // at a time; batched execution holds the whole batch's.
+        let used_mb: f64 = schedule.deployments[e]
+            .iter()
+            .map(|d| {
+                let eff_batch = if schedule.serial { 1 } else { d.batch };
+                catalog.model(d.model).memory_mb(eff_batch)
+            })
+            .sum();
+        let capacity = catalog.edge(edge).memory_mb;
+        if used_mb > capacity + 1e-6 {
+            return Err(ScheduleError::MemoryExceeded { edge, used_mb, capacity_mb: capacity });
+        }
+
+        // Eq. 9: network.
+        let net = network_usage_mb(catalog, schedule, prev, edge);
+        let budget = catalog.edge(edge).network_budget_mb;
+        if net > budget + 1e-6 {
+            return Err(ScheduleError::NetworkExceeded { edge, used_mb: net, budget_mb: budget });
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: validate against the raw trace demand of `schedule.t`
+/// (no carry-over).
+pub fn validate_against_trace(
+    catalog: &Catalog,
+    trace: &Trace,
+    schedule: &Schedule,
+    prev: Option<&Schedule>,
+) -> Result<(), ScheduleError> {
+    let demand = |a: AppId, e: EdgeId| trace.demand(schedule.t, a, e);
+    validate(catalog, &demand, schedule, prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birp_models::Catalog;
+
+    fn tiny_world() -> (Catalog, Trace) {
+        let catalog = Catalog::small_scale(1);
+        let mut trace = Trace::zeros(1, catalog.num_apps(), catalog.num_edges());
+        trace.set_demand(0, AppId(0), EdgeId(0), 4);
+        trace.set_demand(0, AppId(0), EdgeId(1), 2);
+        (catalog, trace)
+    }
+
+    /// 4 requests at edge 0 (3 local + 1 moved to edge 1), 2 local at edge 1.
+    fn good_schedule(catalog: &Catalog) -> Schedule {
+        let mut s = Schedule::empty(0, catalog.num_apps(), catalog.num_edges());
+        s.routing.set(AppId(0), EdgeId(0), EdgeId(0), 3);
+        s.routing.set(AppId(0), EdgeId(0), EdgeId(1), 1);
+        s.routing.set(AppId(0), EdgeId(1), EdgeId(1), 2);
+        s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 3 });
+        s.deployments[1].push(Deployment { app: AppId(0), model: ModelId(1), batch: 3 });
+        s
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let (catalog, trace) = tiny_world();
+        let s = good_schedule(&catalog);
+        validate_against_trace(&catalog, &trace, &s, None).unwrap();
+        assert_eq!(s.served(), 6);
+        assert_eq!(s.total_unserved(), 0);
+    }
+
+    #[test]
+    fn loss_is_weighted_batch_sum() {
+        let (catalog, _) = tiny_world();
+        let s = good_schedule(&catalog);
+        let expected = catalog.models[0].loss * 3.0 + catalog.models[1].loss * 3.0;
+        assert!((s.loss(&catalog) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_conservation_violation_detected() {
+        let (catalog, trace) = tiny_world();
+        let mut s = good_schedule(&catalog);
+        s.routing.set(AppId(0), EdgeId(0), EdgeId(1), 0); // lose a request
+        assert!(matches!(
+            validate_against_trace(&catalog, &trace, &s, None),
+            Err(ScheduleError::FlowConservation { .. })
+        ));
+    }
+
+    #[test]
+    fn unserved_requests_balance_flow() {
+        let (catalog, trace) = tiny_world();
+        let mut s = good_schedule(&catalog);
+        s.routing.set(AppId(0), EdgeId(0), EdgeId(1), 0);
+        s.unserved[0][0] = 1;
+        // Edge 1 now receives only 2; shrink its batch.
+        s.deployments[1][0].batch = 2;
+        validate_against_trace(&catalog, &trace, &s, None).unwrap();
+    }
+
+    #[test]
+    fn batch_mismatch_detected() {
+        let (catalog, trace) = tiny_world();
+        let mut s = good_schedule(&catalog);
+        s.deployments[1][0].batch = 2; // arriving 3, batches 2
+        assert!(matches!(
+            validate_against_trace(&catalog, &trace, &s, None),
+            Err(ScheduleError::BatchMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_zero_batch_detected() {
+        let (catalog, trace) = tiny_world();
+        let mut s = good_schedule(&catalog);
+        s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 0 });
+        assert!(matches!(
+            validate_against_trace(&catalog, &trace, &s, None),
+            Err(ScheduleError::BadBatch { .. })
+        ));
+        let mut s = good_schedule(&catalog);
+        // Split edge 0's batch into two deployments of the same model.
+        s.deployments[0][0].batch = 2;
+        s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 1 });
+        assert!(matches!(
+            validate_against_trace(&catalog, &trace, &s, None),
+            Err(ScheduleError::DuplicateDeployment { .. })
+        ));
+    }
+
+    #[test]
+    fn network_accounting_charges_transfers_and_new_models() {
+        let (catalog, _) = tiny_world();
+        let s = good_schedule(&catalog);
+        // Edge 0: 1 outbound request * 1.5 MB + new model 0 weights.
+        let used0 = network_usage_mb(&catalog, &s, None, EdgeId(0));
+        let expect0 = 1.5 + catalog.models[0].compressed_mb;
+        assert!((used0 - expect0).abs() < 1e-9, "{used0} vs {expect0}");
+        // With prev = same schedule, no model transfer cost.
+        let used0_warm = network_usage_mb(&catalog, &s, Some(&s), EdgeId(0));
+        assert!((used0_warm - 1.5).abs() < 1e-9);
+        // Edge 2 is idle: nothing charged.
+        assert_eq!(network_usage_mb(&catalog, &s, None, EdgeId(2)), 0.0);
+    }
+
+    #[test]
+    fn routing_helpers() {
+        let mut r = Routing::zeros(1, 3);
+        r.set(AppId(0), EdgeId(0), EdgeId(1), 5);
+        r.set(AppId(0), EdgeId(0), EdgeId(0), 2);
+        r.add(AppId(0), EdgeId(2), EdgeId(1), 3);
+        assert_eq!(r.outbound(AppId(0), EdgeId(0)), 5);
+        assert_eq!(r.inbound(AppId(0), EdgeId(1)), 8);
+        assert_eq!(r.arriving(AppId(0), EdgeId(1)), 8);
+        assert_eq!(r.departing_total(AppId(0), EdgeId(0)), 7);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by every solver layer.
+
+use std::fmt;
+
+/// Errors surfaced by model construction or the solve pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// The model is infeasible (no point satisfies every constraint).
+    Infeasible,
+    /// The relaxation is unbounded below.
+    Unbounded,
+    /// The node or time budget was exhausted before any feasible integer
+    /// point was found.
+    BudgetExhausted { nodes: usize },
+    /// A quadratic term could not be linearised exactly (neither factor is
+    /// binary, or a factor has an infinite bound).
+    NonLinearizable { detail: String },
+    /// A variable bound pair is inverted or non-finite where finiteness is
+    /// required.
+    InvalidBounds { var: usize, lower: f64, upper: f64 },
+    /// Reference to a variable that does not belong to this model.
+    UnknownVariable { var: usize },
+    /// The simplex engine failed to converge (cycling or numerical trouble).
+    Numerical { detail: String },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Infeasible => write!(f, "problem is infeasible"),
+            SolverError::Unbounded => write!(f, "problem is unbounded"),
+            SolverError::BudgetExhausted { nodes } => {
+                write!(f, "search budget exhausted after {nodes} nodes with no incumbent")
+            }
+            SolverError::NonLinearizable { detail } => {
+                write!(f, "quadratic term cannot be linearised exactly: {detail}")
+            }
+            SolverError::InvalidBounds { var, lower, upper } => {
+                write!(f, "variable {var} has invalid bounds [{lower}, {upper}]")
+            }
+            SolverError::UnknownVariable { var } => {
+                write!(f, "variable id {var} does not belong to this model")
+            }
+            SolverError::Numerical { detail } => write!(f, "numerical failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(SolverError::Infeasible.to_string().contains("infeasible"));
+        assert!(SolverError::Unbounded.to_string().contains("unbounded"));
+        let e = SolverError::BudgetExhausted { nodes: 17 };
+        assert!(e.to_string().contains("17"));
+        let e = SolverError::InvalidBounds { var: 3, lower: 2.0, upper: 1.0 };
+        assert!(e.to_string().contains("[2, 1]"));
+        let e = SolverError::NonLinearizable { detail: "x*y".into() };
+        assert!(e.to_string().contains("x*y"));
+        let e = SolverError::UnknownVariable { var: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = SolverError::Numerical { detail: "cycling".into() };
+        assert!(e.to_string().contains("cycling"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&SolverError::Infeasible);
+    }
+}

@@ -1,0 +1,323 @@
+//! Variables and linear expressions.
+//!
+//! [`LinExpr`] supports the natural arithmetic you expect from a modelling
+//! layer (`x + y`, `2.0 * x`, `expr - 3.0`, `expr += term`), which keeps the
+//! BIRP per-slot problem builder readable next to the paper's equations.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Opaque handle to a decision variable inside a [`crate::Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The dense column index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Variable integrality class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Real-valued.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Shorthand for an integer variable clamped to `{0, 1}`.
+    Binary,
+}
+
+impl VarKind {
+    /// Whether branch-and-bound must enforce integrality on this kind.
+    #[inline]
+    pub fn is_integral(self) -> bool {
+        !matches!(self, VarKind::Continuous)
+    }
+}
+
+/// A linear expression `Σ coef_j · x_j + constant`.
+///
+/// Terms are kept unsorted and may contain duplicates until
+/// [`LinExpr::compact`] is called; the model builder compacts on ingest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    pub terms: Vec<(VarId, f64)>,
+    pub constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression with no variable terms.
+    pub fn constant(c: f64) -> Self {
+        LinExpr { terms: Vec::new(), constant: c }
+    }
+
+    /// Single-term expression `coef · var`.
+    pub fn term(var: VarId, coef: f64) -> Self {
+        LinExpr { terms: vec![(var, coef)], constant: 0.0 }
+    }
+
+    /// Add `coef · var` in place.
+    pub fn add_term(&mut self, var: VarId, coef: f64) -> &mut Self {
+        self.terms.push((var, coef));
+        self
+    }
+
+    /// Sum of `vars` with unit coefficients.
+    pub fn sum(vars: impl IntoIterator<Item = VarId>) -> Self {
+        LinExpr {
+            terms: vars.into_iter().map(|v| (v, 1.0)).collect(),
+            constant: 0.0,
+        }
+    }
+
+    /// Weighted sum `Σ coef_j · var_j`.
+    pub fn weighted_sum(pairs: impl IntoIterator<Item = (VarId, f64)>) -> Self {
+        LinExpr { terms: pairs.into_iter().collect(), constant: 0.0 }
+    }
+
+    /// Merge duplicate variables and drop (numerically) zero coefficients.
+    pub fn compact(&mut self) {
+        self.terms.sort_unstable_by_key(|(v, _)| *v);
+        let mut out: Vec<(VarId, f64)> = Vec::with_capacity(self.terms.len());
+        for &(v, c) in &self.terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|&(_, c)| c.abs() > 0.0);
+        self.terms = out;
+    }
+
+    /// Evaluate the expression at a dense point.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.constant + self.terms.iter().map(|&(v, c)| c * x[v.0]).sum::<f64>()
+    }
+
+    /// Largest variable index referenced, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        self.terms.iter().map(|&(v, _)| v.0).max()
+    }
+
+    /// True if the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+// --- operator overloads -------------------------------------------------
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.constant -= rhs.constant;
+        self
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.constant -= rhs.constant;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for (_, c) in &mut self.terms {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        for (_, c) in &mut self.terms {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e * self
+    }
+}
+
+impl Add<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Add<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: VarId) -> LinExpr {
+        self + LinExpr::from(rhs)
+    }
+}
+
+impl Add<VarId> for VarId {
+    type Output = LinExpr;
+    fn add(self, rhs: VarId) -> LinExpr {
+        LinExpr::from(self) + LinExpr::from(rhs)
+    }
+}
+
+impl Sub<VarId> for VarId {
+    type Output = LinExpr;
+    fn sub(self, rhs: VarId) -> LinExpr {
+        LinExpr::from(self) - LinExpr::from(rhs)
+    }
+}
+
+impl Sub<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: VarId) -> LinExpr {
+        self - LinExpr::from(rhs)
+    }
+}
+
+impl Mul<f64> for VarId {
+    type Output = LinExpr;
+    fn mul(self, k: f64) -> LinExpr {
+        LinExpr::term(self, k)
+    }
+}
+
+impl Mul<VarId> for f64 {
+    type Output = LinExpr;
+    fn mul(self, v: VarId) -> LinExpr {
+        LinExpr::term(v, self)
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, k: f64) -> LinExpr {
+        self.constant += k;
+        self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, k: f64) -> LinExpr {
+        self.constant -= k;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn term_arithmetic_builds_expected_expression() {
+        let e = 2.0 * v(0) + v(1) - v(2) + 5.0;
+        assert_eq!(e.constant, 5.0);
+        assert_eq!(e.terms, vec![(v(0), 2.0), (v(1), 1.0), (v(2), -1.0)]);
+    }
+
+    #[test]
+    fn compact_merges_duplicates_and_drops_zeros() {
+        let mut e = v(1) * 2.0 + v(0) * 1.5 + v(1) * -2.0 + v(0) * 0.5;
+        e.compact();
+        assert_eq!(e.terms, vec![(v(0), 2.0)]);
+    }
+
+    #[test]
+    fn eval_matches_manual_computation() {
+        let e = 3.0 * v(0) - 2.0 * v(2) + 1.0;
+        let x = [1.0, 100.0, 0.5];
+        assert!((e.eval(&x) - (3.0 - 1.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_weighted_sum() {
+        let s = LinExpr::sum([v(0), v(1)]);
+        assert_eq!(s.terms.len(), 2);
+        let w = LinExpr::weighted_sum([(v(0), 0.5), (v(3), 4.0)]);
+        assert!((w.eval(&[2.0, 0.0, 0.0, 1.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negation_flips_everything() {
+        let e = -(2.0 * v(0) + 1.0);
+        assert_eq!(e.terms, vec![(v(0), -2.0)]);
+        assert_eq!(e.constant, -1.0);
+    }
+
+    #[test]
+    fn max_var_and_is_constant() {
+        assert_eq!(LinExpr::constant(4.0).max_var(), None);
+        assert!(LinExpr::constant(4.0).is_constant());
+        let e = v(7) + v(2);
+        assert_eq!(e.max_var(), Some(7));
+        assert!(!e.is_constant());
+    }
+
+    #[test]
+    fn var_kind_integrality() {
+        assert!(VarKind::Integer.is_integral());
+        assert!(VarKind::Binary.is_integral());
+        assert!(!VarKind::Continuous.is_integral());
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut e = LinExpr::from(v(0));
+        e += LinExpr::term(v(1), 2.0);
+        e -= LinExpr::constant(3.0);
+        assert_eq!(e.terms.len(), 2);
+        assert_eq!(e.constant, -3.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Primal heuristics for branch and bound.
+//!
+//! [`dive`] implements LP-guided diving: repeatedly solve the relaxation,
+//! fix the most fractional integer variable to its nearest integer (trying
+//! the other rounding direction on infeasibility), and recurse until the
+//! relaxation is integral. This is how branch and bound gets a good first
+//! incumbent after a single-digit number of LP solves, which in turn is what
+//! lets the BIRP per-slot solves run with small node budgets at a bounded,
+//! reported optimality gap.
+
+use crate::lp::{LpProblem, LpStatus};
+use crate::milp::snap_integers;
+use crate::simplex::solve_bounded;
+
+/// Attempt to find an integral feasible point inside the box
+/// `[lower, upper]`. Returns `(objective, x)` on success.
+///
+/// Strategy: *guided fractional diving* in two phases.
+///
+/// 1. **Binaries first.** Indicator-style structures (`b <= cap * x`) wedge
+///    a binary between its coupled general integers once those are fixed:
+///    with `b` pinned at 9, neither `x = 0` (violates the cap) nor `x = 1`
+///    (may violate a resource row) need be feasible, even though fractional
+///    `x` was. Rounding every binary while the general integers are still
+///    free avoids the wedge entirely.
+/// 2. **Generals floor-first.** Rounding a general integer *down* only
+///    relaxes resource rows (and equality rows re-balance through the
+///    remaining continuous columns), so the floor direction almost always
+///    survives; ceiling is the fallback.
+///
+/// Within each phase the least-fractional variable goes first (its rounding
+/// perturbs the relaxation least).
+pub fn dive(
+    lp: &LpProblem,
+    integers: &[usize],
+    lower: &[f64],
+    upper: &[f64],
+) -> Option<(f64, Vec<f64>)> {
+    let mut scoped = lp.clone();
+    scoped.lower.copy_from_slice(lower);
+    scoped.upper.copy_from_slice(upper);
+
+    // Binary classification against the *entry* box (fixed variables would
+    // otherwise masquerade as binaries).
+    let is_binary: Vec<bool> = (0..scoped.num_cols())
+        .map(|j| upper[j] - lower[j] <= 1.0 + crate::INT_TOL)
+        .collect();
+
+    // Variables whose rounding turned out infeasible both ways; they are
+    // left to drift with the relaxation and re-checked at the end (often
+    // they become integral once everything around them is fixed).
+    let mut skipped: Vec<bool> = vec![false; scoped.num_cols()];
+    let mut skips_left = 6usize;
+
+    // Each successful round fixes one variable; rounds needed track the
+    // *fractional* count of the relaxation (typically far below the integer
+    // count), so a fixed cap keeps worst-case dive cost bounded on the
+    // 400-variable large-scale problems.
+    let max_rounds = integers.len().min(96) + 8;
+    for _ in 0..max_rounds {
+        let sol = solve_bounded(&scoped);
+        if sol.status != LpStatus::Optimal {
+            if std::env::var("BIRP_DIVE_DEBUG").is_ok() { eprintln!("dive: LP {:?}", sol.status); }
+            return None;
+        }
+
+        // Find the least-fractional unfixed variable, binaries strictly
+        // first (see the phase discussion above). Deliberately do NOT
+        // freeze variables that merely happen to be integral right now:
+        // slack-like columns — overflow, routing — often sit at 0 in early
+        // relaxations but must move once batches get rounded.
+        let mut bin_target: Option<(usize, f64, f64)> = None; // (var, value, frac)
+        let mut gen_target: Option<(usize, f64, f64)> = None;
+        let mut all_integral = true;
+        for &j in integers {
+            let v = sol.x[j];
+            let frac = (v - v.round()).abs();
+            if frac > crate::INT_TOL {
+                all_integral = false;
+                if skipped[j] {
+                    continue;
+                }
+                let slot = if is_binary[j] { &mut bin_target } else { &mut gen_target };
+                match slot {
+                    Some((_, _, bf)) if *bf <= frac => {}
+                    _ => *slot = Some((j, v, frac)),
+                }
+            }
+        }
+        let target = bin_target.or(gen_target);
+        if all_integral {
+            let mut x = sol.x;
+            snap_integers(&mut x, integers);
+            // Snapping can disturb rows; verify before claiming feasibility.
+            if scoped.max_violation(&x) > 1e-6 {
+                return None;
+            }
+            let obj = lp.objective_at(&x);
+            return Some((obj, x));
+        }
+        let Some((j, v, _)) = target else {
+            if std::env::var("BIRP_DIVE_DEBUG").is_ok() { eprintln!("dive: only skipped fractionals remain"); }
+            return None; // only skipped variables remain fractional
+        };
+
+        // Binaries: ceiling first — a fractional indicator usually guards
+        // capacity the relaxation is actively using, and switching it off
+        // forfeits that capacity (expensive), while switching it on only
+        // costs its resource footprint. Generals: floor first
+        // (resource-safe).
+        let (near, far) = if is_binary[j] {
+            let up = v.ceil().clamp(scoped.lower[j], scoped.upper[j]);
+            (up, up - 1.0)
+        } else {
+            let down = v.floor().clamp(scoped.lower[j], scoped.upper[j]);
+            (down, down + 1.0)
+        };
+
+        let (old_lo, old_hi) = (scoped.lower[j], scoped.upper[j]);
+        scoped.lower[j] = near;
+        scoped.upper[j] = near;
+        let near_sol = solve_bounded(&scoped);
+        if near_sol.status == LpStatus::Optimal {
+            continue;
+        }
+        if far >= old_lo - 1e-12 && far <= old_hi + 1e-12 {
+            scoped.lower[j] = far;
+            scoped.upper[j] = far;
+            let far_sol = solve_bounded(&scoped);
+            if far_sol.status == LpStatus::Optimal {
+                continue;
+            }
+        }
+        // Both roundings infeasible: restore the variable and move on.
+        if std::env::var("BIRP_DIVE_DEBUG").is_ok() { eprintln!("dive: var {j} stuck at {v} (skips left {skips_left})"); }
+        if skips_left == 0 {
+            return None;
+        }
+        skips_left -= 1;
+        scoped.lower[j] = old_lo;
+        scoped.upper[j] = old_hi;
+        skipped[j] = true;
+    }
+    if std::env::var("BIRP_DIVE_DEBUG").is_ok() { eprintln!("dive: max rounds exhausted"); }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::RowCmp;
+
+    #[test]
+    fn dive_finds_integral_point_on_knapsack() {
+        let mut lp = LpProblem::with_columns(3);
+        lp.objective = vec![-10.0, -13.0, -7.0];
+        lp.upper = vec![1.0; 3];
+        lp.push_row(vec![(0, 3.0), (1, 4.0), (2, 2.0)], RowCmp::Le, 5.0);
+        let ints = [0, 1, 2];
+        let (obj, x) = dive(&lp, &ints, &lp.lower.clone(), &lp.upper.clone()).unwrap();
+        assert!(lp.max_violation(&x) < 1e-6);
+        for &j in &ints {
+            assert!((x[j] - x[j].round()).abs() < 1e-9);
+        }
+        // Not necessarily optimal (-17), but feasible and better than empty.
+        assert!(obj <= 0.0);
+    }
+
+    #[test]
+    fn dive_handles_already_integral_relaxation() {
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.upper = vec![3.0, 3.0];
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Ge, 2.0);
+        let (obj, _x) = dive(&lp, &[0, 1], &lp.lower.clone(), &lp.upper.clone()).unwrap();
+        assert!((obj - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dive_returns_none_on_infeasible_box() {
+        let mut lp = LpProblem::with_columns(1);
+        lp.upper = vec![1.0];
+        lp.push_row(vec![(0, 1.0)], RowCmp::Ge, 5.0);
+        assert!(dive(&lp, &[0], &lp.lower.clone(), &lp.upper.clone()).is_none());
+    }
+
+    #[test]
+    fn dive_respects_tightened_box() {
+        // Force x0 = 1 through the box even though the relaxation prefers 0.
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![5.0, 1.0];
+        lp.upper = vec![1.0, 4.0];
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Ge, 1.5);
+        let lower = vec![1.0, 0.0];
+        let upper = vec![1.0, 4.0];
+        let (_, x) = dive(&lp, &[0, 1], &lower, &upper).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,207 @@
+//! Standard-form linear program container.
+//!
+//! Both simplex engines consume an [`LpProblem`]:
+//!
+//! ```text
+//! minimise   c · x
+//! subject to row_i · x  {<=, =, >=}  rhs_i      for every row
+//!            lower_j <= x_j <= upper_j           for every column
+//! ```
+//!
+//! Lower bounds must be finite (the BIRP per-slot problems are all
+//! non-negative); upper bounds may be `f64::INFINITY`. Rows are sparse,
+//! which matters because the per-slot scheduling matrices are > 95 % zeros.
+
+/// Row comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowCmp {
+    Le,
+    Eq,
+    Ge,
+}
+
+/// One sparse constraint row.
+#[derive(Debug, Clone)]
+pub struct LpRow {
+    /// `(column, coefficient)` pairs; columns unique and sorted.
+    pub coeffs: Vec<(usize, f64)>,
+    pub cmp: RowCmp,
+    pub rhs: f64,
+}
+
+impl LpRow {
+    /// Evaluate the left-hand side at `x`.
+    pub fn lhs(&self, x: &[f64]) -> f64 {
+        self.coeffs.iter().map(|&(j, c)| c * x[j]).sum()
+    }
+
+    /// Signed violation of this row at `x` (positive means violated).
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        let lhs = self.lhs(x);
+        match self.cmp {
+            RowCmp::Le => lhs - self.rhs,
+            RowCmp::Ge => self.rhs - lhs,
+            RowCmp::Eq => (lhs - self.rhs).abs(),
+        }
+    }
+}
+
+/// A standard-form LP.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    /// Objective coefficients, one per column.
+    pub objective: Vec<f64>,
+    /// Column lower bounds (finite).
+    pub lower: Vec<f64>,
+    /// Column upper bounds (may be `+inf`).
+    pub upper: Vec<f64>,
+    pub rows: Vec<LpRow>,
+}
+
+/// Outcome classification of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+}
+
+/// Result of an LP solve; `x`/`objective` are meaningful only when
+/// `status == Optimal`.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    pub status: LpStatus,
+    pub objective: f64,
+    pub x: Vec<f64>,
+    /// Simplex iterations spent (both phases).
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    pub fn infeasible() -> Self {
+        LpSolution { status: LpStatus::Infeasible, objective: f64::INFINITY, x: Vec::new(), iterations: 0 }
+    }
+
+    pub fn unbounded() -> Self {
+        LpSolution { status: LpStatus::Unbounded, objective: f64::NEG_INFINITY, x: Vec::new(), iterations: 0 }
+    }
+}
+
+impl LpProblem {
+    /// An empty problem with `n` columns, zero objective and bounds `[0, inf)`.
+    pub fn with_columns(n: usize) -> Self {
+        LpProblem {
+            objective: vec![0.0; n],
+            lower: vec![0.0; n],
+            upper: vec![f64::INFINITY; n],
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.objective.len()
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Append a sparse row. Coefficients are sorted and merged.
+    pub fn push_row(&mut self, mut coeffs: Vec<(usize, f64)>, cmp: RowCmp, rhs: f64) {
+        coeffs.sort_unstable_by_key(|&(j, _)| j);
+        coeffs.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 += b.1;
+                true
+            } else {
+                false
+            }
+        });
+        coeffs.retain(|&(_, c)| c != 0.0);
+        self.rows.push(LpRow { coeffs, cmp, rhs });
+    }
+
+    /// Maximum feasibility violation of `x` over all rows and bounds.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for row in &self.rows {
+            worst = worst.max(row.violation(x));
+        }
+        for j in 0..self.num_cols() {
+            worst = worst.max(self.lower[j] - x[j]);
+            if self.upper[j].is_finite() {
+                worst = worst.max(x[j] - self.upper[j]);
+            }
+        }
+        worst
+    }
+
+    /// Objective value at `x`.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Validate bounds: every lower bound finite and `lower <= upper`.
+    /// Returns the offending column on failure.
+    pub fn validate_bounds(&self) -> Result<(), usize> {
+        for j in 0..self.num_cols() {
+            if !self.lower[j].is_finite() || self.upper[j] < self.lower[j] || self.upper[j].is_nan() {
+                return Err(j);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_row_merges_and_sorts() {
+        let mut lp = LpProblem::with_columns(3);
+        lp.push_row(vec![(2, 1.0), (0, 2.0), (2, 3.0), (1, 0.0)], RowCmp::Le, 7.0);
+        assert_eq!(lp.rows[0].coeffs, vec![(0, 2.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn violation_signs() {
+        let mut lp = LpProblem::with_columns(1);
+        lp.push_row(vec![(0, 1.0)], RowCmp::Le, 1.0);
+        lp.push_row(vec![(0, 1.0)], RowCmp::Ge, 3.0);
+        lp.push_row(vec![(0, 1.0)], RowCmp::Eq, 2.0);
+        let x = [2.0];
+        assert!((lp.rows[0].violation(&x) - 1.0).abs() < 1e-12); // 2 > 1
+        assert!((lp.rows[1].violation(&x) - 1.0).abs() < 1e-12); // 2 < 3
+        assert!((lp.rows[2].violation(&x) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_violation_checks_bounds_too() {
+        let mut lp = LpProblem::with_columns(2);
+        lp.upper[0] = 1.0;
+        lp.lower[1] = 0.5;
+        assert!((lp.max_violation(&[2.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((lp.max_violation(&[0.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(lp.max_violation(&[1.0, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn validate_bounds_rejects_bad_columns() {
+        let mut lp = LpProblem::with_columns(2);
+        lp.lower[1] = f64::NEG_INFINITY;
+        assert_eq!(lp.validate_bounds(), Err(1));
+        lp.lower[1] = 2.0;
+        lp.upper[1] = 1.0;
+        assert_eq!(lp.validate_bounds(), Err(1));
+        lp.upper[1] = 2.0;
+        assert_eq!(lp.validate_bounds(), Ok(()));
+    }
+
+    #[test]
+    fn objective_at_dot_product() {
+        let mut lp = LpProblem::with_columns(3);
+        lp.objective = vec![1.0, -2.0, 0.5];
+        assert!((lp.objective_at(&[1.0, 1.0, 2.0]) - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,557 @@
+//! Branch-and-bound mixed-integer linear programming.
+//!
+//! Best-first search over LP relaxations solved by the bounded-variable
+//! simplex. Branching variable: most fractional. Incumbents come from three
+//! sources: integral LP relaxations, the LP-guided diving heuristic
+//! ([`crate::heuristic::dive`]) run at the root, and leaves of the search.
+//!
+//! With `parallel = true` the search proceeds in *waves*: up to one node per
+//! worker is popped from the frontier, their LPs are solved with rayon, and
+//! the results are folded back in deterministically (the fold order is the
+//! pop order, not the completion order, so runs are reproducible).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rayon::prelude::*;
+
+use crate::heuristic::dive;
+use crate::lp::{LpProblem, LpStatus};
+use crate::simplex::solve_bounded;
+use crate::INT_TOL;
+
+/// A MILP: an [`LpProblem`] plus the set of columns required to be integral.
+#[derive(Debug, Clone)]
+pub struct MilpProblem {
+    pub lp: LpProblem,
+    /// Column indices with integrality requirements, strictly increasing.
+    pub integers: Vec<usize>,
+}
+
+/// Branch-and-bound search parameters.
+#[derive(Debug, Clone)]
+pub struct BnbConfig {
+    /// Maximum number of LP relaxations solved before giving up on proving
+    /// optimality. The best incumbent found so far is still returned.
+    pub node_limit: usize,
+    /// Terminate when `(incumbent - bound) / max(1, |incumbent|)` drops
+    /// below this.
+    pub rel_gap: f64,
+    /// Solve frontier nodes in rayon-parallel waves.
+    pub parallel: bool,
+    /// Run the diving heuristic at the root for a fast first incumbent.
+    pub root_dive: bool,
+    /// A known-feasible starting point; validated (bounds, rows,
+    /// integrality) and installed as the initial incumbent if it passes.
+    /// Guarantees the search always returns *something* under tight node
+    /// budgets.
+    pub warm_start: Option<Vec<f64>>,
+    /// Run the presolve reductions before the search (recommended; on the
+    /// BIRP per-slot problems it cuts node LP time several-fold).
+    pub presolve: bool,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig {
+            node_limit: 20_000,
+            rel_gap: 1e-6,
+            parallel: false,
+            root_dive: true,
+            warm_start: None,
+            presolve: true,
+        }
+    }
+}
+
+/// Outcome classification of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Optimal within the configured gap.
+    Optimal,
+    /// Feasible incumbent returned, but the node budget ran out before the
+    /// gap closed.
+    Feasible,
+    Infeasible,
+    Unbounded,
+}
+
+/// Result of a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct MilpResult {
+    pub status: MilpStatus,
+    /// Objective of the incumbent (meaningful for Optimal/Feasible).
+    pub objective: f64,
+    /// Incumbent point with integer columns snapped exactly.
+    pub x: Vec<f64>,
+    /// Best proven lower bound on the optimum.
+    pub bound: f64,
+    /// `(objective - bound) / max(1, |objective|)`.
+    pub gap: f64,
+    /// LP relaxations solved.
+    pub nodes: usize,
+}
+
+/// Frontier node: a box (bound vectors) plus an optimistic objective bound
+/// inherited from the parent LP.
+#[derive(Debug, Clone)]
+struct Node {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    bound: f64,
+}
+
+/// Min-heap ordering on the optimistic bound (best-first).
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest bound on top.
+        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Index of the integer column whose value is farthest from integral, if any.
+/// (The search itself now uses [`branch_var`]; this simpler selector remains
+/// for unit tests and external diagnostics.)
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn most_fractional(x: &[f64], integers: &[usize]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for &j in integers {
+        let v = x[j];
+        let frac = (v - v.round()).abs();
+        if frac > INT_TOL {
+            let dist = (v - v.floor() - 0.5).abs(); // 0 = perfectly half-integral
+            match best {
+                Some((_, d)) if d <= dist => {}
+                _ => best = Some((j, dist)),
+            }
+        }
+    }
+    best.map(|(j, _)| (j, x[j]))
+}
+
+/// Branching-variable choice: prefer fractional *binary-like* columns
+/// (domain width <= 1) — on the BIRP per-slot problems the deployment bits
+/// drive everything, and once they are integral the rest of the relaxation
+/// is transportation-like and nearly integral. Falls back to the most
+/// fractional general integer. Also returns the total fractional count.
+fn branch_var(
+    x: &[f64],
+    integers: &[usize],
+    lower: &[f64],
+    upper: &[f64],
+) -> (Option<(usize, f64)>, usize) {
+    let mut best_binary: Option<(usize, f64)> = None;
+    let mut best_general: Option<(usize, f64)> = None;
+    let mut frac_count = 0usize;
+    for &j in integers {
+        let v = x[j];
+        let frac = (v - v.round()).abs();
+        if frac <= INT_TOL {
+            continue;
+        }
+        frac_count += 1;
+        let dist = (v - v.floor() - 0.5).abs();
+        let slot = if upper[j] - lower[j] <= 1.0 + INT_TOL {
+            &mut best_binary
+        } else {
+            &mut best_general
+        };
+        match slot {
+            Some((_, d)) if *d <= dist => {}
+            _ => *slot = Some((j, dist)),
+        }
+    }
+    let pick = best_binary.or(best_general).map(|(j, _)| (j, x[j]));
+    (pick, frac_count)
+}
+
+/// Snap integer columns of `x` to the nearest integer in place.
+pub(crate) fn snap_integers(x: &mut [f64], integers: &[usize]) {
+    for &j in integers {
+        x[j] = x[j].round();
+    }
+}
+
+fn incumbent_gap(objective: f64, bound: f64) -> f64 {
+    (objective - bound).max(0.0) / objective.abs().max(1.0)
+}
+
+/// Solve the MILP by branch and bound.
+pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
+    // Presolve never removes columns, so indices and solutions line up with
+    // the caller's problem; it only tightens bounds and drops rows, which
+    // shrinks every node LP.
+    let mut reduced = original.clone();
+    if cfg.presolve
+        && crate::presolve::presolve(&mut reduced.lp, &reduced.integers).0
+            == crate::presolve::PresolveStatus::Infeasible
+    {
+        return MilpResult {
+            status: MilpStatus::Infeasible,
+            objective: f64::INFINITY,
+            x: Vec::new(),
+            bound: f64::INFINITY,
+            gap: 0.0,
+            nodes: 0,
+        };
+    }
+    let problem = &reduced;
+    let n = problem.lp.num_cols();
+    let root = Node {
+        lower: problem.lp.lower.clone(),
+        upper: problem.lp.upper.clone(),
+        bound: f64::NEG_INFINITY,
+    };
+
+    let mut nodes_solved = 0usize;
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+
+    // Install a validated warm start as the initial incumbent.
+    if let Some(ws) = &cfg.warm_start {
+        if ws.len() == n {
+            let integral = problem
+                .integers
+                .iter()
+                .all(|&j| (ws[j] - ws[j].round()).abs() < INT_TOL);
+            let mut snapped = ws.clone();
+            snap_integers(&mut snapped, &problem.integers);
+            if integral && problem.lp.max_violation(&snapped) < 1e-6 {
+                let obj = problem.lp.objective_at(&snapped);
+                incumbent = Some((obj, snapped));
+            }
+        }
+    }
+
+    // --- root -----------------------------------------------------------
+    let root_sol = solve_node_lp(&problem.lp, &root);
+    nodes_solved += 1;
+    match root_sol.status {
+        LpStatus::Infeasible => {
+            return MilpResult {
+                status: MilpStatus::Infeasible,
+                objective: f64::INFINITY,
+                x: Vec::new(),
+                bound: f64::INFINITY,
+                gap: 0.0,
+                nodes: nodes_solved,
+            };
+        }
+        LpStatus::Unbounded => {
+            return MilpResult {
+                status: MilpStatus::Unbounded,
+                objective: f64::NEG_INFINITY,
+                x: Vec::new(),
+                bound: f64::NEG_INFINITY,
+                gap: 0.0,
+                nodes: nodes_solved,
+            };
+        }
+        LpStatus::Optimal => {}
+    }
+    let root_bound = root_sol.objective;
+
+    let (root_branch, _) = branch_var(&root_sol.x, &problem.integers, &root.lower, &root.upper);
+    if let Some((j, v)) = root_branch {
+        if cfg.root_dive {
+            if let Some((obj, x)) = dive(&problem.lp, &problem.integers, &root.lower, &root.upper) {
+                if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
+                    incumbent = Some((obj, x));
+                }
+            }
+        }
+        push_children(&mut heap, &root, j, v, root_sol.objective);
+    } else {
+        let mut x = root_sol.x;
+        snap_integers(&mut x, &problem.integers);
+        let obj = problem.lp.objective_at(&x);
+        return MilpResult {
+            status: MilpStatus::Optimal,
+            objective: obj,
+            x,
+            bound: root_bound,
+            gap: 0.0,
+            nodes: nodes_solved,
+        };
+    }
+
+    // --- search -----------------------------------------------------------
+    let workers = if cfg.parallel { rayon::current_num_threads().max(1) } else { 1 };
+    // In-tree dives are expensive (a dive is dozens of LP solves); a few
+    // well-placed ones capture nearly all their value.
+    let mut tree_dives_left = 3usize;
+    'outer: while !heap.is_empty() {
+        if nodes_solved >= cfg.node_limit {
+            break;
+        }
+        // Prune against the incumbent, then pop a wave.
+        let cutoff = incumbent.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
+        let mut wave: Vec<Node> = Vec::with_capacity(workers);
+        while wave.len() < workers {
+            match heap.pop() {
+                Some(node) => {
+                    if node.bound < cutoff - 1e-12 {
+                        wave.push(node);
+                    }
+                    // else: dominated, dropped
+                }
+                None => break,
+            }
+        }
+        if wave.is_empty() {
+            break;
+        }
+        if let Some((obj, _)) = &incumbent {
+            let frontier_bound = wave[0].bound.min(heap.peek().map_or(f64::INFINITY, |n| n.bound));
+            if incumbent_gap(*obj, frontier_bound.max(root_bound)) <= cfg.rel_gap {
+                heap.push(wave.swap_remove(0)); // keep bound info for reporting
+                for node in wave {
+                    heap.push(node);
+                }
+                break 'outer;
+            }
+        }
+
+        let solved: Vec<_> = if cfg.parallel && wave.len() > 1 {
+            wave.par_iter().map(|node| solve_node_lp(&problem.lp, node)).collect()
+        } else {
+            wave.iter().map(|node| solve_node_lp(&problem.lp, node)).collect()
+        };
+        nodes_solved += wave.len();
+
+        for (node, sol) in wave.into_iter().zip(solved) {
+            match sol.status {
+                LpStatus::Infeasible => continue,
+                LpStatus::Unbounded => {
+                    // Only possible with unbounded continuous directions that
+                    // the root somehow missed; treat conservatively.
+                    return MilpResult {
+                        status: MilpStatus::Unbounded,
+                        objective: f64::NEG_INFINITY,
+                        x: Vec::new(),
+                        bound: f64::NEG_INFINITY,
+                        gap: 0.0,
+                        nodes: nodes_solved,
+                    };
+                }
+                LpStatus::Optimal => {}
+            }
+            let cutoff = incumbent.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
+            if sol.objective >= cutoff - 1e-12 {
+                continue; // bound-dominated
+            }
+            let (pick, frac_count) =
+                branch_var(&sol.x, &problem.integers, &node.lower, &node.upper);
+            match pick {
+                None => {
+                    let mut x = sol.x;
+                    snap_integers(&mut x, &problem.integers);
+                    let obj = problem.lp.objective_at(&x);
+                    if obj < cutoff {
+                        incumbent = Some((obj, x));
+                    }
+                }
+                Some((j, v)) => {
+                    // Nearly-integral nodes are cheap to finish off with a
+                    // dive — the main source of strong incumbents under
+                    // tight node budgets.
+                    if frac_count <= 8 && tree_dives_left > 0 {
+                        tree_dives_left -= 1;
+                        if let Some((obj, x)) =
+                            dive(&problem.lp, &problem.integers, &node.lower, &node.upper)
+                        {
+                            let cutoff =
+                                incumbent.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
+                            if obj < cutoff {
+                                incumbent = Some((obj, x));
+                            }
+                        }
+                    }
+                    push_children(&mut heap, &node, j, v, sol.objective);
+                }
+            }
+        }
+    }
+
+    // --- report -----------------------------------------------------------
+    let frontier_bound = heap
+        .iter()
+        .map(|n| n.bound)
+        .fold(f64::INFINITY, f64::min)
+        .max(root_bound);
+    match incumbent {
+        Some((obj, x)) => {
+            let bound = if heap.is_empty() { obj } else { frontier_bound.min(obj) };
+            let gap = incumbent_gap(obj, bound);
+            let status = if gap <= cfg.rel_gap { MilpStatus::Optimal } else { MilpStatus::Feasible };
+            MilpResult { status, objective: obj, x, bound, gap, nodes: nodes_solved }
+        }
+        None => {
+            if heap.is_empty() {
+                MilpResult {
+                    status: MilpStatus::Infeasible,
+                    objective: f64::INFINITY,
+                    x: vec![0.0; n],
+                    bound: f64::INFINITY,
+                    gap: 0.0,
+                    nodes: nodes_solved,
+                }
+            } else {
+                // Budget ran out with open nodes and no incumbent.
+                MilpResult {
+                    status: MilpStatus::Feasible,
+                    objective: f64::INFINITY,
+                    x: vec![0.0; n],
+                    bound: frontier_bound,
+                    gap: f64::INFINITY,
+                    nodes: nodes_solved,
+                }
+            }
+        }
+    }
+}
+
+fn solve_node_lp(lp: &LpProblem, node: &Node) -> crate::lp::LpSolution {
+    let mut scoped = lp.clone();
+    scoped.lower.copy_from_slice(&node.lower);
+    scoped.upper.copy_from_slice(&node.upper);
+    solve_bounded(&scoped)
+}
+
+fn push_children(heap: &mut BinaryHeap<Node>, parent: &Node, j: usize, v: f64, parent_obj: f64) {
+    let floor = v.floor();
+    // Down child: x_j <= floor(v)
+    if floor >= parent.lower[j] - 1e-12 {
+        let mut child = parent.clone();
+        child.upper[j] = floor.min(child.upper[j]);
+        child.bound = parent_obj;
+        if child.lower[j] <= child.upper[j] + 1e-12 {
+            child.upper[j] = child.upper[j].max(child.lower[j]);
+            heap.push(child);
+        }
+    }
+    // Up child: x_j >= ceil(v)
+    let ceil = floor + 1.0;
+    if ceil <= parent.upper[j] + 1e-12 {
+        let mut child = parent.clone();
+        child.lower[j] = ceil.max(child.lower[j]);
+        child.bound = parent_obj;
+        if child.lower[j] <= child.upper[j] + 1e-12 {
+            child.lower[j] = child.lower[j].min(child.upper[j]);
+            heap.push(child);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::RowCmp;
+
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> MilpProblem {
+        let n = values.len();
+        let mut lp = LpProblem::with_columns(n);
+        lp.objective = values.iter().map(|v| -v).collect();
+        lp.upper = vec![1.0; n];
+        lp.push_row(weights.iter().cloned().enumerate().collect(), RowCmp::Le, cap);
+        MilpProblem { lp, integers: (0..n).collect() }
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // values 10, 13, 7; weights 3, 4, 2; cap 5 -> best = {10, 7} = 17
+        let p = knapsack(&[10.0, 13.0, 7.0], &[3.0, 4.0, 2.0], 5.0);
+        let r = branch_and_bound(&p, &BnbConfig::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!((r.objective + 17.0).abs() < 1e-6, "obj={}", r.objective);
+    }
+
+    #[test]
+    fn knapsack_parallel_matches_serial() {
+        let values = [8.0, 11.0, 6.0, 4.0, 9.0, 7.5, 3.0];
+        let weights = [5.0, 7.0, 4.0, 3.0, 6.0, 5.5, 2.0];
+        let p = knapsack(&values, &weights, 15.0);
+        let serial = branch_and_bound(&p, &BnbConfig { parallel: false, ..Default::default() });
+        let par = branch_and_bound(&p, &BnbConfig { parallel: true, ..Default::default() });
+        assert_eq!(serial.status, MilpStatus::Optimal);
+        assert_eq!(par.status, MilpStatus::Optimal);
+        assert!((serial.objective - par.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_equality_rounding() {
+        // min x + y st 2x + 2y = 7 has no integer solution.
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.upper = vec![10.0, 10.0];
+        lp.push_row(vec![(0, 2.0), (1, 2.0)], RowCmp::Eq, 7.0);
+        let p = MilpProblem { lp, integers: vec![0, 1] };
+        let r = branch_and_bound(&p, &BnbConfig::default());
+        assert_eq!(r.status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min -x - 10 y, x continuous in [0, 3.7], y integer in [0, 2],
+        // x + 4y <= 8.5 -> y = 2, x = 0.5
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![-1.0, -10.0];
+        lp.upper = vec![3.7, 2.0];
+        lp.push_row(vec![(0, 1.0), (1, 4.0)], RowCmp::Le, 8.5);
+        let p = MilpProblem { lp, integers: vec![1] };
+        let r = branch_and_bound(&p, &BnbConfig::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!((r.x[1] - 2.0).abs() < 1e-9);
+        assert!((r.x[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_returns_feasible_incumbent() {
+        // Larger knapsack with a tiny node budget: must return Feasible with
+        // a valid (if not proven optimal) incumbent from the dive.
+        let values: Vec<f64> = (1..=20).map(|i| (i as f64 * 7.3) % 13.0 + 1.0).collect();
+        let weights: Vec<f64> = (1..=20).map(|i| (i as f64 * 3.1) % 9.0 + 1.0).collect();
+        let p = knapsack(&values, &weights, 30.0);
+        let r = branch_and_bound(&p, &BnbConfig { node_limit: 3, ..Default::default() });
+        assert!(matches!(r.status, MilpStatus::Feasible | MilpStatus::Optimal));
+        if r.status == MilpStatus::Feasible {
+            assert!(r.objective.is_finite());
+            assert!(p.lp.max_violation(&r.x) < 1e-6);
+            assert!(r.gap >= 0.0);
+        }
+    }
+
+    #[test]
+    fn already_integral_root_short_circuits() {
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.upper = vec![4.0, 4.0];
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Ge, 4.0);
+        let p = MilpProblem { lp, integers: vec![0, 1] };
+        let r = branch_and_bound(&p, &BnbConfig::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_eq!(r.nodes, 1);
+        assert!((r.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn most_fractional_picks_closest_to_half() {
+        let x = [1.0, 2.3, 3.5, 0.9];
+        let ints = [0, 1, 2, 3];
+        let (j, v) = most_fractional(&x, &ints).unwrap();
+        assert_eq!(j, 2);
+        assert!((v - 3.5).abs() < 1e-12);
+        assert!(most_fractional(&[1.0, 2.0], &[0, 1]).is_none());
+    }
+}

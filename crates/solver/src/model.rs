@@ -1,0 +1,501 @@
+//! The user-facing modelling layer.
+//!
+//! [`Model`] collects variables and linear constraints, plus *exactly
+//! linearised products* of a binary variable with a bounded variable
+//! ([`Model::linearized_product`]). This is precisely the structure of the
+//! BIRP per-slot problem: the paper's "integer quadratic program" contains
+//! only `x_ijk * b_ijk` terms with `x` binary, which the McCormick envelope
+//! represents without any approximation. Solving therefore reduces to a
+//! MILP handled by [`crate::milp::branch_and_bound`].
+
+use std::collections::HashMap;
+
+use crate::error::SolverError;
+use crate::expr::{LinExpr, VarId, VarKind};
+use crate::lp::{LpProblem, LpSolution, RowCmp};
+use crate::milp::{branch_and_bound, BnbConfig, MilpProblem, MilpStatus};
+use crate::simplex::solve_bounded;
+
+/// Configuration forwarded to branch and bound.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Maximum LP relaxations solved before returning the incumbent.
+    pub node_limit: usize,
+    /// Relative optimality gap at which the search stops.
+    pub rel_gap: f64,
+    /// Evaluate frontier nodes in rayon-parallel waves.
+    pub parallel: bool,
+    /// Run the diving heuristic at the root.
+    pub root_dive: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { node_limit: 20_000, rel_gap: 1e-6, parallel: false, root_dive: true }
+    }
+}
+
+impl SolverConfig {
+    /// Preset used by the BIRP experiment runner: bounded node budget,
+    /// modest gap, parallel node evaluation. Gurobi-with-a-time-limit moral
+    /// equivalent.
+    pub fn scheduling() -> Self {
+        SolverConfig { node_limit: 96, rel_gap: 5e-3, parallel: true, root_dive: true }
+    }
+}
+
+/// Terminal status of a model solve that produced a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelStatus {
+    /// Proven optimal within the configured gap.
+    Optimal,
+    /// Feasible incumbent; node budget exhausted before the gap closed.
+    Feasible,
+}
+
+/// A feasible (possibly optimal) solution to a [`Model`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub status: ModelStatus,
+    pub objective: f64,
+    pub values: Vec<f64>,
+    /// Best proven bound (same sense as the objective).
+    pub bound: f64,
+    /// Relative gap between objective and bound.
+    pub gap: f64,
+    /// LP relaxations solved.
+    pub nodes: usize,
+}
+
+impl Solution {
+    /// Value of a variable in this solution.
+    #[inline]
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Value rounded to the nearest integer (for integer/binary variables).
+    #[inline]
+    pub fn int_value(&self, v: VarId) -> i64 {
+        self.values[v.index()].round() as i64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct VarInfo {
+    name: String,
+    kind: VarKind,
+    lower: f64,
+    upper: f64,
+    obj: f64,
+}
+
+#[derive(Debug, Clone)]
+struct RowInfo {
+    name: String,
+    expr: LinExpr,
+    cmp: RowCmp,
+    rhs: f64,
+}
+
+/// Mixed-integer model builder. Minimisation sense.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    vars: Vec<VarInfo>,
+    rows: Vec<RowInfo>,
+    products: HashMap<(VarId, VarId), VarId>,
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a variable; returns its handle.
+    ///
+    /// For `VarKind::Binary` the bounds are clamped into `[0, 1]`.
+    pub fn add_var(&mut self, name: &str, kind: VarKind, lower: f64, upper: f64, obj: f64) -> VarId {
+        let (lower, upper) = match kind {
+            VarKind::Binary => (lower.max(0.0), upper.min(1.0)),
+            _ => (lower, upper),
+        };
+        let id = VarId(self.vars.len());
+        self.vars.push(VarInfo { name: name.to_string(), kind, lower, upper, obj });
+        id
+    }
+
+    /// Shorthand: continuous variable in `[0, +inf)` with objective `obj`.
+    pub fn add_nonneg(&mut self, name: &str, obj: f64) -> VarId {
+        self.add_var(name, VarKind::Continuous, 0.0, f64::INFINITY, obj)
+    }
+
+    /// Shorthand: binary variable with objective `obj`.
+    pub fn add_binary(&mut self, name: &str, obj: f64) -> VarId {
+        self.add_var(name, VarKind::Binary, 0.0, 1.0, obj)
+    }
+
+    /// Change the objective coefficient of `v`.
+    pub fn set_objective(&mut self, v: VarId, obj: f64) {
+        self.vars[v.index()].obj = obj;
+    }
+
+    /// Add to the objective coefficient of `v`.
+    pub fn add_objective(&mut self, v: VarId, obj: f64) {
+        self.vars[v.index()].obj += obj;
+    }
+
+    /// Tighten (replace) the bounds of `v`.
+    pub fn set_bounds(&mut self, v: VarId, lower: f64, upper: f64) {
+        self.vars[v.index()].lower = lower;
+        self.vars[v.index()].upper = upper;
+    }
+
+    pub fn bounds(&self, v: VarId) -> (f64, f64) {
+        (self.vars[v.index()].lower, self.vars[v.index()].upper)
+    }
+
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Name of the `i`-th constraint (insertion order).
+    pub fn constraint_name(&self, i: usize) -> &str {
+        &self.rows[i].name
+    }
+
+    fn add_row(&mut self, name: &str, expr: impl Into<LinExpr>, cmp: RowCmp, rhs: f64) {
+        let mut expr = expr.into();
+        expr.compact();
+        let adj_rhs = rhs - expr.constant;
+        expr.constant = 0.0;
+        self.rows.push(RowInfo { name: name.to_string(), expr, cmp, rhs: adj_rhs });
+    }
+
+    /// Add constraint `expr <= rhs`.
+    pub fn add_le(&mut self, name: &str, expr: impl Into<LinExpr>, rhs: f64) {
+        self.add_row(name, expr, RowCmp::Le, rhs);
+    }
+
+    /// Add constraint `expr >= rhs`.
+    pub fn add_ge(&mut self, name: &str, expr: impl Into<LinExpr>, rhs: f64) {
+        self.add_row(name, expr, RowCmp::Ge, rhs);
+    }
+
+    /// Add constraint `expr == rhs`.
+    pub fn add_eq(&mut self, name: &str, expr: impl Into<LinExpr>, rhs: f64) {
+        self.add_row(name, expr, RowCmp::Eq, rhs);
+    }
+
+    /// Return a variable `w` that equals `a * b` at every feasible integer
+    /// point, where at least one of `a`, `b` is binary and the other has
+    /// finite bounds.
+    ///
+    /// Uses the exact McCormick envelope for a binary factor:
+    /// `w <= u*bin`, `w >= l*bin`, `w <= other - l*(1-bin)`,
+    /// `w >= other - u*(1-bin)`. Results are memoised, so requesting the
+    /// same product twice returns the same variable.
+    pub fn linearized_product(&mut self, a: VarId, b: VarId) -> Result<VarId, SolverError> {
+        for v in [a, b] {
+            if v.index() >= self.vars.len() {
+                return Err(SolverError::UnknownVariable { var: v.index() });
+            }
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&w) = self.products.get(&key) {
+            return Ok(w);
+        }
+        // Squared binary: x*x = x.
+        if a == b && self.vars[a.index()].kind == VarKind::Binary {
+            self.products.insert(key, a);
+            return Ok(a);
+        }
+        let (bin, other) = if self.vars[a.index()].kind == VarKind::Binary {
+            (a, b)
+        } else if self.vars[b.index()].kind == VarKind::Binary {
+            (b, a)
+        } else {
+            return Err(SolverError::NonLinearizable {
+                detail: format!(
+                    "product {} * {} has no binary factor",
+                    self.vars[a.index()].name, self.vars[b.index()].name
+                ),
+            });
+        };
+        let (l, u) = self.bounds(other);
+        if !l.is_finite() || !u.is_finite() {
+            return Err(SolverError::NonLinearizable {
+                detail: format!(
+                    "non-binary factor {} has unbounded domain [{l}, {u}]",
+                    self.vars[other.index()].name
+                ),
+            });
+        }
+        let wname = format!(
+            "prod({},{})",
+            self.vars[bin.index()].name, self.vars[other.index()].name
+        );
+        let w = self.add_var(&wname, VarKind::Continuous, l.min(0.0), u.max(0.0), 0.0);
+        self.add_le(&format!("{wname}:ub_bin"), LinExpr::term(w, 1.0) - LinExpr::term(bin, u), 0.0);
+        self.add_ge(&format!("{wname}:lb_bin"), LinExpr::term(w, 1.0) - LinExpr::term(bin, l), 0.0);
+        self.add_le(
+            &format!("{wname}:ub_other"),
+            LinExpr::term(w, 1.0) - LinExpr::term(other, 1.0) - LinExpr::term(bin, l),
+            -l,
+        );
+        self.add_ge(
+            &format!("{wname}:lb_other"),
+            LinExpr::term(w, 1.0) - LinExpr::term(other, 1.0) - LinExpr::term(bin, u),
+            -u,
+        );
+        self.products.insert(key, w);
+        Ok(w)
+    }
+
+    /// Lower this model to a [`MilpProblem`].
+    pub fn to_milp(&self) -> Result<MilpProblem, SolverError> {
+        let n = self.vars.len();
+        let mut lp = LpProblem::with_columns(n);
+        for (j, v) in self.vars.iter().enumerate() {
+            if v.lower > v.upper || !v.lower.is_finite() || v.upper.is_nan() {
+                return Err(SolverError::InvalidBounds { var: j, lower: v.lower, upper: v.upper });
+            }
+            lp.lower[j] = v.lower;
+            lp.upper[j] = v.upper;
+            lp.objective[j] = v.obj;
+        }
+        for row in &self.rows {
+            if let Some(mv) = row.expr.max_var() {
+                if mv >= n {
+                    return Err(SolverError::UnknownVariable { var: mv });
+                }
+            }
+            lp.push_row(
+                row.expr.terms.iter().map(|&(v, c)| (v.index(), c)).collect(),
+                row.cmp,
+                row.rhs,
+            );
+        }
+        let integers: Vec<usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind.is_integral())
+            .map(|(j, _)| j)
+            .collect();
+        Ok(MilpProblem { lp, integers })
+    }
+
+    /// Solve the model to (near-)optimality.
+    pub fn solve(&self, cfg: &SolverConfig) -> Result<Solution, SolverError> {
+        self.solve_warm(cfg, None)
+    }
+
+    /// Solve with an optional known-feasible warm-start point (dense, one
+    /// value per variable). An invalid warm start is silently ignored.
+    pub fn solve_warm(
+        &self,
+        cfg: &SolverConfig,
+        warm_start: Option<Vec<f64>>,
+    ) -> Result<Solution, SolverError> {
+        let milp = self.to_milp()?;
+        let bnb = BnbConfig {
+            node_limit: cfg.node_limit,
+            rel_gap: cfg.rel_gap,
+            parallel: cfg.parallel,
+            root_dive: cfg.root_dive,
+            warm_start,
+            presolve: true,
+        };
+        let res = branch_and_bound(&milp, &bnb);
+        match res.status {
+            MilpStatus::Infeasible => Err(SolverError::Infeasible),
+            MilpStatus::Unbounded => Err(SolverError::Unbounded),
+            MilpStatus::Feasible if !res.objective.is_finite() => {
+                Err(SolverError::BudgetExhausted { nodes: res.nodes })
+            }
+            MilpStatus::Optimal | MilpStatus::Feasible => Ok(Solution {
+                status: if res.status == MilpStatus::Optimal {
+                    ModelStatus::Optimal
+                } else {
+                    ModelStatus::Feasible
+                },
+                objective: res.objective,
+                values: res.x,
+                bound: res.bound,
+                gap: res.gap,
+                nodes: res.nodes,
+            }),
+        }
+    }
+
+    /// Solve the continuous relaxation only (integrality dropped).
+    /// Used by the OAEI baseline's randomised rounding.
+    pub fn solve_relaxation(&self) -> Result<LpSolution, SolverError> {
+        let milp = self.to_milp()?;
+        Ok(solve_bounded(&milp.lp))
+    }
+
+    /// Maximum violation of this model's rows and bounds at `x`
+    /// (0 means feasible; integrality is not checked).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        match self.to_milp() {
+            Ok(milp) => milp.lp.max_violation(x),
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_mip_via_model() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0, -5.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 10.0, -4.0);
+        m.add_le("r1", 6.0 * x + 4.0 * y, 24.0);
+        m.add_le("r2", x + 2.0 * y, 6.0);
+        let sol = m.solve(&SolverConfig::default()).unwrap();
+        // LP optimum (3, 1.5) obj -21; integer x: x=3 -> y = 1.5 feasible
+        assert_eq!(sol.int_value(x), 3);
+        assert!((sol.value(y) - 1.5).abs() < 1e-6);
+        assert!((sol.objective + 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binary_bounds_clamped() {
+        let mut m = Model::new();
+        let b = m.add_var("b", VarKind::Binary, -3.0, 7.0, 1.0);
+        assert_eq!(m.bounds(b), (0.0, 1.0));
+    }
+
+    #[test]
+    fn linearized_product_binary_times_integer() {
+        // maximise w = x*b with b in [0, 5] integer, but x costs 6:
+        // objective min 6x - w. With w = 5 when x=1: 6 - 5 = 1 > 0, so x=0.
+        let mut m = Model::new();
+        let x = m.add_binary("x", 6.0);
+        let b = m.add_var("b", VarKind::Integer, 0.0, 5.0, 0.0);
+        let w = m.linearized_product(x, b).unwrap();
+        m.set_objective(w, -1.0);
+        let sol = m.solve(&SolverConfig::default()).unwrap();
+        assert_eq!(sol.int_value(x), 0);
+        assert!(sol.value(w).abs() < 1e-6, "w must be 0 when x = 0");
+
+        // Now make x cheap: x=1 and w = b = 5.
+        let mut m2 = Model::new();
+        let x2 = m2.add_binary("x", 0.5);
+        let b2 = m2.add_var("b", VarKind::Integer, 0.0, 5.0, 0.0);
+        let w2 = m2.linearized_product(x2, b2).unwrap();
+        m2.set_objective(w2, -1.0);
+        let sol2 = m2.solve(&SolverConfig::default()).unwrap();
+        assert_eq!(sol2.int_value(x2), 1);
+        assert!((sol2.value(w2) - 5.0).abs() < 1e-6);
+        assert!((sol2.value(b2) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn product_forces_w_to_track_b_when_binary_on() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", 0.0);
+        let b = m.add_var("b", VarKind::Integer, 0.0, 8.0, 0.0);
+        let w = m.linearized_product(x, b).unwrap();
+        m.add_eq("fix_x", LinExpr::from(x), 1.0);
+        m.add_eq("fix_b", LinExpr::from(b), 3.0);
+        m.set_objective(w, 1.0); // push w down; equality must hold anyway
+        let sol = m.solve(&SolverConfig::default()).unwrap();
+        assert!((sol.value(w) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn product_is_memoised_and_symmetric() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", 0.0);
+        let b = m.add_var("b", VarKind::Integer, 0.0, 5.0, 0.0);
+        let w1 = m.linearized_product(x, b).unwrap();
+        let w2 = m.linearized_product(b, x).unwrap();
+        assert_eq!(w1, w2);
+        let nvars = m.num_vars();
+        let _ = m.linearized_product(x, b).unwrap();
+        assert_eq!(m.num_vars(), nvars);
+    }
+
+    #[test]
+    fn binary_square_is_identity() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", 0.0);
+        let w = m.linearized_product(x, x).unwrap();
+        assert_eq!(w, x);
+    }
+
+    #[test]
+    fn product_of_two_continuous_rejected() {
+        let mut m = Model::new();
+        let a = m.add_var("a", VarKind::Continuous, 0.0, 1.0, 0.0);
+        let b = m.add_var("b", VarKind::Continuous, 0.0, 1.0, 0.0);
+        assert!(matches!(
+            m.linearized_product(a, b),
+            Err(SolverError::NonLinearizable { .. })
+        ));
+    }
+
+    #[test]
+    fn product_with_unbounded_factor_rejected() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", 0.0);
+        let b = m.add_nonneg("b", 0.0); // upper = +inf
+        assert!(matches!(
+            m.linearized_product(x, b),
+            Err(SolverError::NonLinearizable { .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_model_errors() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 0.0);
+        m.add_ge("impossible", LinExpr::from(x), 5.0);
+        assert!(matches!(m.solve(&SolverConfig::default()), Err(SolverError::Infeasible)));
+    }
+
+    #[test]
+    fn invalid_bounds_detected_at_lowering() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 0.0);
+        m.set_bounds(x, 2.0, 1.0);
+        assert!(matches!(
+            m.solve(&SolverConfig::default()),
+            Err(SolverError::InvalidBounds { var: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn expression_constant_folds_into_rhs() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 10.0, 1.0);
+        // x + 3 >= 5  <=>  x >= 2
+        m.add_ge("shifted", LinExpr::from(x) + 3.0, 5.0);
+        let sol = m.solve(&SolverConfig::default()).unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relaxation_ignores_integrality() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0, -1.0);
+        m.add_le("half", 2.0 * x, 7.0);
+        let rel = m.solve_relaxation().unwrap();
+        assert!((rel.x[0] - 3.5).abs() < 1e-6);
+        let int = m.solve(&SolverConfig::default()).unwrap();
+        assert_eq!(int.int_value(x), 3);
+    }
+}

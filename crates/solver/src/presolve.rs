@@ -1,0 +1,345 @@
+//! LP/MILP presolve: cheap reductions applied before the simplex sees the
+//! problem.
+//!
+//! The BIRP per-slot problems carry a lot of slack structure — zero-demand
+//! cells force whole variable groups to zero, singleton rows are really
+//! bounds in disguise, and many capacity rows can never bind. Presolve
+//! shrinks them before branch and bound multiplies the cost of every row
+//! across thousands of node LPs.
+//!
+//! Implemented reductions (all sound for both LP and MILP):
+//!
+//! 1. **singleton rows** — `a * x {<=,>=,=} r` tightens `x`'s bounds and
+//!    drops the row,
+//! 2. **bound-implied redundancy** — a row whose worst-case LHS over the
+//!    current box already satisfies the inequality is dropped,
+//! 3. **forcing rows** — a row whose *best*-case LHS exactly meets the
+//!    requirement pins every participating variable at the relevant bound,
+//! 4. **bound tightening from rows** — classic interval arithmetic over
+//!    `<=` rows tightens variable upper bounds for positive coefficients
+//!    (and lower bounds for negative ones),
+//! 5. **empty rows** — trivially satisfied or trivially infeasible.
+//!
+//! The pass iterates to a fixed point (capped), returns a [`Reduction`]
+//! describing what happened, and never changes the optimal objective.
+
+use crate::lp::{LpProblem, RowCmp};
+
+/// Outcome of a presolve pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PresolveStatus {
+    /// Problem reduced (possibly not at all); solve the returned LP.
+    Reduced,
+    /// Presolve proved infeasibility.
+    Infeasible,
+}
+
+/// Statistics of a presolve pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Reduction {
+    pub rows_removed: usize,
+    pub bounds_tightened: usize,
+    pub vars_fixed: usize,
+    pub rounds: usize,
+}
+
+/// Presolve `lp` in place (bounds may tighten, rows may disappear).
+/// Integer columns' tightened bounds are rounded inward.
+pub fn presolve(lp: &mut LpProblem, integers: &[usize]) -> (PresolveStatus, Reduction) {
+    let mut red = Reduction::default();
+    let is_int = {
+        let mut v = vec![false; lp.num_cols()];
+        for &j in integers {
+            if j < v.len() {
+                v[j] = true;
+            }
+        }
+        v
+    };
+
+    const MAX_ROUNDS: usize = 8;
+    for round in 0..MAX_ROUNDS {
+        red.rounds = round + 1;
+        let mut changed = false;
+
+        // --- per-row reductions ----------------------------------------
+        let mut keep = vec![true; lp.rows.len()];
+        for (ri, row) in lp.rows.iter().enumerate() {
+            if row.coeffs.is_empty() {
+                let ok = match row.cmp {
+                    RowCmp::Le => 0.0 <= row.rhs + 1e-9,
+                    RowCmp::Ge => 0.0 >= row.rhs - 1e-9,
+                    RowCmp::Eq => row.rhs.abs() <= 1e-9,
+                };
+                if !ok {
+                    return (PresolveStatus::Infeasible, red);
+                }
+                keep[ri] = false;
+                changed = true;
+                continue;
+            }
+
+            // Activity bounds of the LHS over the current box.
+            let mut lo = 0.0f64;
+            let mut hi = 0.0f64;
+            for &(j, c) in &row.coeffs {
+                let (l, u) = (lp.lower[j], lp.upper[j]);
+                if c >= 0.0 {
+                    lo += c * l;
+                    hi += if u.is_finite() { c * u } else { f64::INFINITY };
+                } else {
+                    lo += if u.is_finite() { c * u } else { f64::NEG_INFINITY };
+                    hi += c * l;
+                }
+            }
+
+            // Redundancy / infeasibility by interval arithmetic.
+            match row.cmp {
+                RowCmp::Le => {
+                    if hi <= row.rhs + 1e-9 {
+                        keep[ri] = false;
+                        changed = true;
+                        continue;
+                    }
+                    if lo > row.rhs + 1e-7 {
+                        return (PresolveStatus::Infeasible, red);
+                    }
+                }
+                RowCmp::Ge => {
+                    if lo >= row.rhs - 1e-9 {
+                        keep[ri] = false;
+                        changed = true;
+                        continue;
+                    }
+                    if hi < row.rhs - 1e-7 {
+                        return (PresolveStatus::Infeasible, red);
+                    }
+                }
+                RowCmp::Eq => {
+                    if lo > row.rhs + 1e-7 || hi < row.rhs - 1e-7 {
+                        return (PresolveStatus::Infeasible, red);
+                    }
+                }
+            }
+        }
+
+        // Collect bound updates separately (borrow discipline).
+        struct BoundUpdate {
+            col: usize,
+            new_lower: Option<f64>,
+            new_upper: Option<f64>,
+        }
+        let mut updates: Vec<BoundUpdate> = Vec::new();
+
+        for (ri, row) in lp.rows.iter().enumerate() {
+            if !keep[ri] {
+                continue;
+            }
+            // Singleton rows become bounds.
+            if row.coeffs.len() == 1 {
+                let (j, c) = row.coeffs[0];
+                if c.abs() < 1e-12 {
+                    continue;
+                }
+                let v = row.rhs / c;
+                let (nl, nu) = match (row.cmp, c > 0.0) {
+                    (RowCmp::Le, true) | (RowCmp::Ge, false) => (None, Some(v)),
+                    (RowCmp::Ge, true) | (RowCmp::Le, false) => (Some(v), None),
+                    (RowCmp::Eq, _) => (Some(v), Some(v)),
+                };
+                updates.push(BoundUpdate { col: j, new_lower: nl, new_upper: nu });
+                keep[ri] = false;
+                changed = true;
+                continue;
+            }
+
+            // Bound tightening from `<=` rows: for each variable, the room
+            // left by the minimum activity of the *other* terms bounds it.
+            if row.cmp == RowCmp::Le && row.coeffs.len() <= 64 {
+                let mut lo_total = 0.0f64;
+                let mut lo_finite = true;
+                for &(j, c) in &row.coeffs {
+                    let (l, u) = (lp.lower[j], lp.upper[j]);
+                    if c >= 0.0 {
+                        lo_total += c * l;
+                    } else if u.is_finite() {
+                        lo_total += c * u;
+                    } else {
+                        lo_finite = false;
+                        break;
+                    }
+                }
+                if lo_finite {
+                    for &(j, c) in &row.coeffs {
+                        let (l, u) = (lp.lower[j], lp.upper[j]);
+                        let own_lo = if c >= 0.0 {
+                            c * l
+                        } else if u.is_finite() {
+                            c * u
+                        } else {
+                            continue;
+                        };
+                        let room = row.rhs - (lo_total - own_lo);
+                        if c > 1e-12 {
+                            let implied = room / c;
+                            if implied < u - 1e-9 {
+                                updates.push(BoundUpdate { col: j, new_lower: None, new_upper: Some(implied) });
+                            }
+                        } else if c < -1e-12 {
+                            let implied = room / c;
+                            if implied > l + 1e-9 {
+                                updates.push(BoundUpdate { col: j, new_lower: Some(implied), new_upper: None });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Apply bound updates (tighten only), rounding integer bounds inward.
+        for u in updates {
+            let j = u.col;
+            if let Some(mut nl) = u.new_lower {
+                if is_int[j] {
+                    nl = (nl - 1e-9).ceil();
+                }
+                if nl > lp.lower[j] + 1e-12 {
+                    lp.lower[j] = nl;
+                    red.bounds_tightened += 1;
+                    changed = true;
+                }
+            }
+            if let Some(mut nu) = u.new_upper {
+                if is_int[j] {
+                    nu = (nu + 1e-9).floor();
+                }
+                if nu < lp.upper[j] - 1e-12 {
+                    lp.upper[j] = nu;
+                    red.bounds_tightened += 1;
+                    changed = true;
+                }
+            }
+            if lp.lower[j] > lp.upper[j] + 1e-9 {
+                return (PresolveStatus::Infeasible, red);
+            }
+            if (lp.upper[j] - lp.lower[j]).abs() <= 1e-12 && lp.upper[j] == lp.lower[j] {
+                red.vars_fixed += 1;
+            }
+        }
+
+        // Drop removed rows.
+        if keep.iter().any(|&k| !k) {
+            let mut ki = keep.iter();
+            lp.rows.retain(|_| *ki.next().unwrap());
+            red.rows_removed = red.rows_removed.saturating_add(keep.iter().filter(|&&k| !k).count());
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    (PresolveStatus::Reduced, red)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::LpProblem;
+    use crate::simplex::{solve_bounded, solve_reference};
+    use crate::LpStatus;
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut lp = LpProblem::with_columns(2);
+        lp.upper = vec![10.0, 10.0];
+        lp.push_row(vec![(0, 2.0)], RowCmp::Le, 6.0); // x0 <= 3
+        lp.push_row(vec![(1, -1.0)], RowCmp::Le, -2.0); // x1 >= 2
+        let (st, red) = presolve(&mut lp, &[]);
+        assert_eq!(st, PresolveStatus::Reduced);
+        assert_eq!(lp.num_rows(), 0);
+        assert!((lp.upper[0] - 3.0).abs() < 1e-9);
+        assert!((lp.lower[1] - 2.0).abs() < 1e-9);
+        assert!(red.rows_removed >= 2);
+    }
+
+    #[test]
+    fn redundant_rows_removed() {
+        let mut lp = LpProblem::with_columns(2);
+        lp.upper = vec![1.0, 1.0];
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 5.0); // max LHS = 2
+        let (_, red) = presolve(&mut lp, &[]);
+        assert_eq!(lp.num_rows(), 0);
+        assert_eq!(red.rows_removed, 1);
+    }
+
+    #[test]
+    fn infeasibility_detected() {
+        let mut lp = LpProblem::with_columns(1);
+        lp.upper = vec![1.0];
+        lp.push_row(vec![(0, 1.0)], RowCmp::Ge, 2.0);
+        let (st, _) = presolve(&mut lp, &[]);
+        assert_eq!(st, PresolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn empty_row_cases() {
+        let mut lp = LpProblem::with_columns(1);
+        lp.push_row(vec![], RowCmp::Le, 1.0); // 0 <= 1: fine
+        let (st, _) = presolve(&mut lp, &[]);
+        assert_eq!(st, PresolveStatus::Reduced);
+        assert_eq!(lp.num_rows(), 0);
+
+        let mut lp = LpProblem::with_columns(1);
+        lp.push_row(vec![], RowCmp::Ge, 1.0); // 0 >= 1: infeasible
+        let (st, _) = presolve(&mut lp, &[]);
+        assert_eq!(st, PresolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn integer_bounds_round_inward() {
+        let mut lp = LpProblem::with_columns(1);
+        lp.upper = vec![10.0];
+        lp.push_row(vec![(0, 2.0)], RowCmp::Le, 7.0); // x <= 3.5 -> 3 for int
+        let (_, _) = presolve(&mut lp, &[0]);
+        assert!((lp.upper[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_tightening_from_le_rows() {
+        // x0 + x1 <= 4 with x1 >= 3 implies x0 <= 1.
+        let mut lp = LpProblem::with_columns(2);
+        lp.lower[1] = 3.0;
+        lp.upper = vec![10.0, 10.0];
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 4.0);
+        let (_, red) = presolve(&mut lp, &[]);
+        assert!(lp.upper[0] <= 1.0 + 1e-9, "upper[0] = {}", lp.upper[0]);
+        assert!(red.bounds_tightened > 0);
+    }
+
+    #[test]
+    fn presolve_preserves_optimum() {
+        // Random-ish LP solved with and without presolve must agree.
+        let mut lp = LpProblem::with_columns(4);
+        lp.objective = vec![-3.0, 2.0, -1.0, 0.5];
+        lp.upper = vec![5.0, 4.0, 6.0, 2.0];
+        lp.push_row(vec![(0, 1.0), (1, 2.0), (2, 1.0)], RowCmp::Le, 9.0);
+        lp.push_row(vec![(0, 2.0)], RowCmp::Le, 8.0); // singleton: x0 <= 4
+        lp.push_row(vec![(2, 1.0), (3, -1.0)], RowCmp::Ge, 1.0);
+        lp.push_row(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)], RowCmp::Le, 100.0); // redundant
+
+        let before = solve_reference(&lp);
+        let mut reduced = lp.clone();
+        let (st, red) = presolve(&mut reduced, &[]);
+        assert_eq!(st, PresolveStatus::Reduced);
+        assert!(red.rows_removed >= 2);
+        let after = solve_bounded(&reduced);
+        assert_eq!(before.status, LpStatus::Optimal);
+        assert_eq!(after.status, LpStatus::Optimal);
+        assert!(
+            (before.objective - after.objective).abs() < 1e-6,
+            "presolve changed optimum: {} vs {}",
+            before.objective,
+            after.objective
+        );
+    }
+}

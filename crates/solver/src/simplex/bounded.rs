@@ -1,0 +1,567 @@
+//! Two-phase primal simplex with native variable bounds.
+//!
+//! This is the production LP engine. Unlike the [`reference`](crate::simplex::reference)
+//! solver it keeps `l <= x <= u` out of the constraint matrix: non-basic
+//! variables rest at one of their bounds, and the ratio test allows *bound
+//! flips* (a non-basic variable travelling from one bound to the other
+//! without a basis change). On BIRP's per-slot scheduling LPs this shrinks
+//! the tableau by ~4x per dimension, i.e. ~16x less work per pivot.
+//!
+//! Pivoting rule: Dantzig (steepest reduced cost) with an automatic switch
+//! to Bland's rule after a stall, which guarantees finite termination.
+//! If the tableau ever turns non-finite (pathological scaling), the solver
+//! transparently falls back to the slow-but-hardy reference engine.
+
+use crate::lp::{LpProblem, LpSolution, LpStatus, RowCmp};
+use crate::simplex::{reference, COST_TOL, PIVOT_TOL};
+
+/// Where a non-basic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VState {
+    Basic,
+    AtLower,
+    AtUpper,
+}
+
+struct Engine {
+    /// Dense `m x ncols` matrix `B^{-1} A`, row-major.
+    d: Vec<f64>,
+    /// Values of the basic variables, one per row.
+    xb: Vec<f64>,
+    /// Basic variable per row.
+    basis: Vec<usize>,
+    state: Vec<VState>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Reduced costs for the current phase.
+    z: Vec<f64>,
+    m: usize,
+    ncols: usize,
+    iterations: usize,
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    NumericalTrouble,
+}
+
+impl Engine {
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.d[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Recompute reduced costs `z = c - c_B B^{-1} A` from scratch.
+    fn reset_costs(&mut self, costs: &[f64]) {
+        self.z.copy_from_slice(costs);
+        for i in 0..self.m {
+            let cb = costs[self.basis[i]];
+            if cb != 0.0 {
+                let row = &self.d[i * self.ncols..(i + 1) * self.ncols];
+                for (zj, dj) in self.z.iter_mut().zip(row) {
+                    *zj -= cb * dj;
+                }
+            }
+        }
+    }
+
+    /// Perform the basis change `basis[r] <- q`, assuming the entering
+    /// variable's new value has already been written into `xb[r]`.
+    fn pivot(&mut self, r: usize, q: usize) {
+        let n = self.ncols;
+        let piv = self.d[r * n + q];
+        debug_assert!(piv.abs() > PIVOT_TOL, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        // Normalise the pivot row.
+        {
+            let row = &mut self.d[r * n..(r + 1) * n];
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+            row[q] = 1.0;
+        }
+        // Eliminate the pivot column from every other row and from z.
+        // Split borrows: copy the pivot row once (m is a few hundred, the
+        // copy is cheap compared to the O(m n) elimination).
+        let pivot_row: Vec<f64> = self.row(r).to_vec();
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let factor = self.d[i * n + q];
+            if factor != 0.0 {
+                let row = &mut self.d[i * n..(i + 1) * n];
+                for (v, p) in row.iter_mut().zip(&pivot_row) {
+                    *v -= factor * p;
+                }
+                row[q] = 0.0;
+            }
+        }
+        let zq = self.z[q];
+        if zq != 0.0 {
+            for (zj, p) in self.z.iter_mut().zip(&pivot_row) {
+                *zj -= zq * p;
+            }
+            self.z[q] = 0.0;
+        }
+        self.basis[r] = q;
+    }
+
+    /// Run one simplex phase to optimality for the already-loaded `z`.
+    fn run(&mut self, cap: usize) -> PhaseOutcome {
+        let n = self.ncols;
+        let mut since_improve = 0usize;
+        let stall_limit = 2 * (self.m + n);
+        loop {
+            self.iterations += 1;
+            if self.iterations > cap {
+                return PhaseOutcome::NumericalTrouble;
+            }
+            let bland = since_improve > stall_limit;
+
+            // --- choose entering column -----------------------------------
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, |z|, delta)
+            for j in 0..n {
+                let (eligible, delta) = match self.state[j] {
+                    VState::Basic => (false, 0.0),
+                    VState::AtLower => (self.z[j] < -COST_TOL, 1.0),
+                    VState::AtUpper => (self.z[j] > COST_TOL, -1.0),
+                };
+                if !eligible || self.upper[j] - self.lower[j] < PIVOT_TOL {
+                    continue;
+                }
+                let score = self.z[j].abs();
+                if bland {
+                    entering = Some((j, score, delta));
+                    break;
+                }
+                match entering {
+                    Some((_, best, _)) if best >= score => {}
+                    _ => entering = Some((j, score, delta)),
+                }
+            }
+            let Some((q, _, delta)) = entering else {
+                return PhaseOutcome::Optimal;
+            };
+            if !self.z[q].is_finite() {
+                return PhaseOutcome::NumericalTrouble;
+            }
+
+            // --- ratio test ------------------------------------------------
+            // Moving x_q by `delta * t`, basic x_B(i) moves by `-alpha_i t`
+            // where alpha_i = delta * d[i][q].
+            let mut t = self.upper[q] - self.lower[q]; // bound-flip distance
+            let mut leave: Option<(usize, VState)> = None; // (row, bound the leaver hits)
+            for i in 0..self.m {
+                let alpha = delta * self.d[i * n + q];
+                let bi = self.basis[i];
+                let (limit, hits) = if alpha > PIVOT_TOL {
+                    (((self.xb[i] - self.lower[bi]) / alpha).max(0.0), VState::AtLower)
+                } else if alpha < -PIVOT_TOL {
+                    if self.upper[bi].is_finite() {
+                        (((self.upper[bi] - self.xb[i]) / -alpha).max(0.0), VState::AtUpper)
+                    } else {
+                        continue;
+                    }
+                } else {
+                    continue;
+                };
+                // Strict `<` with Bland-style lowest-variable tie-break keeps
+                // the leaving choice deterministic and cycle-free.
+                let better = match leave {
+                    None => limit < t,
+                    Some((li, _)) => {
+                        limit < t - PIVOT_TOL
+                            || (limit < t + PIVOT_TOL && bi < self.basis[li])
+                    }
+                };
+                if better {
+                    t = limit.min(t);
+                    leave = Some((i, hits));
+                }
+            }
+
+            if t.is_infinite() {
+                return PhaseOutcome::Unbounded;
+            }
+            if !t.is_finite() {
+                return PhaseOutcome::NumericalTrouble;
+            }
+            if self.z[q].abs() * t > COST_TOL {
+                since_improve = 0;
+            } else {
+                since_improve += 1;
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: x_q travels to its opposite bound.
+                    let step = delta * t;
+                    for i in 0..self.m {
+                        let dq = self.d[i * n + q];
+                        if dq != 0.0 {
+                            self.xb[i] -= step * dq;
+                        }
+                    }
+                    self.state[q] = if delta > 0.0 { VState::AtUpper } else { VState::AtLower };
+                }
+                Some((r, hits)) => {
+                    let step = delta * t;
+                    let new_val = if delta > 0.0 { self.lower[q] + t } else { self.upper[q] - t };
+                    for i in 0..self.m {
+                        if i == r {
+                            continue;
+                        }
+                        let dq = self.d[i * n + q];
+                        if dq != 0.0 {
+                            self.xb[i] -= step * dq;
+                        }
+                    }
+                    let leaving = self.basis[r];
+                    self.state[leaving] = hits;
+                    self.state[q] = VState::Basic;
+                    self.xb[r] = new_val;
+                    self.pivot(r, q);
+                }
+            }
+        }
+    }
+
+    /// Dense solution vector for the current basis/state.
+    fn extract(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.ncols];
+        for j in 0..self.ncols {
+            x[j] = match self.state[j] {
+                VState::AtLower => self.lower[j],
+                VState::AtUpper => self.upper[j],
+                VState::Basic => 0.0, // filled below
+            };
+        }
+        for i in 0..self.m {
+            x[self.basis[i]] = self.xb[i];
+        }
+        x
+    }
+
+    fn has_nan(&self) -> bool {
+        self.xb.iter().any(|v| !v.is_finite()) || self.z.iter().any(|v| !v.is_finite())
+    }
+}
+
+/// Solve `lp` with the bounded-variable engine.
+///
+/// # Panics
+/// Panics if a lower bound is non-finite; callers must pre-validate with
+/// [`LpProblem::validate_bounds`].
+pub fn solve(lp: &LpProblem) -> LpSolution {
+    match try_solve(lp) {
+        Some(sol) => sol,
+        // Rare numerical emergency: hand the problem to the audit oracle.
+        None => reference::solve(lp),
+    }
+}
+
+fn try_solve(lp: &LpProblem) -> Option<LpSolution> {
+    if let Err(j) = lp.validate_bounds() {
+        panic!("invalid bounds on column {j}; validate before solving");
+    }
+    let n = lp.num_cols();
+    let m = lp.num_rows();
+    let num_slacks = lp.rows.iter().filter(|r| r.cmp != RowCmp::Eq).count();
+    let ncols = n + num_slacks + m; // structural + slack + artificial
+
+    let mut lower = Vec::with_capacity(ncols);
+    let mut upper = Vec::with_capacity(ncols);
+    lower.extend_from_slice(&lp.lower);
+    upper.extend_from_slice(&lp.upper);
+    for _ in 0..num_slacks {
+        lower.push(0.0);
+        upper.push(f64::INFINITY);
+    }
+    for _ in 0..m {
+        lower.push(0.0);
+        upper.push(f64::INFINITY);
+    }
+
+    // Residuals with every structural/slack variable at its lower bound
+    // (slack lower bounds are 0, so they do not contribute).
+    let mut resid: Vec<f64> = Vec::with_capacity(m);
+    for row in &lp.rows {
+        let lhs_at_lower: f64 = row.coeffs.iter().map(|&(j, c)| c * lp.lower[j]).sum();
+        resid.push(row.rhs - lhs_at_lower);
+    }
+
+    // Assemble D = B^{-1} A where B = diag(sign(resid)) over artificials:
+    // row i of D is sign_i * (original row i).
+    let mut d = vec![0.0; m * ncols];
+    let mut basis = Vec::with_capacity(m);
+    let mut state = vec![VState::AtLower; ncols];
+    let mut xb = Vec::with_capacity(m);
+    let mut slack = n;
+    for (i, row) in lp.rows.iter().enumerate() {
+        let sign = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+        let drow = &mut d[i * ncols..(i + 1) * ncols];
+        for &(j, c) in &row.coeffs {
+            drow[j] = sign * c;
+        }
+        match row.cmp {
+            RowCmp::Le => {
+                drow[slack] = sign;
+                slack += 1;
+            }
+            RowCmp::Ge => {
+                drow[slack] = -sign;
+                slack += 1;
+            }
+            RowCmp::Eq => {}
+        }
+        let art = n + num_slacks + i;
+        drow[art] = 1.0; // sign * sign
+        basis.push(art);
+        state[art] = VState::Basic;
+        xb.push(resid[i].abs());
+    }
+
+    let mut eng = Engine {
+        d,
+        xb,
+        basis,
+        state,
+        lower,
+        upper,
+        z: vec![0.0; ncols],
+        m,
+        ncols,
+        iterations: 0,
+    };
+
+    let cap = 200_000 + 100 * (m + ncols);
+
+    // --- phase 1 -----------------------------------------------------------
+    let mut costs1 = vec![0.0; ncols];
+    for c in costs1.iter_mut().skip(n + num_slacks) {
+        *c = 1.0;
+    }
+    eng.reset_costs(&costs1);
+    match eng.run(cap) {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => unreachable!("phase 1 objective is bounded below"),
+        PhaseOutcome::NumericalTrouble => return None,
+    }
+    if eng.has_nan() {
+        return None;
+    }
+    let infeasibility: f64 = (0..m)
+        .filter(|&i| eng.basis[i] >= n + num_slacks)
+        .map(|i| eng.xb[i])
+        .sum();
+    if infeasibility > 1e-6 {
+        return Some(LpSolution {
+            status: LpStatus::Infeasible,
+            objective: f64::INFINITY,
+            x: Vec::new(),
+            iterations: eng.iterations,
+        });
+    }
+
+    // Drive basic artificials out (degenerate pivots); redundant rows keep
+    // their artificial basic at 0, pinned by the [0,0] bounds below.
+    for i in 0..m {
+        if eng.basis[i] >= n + num_slacks {
+            let col = (0..n + num_slacks)
+                .find(|&j| eng.state[j] != VState::Basic && eng.d[i * ncols + j].abs() > 1e-7);
+            if let Some(q) = col {
+                let leaving = eng.basis[i];
+                // xb[i] is ~0; a degenerate pivot keeps values unchanged.
+                eng.state[leaving] = VState::AtLower;
+                eng.state[q] = VState::Basic;
+                let keep = eng.xb[i];
+                eng.xb[i] = keep;
+                eng.pivot(i, q);
+            }
+        }
+    }
+    // Compact the tableau: drop every non-basic artificial column (the
+    // vast majority). Pivots cost O(m * ncols), so phase 2 runs ~(m/ncols)
+    // faster without them. Basic artificials (redundant rows) survive with
+    // frozen [0, 0] bounds.
+    {
+        let keep: Vec<usize> = (0..eng.ncols)
+            .filter(|&j| j < n + num_slacks || eng.state[j] == VState::Basic)
+            .collect();
+        if keep.len() < eng.ncols {
+            let mut remap = vec![usize::MAX; eng.ncols];
+            for (new_j, &old_j) in keep.iter().enumerate() {
+                remap[old_j] = new_j;
+            }
+            let new_c = keep.len();
+            let mut nd = vec![0.0; m * new_c];
+            for i in 0..m {
+                let src = &eng.d[i * eng.ncols..(i + 1) * eng.ncols];
+                let dst = &mut nd[i * new_c..(i + 1) * new_c];
+                for (new_j, &old_j) in keep.iter().enumerate() {
+                    dst[new_j] = src[old_j];
+                }
+            }
+            eng.d = nd;
+            let lower_new: Vec<f64> = keep.iter().map(|&j| eng.lower[j]).collect();
+            let upper_new: Vec<f64> = keep.iter().map(|&j| eng.upper[j]).collect();
+            let state_new: Vec<VState> = keep.iter().map(|&j| eng.state[j]).collect();
+            eng.lower = lower_new;
+            eng.upper = upper_new;
+            eng.state = state_new;
+            for b in eng.basis.iter_mut() {
+                *b = remap[*b];
+                debug_assert!(*b != usize::MAX, "basic column dropped");
+            }
+            eng.z = vec![0.0; new_c];
+            eng.ncols = new_c;
+        }
+    }
+    let ncols = eng.ncols;
+    // Freeze surviving artificials at zero for phase 2.
+    for j in n + num_slacks..ncols {
+        eng.lower[j] = 0.0;
+        eng.upper[j] = 0.0;
+    }
+
+    // --- phase 2 -----------------------------------------------------------
+    let mut costs2 = vec![0.0; ncols];
+    costs2[..n].copy_from_slice(&lp.objective);
+    eng.reset_costs(&costs2);
+    match eng.run(cap) {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => return Some(LpSolution::unbounded()),
+        PhaseOutcome::NumericalTrouble => return None,
+    }
+    if eng.has_nan() {
+        return None;
+    }
+
+    let full = eng.extract();
+    let x = full[..n].to_vec();
+    // Guard: numerical drift can leave tiny violations; if they are large
+    // the fast path is not trustworthy and the caller falls back.
+    if lp.max_violation(&x) > 1e-5 {
+        return None;
+    }
+    let objective = lp.objective_at(&x);
+    Some(LpSolution { status: LpStatus::Optimal, objective, x, iterations: eng.iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::{LpProblem, RowCmp};
+
+    #[test]
+    fn simple_bounded_max() {
+        // max 3x + 2y st x + y <= 4, 0 <= x <= 2
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![-3.0, -2.0];
+        lp.upper[0] = 2.0;
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 4.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 10.0).abs() < 1e-7, "obj={}", sol.objective);
+    }
+
+    #[test]
+    fn bound_flip_path() {
+        // min -x - y with x,y in [0, 1] and x + y <= 10: both flip to upper.
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![-1.0, -1.0];
+        lp.upper = vec![1.0, 1.0];
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 10.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 2.0).abs() < 1e-7);
+        assert!((sol.x[0] - 1.0).abs() < 1e-9);
+        assert!((sol.x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_and_ge_rows() {
+        // min 2x + 3y st x + y = 5, x >= 1 (row), y <= 10
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![2.0, 3.0];
+        lp.upper[1] = 10.0;
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Eq, 5.0);
+        lp.push_row(vec![(0, 1.0)], RowCmp::Ge, 1.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // all mass on x (cheaper): x = 5, y = 0
+        assert!((sol.objective - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::with_columns(1);
+        lp.upper[0] = 1.0;
+        lp.push_row(vec![(0, 1.0)], RowCmp::Ge, 2.0);
+        assert_eq!(solve(&lp).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![-1.0, 0.0];
+        lp.push_row(vec![(1, 1.0)], RowCmp::Le, 3.0);
+        assert_eq!(solve(&lp).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds() {
+        // min x + y with x in [2, 5], y in [3, 9], x + y >= 7
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.lower = vec![2.0, 3.0];
+        lp.upper = vec![5.0, 9.0];
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Ge, 7.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 7.0).abs() < 1e-7);
+        assert!(lp.max_violation(&sol.x) < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variables_are_respected() {
+        // y fixed at 4; min x st x + y >= 6 -> x = 2
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![1.0, 0.0];
+        lp.lower[1] = 4.0;
+        lp.upper[1] = 4.0;
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Ge, 6.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 2.0).abs() < 1e-7);
+        assert!((sol.x[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_reference_on_small_instance() {
+        let mut lp = LpProblem::with_columns(4);
+        lp.objective = vec![1.0, -2.0, 3.0, -1.0];
+        lp.upper = vec![10.0, 4.0, f64::INFINITY, 6.0];
+        lp.push_row(vec![(0, 1.0), (1, 2.0), (2, 1.0)], RowCmp::Le, 14.0);
+        lp.push_row(vec![(1, 1.0), (3, 1.0)], RowCmp::Ge, 3.0);
+        lp.push_row(vec![(0, 1.0), (2, -1.0), (3, 2.0)], RowCmp::Eq, 5.0);
+        let fast = solve(&lp);
+        let slow = reference::solve(&lp);
+        assert_eq!(fast.status, slow.status);
+        assert!((fast.objective - slow.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_terminates() {
+        let mut lp = LpProblem::with_columns(3);
+        lp.objective = vec![-0.75, 150.0, -0.02];
+        lp.push_row(vec![(0, 0.25), (1, -60.0), (2, -0.04)], RowCmp::Le, 0.0);
+        lp.push_row(vec![(0, 0.5), (1, -90.0), (2, -0.02)], RowCmp::Le, 0.0);
+        lp.push_row(vec![(2, 1.0)], RowCmp::Le, 1.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 0.05).abs() < 1e-6, "obj={}", sol.objective);
+    }
+}

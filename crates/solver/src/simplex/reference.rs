@@ -1,0 +1,351 @@
+//! Textbook two-phase tableau simplex (the audit oracle).
+//!
+//! Strategy: shift every variable to `x' = x - lower >= 0`, turn finite upper
+//! bounds into explicit `x' <= u - l` rows, add slack variables to make every
+//! row an equality with non-negative right-hand side, then add one artificial
+//! variable per row and run two phases with Bland's anti-cycling rule.
+//!
+//! This engine is intentionally unoptimised; its only job is to be obviously
+//! correct so the fast bounded-variable engine can be validated against it.
+
+use crate::lp::{LpProblem, LpSolution, LpStatus, RowCmp};
+use crate::simplex::{COST_TOL, PIVOT_TOL};
+
+/// Hard iteration cap; reference problems in tests are tiny, so hitting this
+/// indicates a bug rather than a big instance.
+fn iteration_cap(rows: usize, cols: usize) -> usize {
+    10_000 + 50 * (rows + cols)
+}
+
+struct Tableau {
+    /// `rows x (total_cols + 1)`; the last column is the RHS.
+    a: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    total_cols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, i: usize) -> f64 {
+        self.a[i][self.total_cols]
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > PIVOT_TOL);
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        let pivot_row = self.a[row].clone();
+        for (i, r) in self.a.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor != 0.0 {
+                for (v, p) in r.iter_mut().zip(&pivot_row) {
+                    *v -= factor * p;
+                }
+                // Snap the eliminated entry exactly to zero to fight drift.
+                r[col] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+/// Run Bland-rule simplex on the tableau for the given costs.
+/// `allowed` marks columns that may enter the basis.
+/// Returns `(objective, iterations)` or `None` if unbounded.
+fn run_phase(
+    tab: &mut Tableau,
+    costs: &[f64],
+    allowed: &[bool],
+    cap: usize,
+) -> Option<(f64, usize)> {
+    let m = tab.a.len();
+    let n = tab.total_cols;
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        if iters > cap {
+            // With Bland's rule this cannot cycle; the cap is a bug guard.
+            panic!("reference simplex exceeded iteration cap (bug)");
+        }
+        // Reduced costs z_j = c_j - c_B . column_j (computed fresh each
+        // iteration -- O(m n), fine for the oracle).
+        let mut entering = None;
+        for j in 0..n {
+            if !allowed[j] || tab.basis.contains(&j) {
+                continue;
+            }
+            let mut z = costs[j];
+            for i in 0..m {
+                let cb = costs[tab.basis[i]];
+                if cb != 0.0 {
+                    z -= cb * tab.a[i][j];
+                }
+            }
+            if z < -COST_TOL {
+                entering = Some(j); // Bland: first improving index
+                break;
+            }
+        }
+        let Some(col) = entering else {
+            let obj: f64 = (0..m).map(|i| costs[tab.basis[i]] * tab.rhs(i)).sum();
+            return Some((obj, iters));
+        };
+        // Ratio test, Bland tie-break on smallest basis variable index.
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..m {
+            let a = tab.a[i][col];
+            if a > PIVOT_TOL {
+                let ratio = tab.rhs(i) / a;
+                match best {
+                    None => best = Some((ratio, i)),
+                    Some((r, bi)) => {
+                        if ratio < r - PIVOT_TOL
+                            || (ratio < r + PIVOT_TOL && tab.basis[i] < tab.basis[bi])
+                        {
+                            best = Some((ratio, i));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((_, row)) = best else {
+            return None; // unbounded direction
+        };
+        tab.pivot(row, col);
+    }
+}
+
+/// Solve `lp` with the reference engine.
+///
+/// # Panics
+/// Panics if a lower bound is non-finite; callers must pre-validate with
+/// [`LpProblem::validate_bounds`].
+pub fn solve(lp: &LpProblem) -> LpSolution {
+    if let Err(j) = lp.validate_bounds() {
+        panic!("invalid bounds on column {j}; validate before solving");
+    }
+    let n = lp.num_cols();
+
+    // --- build shifted rows: structural columns first -------------------
+    // x = x' + l, x' >= 0. Upper bounds become rows x' <= u - l.
+    struct RawRow {
+        coeffs: Vec<(usize, f64)>,
+        cmp: RowCmp,
+        rhs: f64,
+    }
+    let mut raw: Vec<RawRow> = Vec::with_capacity(lp.num_rows() + n);
+    for row in &lp.rows {
+        let shift: f64 = row.coeffs.iter().map(|&(j, c)| c * lp.lower[j]).sum();
+        raw.push(RawRow { coeffs: row.coeffs.clone(), cmp: row.cmp, rhs: row.rhs - shift });
+    }
+    for j in 0..n {
+        if lp.upper[j].is_finite() {
+            raw.push(RawRow {
+                coeffs: vec![(j, 1.0)],
+                cmp: RowCmp::Le,
+                rhs: lp.upper[j] - lp.lower[j],
+            });
+        }
+    }
+
+    let m = raw.len();
+    // Column layout: [structural n][slacks s][artificials m][rhs]
+    let num_slacks = raw.iter().filter(|r| r.cmp != RowCmp::Eq).count();
+    let total = n + num_slacks + m;
+
+    let mut tab = Tableau {
+        a: vec![vec![0.0; total + 1]; m],
+        basis: vec![0; m],
+        total_cols: total,
+    };
+
+    let mut slack_idx = n;
+    for (i, r) in raw.iter().enumerate() {
+        for &(j, c) in &r.coeffs {
+            tab.a[i][j] = c;
+        }
+        let mut rhs = r.rhs;
+        match r.cmp {
+            RowCmp::Le => {
+                tab.a[i][slack_idx] = 1.0;
+                slack_idx += 1;
+            }
+            RowCmp::Ge => {
+                tab.a[i][slack_idx] = -1.0;
+                slack_idx += 1;
+            }
+            RowCmp::Eq => {}
+        }
+        // Normalise to non-negative RHS so the artificial basis is feasible.
+        if rhs < 0.0 {
+            for v in tab.a[i].iter_mut() {
+                *v = -*v;
+            }
+            rhs = -rhs;
+        }
+        tab.a[i][total] = rhs;
+        let art = n + num_slacks + i;
+        tab.a[i][art] = 1.0;
+        tab.basis[i] = art;
+    }
+
+    let cap = iteration_cap(m, total);
+    let mut total_iters = 0usize;
+
+    // --- phase 1 ---------------------------------------------------------
+    let mut phase1_cost = vec![0.0; total];
+    for c in phase1_cost.iter_mut().skip(n + num_slacks) {
+        *c = 1.0;
+    }
+    let allowed_all = vec![true; total];
+    let Some((p1_obj, it1)) = run_phase(&mut tab, &phase1_cost, &allowed_all, cap) else {
+        // Phase 1 objective is bounded below by 0; unbounded is impossible.
+        unreachable!("phase 1 cannot be unbounded");
+    };
+    total_iters += it1;
+    if p1_obj > 1e-6 {
+        return LpSolution { status: LpStatus::Infeasible, objective: f64::INFINITY, x: Vec::new(), iterations: total_iters };
+    }
+
+    // Drive any basic artificials out; drop redundant rows by pivoting on
+    // whatever non-artificial column is available.
+    for i in 0..m {
+        if tab.basis[i] >= n + num_slacks {
+            let col = (0..n + num_slacks).find(|&j| tab.a[i][j].abs() > 1e-7);
+            if let Some(col) = col {
+                tab.pivot(i, col);
+            }
+            // If no pivot column exists the row is redundant (all zeros);
+            // the artificial stays basic at value ~0, which is harmless
+            // because phase 2 forbids artificials from moving.
+        }
+    }
+
+    // --- phase 2 ---------------------------------------------------------
+    let mut phase2_cost = vec![0.0; total];
+    phase2_cost[..n].copy_from_slice(&lp.objective);
+    let mut allowed = vec![true; total];
+    for a in allowed.iter_mut().skip(n + num_slacks) {
+        *a = false; // artificials may never re-enter
+    }
+    let Some((_, it2)) = run_phase(&mut tab, &phase2_cost, &allowed, cap) else {
+        return LpSolution::unbounded();
+    };
+    total_iters += it2;
+
+    // --- extract ----------------------------------------------------------
+    let mut x = lp.lower.clone();
+    for i in 0..m {
+        let b = tab.basis[i];
+        if b < n {
+            x[b] = lp.lower[b] + tab.rhs(i);
+        }
+    }
+    let objective = lp.objective_at(&x);
+    LpSolution { status: LpStatus::Optimal, objective, x, iterations: total_iters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::{LpProblem, RowCmp};
+
+    fn lp2(obj: [f64; 2]) -> LpProblem {
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = obj.to_vec();
+        lp
+    }
+
+    #[test]
+    fn simple_maximisation_as_min() {
+        // max 3x + 2y st x + y <= 4, x <= 2 -> min -3x -2y
+        let mut lp = lp2([-3.0, -2.0]);
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 4.0);
+        lp.upper[0] = 2.0;
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - (-10.0)).abs() < 1e-7, "obj={}", sol.objective);
+        assert!((sol.x[0] - 2.0).abs() < 1e-7);
+        assert!((sol.x[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y st x + 2y = 3, x - y = 0 -> x = y = 1
+        let mut lp = lp2([1.0, 1.0]);
+        lp.push_row(vec![(0, 1.0), (1, 2.0)], RowCmp::Eq, 3.0);
+        lp.push_row(vec![(0, 1.0), (1, -1.0)], RowCmp::Eq, 0.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 1.0).abs() < 1e-7);
+        assert!((sol.x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = lp2([0.0, 0.0]);
+        lp.push_row(vec![(0, 1.0)], RowCmp::Ge, 5.0);
+        lp.upper[0] = 1.0;
+        assert_eq!(solve(&lp).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = lp2([-1.0, 0.0]);
+        lp.push_row(vec![(1, 1.0)], RowCmp::Le, 1.0);
+        assert_eq!(solve(&lp).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x st x >= 3 (bound), x <= 10
+        let mut lp = LpProblem::with_columns(1);
+        lp.objective = vec![1.0];
+        lp.lower[0] = 3.0;
+        lp.upper[0] = 10.0;
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min y st -x - y <= -2 (i.e. x + y >= 2), x <= 1
+        let mut lp = lp2([0.0, 1.0]);
+        lp.push_row(vec![(0, -1.0), (1, -1.0)], RowCmp::Le, -2.0);
+        lp.upper[0] = 1.0;
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee-Minty-ish degeneracy smoke test.
+        let mut lp = LpProblem::with_columns(3);
+        lp.objective = vec![-100.0, -10.0, -1.0];
+        lp.push_row(vec![(0, 1.0)], RowCmp::Le, 1.0);
+        lp.push_row(vec![(0, 20.0), (1, 1.0)], RowCmp::Le, 100.0);
+        lp.push_row(vec![(0, 200.0), (1, 20.0), (2, 1.0)], RowCmp::Le, 10_000.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(sol.objective <= -10_000.0 + 1e-6);
+    }
+
+    #[test]
+    fn feasibility_of_returned_point() {
+        let mut lp = LpProblem::with_columns(3);
+        lp.objective = vec![1.0, 2.0, -1.0];
+        lp.upper = vec![5.0, 5.0, 5.0];
+        lp.push_row(vec![(0, 1.0), (1, 1.0), (2, 1.0)], RowCmp::Ge, 4.0);
+        lp.push_row(vec![(0, 2.0), (2, 1.0)], RowCmp::Le, 6.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(lp.max_violation(&sol.x) < 1e-6);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based cross-validation of the two simplex engines.
+//!
+//! The reference engine (bounds-as-rows, pure Bland) is the oracle; the
+//! bounded-variable engine must agree on status and objective for random
+//! LPs drawn over a wide shape range.
+
+use birp_solver::lp::{LpProblem, RowCmp};
+use birp_solver::simplex::{solve_bounded, solve_reference};
+use birp_solver::LpStatus;
+use proptest::prelude::*;
+
+/// A random LP: n in 1..=6 columns, m in 0..=6 rows, small integer-ish
+/// coefficients so objective comparisons are numerically clean.
+fn arb_lp() -> impl Strategy<Value = LpProblem> {
+    (1usize..=6, 0usize..=6).prop_flat_map(|(n, m)| {
+        let bounds = proptest::collection::vec((0.0f64..3.0, 0.0f64..5.0), n);
+        let objs = proptest::collection::vec(-5.0f64..5.0, n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(-4i32..=4, n),
+                prop_oneof![Just(RowCmp::Le), Just(RowCmp::Ge), Just(RowCmp::Eq)],
+                -6.0f64..12.0,
+            ),
+            m,
+        );
+        (bounds, objs, rows).prop_map(move |(bounds, objs, rows)| {
+            let mut lp = LpProblem::with_columns(n);
+            for (j, (lo, extra)) in bounds.into_iter().enumerate() {
+                lp.lower[j] = lo;
+                lp.upper[j] = lo + extra;
+            }
+            lp.objective = objs;
+            for (coeffs, cmp, rhs) in rows {
+                let sparse: Vec<(usize, f64)> = coeffs
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, c)| c != 0)
+                    .map(|(j, c)| (j, c as f64))
+                    .collect();
+                // Equality rows with empty LHS and nonzero RHS would make the
+                // instance trivially infeasible in an uninteresting way; keep
+                // them anyway -- both engines must agree regardless.
+                lp.push_row(sparse, cmp, rhs);
+            }
+            lp
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The fast engine agrees with the oracle on status and objective.
+    #[test]
+    fn bounded_matches_reference(lp in arb_lp()) {
+        let fast = solve_bounded(&lp);
+        let slow = solve_reference(&lp);
+        prop_assert_eq!(fast.status, slow.status, "status mismatch");
+        if fast.status == LpStatus::Optimal {
+            let scale = slow.objective.abs().max(1.0);
+            prop_assert!(
+                (fast.objective - slow.objective).abs() / scale < 1e-6,
+                "objective mismatch: fast={} slow={}",
+                fast.objective,
+                slow.objective
+            );
+        }
+    }
+
+    /// Any point the fast engine declares optimal is actually feasible.
+    #[test]
+    fn bounded_solutions_are_feasible(lp in arb_lp()) {
+        let sol = solve_bounded(&lp);
+        if sol.status == LpStatus::Optimal {
+            prop_assert!(
+                lp.max_violation(&sol.x) < 1e-6,
+                "violation {}",
+                lp.max_violation(&sol.x)
+            );
+        }
+    }
+
+    /// All-bounded LPs are never unbounded.
+    #[test]
+    fn fully_bounded_never_unbounded(lp in arb_lp()) {
+        // arb_lp always produces finite upper bounds.
+        let sol = solve_bounded(&lp);
+        prop_assert_ne!(sol.status, LpStatus::Unbounded);
+    }
+}
+
+/// Deterministic regression corpus: shapes that historically stress simplex
+/// implementations (degenerate vertices, redundant rows, fixed variables).
+#[test]
+fn regression_corpus() {
+    let mut cases: Vec<LpProblem> = Vec::new();
+
+    // Redundant duplicated equality rows.
+    let mut lp = LpProblem::with_columns(2);
+    lp.objective = vec![1.0, -1.0];
+    lp.upper = vec![4.0, 4.0];
+    lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Eq, 4.0);
+    lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Eq, 4.0);
+    cases.push(lp);
+
+    // Zero-row equality (0 = 0): redundant but feasible.
+    let mut lp = LpProblem::with_columns(2);
+    lp.objective = vec![-1.0, 0.0];
+    lp.upper = vec![1.0, 1.0];
+    lp.push_row(vec![], RowCmp::Eq, 0.0);
+    cases.push(lp);
+
+    // Zero-row equality (0 = 1): trivially infeasible.
+    let mut lp = LpProblem::with_columns(1);
+    lp.upper = vec![1.0];
+    lp.push_row(vec![], RowCmp::Eq, 1.0);
+    cases.push(lp);
+
+    // Every variable fixed.
+    let mut lp = LpProblem::with_columns(3);
+    lp.objective = vec![1.0, 2.0, 3.0];
+    lp.lower = vec![1.0, 2.0, 3.0];
+    lp.upper = vec![1.0, 2.0, 3.0];
+    lp.push_row(vec![(0, 1.0), (1, 1.0), (2, 1.0)], RowCmp::Le, 6.5);
+    cases.push(lp);
+
+    // Degenerate vertex: many constraints through the origin.
+    let mut lp = LpProblem::with_columns(3);
+    lp.objective = vec![-1.0, -1.0, -1.0];
+    lp.upper = vec![10.0; 3];
+    lp.push_row(vec![(0, 1.0), (1, -1.0)], RowCmp::Le, 0.0);
+    lp.push_row(vec![(1, 1.0), (2, -1.0)], RowCmp::Le, 0.0);
+    lp.push_row(vec![(2, 1.0), (0, -1.0)], RowCmp::Le, 0.0);
+    lp.push_row(vec![(0, 1.0), (1, 1.0), (2, 1.0)], RowCmp::Le, 9.0);
+    cases.push(lp);
+
+    for (i, lp) in cases.iter().enumerate() {
+        let fast = solve_bounded(lp);
+        let slow = solve_reference(lp);
+        assert_eq!(fast.status, slow.status, "case {i}: status");
+        if fast.status == LpStatus::Optimal {
+            assert!(
+                (fast.objective - slow.objective).abs() < 1e-6,
+                "case {i}: fast={} slow={}",
+                fast.objective,
+                slow.objective
+            );
+            assert!(lp.max_violation(&fast.x) < 1e-6, "case {i}: infeasible point");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the newer solver layers: presolve soundness and
+//! warm-start handling, cross-validated against brute force.
+
+use birp_solver::lp::{LpProblem, RowCmp};
+use birp_solver::milp::{branch_and_bound, BnbConfig, MilpProblem, MilpStatus};
+use birp_solver::presolve::{presolve, PresolveStatus};
+use birp_solver::simplex::{solve_bounded, solve_reference};
+use birp_solver::LpStatus;
+use proptest::prelude::*;
+
+fn arb_ip() -> impl Strategy<Value = MilpProblem> {
+    (1usize..=4, 1usize..=4).prop_flat_map(|(n, m)| {
+        let ubs = proptest::collection::vec(0u8..=4, n);
+        let objs = proptest::collection::vec(-5i32..=5, n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(-3i32..=3, n),
+                prop_oneof![Just(RowCmp::Le), Just(RowCmp::Ge), Just(RowCmp::Eq)],
+                -5.0f64..15.0,
+            ),
+            m,
+        );
+        (ubs, objs, rows).prop_map(move |(ubs, objs, rows)| {
+            let mut lp = LpProblem::with_columns(n);
+            for (j, ub) in ubs.iter().enumerate() {
+                lp.upper[j] = *ub as f64;
+            }
+            lp.objective = objs.iter().map(|&c| c as f64).collect();
+            for (coeffs, cmp, rhs) in rows {
+                let sparse: Vec<(usize, f64)> = coeffs
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, c)| c != 0)
+                    .map(|(j, c)| (j, c as f64))
+                    .collect();
+                lp.push_row(sparse, cmp, rhs);
+            }
+            MilpProblem { lp, integers: (0..n).collect() }
+        })
+    })
+}
+
+fn brute_force(p: &MilpProblem) -> Option<(f64, Vec<f64>)> {
+    let n = p.lp.num_cols();
+    let ubs: Vec<i64> = p.lp.upper.iter().map(|&u| u as i64).collect();
+    let mut x = vec![0i64; n];
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    loop {
+        let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        if p.lp.max_violation(&xf) < 1e-9 {
+            let obj = p.lp.objective_at(&xf);
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                best = Some((obj, xf));
+            }
+        }
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            if x[i] < ubs[i] {
+                x[i] += 1;
+                break;
+            }
+            x[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Presolve is integer-aware (bounds round inward on integer columns),
+    /// so it preserves the *MILP*, not the LP relaxation: an infeasibility
+    /// verdict must match brute force over the lattice, and a surviving
+    /// relaxation may only get tighter (never better) than the original.
+    #[test]
+    fn presolve_preserves_milp(p in arb_ip()) {
+        let before = solve_reference(&p.lp);
+        let mut reduced = p.lp.clone();
+        let (st, _) = presolve(&mut reduced, &p.integers);
+        match st {
+            PresolveStatus::Infeasible => {
+                prop_assert!(
+                    brute_force(&p).is_none(),
+                    "presolve declared infeasible but an integer point exists"
+                );
+            }
+            PresolveStatus::Reduced => {
+                let after = solve_bounded(&reduced);
+                if after.status == LpStatus::Optimal {
+                    prop_assert_eq!(before.status, LpStatus::Optimal);
+                    prop_assert!(after.objective >= before.objective - 1e-6,
+                        "presolve relaxed the problem: {} < {}", after.objective, before.objective);
+                }
+            }
+        }
+    }
+
+    /// Branch and bound (with presolve inside) still matches brute force.
+    #[test]
+    fn bnb_with_presolve_matches_brute_force(p in arb_ip()) {
+        let r = branch_and_bound(&p, &BnbConfig::default());
+        match brute_force(&p) {
+            None => prop_assert_eq!(r.status, MilpStatus::Infeasible),
+            Some((best, _)) => {
+                prop_assert_eq!(r.status, MilpStatus::Optimal);
+                prop_assert!((r.objective - best).abs() < 1e-6,
+                    "bnb={} brute={}", r.objective, best);
+            }
+        }
+    }
+
+    /// A brute-force optimal point supplied as warm start is never rejected
+    /// and never made worse.
+    #[test]
+    fn warm_start_is_honoured(p in arb_ip()) {
+        if let Some((best, point)) = brute_force(&p) {
+            let cfg = BnbConfig {
+                warm_start: Some(point),
+                // Zero search budget beyond the root: the warm start must
+                // carry the result on its own.
+                node_limit: 1,
+                root_dive: false,
+                ..Default::default()
+            };
+            let r = branch_and_bound(&p, &cfg);
+            prop_assert!(matches!(r.status, MilpStatus::Optimal | MilpStatus::Feasible));
+            prop_assert!(r.objective <= best + 1e-6,
+                "warm start lost: got {} expected <= {}", r.objective, best);
+            prop_assert!(p.lp.max_violation(&r.x) < 1e-6);
+        }
+    }
+
+    /// Garbage warm starts are ignored, not trusted.
+    #[test]
+    fn invalid_warm_start_is_rejected(p in arb_ip()) {
+        let n = p.lp.num_cols();
+        // A point far outside every bound.
+        let bad = vec![1e9; n];
+        let cfg = BnbConfig { warm_start: Some(bad), ..Default::default() };
+        let r = branch_and_bound(&p, &cfg);
+        match brute_force(&p) {
+            None => prop_assert_eq!(r.status, MilpStatus::Infeasible),
+            Some((best, _)) => {
+                prop_assert_eq!(r.status, MilpStatus::Optimal);
+                prop_assert!((r.objective - best).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # birp-tir
+//!
+//! The Throughput Improvement Ratio (TIR) model at the heart of BIRP.
+//!
+//! Section 2.2 of the paper observes that batching `b` requests of the same
+//! DNN model multiplies throughput by
+//!
+//! ```text
+//! TIR(b) = b^eta   for b <= beta      (power-law regime)
+//!        = C       for b >  beta      (saturated regime, C ~= beta^eta)
+//! ```
+//!
+//! (paper Eq. 2). This crate provides:
+//!
+//! * [`TirParams`] / [`TirCurve`] — the piecewise model and its evaluation,
+//! * [`latency`] — the batch computation-time model of paper Eq. 7,
+//!   `f(b) = b * gamma / TIR(b)`,
+//! * [`fit`] — least-squares piecewise fitting used both by the Fig. 2
+//!   reproduction and by the BIRP-OFF baseline's offline profiling,
+//! * [`taylor`] — the Taylor linearisation at `(1, 1)` of paper Eq. 24 that
+//!   turns the compute constraint into a linear one.
+
+pub mod fit;
+pub mod params;
+pub mod taylor;
+
+pub use fit::{fit_piecewise, FitResult, TirSample};
+pub use params::{latency, TirCurve, TirParams};
+pub use taylor::{linear_coeffs, linearized_latency, max_abs_error};

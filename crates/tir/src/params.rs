@@ -1,0 +1,196 @@
+//! The piecewise TIR model (paper Eq. 2) and batch latency (paper Eq. 7).
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the piecewise TIR function for one
+/// (device, model-version) pair.
+///
+/// * `eta` — power-law exponent of the sub-threshold regime,
+/// * `beta` — batch-size threshold where the curve saturates,
+/// * `c` — saturated TIR level (physically `~= beta^eta`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TirParams {
+    pub eta: f64,
+    pub beta: u32,
+    pub c: f64,
+}
+
+impl TirParams {
+    /// Construct with explicit saturation level.
+    pub fn new(eta: f64, beta: u32, c: f64) -> Self {
+        TirParams { eta, beta, c }
+    }
+
+    /// Construct with the physically consistent saturation `c = beta^eta`.
+    pub fn consistent(eta: f64, beta: u32) -> Self {
+        TirParams { eta, beta, c: (beta as f64).powf(eta) }
+    }
+
+    /// The paper's conservative initial estimate (Eq. 23):
+    /// `eta = 0.1, beta = 16, C = 16^0.1 ~= 1.32`.
+    pub fn paper_initial() -> Self {
+        TirParams { eta: 0.1, beta: 16, c: 16.0_f64.powf(0.1) }
+    }
+
+    /// Evaluate `TIR(b)` (paper Eq. 2).
+    pub fn tir(&self, b: u32) -> f64 {
+        if b == 0 {
+            return 0.0;
+        }
+        if b <= self.beta {
+            (b as f64).powf(self.eta)
+        } else {
+            self.c
+        }
+    }
+
+    /// Whether the parameters are physically sane.
+    pub fn is_valid(&self) -> bool {
+        self.eta.is_finite()
+            && self.eta >= 0.0
+            && self.eta <= 1.0
+            && self.beta >= 1
+            && self.c.is_finite()
+            && self.c >= 1.0
+    }
+
+    /// Observed exponent implied by a TIR measurement at batch `b > 1`
+    /// (paper Eq. 21): `eta_hat = ln TIR / ln b`.
+    pub fn observed_eta(b: u32, tir_observed: f64) -> Option<f64> {
+        if b <= 1 || tir_observed <= 0.0 {
+            return None;
+        }
+        Some(tir_observed.ln() / (b as f64).ln())
+    }
+}
+
+/// A named TIR curve (convenience wrapper for profiling output and plots).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TirCurve {
+    pub label: String,
+    pub params: TirParams,
+}
+
+impl TirCurve {
+    pub fn new(label: impl Into<String>, params: TirParams) -> Self {
+        TirCurve { label: label.into(), params }
+    }
+
+    /// Sample the curve over `1..=max_b`.
+    pub fn sample(&self, max_b: u32) -> Vec<(u32, f64)> {
+        (1..=max_b).map(|b| (b, self.params.tir(b))).collect()
+    }
+}
+
+/// Batch computation time (paper Eq. 7):
+///
+/// ```text
+/// f(b) = b * gamma / TIR(b)
+///      = gamma * b^(1 - eta)    for b <= beta
+///      = gamma * b / C          for b >  beta
+/// ```
+///
+/// `gamma` is the single-request latency of the model on the device.
+pub fn latency(gamma: f64, b: u32, params: &TirParams) -> f64 {
+    if b == 0 {
+        return 0.0;
+    }
+    gamma * b as f64 / params.tir(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tir_is_one_at_batch_one() {
+        let p = TirParams::consistent(0.32, 5);
+        assert!((p.tir(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tir_matches_fig2_lenet() {
+        // Fig. 2a: TIR = b^0.32 for b <= 5, 1.68 for b > 5.
+        let p = TirParams::new(0.32, 5, 1.68);
+        assert!((p.tir(2) - 2.0_f64.powf(0.32)).abs() < 1e-12);
+        assert!((p.tir(5) - 5.0_f64.powf(0.32)).abs() < 1e-12);
+        assert!((p.tir(6) - 1.68).abs() < 1e-12);
+        assert!((p.tir(16) - 1.68).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tir_zero_batch_is_zero() {
+        let p = TirParams::paper_initial();
+        assert_eq!(p.tir(0), 0.0);
+    }
+
+    #[test]
+    fn consistent_construction_is_continuous_at_threshold() {
+        let p = TirParams::consistent(0.12, 10);
+        assert!((p.tir(10) - p.c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_initial_values() {
+        let p = TirParams::paper_initial();
+        assert_eq!(p.eta, 0.1);
+        assert_eq!(p.beta, 16);
+        assert!((p.c - 1.31).abs() < 0.01);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn latency_grows_sublinearly_below_threshold() {
+        let p = TirParams::consistent(0.3, 8);
+        let gamma = 20.0;
+        // f(b)/b decreasing in the power regime: batching is worth it.
+        let per1 = latency(gamma, 1, &p) / 1.0;
+        let per4 = latency(gamma, 4, &p) / 4.0;
+        let per8 = latency(gamma, 8, &p) / 8.0;
+        assert!(per4 < per1);
+        assert!(per8 < per4);
+        // Beyond threshold the per-request latency is flat.
+        let per9 = latency(gamma, 9, &p) / 9.0;
+        let per16 = latency(gamma, 16, &p) / 16.0;
+        assert!((per9 - per16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_eq7_closed_forms() {
+        let p = TirParams::new(0.25, 6, 1.5);
+        let gamma = 100.0;
+        assert!((latency(gamma, 4, &p) - gamma * 4.0_f64.powf(0.75)).abs() < 1e-9);
+        assert!((latency(gamma, 10, &p) - gamma * 10.0 / 1.5).abs() < 1e-9);
+        assert_eq!(latency(gamma, 0, &p), 0.0);
+    }
+
+    #[test]
+    fn observed_eta_inverts_tir() {
+        let p = TirParams::consistent(0.27, 12);
+        for b in 2..=12 {
+            let eta_hat = TirParams::observed_eta(b, p.tir(b)).unwrap();
+            assert!((eta_hat - 0.27).abs() < 1e-12, "b={b}");
+        }
+        assert!(TirParams::observed_eta(1, 1.0).is_none());
+        assert!(TirParams::observed_eta(4, 0.0).is_none());
+        assert!(TirParams::observed_eta(4, -1.0).is_none());
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(!TirParams::new(-0.1, 5, 1.2).is_valid());
+        assert!(!TirParams::new(1.5, 5, 1.2).is_valid());
+        assert!(!TirParams::new(0.3, 0, 1.2).is_valid());
+        assert!(!TirParams::new(0.3, 5, 0.5).is_valid());
+        assert!(TirParams::new(0.3, 5, 1.2).is_valid());
+    }
+
+    #[test]
+    fn curve_sampling() {
+        let c = TirCurve::new("lenet", TirParams::new(0.32, 5, 1.68));
+        let s = c.sample(16);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s[0].0, 1);
+        assert!((s[15].1 - 1.68).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Taylor linearisation of the batch latency (paper Eq. 24).
+//!
+//! The compute constraint (paper Eq. 12) contains the non-linear term
+//! `gamma * b^(1-eta)`. BIRP expands it around `(1, 1)`:
+//!
+//! ```text
+//! gamma * b^(1-eta)  ~=  gamma * [ (1 - eta) * b + eta ]  =  h(b)
+//! ```
+//!
+//! which is exact at `b = 1` and tangent there, and *over*-estimates for
+//! `b > 1` (the true curve is concave in `b` for `eta in (0,1)`), so the
+//! linearised constraint is conservative: a schedule feasible under `h`
+//! is feasible under the true latency. [`max_abs_error`] quantifies the
+//! gap, which the EXPERIMENTS.md ablation reports.
+
+use crate::params::TirParams;
+
+/// Coefficients `(slope, intercept)` of `h(b) = slope * b + intercept`
+/// (both already scaled by `gamma`).
+pub fn linear_coeffs(gamma: f64, eta: f64) -> (f64, f64) {
+    (gamma * (1.0 - eta), gamma * eta)
+}
+
+/// The linearised latency `h(b)` of paper Eq. 24.
+pub fn linearized_latency(gamma: f64, eta: f64, b: f64) -> f64 {
+    let (k, d) = linear_coeffs(gamma, eta);
+    k * b + d
+}
+
+/// Maximum absolute error `max_{1 <= b <= beta} |h(b) - gamma b^(1-eta)|`
+/// over the integer batch range where the linearisation is used.
+pub fn max_abs_error(gamma: f64, params: &TirParams) -> f64 {
+    let mut worst: f64 = 0.0;
+    for b in 1..=params.beta {
+        let exact = gamma * (b as f64).powf(1.0 - params.eta);
+        let approx = linearized_latency(gamma, params.eta, b as f64);
+        worst = worst.max((approx - exact).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_b_equals_one() {
+        for &eta in &[0.0, 0.1, 0.32, 0.9] {
+            let h = linearized_latency(10.0, eta, 1.0);
+            assert!((h - 10.0).abs() < 1e-12, "eta={eta}");
+        }
+    }
+
+    #[test]
+    fn linearisation_overestimates_for_b_above_one() {
+        // h(b) >= gamma b^(1-eta) on b >= 1 by concavity (tangent at 1 would
+        // *under*-estimate a concave function; here h is the secant-style
+        // expansion (1-eta) b + eta which dominates b^(1-eta) for b >= 1).
+        let gamma = 25.0;
+        for &eta in &[0.1, 0.2, 0.32] {
+            for b in 1..=16u32 {
+                let exact = gamma * (b as f64).powf(1.0 - eta);
+                let h = linearized_latency(gamma, eta, b as f64);
+                assert!(
+                    h >= exact - 1e-9,
+                    "eta={eta} b={b}: h={h} exact={exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eta_zero_is_exactly_linear() {
+        // With eta = 0 batching gives no benefit and h(b) = gamma b exactly.
+        let p = TirParams::new(0.0, 16, 1.0);
+        assert_eq!(max_abs_error(30.0, &p), 0.0);
+    }
+
+    #[test]
+    fn error_grows_with_eta_and_beta() {
+        let small = TirParams::new(0.1, 4, 1.2);
+        let large = TirParams::new(0.3, 16, 2.0);
+        assert!(max_abs_error(10.0, &small) < max_abs_error(10.0, &large));
+    }
+
+    #[test]
+    fn coeffs_scale_with_gamma() {
+        let (k, d) = linear_coeffs(40.0, 0.25);
+        assert!((k - 30.0).abs() < 1e-12);
+        assert!((d - 10.0).abs() < 1e-12);
+    }
+}

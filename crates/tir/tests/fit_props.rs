@@ -1,0 +1,73 @@
+//! Property-based tests for the TIR fitter: planted-parameter recovery and
+//! fit-quality invariants over random ground truths.
+
+use birp_tir::{fit_piecewise, latency, TirParams, TirSample};
+use proptest::prelude::*;
+
+fn samples_from(truth: &TirParams, max_b: u32, reps: usize, noise: f64) -> Vec<TirSample> {
+    let mut out = Vec::new();
+    for b in 1..=max_b {
+        for r in 0..reps {
+            // Deterministic pseudo-noise, bounded by `noise`.
+            let wiggle = 1.0 + noise * (((b as f64) * 12.9898 + r as f64 * 78.233).sin());
+            out.push(TirSample::new(b, truth.tir(b) * wiggle));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Noiseless samples: the fitter recovers eta almost exactly and beta
+    /// within the inherent +-1 threshold ambiguity.
+    #[test]
+    fn recovers_planted_noiseless(eta in 0.08f64..0.38, beta in 3u32..14) {
+        let truth = TirParams::consistent(eta, beta);
+        let samples = samples_from(&truth, 16, 3, 0.0);
+        let fit = fit_piecewise(&samples).unwrap();
+        prop_assert!((fit.params.eta - eta).abs() < 1e-6,
+            "eta {} vs {}", fit.params.eta, eta);
+        prop_assert!((fit.params.beta as i64 - beta as i64).abs() <= 1,
+            "beta {} vs {}", fit.params.beta, beta);
+        prop_assert!(fit.sse < 1e-9);
+    }
+
+    /// Mild noise: estimates stay in the neighbourhood.
+    #[test]
+    fn robust_under_noise(eta in 0.10f64..0.35, beta in 4u32..13) {
+        let truth = TirParams::consistent(eta, beta);
+        let samples = samples_from(&truth, 16, 5, 0.01);
+        let fit = fit_piecewise(&samples).unwrap();
+        prop_assert!((fit.params.eta - eta).abs() < 0.08);
+        prop_assert!((fit.params.beta as i64 - beta as i64).abs() <= 3);
+    }
+
+    /// The fitted parameters never leave the physically valid region.
+    #[test]
+    fn fits_are_always_valid(eta in 0.0f64..0.5, beta in 2u32..16, noise in 0.0f64..0.2) {
+        let truth = TirParams::consistent(eta.min(0.38), beta);
+        let samples = samples_from(&truth, 16, 3, noise);
+        if let Some(fit) = fit_piecewise(&samples) {
+            prop_assert!(fit.params.is_valid(), "{:?}", fit.params);
+        }
+    }
+
+    /// Batch latency is monotone in b and bounded by the serial latency.
+    #[test]
+    fn latency_monotone_and_batching_helps(
+        eta in 0.05f64..0.38,
+        beta in 2u32..16,
+        gamma in 10.0f64..800.0,
+    ) {
+        let p = TirParams::consistent(eta, beta);
+        let mut prev = 0.0;
+        for b in 1..=16u32 {
+            let f = latency(gamma, b, &p);
+            prop_assert!(f >= prev, "latency not monotone at b={b}");
+            // Batching never does worse than serial execution.
+            prop_assert!(f <= gamma * b as f64 + 1e-9, "batching slower than serial at b={b}");
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Synthetic trace generation.
+//!
+//! The generator reproduces the three properties of the MLaaS-in-the-wild
+//! production trace that BIRP's evaluation depends on:
+//!
+//! 1. **diurnal periodicity** — a sinusoidal rate profile with a period of
+//!    96 slots (one day of 15-minute slots, matching the paper's setup of
+//!    "each time slot is 15 minutes, a total duration of three days"),
+//! 2. **spatial imbalance** — per-edge weights plus per-(app, edge) phase
+//!    offsets, so different edges peak at different times and workload
+//!    redistribution has something to exploit,
+//! 3. **burstiness** — a log-normal multiplicative burst process on top of
+//!    Poisson arrivals.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Poisson};
+use serde::{Deserialize, Serialize};
+
+use birp_models::{AppId, EdgeId};
+
+use crate::trace::Trace;
+
+/// Knobs of the synthetic generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    pub seed: u64,
+    pub num_slots: usize,
+    pub num_apps: usize,
+    pub num_edges: usize,
+    /// Mean requests per (app, edge) per slot before modulation.
+    pub mean_rate: f64,
+    /// Relative amplitude of the diurnal sinusoid, in [0, 1).
+    pub diurnal_amplitude: f64,
+    /// Slots per diurnal period (96 = one day of 15-minute slots).
+    pub period: usize,
+    /// Spatial skew across edges: 0 = uniform, 1 = strongly imbalanced.
+    pub imbalance: f64,
+    /// Sigma of the log-normal burst multiplier; 0 disables bursts.
+    pub burstiness: f64,
+    /// Relative popularity of each application (normalised internally).
+    /// Empty means uniform.
+    pub app_weights: Vec<f64>,
+}
+
+impl TraceConfig {
+    /// Paper-like defaults for the small-scale scenario (1 app, 6 edges,
+    /// 3 simulated days).
+    pub fn small_scale(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            num_slots: 288,
+            num_apps: 1,
+            num_edges: 6,
+            mean_rate: 7.0,
+            diurnal_amplitude: 0.6,
+            period: 96,
+            imbalance: 0.7,
+            burstiness: 0.35,
+            app_weights: Vec::new(),
+        }
+    }
+
+    /// Paper-like defaults for the large-scale scenario (5 apps, 6 edges).
+    pub fn large_scale(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            num_slots: 288,
+            num_apps: 5,
+            num_edges: 6,
+            mean_rate: 1.8,
+            diurnal_amplitude: 0.6,
+            period: 96,
+            imbalance: 0.7,
+            burstiness: 0.35,
+            app_weights: vec![1.6, 1.2, 1.0, 0.7, 0.5],
+        }
+    }
+
+    /// Normalised app weights (uniform if unspecified).
+    fn normalized_app_weights(&self) -> Vec<f64> {
+        let w = if self.app_weights.len() == self.num_apps {
+            self.app_weights.clone()
+        } else {
+            vec![1.0; self.num_apps]
+        };
+        let mean = w.iter().sum::<f64>() / w.len().max(1) as f64;
+        w.into_iter().map(|v| v / mean).collect()
+    }
+
+    /// Per-edge weights with mean 1; spread controlled by `imbalance`.
+    fn edge_weights(&self, rng: &mut StdRng) -> Vec<f64> {
+        let raw: Vec<f64> = (0..self.num_edges)
+            .map(|_| (self.imbalance * rng.random_range(-1.0..1.0f64)).exp())
+            .collect();
+        let mean = raw.iter().sum::<f64>() / raw.len().max(1) as f64;
+        raw.into_iter().map(|v| v / mean).collect()
+    }
+
+    /// Generate the trace.
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let app_w = self.normalized_app_weights();
+        let edge_w = self.edge_weights(&mut rng);
+        // Phase offsets: edges peak at different times of day; apps add a
+        // smaller secondary shift.
+        let phases: Vec<f64> = (0..self.num_apps * self.num_edges)
+            .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
+            .collect();
+        let burst = if self.burstiness > 0.0 {
+            // Mean-1 log-normal: mu = -sigma^2/2.
+            Some(LogNormal::new(-self.burstiness * self.burstiness / 2.0, self.burstiness).unwrap())
+        } else {
+            None
+        };
+
+        let mut trace = Trace::zeros(self.num_slots, self.num_apps, self.num_edges);
+        for t in 0..self.num_slots {
+            let day_pos = std::f64::consts::TAU * (t % self.period.max(1)) as f64
+                / self.period.max(1) as f64;
+            for a in 0..self.num_apps {
+                for e in 0..self.num_edges {
+                    let phase = phases[a * self.num_edges + e];
+                    let diurnal = 1.0 + self.diurnal_amplitude * (day_pos + phase).sin();
+                    let burst_mul = burst.map_or(1.0, |d| d.sample(&mut rng));
+                    let lambda = self.mean_rate * app_w[a] * edge_w[e] * diurnal * burst_mul;
+                    let n = if lambda <= 0.0 {
+                        0
+                    } else {
+                        Poisson::new(lambda.max(1e-9)).unwrap().sample(&mut rng) as u32
+                    };
+                    trace.set_demand(t, AppId(a), EdgeId(e), n);
+                }
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TraceConfig::small_scale(11);
+        assert_eq!(cfg.generate(), cfg.generate());
+        let other = TraceConfig::small_scale(12).generate();
+        assert_ne!(cfg.generate(), other);
+    }
+
+    #[test]
+    fn mean_rate_is_respected() {
+        let cfg = TraceConfig {
+            diurnal_amplitude: 0.0,
+            burstiness: 0.0,
+            imbalance: 0.0,
+            ..TraceConfig::large_scale(3)
+        };
+        let t = cfg.generate();
+        let cells = (t.num_slots() * t.num_apps() * t.num_edges()) as f64;
+        let empirical = t.total() as f64 / cells;
+        assert!(
+            (empirical - cfg.mean_rate).abs() / cfg.mean_rate < 0.05,
+            "empirical mean {empirical} vs configured {}",
+            cfg.mean_rate
+        );
+    }
+
+    #[test]
+    fn imbalance_knob_spreads_edges() {
+        let uniform = TraceConfig { imbalance: 0.0, ..TraceConfig::small_scale(5) };
+        let skewed = TraceConfig { imbalance: 1.2, ..TraceConfig::small_scale(5) };
+        let su = TraceStats::compute(&uniform.generate());
+        let ss = TraceStats::compute(&skewed.generate());
+        assert!(
+            ss.edge_imbalance > su.edge_imbalance,
+            "skewed {} <= uniform {}",
+            ss.edge_imbalance,
+            su.edge_imbalance
+        );
+    }
+
+    #[test]
+    fn diurnal_pattern_shows_up() {
+        let cfg = TraceConfig {
+            diurnal_amplitude: 0.9,
+            burstiness: 0.0,
+            imbalance: 0.0,
+            num_apps: 1,
+            num_edges: 1,
+            num_slots: 192,
+            mean_rate: 200.0,
+            ..TraceConfig::small_scale(9)
+        };
+        let t = cfg.generate();
+        // Max and min slot totals must differ strongly under 0.9 amplitude.
+        let totals: Vec<u64> = (0..t.num_slots()).map(|s| t.slot_total(s)).collect();
+        let max = *totals.iter().max().unwrap() as f64;
+        let min = *totals.iter().min().unwrap() as f64;
+        assert!(max > 3.0 * (min + 1.0), "max={max} min={min}");
+    }
+
+    #[test]
+    fn zero_rate_yields_empty_trace() {
+        let cfg = TraceConfig { mean_rate: 0.0, burstiness: 0.0, ..TraceConfig::small_scale(1) };
+        assert_eq!(cfg.generate().total(), 0);
+    }
+
+    #[test]
+    fn app_weights_shift_demand() {
+        let cfg = TraceConfig {
+            app_weights: vec![4.0, 1.0, 1.0, 1.0, 1.0],
+            burstiness: 0.0,
+            ..TraceConfig::large_scale(2)
+        };
+        let t = cfg.generate();
+        let per_app: Vec<u64> = (0..5)
+            .map(|a| {
+                (0..t.num_slots())
+                    .flat_map(|s| (0..t.num_edges()).map(move |e| (s, e)))
+                    .map(|(s, e)| t.demand(s, AppId(a), EdgeId(e)) as u64)
+                    .sum()
+            })
+            .collect();
+        assert!(per_app[0] > 2 * per_app[1], "{per_app:?}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Trace (de)serialisation: JSON (full fidelity) and CSV (interoperable
+//! `slot,app,edge,requests` rows for loading external traces).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use birp_models::{AppId, EdgeId};
+
+use crate::trace::Trace;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    Io(io::Error),
+    Json(serde_json::Error),
+    /// CSV parse failure: line number (1-based) and description.
+    Csv { line: usize, detail: String },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "io error: {e}"),
+            TraceIoError::Json(e) => write!(f, "json error: {e}"),
+            TraceIoError::Csv { line, detail } => write!(f, "csv error at line {line}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+/// Serialise a trace to a JSON string.
+pub fn to_json(trace: &Trace) -> Result<String, TraceIoError> {
+    Ok(serde_json::to_string(trace)?)
+}
+
+/// Deserialise a trace from a JSON string.
+pub fn from_json(s: &str) -> Result<Trace, TraceIoError> {
+    Ok(serde_json::from_str(s)?)
+}
+
+/// Write a trace to a JSON file.
+pub fn save_json(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    fs::write(path, to_json(trace)?)?;
+    Ok(())
+}
+
+/// Read a trace from a JSON file.
+pub fn load_json(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    from_json(&fs::read_to_string(path)?)
+}
+
+/// Render the trace as `slot,app,edge,requests` CSV (header included,
+/// zero cells omitted).
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::from("slot,app,edge,requests\n");
+    for (t, a, e, v) in trace.iter_nonzero() {
+        let _ = writeln!(out, "{t},{},{},{v}", a.index(), e.index());
+    }
+    out
+}
+
+/// Parse `slot,app,edge,requests` CSV. Shape is inferred from the maximum
+/// indices seen unless `shape` is given.
+pub fn from_csv(s: &str, shape: Option<(usize, usize, usize)>) -> Result<Trace, TraceIoError> {
+    let mut cells: Vec<(usize, usize, usize, u32)> = Vec::new();
+    for (ln, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (ln == 0 && line.starts_with("slot")) {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 4 {
+            return Err(TraceIoError::Csv { line: ln + 1, detail: format!("expected 4 fields, got {}", parts.len()) });
+        }
+        let parse = |i: usize| -> Result<usize, TraceIoError> {
+            parts[i].trim().parse().map_err(|e| TraceIoError::Csv {
+                line: ln + 1,
+                detail: format!("field {i}: {e}"),
+            })
+        };
+        let t = parse(0)?;
+        let a = parse(1)?;
+        let e = parse(2)?;
+        let v: u32 = parts[3].trim().parse().map_err(|e| TraceIoError::Csv {
+            line: ln + 1,
+            detail: format!("field 3: {e}"),
+        })?;
+        cells.push((t, a, e, v));
+    }
+    let (slots, apps, edges) = shape.unwrap_or_else(|| {
+        let s = cells.iter().map(|c| c.0 + 1).max().unwrap_or(0);
+        let a = cells.iter().map(|c| c.1 + 1).max().unwrap_or(0);
+        let e = cells.iter().map(|c| c.2 + 1).max().unwrap_or(0);
+        (s, a, e)
+    });
+    let mut trace = Trace::zeros(slots, apps, edges);
+    for (t, a, e, v) in cells {
+        if t >= slots || a >= apps || e >= edges {
+            return Err(TraceIoError::Csv {
+                line: 0,
+                detail: format!("cell ({t},{a},{e}) outside shape ({slots},{apps},{edges})"),
+            });
+        }
+        trace.set_demand(t, AppId(a), EdgeId(e), v);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceConfig;
+
+    #[test]
+    fn json_roundtrip() {
+        let t = TraceConfig::small_scale(4).generate();
+        let s = to_json(&t).unwrap();
+        let back = from_json(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = TraceConfig::large_scale(4).generate();
+        let s = to_csv(&t);
+        let back = from_csv(&s, Some((t.num_slots(), t.num_apps(), t.num_edges()))).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_shape_inference() {
+        let s = "slot,app,edge,requests\n0,0,0,5\n2,1,3,7\n";
+        let t = from_csv(s, None).unwrap();
+        assert_eq!(t.num_slots(), 3);
+        assert_eq!(t.num_apps(), 2);
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.demand(2, AppId(1), EdgeId(3)), 7);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        assert!(matches!(
+            from_csv("0,1,2\n", None),
+            Err(TraceIoError::Csv { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_csv("slot,app,edge,requests\n0,x,0,1\n", None),
+            Err(TraceIoError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn csv_rejects_out_of_shape_cells() {
+        let err = from_csv("0,0,5,1\n", Some((1, 1, 2))).unwrap_err();
+        assert!(err.to_string().contains("outside shape"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("birp-workload-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let t = TraceConfig::small_scale(9).generate();
+        save_json(&t, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,27 @@
+//! # birp-workload
+//!
+//! Inference-workload traces for the edge collaborative system.
+//!
+//! The paper drives its evaluation with the Alibaba *MLaaS in the wild*
+//! production trace [34]. That trace is not redistributable, so this crate
+//! generates synthetic traces reproducing its published shape — strong
+//! diurnal periodicity, heavy-tailed bursts, and pronounced spatial
+//! imbalance between serving sites — with every knob explicit and seeded
+//! (see DESIGN.md, substitutions table). External traces can still be
+//! loaded from CSV/JSON via [`io`].
+//!
+//! * [`gen`] — the [`TraceConfig`](gen::TraceConfig) generator,
+//! * [`trace`] — the dense `[slot][app][edge]` demand tensor,
+//! * [`stats`] — imbalance / burstiness / periodicity diagnostics used by
+//!   tests and by EXPERIMENTS.md to document each run's workload,
+//! * [`io`] — CSV and JSON (de)serialisation.
+
+pub mod gen;
+pub mod io;
+pub mod stats;
+pub mod trace;
+pub mod transform;
+
+pub use gen::TraceConfig;
+pub use stats::TraceStats;
+pub use trace::Trace;

@@ -1,0 +1,120 @@
+//! Workload diagnostics.
+//!
+//! EXPERIMENTS.md documents every run's workload with these statistics, and
+//! the generator tests use them to verify the knobs do what they claim.
+
+use serde::{Deserialize, Serialize};
+
+use birp_models::EdgeId;
+
+use crate::trace::Trace;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    pub total_requests: u64,
+    pub mean_per_slot: f64,
+    pub peak_per_slot: u64,
+    /// Peak-to-mean ratio of per-slot totals (burstiness indicator).
+    pub peak_to_mean: f64,
+    /// Max-to-mean ratio of per-edge totals (spatial imbalance; 1 = uniform).
+    pub edge_imbalance: f64,
+    /// Gini coefficient of per-edge totals in [0, 1).
+    pub edge_gini: f64,
+}
+
+impl TraceStats {
+    pub fn compute(trace: &Trace) -> Self {
+        let slots = trace.num_slots().max(1);
+        let total = trace.total();
+        let mean_per_slot = total as f64 / slots as f64;
+        let peak = (0..trace.num_slots()).map(|t| trace.slot_total(t)).max().unwrap_or(0);
+
+        let per_edge: Vec<u64> = (0..trace.num_edges())
+            .map(|e| (0..trace.num_slots()).map(|t| trace.slot_edge_total(t, EdgeId(e))).sum())
+            .collect();
+        let edge_mean = per_edge.iter().sum::<u64>() as f64 / per_edge.len().max(1) as f64;
+        let edge_max = per_edge.iter().copied().max().unwrap_or(0) as f64;
+
+        TraceStats {
+            total_requests: total,
+            mean_per_slot,
+            peak_per_slot: peak,
+            peak_to_mean: if mean_per_slot > 0.0 { peak as f64 / mean_per_slot } else { 0.0 },
+            edge_imbalance: if edge_mean > 0.0 { edge_max / edge_mean } else { 0.0 },
+            edge_gini: gini(&per_edge),
+        }
+    }
+}
+
+/// Gini coefficient of a non-negative sample.
+pub fn gini(values: &[u64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: u64 = values.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = values.to_vec();
+    sorted.sort_unstable();
+    // G = (2 sum_i i*x_i) / (n sum x) - (n + 1)/n  with 1-based i.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birp_models::AppId;
+
+    #[test]
+    fn gini_of_uniform_is_zero() {
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gini_of_concentrated_is_high() {
+        let g = gini(&[0, 0, 0, 100]);
+        assert!(g > 0.7, "g={g}");
+        assert!(g < 1.0);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini(&[1, 2, 3, 4]);
+        let b = gini(&[10, 20, 30, 40]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_hand_built_trace() {
+        let mut t = Trace::zeros(2, 1, 2);
+        t.set_demand(0, AppId(0), EdgeId(0), 10);
+        t.set_demand(1, AppId(0), EdgeId(0), 30);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.total_requests, 40);
+        assert_eq!(s.peak_per_slot, 30);
+        assert!((s.mean_per_slot - 20.0).abs() < 1e-12);
+        assert!((s.peak_to_mean - 1.5).abs() < 1e-12);
+        // Edge 0 has everything: imbalance = max/mean = 40/20 = 2.
+        assert!((s.edge_imbalance - 2.0).abs() < 1e-12);
+        assert!(s.edge_gini > 0.4);
+    }
+
+    #[test]
+    fn stats_on_empty_trace() {
+        let t = Trace::zeros(3, 2, 2);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.total_requests, 0);
+        assert_eq!(s.peak_to_mean, 0.0);
+        assert_eq!(s.edge_imbalance, 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The dense demand tensor `r^t_{ik}`.
+
+use birp_models::{AppId, EdgeId};
+use serde::{Deserialize, Serialize};
+
+/// Demand of every (application, edge) pair over a horizon of slots.
+///
+/// This is the paper's `r^t_{ik}`: the number of inference requests of
+/// application `i` generated in edge `k`'s region during slot `t`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    num_slots: usize,
+    num_apps: usize,
+    num_edges: usize,
+    /// Flattened `[t][app][edge]`.
+    demand: Vec<u32>,
+}
+
+impl Trace {
+    /// An all-zero trace of the given shape.
+    pub fn zeros(num_slots: usize, num_apps: usize, num_edges: usize) -> Self {
+        Trace {
+            num_slots,
+            num_apps,
+            num_edges,
+            demand: vec![0; num_slots * num_apps * num_edges],
+        }
+    }
+
+    /// Build from a flattened `[t][app][edge]` vector.
+    ///
+    /// # Panics
+    /// Panics if the vector length does not match the shape.
+    pub fn from_flat(num_slots: usize, num_apps: usize, num_edges: usize, demand: Vec<u32>) -> Self {
+        assert_eq!(
+            demand.len(),
+            num_slots * num_apps * num_edges,
+            "flat demand length mismatch"
+        );
+        Trace { num_slots, num_apps, num_edges, demand }
+    }
+
+    #[inline]
+    fn idx(&self, t: usize, a: usize, e: usize) -> usize {
+        debug_assert!(t < self.num_slots && a < self.num_apps && e < self.num_edges);
+        (t * self.num_apps + a) * self.num_edges + e
+    }
+
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    pub fn num_apps(&self) -> usize {
+        self.num_apps
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Demand `r^t_{ik}`.
+    #[inline]
+    pub fn demand(&self, t: usize, app: AppId, edge: EdgeId) -> u32 {
+        self.demand[self.idx(t, app.index(), edge.index())]
+    }
+
+    /// Mutable access for generators.
+    #[inline]
+    pub fn set_demand(&mut self, t: usize, app: AppId, edge: EdgeId, value: u32) {
+        let i = self.idx(t, app.index(), edge.index());
+        self.demand[i] = value;
+    }
+
+    /// Total requests in slot `t`.
+    pub fn slot_total(&self, t: usize) -> u64 {
+        let base = t * self.num_apps * self.num_edges;
+        self.demand[base..base + self.num_apps * self.num_edges]
+            .iter()
+            .map(|&v| v as u64)
+            .sum()
+    }
+
+    /// Total requests of app `a` at edge `e` in slot `t`... across all apps,
+    /// per edge: used by imbalance diagnostics.
+    pub fn slot_edge_total(&self, t: usize, edge: EdgeId) -> u64 {
+        (0..self.num_apps).map(|a| self.demand[self.idx(t, a, edge.index())] as u64).sum()
+    }
+
+    /// Grand total over the whole horizon.
+    pub fn total(&self) -> u64 {
+        self.demand.iter().map(|&v| v as u64).sum()
+    }
+
+    /// Iterate `(t, app, edge, demand)` over non-zero cells.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, AppId, EdgeId, u32)> + '_ {
+        (0..self.num_slots).flat_map(move |t| {
+            (0..self.num_apps).flat_map(move |a| {
+                (0..self.num_edges).filter_map(move |e| {
+                    let v = self.demand[self.idx(t, a, e)];
+                    (v > 0).then_some((t, AppId(a), EdgeId(e), v))
+                })
+            })
+        })
+    }
+
+    /// A sub-trace containing slots `[from, to)`.
+    pub fn window(&self, from: usize, to: usize) -> Trace {
+        assert!(from <= to && to <= self.num_slots);
+        let per_slot = self.num_apps * self.num_edges;
+        Trace {
+            num_slots: to - from,
+            num_apps: self.num_apps,
+            num_edges: self.num_edges,
+            demand: self.demand[from * per_slot..to * per_slot].to_vec(),
+        }
+    }
+
+    /// Flat access (used by I/O).
+    pub fn as_flat(&self) -> &[u32] {
+        &self.demand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut t = Trace::zeros(2, 3, 4);
+        t.set_demand(1, AppId(2), EdgeId(3), 17);
+        assert_eq!(t.demand(1, AppId(2), EdgeId(3)), 17);
+        assert_eq!(t.demand(0, AppId(2), EdgeId(3)), 0);
+        assert_eq!(t.demand(1, AppId(2), EdgeId(2)), 0);
+    }
+
+    #[test]
+    fn totals() {
+        let mut t = Trace::zeros(2, 2, 2);
+        t.set_demand(0, AppId(0), EdgeId(0), 5);
+        t.set_demand(0, AppId(1), EdgeId(1), 7);
+        t.set_demand(1, AppId(0), EdgeId(1), 11);
+        assert_eq!(t.slot_total(0), 12);
+        assert_eq!(t.slot_total(1), 11);
+        assert_eq!(t.total(), 23);
+        assert_eq!(t.slot_edge_total(0, EdgeId(1)), 7);
+    }
+
+    #[test]
+    fn nonzero_iteration() {
+        let mut t = Trace::zeros(1, 2, 2);
+        t.set_demand(0, AppId(1), EdgeId(0), 3);
+        let cells: Vec<_> = t.iter_nonzero().collect();
+        assert_eq!(cells, vec![(0, AppId(1), EdgeId(0), 3)]);
+    }
+
+    #[test]
+    fn window_slices_slots() {
+        let mut t = Trace::zeros(3, 1, 1);
+        for s in 0..3 {
+            t.set_demand(s, AppId(0), EdgeId(0), s as u32 + 1);
+        }
+        let w = t.window(1, 3);
+        assert_eq!(w.num_slots(), 2);
+        assert_eq!(w.demand(0, AppId(0), EdgeId(0)), 2);
+        assert_eq!(w.demand(1, AppId(0), EdgeId(0)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat demand length mismatch")]
+    fn from_flat_checks_shape() {
+        Trace::from_flat(2, 2, 2, vec![0; 7]);
+    }
+}

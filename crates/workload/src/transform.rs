@@ -1,0 +1,147 @@
+//! Trace transforms: scale, clip, splice and spike-injection.
+//!
+//! Useful both for stress experiments (inject a flash crowd into a
+//! recorded trace) and for calibrating external traces to the simulator's
+//! capacity scale without regenerating them.
+
+use birp_models::{AppId, EdgeId};
+
+use crate::trace::Trace;
+
+/// Multiply every cell by `factor` (rounding to nearest).
+pub fn scale(trace: &Trace, factor: f64) -> Trace {
+    let mut out = Trace::zeros(trace.num_slots(), trace.num_apps(), trace.num_edges());
+    for t in 0..trace.num_slots() {
+        for a in 0..trace.num_apps() {
+            for e in 0..trace.num_edges() {
+                let v = trace.demand(t, AppId(a), EdgeId(e)) as f64 * factor;
+                out.set_demand(t, AppId(a), EdgeId(e), v.round().max(0.0) as u32);
+            }
+        }
+    }
+    out
+}
+
+/// Clamp every cell to at most `cap` requests.
+pub fn clip(trace: &Trace, cap: u32) -> Trace {
+    let mut out = Trace::zeros(trace.num_slots(), trace.num_apps(), trace.num_edges());
+    for t in 0..trace.num_slots() {
+        for a in 0..trace.num_apps() {
+            for e in 0..trace.num_edges() {
+                out.set_demand(t, AppId(a), EdgeId(e), trace.demand(t, AppId(a), EdgeId(e)).min(cap));
+            }
+        }
+    }
+    out
+}
+
+/// Add a flash crowd: `extra` additional requests of `app` at `edge`
+/// spread uniformly over slots `[from, to)`.
+pub fn inject_spike(trace: &Trace, app: AppId, edge: EdgeId, from: usize, to: usize, extra: u32) -> Trace {
+    let mut out = trace.clone();
+    let to = to.min(trace.num_slots());
+    if from >= to {
+        return out;
+    }
+    let width = (to - from) as u32;
+    let per_slot = extra / width;
+    let mut remainder = extra % width;
+    for t in from..to {
+        let mut add = per_slot;
+        if remainder > 0 {
+            add += 1;
+            remainder -= 1;
+        }
+        if add > 0 {
+            let cur = out.demand(t, app, edge);
+            out.set_demand(t, app, edge, cur + add);
+        }
+    }
+    out
+}
+
+/// Concatenate two traces of identical (apps, edges) shape along time.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn splice(a: &Trace, b: &Trace) -> Trace {
+    assert_eq!(a.num_apps(), b.num_apps(), "app count mismatch");
+    assert_eq!(a.num_edges(), b.num_edges(), "edge count mismatch");
+    let mut out = Trace::zeros(a.num_slots() + b.num_slots(), a.num_apps(), a.num_edges());
+    for (src, offset) in [(a, 0usize), (b, a.num_slots())] {
+        for t in 0..src.num_slots() {
+            for ap in 0..src.num_apps() {
+                for e in 0..src.num_edges() {
+                    out.set_demand(t + offset, AppId(ap), EdgeId(e), src.demand(t, AppId(ap), EdgeId(e)));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceConfig;
+
+    #[test]
+    fn scale_preserves_shape_and_roughly_total() {
+        let t = TraceConfig::small_scale(3).generate();
+        let doubled = scale(&t, 2.0);
+        assert_eq!(doubled.num_slots(), t.num_slots());
+        let ratio = doubled.total() as f64 / t.total() as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+        let zeroed = scale(&t, 0.0);
+        assert_eq!(zeroed.total(), 0);
+    }
+
+    #[test]
+    fn clip_caps_cells() {
+        let t = TraceConfig::small_scale(3).generate();
+        let clipped = clip(&t, 5);
+        for (_, _, _, v) in clipped.iter_nonzero() {
+            assert!(v <= 5);
+        }
+    }
+
+    #[test]
+    fn spike_adds_exactly_extra() {
+        let t = Trace::zeros(10, 1, 2);
+        let spiked = inject_spike(&t, AppId(0), EdgeId(1), 2, 7, 23);
+        assert_eq!(spiked.total(), 23);
+        // Spread over 5 slots: 5,5,5,4,4.
+        let per: Vec<u32> = (2..7).map(|s| spiked.demand(s, AppId(0), EdgeId(1))).collect();
+        assert_eq!(per.iter().sum::<u32>(), 23);
+        assert!(per.iter().all(|&v| v == 4 || v == 5));
+        // Nothing outside the window.
+        assert_eq!(spiked.demand(0, AppId(0), EdgeId(1)), 0);
+        assert_eq!(spiked.demand(7, AppId(0), EdgeId(1)), 0);
+    }
+
+    #[test]
+    fn spike_with_empty_window_is_identity() {
+        let t = TraceConfig::small_scale(3).generate();
+        let same = inject_spike(&t, AppId(0), EdgeId(0), 5, 5, 100);
+        assert_eq!(same, t);
+    }
+
+    #[test]
+    fn splice_concatenates() {
+        let cfg = TraceConfig { num_slots: 4, ..TraceConfig::small_scale(1) };
+        let a = cfg.generate();
+        let b = TraceConfig { num_slots: 3, seed: 2, ..cfg }.generate();
+        let s = splice(&a, &b);
+        assert_eq!(s.num_slots(), 7);
+        assert_eq!(s.total(), a.total() + b.total());
+        assert_eq!(s.demand(5, AppId(0), EdgeId(0)), b.demand(1, AppId(0), EdgeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge count mismatch")]
+    fn splice_checks_shapes() {
+        let a = Trace::zeros(1, 1, 2);
+        let b = Trace::zeros(1, 1, 3);
+        splice(&a, &b);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for trace generation and I/O.
+
+use birp_workload::{gen::TraceConfig, io, stats::TraceStats, Trace};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = TraceConfig> {
+    (
+        0u64..1000,
+        1usize..40,
+        1usize..4,
+        1usize..7,
+        0.0f64..30.0,
+        0.0f64..0.95,
+        0.0f64..1.5,
+        0.0f64..0.8,
+    )
+        .prop_map(|(seed, slots, apps, edges, rate, amp, imb, burst)| TraceConfig {
+            seed,
+            num_slots: slots,
+            num_apps: apps,
+            num_edges: edges,
+            mean_rate: rate,
+            diurnal_amplitude: amp,
+            period: 96,
+            imbalance: imb,
+            burstiness: burst,
+            app_weights: Vec::new(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generation is a pure function of the config.
+    #[test]
+    fn generation_deterministic(cfg in arb_config()) {
+        prop_assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    /// JSON round-trips exactly.
+    #[test]
+    fn json_roundtrip(cfg in arb_config()) {
+        let t = cfg.generate();
+        let back = io::from_json(&io::to_json(&t).unwrap()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// CSV round-trips exactly when the shape is pinned.
+    #[test]
+    fn csv_roundtrip(cfg in arb_config()) {
+        let t = cfg.generate();
+        let back = io::from_csv(&io::to_csv(&t), Some((t.num_slots(), t.num_apps(), t.num_edges()))).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// Stats never produce NaN / negative nonsense.
+    #[test]
+    fn stats_are_sane(cfg in arb_config()) {
+        let t = cfg.generate();
+        let s = TraceStats::compute(&t);
+        prop_assert!(s.mean_per_slot >= 0.0);
+        prop_assert!(s.peak_to_mean >= 0.0);
+        prop_assert!(s.edge_gini >= -1e-12 && s.edge_gini < 1.0);
+        prop_assert!(s.edge_imbalance >= 0.0);
+        prop_assert_eq!(s.total_requests,
+            (0..t.num_slots()).map(|x| t.slot_total(x)).sum::<u64>());
+    }
+
+    /// Windowing preserves cell values.
+    #[test]
+    fn window_preserves_cells(cfg in arb_config(), cut in 0usize..10) {
+        let t = cfg.generate();
+        let from = cut.min(t.num_slots());
+        let w = t.window(from, t.num_slots());
+        prop_assert_eq!(w.num_slots(), t.num_slots() - from);
+        for s in 0..w.num_slots() {
+            for a in 0..t.num_apps() {
+                for e in 0..t.num_edges() {
+                    prop_assert_eq!(
+                        w.demand(s, birp_models::AppId(a), birp_models::EdgeId(e)),
+                        t.demand(s + from, birp_models::AppId(a), birp_models::EdgeId(e))
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_shapes_are_fine() {
+    let t = Trace::zeros(0, 0, 0);
+    assert_eq!(t.total(), 0);
+    let s = TraceStats::compute(&t);
+    assert_eq!(s.total_requests, 0);
+}

@@ -1,0 +1,52 @@
+//! Quickstart: schedule one busy hour on the paper's 6-edge testbed.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the small-scale scenario (1 application, 3 model versions,
+//! 2x Jetson NX + 2x Jetson Nano + 2x Atlas 200DK), generates a bursty
+//! diurnal workload trace, runs the BIRP scheduler for 24 slots and prints
+//! the headline metrics.
+
+use birp::core::{run_scheduler, Birp, RunConfig};
+use birp::mab::MabConfig;
+use birp::models::Catalog;
+use birp::workload::{TraceConfig, TraceStats};
+
+fn main() {
+    let seed = 42;
+    let catalog = Catalog::small_scale(seed);
+    println!("edge collaborative system:");
+    for e in &catalog.edges {
+        println!(
+            "  {:<16} mem {:>5.0} MB  bw {:>5.1} Mbps  gamma(ms) {:?}",
+            e.name,
+            e.memory_mb,
+            e.bandwidth_mbps,
+            e.gamma_ms.iter().map(|g| g.round()).collect::<Vec<_>>()
+        );
+    }
+
+    let trace = TraceConfig { num_slots: 24, ..TraceConfig::small_scale(seed) }.generate();
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "\nworkload: {} requests over {} slots (peak/mean {:.2}, edge imbalance {:.2})",
+        stats.total_requests,
+        trace.num_slots(),
+        stats.peak_to_mean,
+        stats.edge_imbalance
+    );
+
+    let mut birp = Birp::new(catalog.clone(), MabConfig::paper_preset());
+    let result = run_scheduler(&catalog, &trace, &mut birp, &RunConfig::default());
+
+    let m = &result.metrics;
+    println!("\nBIRP results:");
+    println!("  served               {:>8}", m.served);
+    println!("  dropped              {:>8}", m.dropped);
+    println!("  total inference loss {:>11.2}", m.total_loss);
+    println!("  SLO failure rate     {:>10.2}%", m.failure_rate_pct);
+    println!("  median completion    {:>10.3} (x slot)", m.cdf.quantile(0.5));
+    println!("  p95 completion       {:>10.3} (x slot)", m.cdf.quantile(0.95));
+}

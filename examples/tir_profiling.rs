@@ -1,0 +1,36 @@
+//! Offline TIR profiling: reproduce the paper's Fig. 2 measurement +
+//! piecewise-fit procedure on the simulated Jetson Nano.
+//!
+//! ```bash
+//! cargo run --release --example tir_profiling
+//! ```
+
+use birp::core::experiments::fig2_experiment;
+
+fn main() {
+    let results = fig2_experiment(11, 16, 5);
+    for r in &results {
+        println!("model {}", r.model);
+        println!(
+            "  ground truth : TIR = b^{:.2} for b <= {}, {:.2} beyond",
+            r.truth.eta, r.truth.beta, r.truth.c
+        );
+        println!(
+            "  fitted       : TIR = b^{:.2} for b <= {}, {:.2} beyond (rmse {:.4}, {} samples)",
+            r.fit.params.eta,
+            r.fit.params.beta,
+            r.fit.params.c,
+            r.fit.rmse(),
+            r.fit.n
+        );
+        // Mean measured TIR per batch size (the raw dots of Fig. 2).
+        print!("  measured TIR :");
+        for b in [1u32, 2, 4, 8, 12, 16] {
+            let vals: Vec<f64> =
+                r.samples.iter().filter(|s| s.batch == b).map(|s| s.tir).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+            print!(" b={b}:{mean:.2}");
+        }
+        println!("\n");
+    }
+}

@@ -1,0 +1,28 @@
+//! # birp
+//!
+//! Facade crate for the BIRP reproduction (ICPP 2023: *Batch-aware Inference
+//! Workload Redistribution and Parallel Scheme for Edge Collaboration*).
+//!
+//! Re-exports every subsystem crate under a stable prefix:
+//!
+//! * [`solver`] — LP / MILP / linearised-MIQP engine (replaces Gurobi),
+//! * [`tir`] — the Throughput Improvement Ratio model and fitting,
+//! * [`mab`] — online TIR hyper-parameter tuning (Eqs. 15–23),
+//! * [`models`] — application / model-version catalog and device profiles,
+//! * [`workload`] — inference workload trace generation and I/O,
+//! * [`sim`] — the edge-collaborative-system simulator,
+//! * [`core`] — the BIRP scheduler, the OAEI / BIRP-OFF / MAX baselines and
+//!   the experiment runner.
+//!
+//! See `examples/quickstart.rs` for the 60-second tour.
+
+pub use birp_core as core;
+pub use birp_mab as mab;
+pub use birp_models as models;
+pub use birp_sim as sim;
+pub use birp_solver as solver;
+pub use birp_tir as tir;
+pub use birp_workload as workload;
+
+/// Crate version of the facade (mirrors the workspace version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

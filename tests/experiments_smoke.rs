@@ -1,0 +1,56 @@
+//! Smoke tests for every experiment entry point (scaled down) — each
+//! table/figure harness must run end to end and produce sane records.
+
+use birp::core::experiments::{
+    epsilon_sweep, fig2_experiment, table1_experiment, SweepConfig,
+};
+
+#[test]
+fn table1_harness() {
+    let rows = table1_experiment(1, 40);
+    assert_eq!(rows.len(), 8);
+    for r in &rows {
+        assert!(r.measured.avg_fps > 0.0);
+        assert!((0.0..=100.0).contains(&r.measured.cpu_pct));
+        // FPS within 15% of the published number even at 40 windows.
+        assert!((r.measured.avg_fps - r.reference_fps).abs() / r.reference_fps < 0.15);
+    }
+}
+
+#[test]
+fn fig2_harness() {
+    let results = fig2_experiment(5, 12, 3);
+    assert_eq!(results.len(), 3);
+    for r in &results {
+        assert!(r.fit.params.is_valid(), "{}: {:?}", r.model, r.fit.params);
+        assert_eq!(r.samples.len(), 12 * 3);
+        // TIR at batch 1 must be ~1 by construction.
+        let b1: Vec<f64> = r.samples.iter().filter(|s| s.batch == 1).map(|s| s.tir).collect();
+        let mean = b1.iter().sum::<f64>() / b1.len() as f64;
+        assert!((mean - 1.0).abs() < 0.1, "{}: batch-1 TIR {mean}", r.model);
+    }
+}
+
+#[test]
+fn sweep_harness() {
+    let mut cfg = SweepConfig::quick(3, 8);
+    cfg.eps1_grid = vec![0.04];
+    cfg.eps2_grid = vec![0.07];
+    cfg.trace.mean_rate = 5.0;
+    let result = epsilon_sweep(&cfg);
+    assert_eq!(result.points.len(), 1);
+    let p = &result.points[0];
+    assert_eq!(p.eps1, 0.04);
+    assert_eq!(p.eps2, 0.07);
+    assert!(p.delta_loss.iter().all(|(_, d)| d.is_finite()));
+}
+
+#[test]
+fn experiment_records_serialize() {
+    let rows = table1_experiment(1, 10);
+    let json = serde_json::to_string(&rows).unwrap();
+    assert!(json.contains("Yolov4-t"));
+    let results = fig2_experiment(5, 6, 2);
+    let json = serde_json::to_string(&results).unwrap();
+    assert!(json.contains("LeNet"));
+}

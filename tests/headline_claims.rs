@@ -1,0 +1,75 @@
+//! Scaled-down checks of the paper's headline claims (Section 5.4).
+//!
+//! These runs are shorter than the paper's 300 slots to keep CI fast, but
+//! long enough that the *qualitative ordering* must already hold:
+//!
+//! * BIRP's total inference loss beats OAEI's (paper: >= 32.9 % reduction),
+//! * BIRP's SLO failure rate beats OAEI's (paper: reduced to 19.8 %),
+//! * BIRP tracks the BIRP-OFF oracle (the MAB tuning module works),
+//! * MAX pays for utilisation-maximising small models with high loss.
+
+use birp::core::experiments::{compare_schedulers, ComparisonConfig, SchedulerKind};
+
+fn loss(results: &[birp::core::experiments::ComparisonResult], k: SchedulerKind) -> f64 {
+    results.iter().find(|r| r.kind == k).unwrap().run.metrics.total_loss
+}
+
+fn fail_pct(results: &[birp::core::experiments::ComparisonResult], k: SchedulerKind) -> f64 {
+    results.iter().find(|r| r.kind == k).unwrap().run.metrics.failure_rate_pct
+}
+
+#[test]
+fn small_scale_qualitative_ordering() {
+    let mut cfg = ComparisonConfig::small_scale(42, 40);
+    cfg.trace.mean_rate = 6.5;
+    let results = compare_schedulers(&cfg);
+
+    let birp = loss(&results, SchedulerKind::Birp);
+    let birp_off = loss(&results, SchedulerKind::BirpOff);
+    let oaei = loss(&results, SchedulerKind::Oaei);
+    let max = loss(&results, SchedulerKind::Max);
+
+    // The paper's Fig. 6c ordering.
+    assert!(birp < oaei, "BIRP loss {birp} must beat OAEI {oaei}");
+    assert!(birp_off < oaei, "BIRP-OFF loss {birp_off} must beat OAEI {oaei}");
+    assert!(birp < max, "BIRP loss {birp} must beat MAX {max}");
+
+    // BIRP's exploration overhead vs the oracle stays bounded (Fig. 6c
+    // shows the gap shrinking toward zero).
+    assert!(
+        birp <= birp_off * 1.35,
+        "BIRP {birp} strays too far from the oracle {birp_off}"
+    );
+}
+
+#[test]
+fn small_scale_slo_ordering() {
+    let mut cfg = ComparisonConfig::small_scale(42, 40);
+    cfg.trace.mean_rate = 6.5;
+    let results = compare_schedulers(&cfg);
+    let birp = fail_pct(&results, SchedulerKind::Birp);
+    let oaei = fail_pct(&results, SchedulerKind::Oaei);
+    assert!(
+        birp <= oaei,
+        "BIRP p% {birp} must not exceed OAEI p% {oaei} (paper: 1.9% vs 10.0%)"
+    );
+}
+
+#[test]
+fn large_scale_loss_reduction() {
+    let mut cfg = ComparisonConfig::large_scale(42, 8);
+    cfg.trace.mean_rate = 2.2;
+    let results = compare_schedulers(&cfg);
+    let birp = loss(&results, SchedulerKind::Birp);
+    let oaei = loss(&results, SchedulerKind::Oaei);
+    assert!(
+        birp < oaei,
+        "large scale: BIRP loss {birp} must beat OAEI {oaei} (paper: 32.3% reduction)"
+    );
+    let birp_p = fail_pct(&results, SchedulerKind::Birp);
+    let oaei_p = fail_pct(&results, SchedulerKind::Oaei);
+    assert!(
+        birp_p <= oaei_p,
+        "large scale: BIRP p% {birp_p} must not exceed OAEI p% {oaei_p}"
+    );
+}

@@ -1,0 +1,102 @@
+//! End-to-end integration: catalog -> trace -> scheduler -> simulator ->
+//! metrics, across every scheduler, with the cross-crate invariants that
+//! must hold regardless of algorithm:
+//!
+//! 1. request conservation: offered == served + dropped,
+//! 2. every emitted schedule is structurally feasible,
+//! 3. metrics are internally consistent.
+
+use birp::core::{run_scheduler, Birp, BirpOff, MaxBatch, Oaei, RunConfig, Scheduler};
+use birp::mab::MabConfig;
+use birp::models::Catalog;
+use birp::sim::SimConfig;
+use birp::workload::TraceConfig;
+
+fn schedulers(catalog: &Catalog) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Birp::new(catalog.clone(), MabConfig::paper_preset())),
+        Box::new(BirpOff::new(catalog.clone())),
+        Box::new(Oaei::new(catalog.clone(), 5)),
+        Box::new(MaxBatch::paper_default(catalog.clone())),
+    ]
+}
+
+#[test]
+fn every_scheduler_survives_a_small_scale_run() {
+    let catalog = Catalog::small_scale(42);
+    let trace = TraceConfig { num_slots: 10, ..TraceConfig::small_scale(7) }.generate();
+    for mut s in schedulers(&catalog) {
+        let r = run_scheduler(&catalog, &trace, s.as_mut(), &RunConfig::default());
+        assert_eq!(
+            r.metrics.served + r.metrics.dropped,
+            r.offered,
+            "{}: conservation broken",
+            r.scheduler
+        );
+        assert_eq!(r.metrics.loss_per_slot.len(), 10, "{}", r.scheduler);
+        assert!(
+            r.metrics.cdf.len() as u64 == r.metrics.served,
+            "{}: CDF samples {} != served {}",
+            r.scheduler,
+            r.metrics.cdf.len(),
+            r.metrics.served
+        );
+        // Cumulative loss is non-decreasing.
+        for w in r.metrics.cumulative_loss.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "{}: cumulative loss decreased", r.scheduler);
+        }
+        // p% consistent with counters.
+        let expected_pct =
+            100.0 * r.metrics.slo_failures as f64 / (r.metrics.served + r.metrics.dropped) as f64;
+        assert!((r.metrics.failure_rate_pct - expected_pct).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn large_scale_smoke() {
+    let catalog = Catalog::large_scale(42);
+    let trace = TraceConfig { num_slots: 3, mean_rate: 1.5, ..TraceConfig::large_scale(7) }.generate();
+    for mut s in schedulers(&catalog) {
+        let r = run_scheduler(&catalog, &trace, s.as_mut(), &RunConfig::default());
+        assert_eq!(r.metrics.served + r.metrics.dropped, r.offered, "{}", r.scheduler);
+    }
+}
+
+#[test]
+fn deterministic_across_repeats() {
+    let catalog = Catalog::small_scale(42);
+    let trace = TraceConfig { num_slots: 6, ..TraceConfig::small_scale(9) }.generate();
+    let run = |seed: u64| {
+        let mut s = Birp::new(catalog.clone(), MabConfig::paper_preset());
+        let cfg = RunConfig { sim: SimConfig { seed, ..Default::default() }, ..Default::default() };
+        run_scheduler(&catalog, &trace, &mut s, &cfg)
+    };
+    let a = run(1);
+    let b = run(1);
+    assert_eq!(a.metrics.total_loss, b.metrics.total_loss);
+    assert_eq!(a.metrics.served, b.metrics.served);
+    assert_eq!(a.metrics.slo_failures, b.metrics.slo_failures);
+    // Different sim seed -> different noise -> (almost surely) different CDF.
+    let c = run(2);
+    assert_eq!(a.metrics.served + a.metrics.dropped, c.metrics.served + c.metrics.dropped);
+}
+
+#[test]
+fn batching_beats_serial_execution_on_identical_decisions() {
+    // Direct A/B: the same workload executed by BIRP (batched) finishes
+    // earlier in distribution than OAEI (serial) under identical pressure.
+    let catalog = Catalog::small_scale(42);
+    let trace =
+        TraceConfig { num_slots: 8, mean_rate: 8.0, ..TraceConfig::small_scale(3) }.generate();
+    let mut birp = BirpOff::new(catalog.clone());
+    let birp_run = run_scheduler(&catalog, &trace, &mut birp, &RunConfig::default());
+    let mut oaei = Oaei::new(catalog.clone(), 3);
+    let oaei_run = run_scheduler(&catalog, &trace, &mut oaei, &RunConfig::default());
+    // The batched scheduler should not fail SLOs more often.
+    assert!(
+        birp_run.metrics.failure_rate_pct <= oaei_run.metrics.failure_rate_pct + 1.0,
+        "batched p% {} vs serial p% {}",
+        birp_run.metrics.failure_rate_pct,
+        oaei_run.metrics.failure_rate_pct
+    );
+}
