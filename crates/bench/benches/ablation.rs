@@ -34,7 +34,10 @@ fn bench_dive_ablation(c: &mut Criterion) {
         b.iter(|| black_box(problem.solve(&SolverConfig::scheduling())))
     });
     g.bench_function("without_dive", |b| {
-        let cfg = SolverConfig { root_dive: false, ..SolverConfig::scheduling() };
+        let cfg = SolverConfig {
+            root_dive: false,
+            ..SolverConfig::scheduling()
+        };
         b.iter(|| black_box(problem.solve(&cfg)))
     });
     g.finish();
@@ -42,7 +45,10 @@ fn bench_dive_ablation(c: &mut Criterion) {
     // Report solution quality difference once.
     let with = problem.solve(&SolverConfig::scheduling()).unwrap().1;
     let without = problem
-        .solve(&SolverConfig { root_dive: false, ..SolverConfig::scheduling() })
+        .solve(&SolverConfig {
+            root_dive: false,
+            ..SolverConfig::scheduling()
+        })
         .unwrap()
         .1;
     println!(
@@ -69,9 +75,24 @@ fn bench_estimate_ablation(c: &mut Criterion) {
     g.finish();
 
     let p_lcb = SlotProblem::build(&catalog, 0, &demand, &lcb, None, &ProblemConfig::default());
-    let p_orc = SlotProblem::build(&catalog, 0, &demand, &oracle, None, &ProblemConfig::default());
-    let o1 = p_lcb.solve(&SolverConfig::scheduling()).unwrap().1.objective;
-    let o2 = p_orc.solve(&SolverConfig::scheduling()).unwrap().1.objective;
+    let p_orc = SlotProblem::build(
+        &catalog,
+        0,
+        &demand,
+        &oracle,
+        None,
+        &ProblemConfig::default(),
+    );
+    let o1 = p_lcb
+        .solve(&SolverConfig::scheduling())
+        .unwrap()
+        .1
+        .objective;
+    let o2 = p_orc
+        .solve(&SolverConfig::scheduling())
+        .unwrap()
+        .1
+        .objective;
     println!("\nablation_estimates objective: initial LCB {o1:.2} vs oracle {o2:.2}\n");
 }
 
@@ -100,5 +121,10 @@ fn bench_taylor_vs_exact(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dive_ablation, bench_estimate_ablation, bench_taylor_vs_exact);
+criterion_group!(
+    benches,
+    bench_dive_ablation,
+    bench_estimate_ablation,
+    bench_taylor_vs_exact
+);
 criterion_main!(benches);

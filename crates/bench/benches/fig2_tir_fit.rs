@@ -26,7 +26,9 @@ fn bench_fig2(c: &mut Criterion) {
     // Pure fitting cost on a synthetic 80-sample cloud.
     let truth = TirParams::consistent(0.22, 9);
     let samples: Vec<TirSample> = (1..=16u32)
-        .flat_map(|bb| (0..5).map(move |r| TirSample::new(bb, truth.tir(bb) * (1.0 + 0.001 * r as f64))))
+        .flat_map(|bb| {
+            (0..5).map(move |r| TirSample::new(bb, truth.tir(bb) * (1.0 + 0.001 * r as f64)))
+        })
         .collect();
     c.bench_function("fig2/fit_piecewise_80_samples", |b| {
         b.iter(|| black_box(fit_piecewise(&samples)))

@@ -15,7 +15,10 @@ fn print_surface_once() {
         println!("  t = {t}:");
         for p in &result.points {
             let d = p.delta_loss.iter().find(|(ct, _)| *ct == t).unwrap().1;
-            println!("    eps1={:.2} eps2={:.2}  dLoss={:>9.2}", p.eps1, p.eps2, d);
+            println!(
+                "    eps1={:.2} eps2={:.2}  dLoss={:>9.2}",
+                p.eps1, p.eps2, d
+            );
         }
     }
     println!();

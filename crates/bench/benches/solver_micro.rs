@@ -47,7 +47,10 @@ fn knapsack(n: usize) -> MilpProblem {
     let weights: Vec<(usize, f64)> = (0..n).map(|i| (i, ((i * 17) % 7) as f64 + 1.0)).collect();
     let cap: f64 = weights.iter().map(|(_, w)| w).sum::<f64>() * 0.4;
     lp.push_row(weights, RowCmp::Le, cap);
-    MilpProblem { lp, integers: (0..n).collect() }
+    MilpProblem {
+        lp,
+        integers: (0..n).collect(),
+    }
 }
 
 fn bench_simplex(c: &mut Criterion) {
@@ -60,7 +63,9 @@ fn bench_simplex(c: &mut Criterion) {
     }
     // The reference oracle is only worth timing on the small instance.
     let lp = random_lp(40, 25, 42);
-    g.bench_function("reference_40x25", |b| b.iter(|| black_box(solve_reference(&lp))));
+    g.bench_function("reference_40x25", |b| {
+        b.iter(|| black_box(solve_reference(&lp)))
+    });
     g.finish();
 }
 
@@ -77,7 +82,10 @@ fn bench_bnb(c: &mut Criterion) {
         b.iter(|| {
             black_box(branch_and_bound(
                 &p,
-                &BnbConfig { parallel: true, ..Default::default() },
+                &BnbConfig {
+                    parallel: true,
+                    ..Default::default()
+                },
             ))
         })
     });

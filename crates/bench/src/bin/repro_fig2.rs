@@ -18,11 +18,20 @@ fn main() {
         );
         println!(
             "truth  : TIR = b^{:.2}, b <= {}   |   TIR = {:.2}, b > {}   (rmse {:.4})",
-            r.truth.eta, r.truth.beta, r.truth.c, r.truth.beta, r.fit.rmse()
+            r.truth.eta,
+            r.truth.beta,
+            r.truth.c,
+            r.truth.beta,
+            r.fit.rmse()
         );
         println!("batch-size -> mean measured TIR (raw dots):");
         for b in 1..=16u32 {
-            let vals: Vec<f64> = r.samples.iter().filter(|s| s.batch == b).map(|s| s.tir).collect();
+            let vals: Vec<f64> = r
+                .samples
+                .iter()
+                .filter(|s| s.batch == b)
+                .map(|s| s.tir)
+                .collect();
             let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
             let fitted = r.fit.params.tir(b);
             println!("  b={b:>2}  measured {mean:>5.3}  fitted {fitted:>5.3}");

@@ -11,7 +11,10 @@ use birp_core::experiments::{compare_schedulers, ComparisonConfig};
 
 fn main() {
     let cfg = ComparisonConfig::small_scale(42, 300);
-    eprintln!("running {} schedulers over 300 slots...", cfg.schedulers.len());
+    eprintln!(
+        "running {} schedulers over 300 slots...",
+        cfg.schedulers.len()
+    );
     let results = compare_schedulers(&cfg);
 
     println!("--- Fig. 6a: completion-time CDF (x = completed time / slot) ---");

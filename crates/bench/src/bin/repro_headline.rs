@@ -7,11 +7,18 @@
 //! * BIRP tracks BIRP-OFF closely (the tuning module works).
 //!
 //! ```bash
-//! cargo run --release -p birp-bench --bin repro-headline
+//! cargo run --release -p birp-bench --bin repro-headline [-- --fresh]
 //! ```
+//!
+//! By default a cached `results/fig6.json` / `fig7.json` is reused to avoid
+//! re-running the 300-slot comparisons; `--fresh` forces live runs, which
+//! additionally capture the solver/MAB telemetry aggregates into
+//! `results/headline.json` (cached figures predate the run, so they carry
+//! none).
 
 use birp_bench::write_json;
 use birp_core::experiments::{compare_schedulers, ComparisonConfig, SchedulerKind};
+use birp_telemetry as telemetry;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,10 +31,24 @@ struct Headline {
     oaei_fail_pct: f64,
     fail_ratio_pct: f64,
     birp_off_loss: Option<f64>,
+    /// Counter/histogram snapshot of the comparison run (solver pivots and
+    /// nodes, MAB pulls and LCB widths, runner latencies). `None` when the
+    /// figures were reused from a cached `fig6`/`fig7.json` — the cache
+    /// predates the run, so there is nothing fresh to aggregate.
+    telemetry: Option<telemetry::TelemetrySummary>,
 }
 
 fn evaluate(scale: &'static str, cfg: &ComparisonConfig) -> Headline {
+    // Aggregate counters/histograms only (NullSink: no event stream). The
+    // snapshot spans every scheduler in the comparison, which is the point —
+    // it characterises what the whole experiment cost.
+    telemetry::init(
+        std::sync::Arc::new(telemetry::NullSink),
+        telemetry::Level::Error,
+    );
     let results = compare_schedulers(cfg);
+    let snapshot = telemetry::summary();
+    telemetry::reset();
     let get = |k: SchedulerKind| results.iter().find(|r| r.kind == k);
     let birp = get(SchedulerKind::Birp).expect("BIRP run");
     let oaei = get(SchedulerKind::Oaei).expect("OAEI run");
@@ -42,19 +63,30 @@ fn evaluate(scale: &'static str, cfg: &ComparisonConfig) -> Headline {
         loss_reduction_pct: 100.0 * (1.0 - birp_loss / oaei_loss),
         birp_fail_pct: birp_fail,
         oaei_fail_pct: oaei_fail,
-        fail_ratio_pct: if oaei_fail > 0.0 { 100.0 * birp_fail / oaei_fail } else { f64::NAN },
+        fail_ratio_pct: if oaei_fail > 0.0 {
+            100.0 * birp_fail / oaei_fail
+        } else {
+            f64::NAN
+        },
         birp_off_loss: get(SchedulerKind::BirpOff).map(|r| r.run.metrics.total_loss),
+        telemetry: Some(snapshot),
     }
 }
 
 fn report(h: &Headline) {
     println!("--- {} scale ---", h.scale);
-    println!("  BIRP loss {:>10.1}   OAEI loss {:>10.1}", h.birp_loss, h.oaei_loss);
+    println!(
+        "  BIRP loss {:>10.1}   OAEI loss {:>10.1}",
+        h.birp_loss, h.oaei_loss
+    );
     println!(
         "  loss reduction vs OAEI: {:>6.1}%   (paper: >= 32.9%, Fig. 7c: 32.3%)",
         h.loss_reduction_pct
     );
-    println!("  BIRP p% {:>6.2}   OAEI p% {:>6.2}", h.birp_fail_pct, h.oaei_fail_pct);
+    println!(
+        "  BIRP p% {:>6.2}   OAEI p% {:>6.2}",
+        h.birp_fail_pct, h.oaei_fail_pct
+    );
     println!(
         "  SLO failure ratio BIRP/OAEI: {:>6.1}%   (paper: 19.8%)",
         h.fail_ratio_pct
@@ -67,17 +99,26 @@ fn report(h: &Headline) {
             100.0 * (h.birp_loss / off - 1.0)
         );
     }
+    if let Some(t) = &h.telemetry {
+        println!(
+            "  solver: {} solves, {} B&B nodes, {} pivots   MAB: {} pulls",
+            t.counter("solver.solves").unwrap_or(0),
+            t.counter("solver.nodes").unwrap_or(0),
+            t.counter("solver.pivots").unwrap_or(0),
+            t.counter("mab.pulls").unwrap_or(0),
+        );
+    }
     println!();
 }
 
 /// Reuse a previously generated `repro-fig6` / `repro-fig7` record when
 /// available, so the headline check does not re-run 300-slot comparisons.
-fn load_or_run(
-    scale: &'static str,
-    cached: &str,
-    cfg: &ComparisonConfig,
-) -> Headline {
+fn load_or_run(scale: &'static str, cached: &str, cfg: &ComparisonConfig, fresh: bool) -> Headline {
     let path = birp_bench::results_dir().join(format!("{cached}.json"));
+    if fresh {
+        eprintln!("--fresh: running the {scale}-scale comparison...");
+        return evaluate(scale, cfg);
+    }
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(results) =
             serde_json::from_str::<Vec<birp_core::experiments::ComparisonResult>>(&text)
@@ -102,6 +143,7 @@ fn load_or_run(
                         f64::NAN
                     },
                     birp_off_loss: get(SchedulerKind::BirpOff).map(|r| r.run.metrics.total_loss),
+                    telemetry: None,
                 };
             }
         }
@@ -111,8 +153,19 @@ fn load_or_run(
 }
 
 fn main() {
-    let small = load_or_run("small", "fig6", &ComparisonConfig::small_scale(42, 300));
-    let large = load_or_run("large", "fig7", &ComparisonConfig::large_scale(42, 300));
+    let fresh = std::env::args().any(|a| a == "--fresh");
+    let small = load_or_run(
+        "small",
+        "fig6",
+        &ComparisonConfig::small_scale(42, 300),
+        fresh,
+    );
+    let large = load_or_run(
+        "large",
+        "fig7",
+        &ComparisonConfig::large_scale(42, 300),
+        fresh,
+    );
     report(&small);
     report(&large);
 

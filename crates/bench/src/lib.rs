@@ -33,7 +33,13 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
 
 /// Render a `(x, y)` series as a compact single-line summary.
 pub fn series_summary(series: &[(f64, f64)]) -> String {
-    let picks = [0usize, series.len() / 4, series.len() / 2, 3 * series.len() / 4, series.len().saturating_sub(1)];
+    let picks = [
+        0usize,
+        series.len() / 4,
+        series.len() / 2,
+        3 * series.len() / 4,
+        series.len().saturating_sub(1),
+    ];
     let mut parts = Vec::new();
     for &i in &picks {
         if let Some(&(x, y)) = series.get(i) {

@@ -7,7 +7,14 @@
 //! birp table1   [--windows N] [--seed S]
 //! birp fig2     [--reps N] [--seed S]
 //! birp trace    [--scale small|large] [--slots N] [--seed S] [--csv|--json]
+//! birp report   <run.jsonl>
 //! ```
+//!
+//! Every command additionally accepts `--telemetry <path.jsonl>` to capture
+//! a structured event stream (solver search, MAB tuning, per-slot runner
+//! records) and `--log-level trace|debug|info|warn|error` to set the event
+//! threshold (default `debug`). `birp report` renders a captured stream as
+//! per-event counts plus the end-of-run counter/histogram table.
 //!
 //! Argument parsing is hand-rolled over `std::env::args` — the workspace
 //! deliberately keeps its dependency set to the paper-relevant crates
@@ -15,6 +22,8 @@
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+use birp_telemetry as telemetry;
 
 use birp_core::experiments::{
     compare_schedulers, epsilon_sweep, fig2_experiment, table1_experiment, ComparisonConfig,
@@ -58,7 +67,9 @@ impl Args {
     }
 
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     fn has(&self, name: &str) -> bool {
@@ -77,6 +88,11 @@ USAGE:
     birp table1   [--windows N] [--seed S]
     birp fig2     [--reps N] [--seed S]
     birp trace    [--scale small|large] [--slots N] [--seed S] [--csv] [--json]
+    birp report   <run.jsonl>
+
+OBSERVABILITY (any command):
+    --telemetry <path.jsonl>   capture structured events to a JSON Lines file
+    --log-level <level>        trace|debug|info|warn|error (default: debug)
 "
     );
     ExitCode::from(2)
@@ -94,7 +110,10 @@ fn trace_cfg_for(scale: &str, seed: u64, slots: usize) -> TraceConfig {
         "large" => TraceConfig::large_scale(seed),
         _ => TraceConfig::small_scale(seed),
     };
-    TraceConfig { num_slots: slots, ..base }
+    TraceConfig {
+        num_slots: slots,
+        ..base
+    }
 }
 
 fn cmd_run(args: &Args) -> ExitCode {
@@ -114,7 +133,10 @@ fn cmd_run(args: &Args) -> ExitCode {
         }
     };
     let solver = if scale == "large" {
-        SolverConfig { node_limit: 16, ..SolverConfig::scheduling() }
+        SolverConfig {
+            node_limit: 16,
+            ..SolverConfig::scheduling()
+        }
     } else {
         SolverConfig::scheduling()
     };
@@ -127,7 +149,10 @@ fn cmd_run(args: &Args) -> ExitCode {
     println!("served         {}", m.served);
     println!("dropped        {}", m.dropped);
     println!("total loss     {:.2}", m.total_loss);
-    println!("SLO failures   {} ({:.2}%)", m.slo_failures, m.failure_rate_pct);
+    println!(
+        "SLO failures   {} ({:.2}%)",
+        m.slo_failures, m.failure_rate_pct
+    );
     println!("median compl.  {:.3}", m.cdf.quantile(0.5));
     println!("p95 compl.     {:.3}", m.cdf.quantile(0.95));
     ExitCode::SUCCESS
@@ -161,7 +186,10 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     let slots = args.num("slots", 48usize);
     let cfg = SweepConfig::quick(seed, slots);
     let result = epsilon_sweep(&cfg);
-    println!("{:>6} {:>6} {:>12} {:>8}", "eps1", "eps2", "dLoss(end)", "p%(end)");
+    println!(
+        "{:>6} {:>6} {:>12} {:>8}",
+        "eps1", "eps2", "dLoss(end)", "p%(end)"
+    );
     for p in &result.points {
         let d = p.delta_loss.last().map_or(f64::NAN, |&(_, v)| v);
         let f = p.failure_pct.last().map_or(f64::NAN, |&(_, v)| v);
@@ -180,7 +208,12 @@ fn cmd_table1(args: &Args) -> ExitCode {
     for r in table1_experiment(seed, windows) {
         println!(
             "{:<10} {:<12} {:>7.1} {:>7.1} {:>9.1} {:>8.1}",
-            r.model, r.device, r.measured.cpu_pct, r.measured.gpu_pct, r.measured.npu_core_pct, r.measured.avg_fps
+            r.model,
+            r.device,
+            r.measured.cpu_pct,
+            r.measured.gpu_pct,
+            r.measured.npu_core_pct,
+            r.measured.avg_fps
         );
     }
     ExitCode::SUCCESS
@@ -210,12 +243,90 @@ fn cmd_trace(args: &Args) -> ExitCode {
     } else {
         let s = TraceStats::compute(&trace);
         println!("slots          {}", trace.num_slots());
-        println!("apps x edges   {} x {}", trace.num_apps(), trace.num_edges());
+        println!(
+            "apps x edges   {} x {}",
+            trace.num_apps(),
+            trace.num_edges()
+        );
         println!("total requests {}", s.total_requests);
         println!("peak/mean      {:.2}", s.peak_to_mean);
         println!("edge imbalance {:.2}", s.edge_imbalance);
         println!("edge gini      {:.3}", s.edge_gini);
         println!("(use --csv or --json to dump the full trace)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_report(rest: &[String]) -> ExitCode {
+    // First positional operand (skipping --flag value pairs).
+    let mut path: Option<&str> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i].starts_with("--") {
+            i += 2;
+        } else {
+            path = Some(&rest[i]);
+            break;
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: birp report <run.jsonl>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut counts: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut summary: Option<telemetry::TelemetrySummary> = None;
+    let (mut records, mut unparsable) = (0u64, 0u64);
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<serde_json::Value>(line) else {
+            unparsable += 1;
+            continue;
+        };
+        records += 1;
+        let name = v
+            .get("name")
+            .and_then(|n| n.as_str())
+            .unwrap_or("<unnamed>")
+            .to_string();
+        // The final shutdown record carries the whole counter/histogram
+        // snapshot; the last one wins if several runs appended.
+        if name == "telemetry.summary" {
+            if let Some(s) = v.get("summary") {
+                summary = serde_json::from_value(s).ok();
+            }
+        }
+        *counts.entry(name).or_insert(0) += 1;
+    }
+    println!("{records} event records ({unparsable} unparsable lines)");
+    if !counts.is_empty() {
+        let width = counts
+            .keys()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("event".len());
+        println!("\n{:<width$}  {:>8}", "event", "count");
+        for (name, n) in &counts {
+            println!("{name:<width$}  {n:>8}");
+        }
+    }
+    match &summary {
+        Some(s) => {
+            println!();
+            print!("{}", telemetry::render_summary(s));
+        }
+        None => {
+            println!("\n(no telemetry.summary record — the run may not have shut down cleanly)")
+        }
     }
     ExitCode::SUCCESS
 }
@@ -226,13 +337,27 @@ fn main() -> ExitCode {
         return usage();
     };
     let args = Args::parse(&raw[1..]);
-    match cmd.as_str() {
+    if let Some(path) = args.get("telemetry") {
+        let level = args
+            .get("log-level")
+            .and_then(telemetry::Level::parse)
+            .unwrap_or(telemetry::Level::Debug);
+        if let Err(e) = telemetry::init_jsonl(path, level) {
+            eprintln!("cannot open telemetry sink {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    let code = match cmd.as_str() {
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
         "sweep" => cmd_sweep(&args),
         "table1" => cmd_table1(&args),
         "fig2" => cmd_fig2(&args),
         "trace" => cmd_trace(&args),
+        "report" => cmd_report(&raw[1..]),
         _ => usage(),
-    }
+    };
+    // Flush + append the telemetry.summary record (no-op when disabled).
+    telemetry::shutdown();
+    code
 }

@@ -17,7 +17,11 @@ pub struct DemandMatrix {
 
 impl DemandMatrix {
     pub fn zeros(num_apps: usize, num_edges: usize) -> Self {
-        DemandMatrix { num_apps, num_edges, data: vec![0; num_apps * num_edges] }
+        DemandMatrix {
+            num_apps,
+            num_edges,
+            data: vec![0; num_apps * num_edges],
+        }
     }
 
     /// Extract slot `t` of a trace.
@@ -68,12 +72,16 @@ impl DemandMatrix {
 
     /// Total demand of one application across edges.
     pub fn app_total(&self, app: AppId) -> u64 {
-        (0..self.num_edges).map(|e| self.data[self.idx(app.index(), e)] as u64).sum()
+        (0..self.num_edges)
+            .map(|e| self.data[self.idx(app.index(), e)] as u64)
+            .sum()
     }
 
     /// Total demand arriving at one edge across applications.
     pub fn edge_total(&self, edge: EdgeId) -> u64 {
-        (0..self.num_apps).map(|a| self.data[self.idx(a, edge.index())] as u64).sum()
+        (0..self.num_apps)
+            .map(|a| self.data[self.idx(a, edge.index())] as u64)
+            .sum()
     }
 }
 

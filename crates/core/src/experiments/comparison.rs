@@ -35,9 +35,15 @@ impl SchedulerKind {
         solver: &SolverConfig,
     ) -> Box<dyn Scheduler + Send> {
         match self {
-            SchedulerKind::Birp => Box::new(Birp::new(catalog.clone(), mab).with_solver(solver.clone())),
-            SchedulerKind::BirpOff => Box::new(BirpOff::new(catalog.clone()).with_solver(solver.clone())),
-            SchedulerKind::Oaei => Box::new(Oaei::new(catalog.clone(), seed).with_solver(solver.clone())),
+            SchedulerKind::Birp => {
+                Box::new(Birp::new(catalog.clone(), mab).with_solver(solver.clone()))
+            }
+            SchedulerKind::BirpOff => {
+                Box::new(BirpOff::new(catalog.clone()).with_solver(solver.clone()))
+            }
+            SchedulerKind::Oaei => {
+                Box::new(Oaei::new(catalog.clone(), seed).with_solver(solver.clone()))
+            }
             SchedulerKind::Max => Box::new(MaxBatch::paper_default(catalog.clone())),
         }
     }
@@ -73,7 +79,10 @@ impl ComparisonConfig {
     pub fn small_scale(seed: u64, slots: usize) -> Self {
         ComparisonConfig {
             catalog: Catalog::small_scale(seed),
-            trace: TraceConfig { num_slots: slots, ..TraceConfig::small_scale(seed) },
+            trace: TraceConfig {
+                num_slots: slots,
+                ..TraceConfig::small_scale(seed)
+            },
             schedulers: vec![
                 SchedulerKind::BirpOff,
                 SchedulerKind::Birp,
@@ -91,11 +100,18 @@ impl ComparisonConfig {
     pub fn large_scale(seed: u64, slots: usize) -> Self {
         ComparisonConfig {
             catalog: Catalog::large_scale(seed),
-            trace: TraceConfig { num_slots: slots, ..TraceConfig::large_scale(seed) },
+            trace: TraceConfig {
+                num_slots: slots,
+                ..TraceConfig::large_scale(seed)
+            },
             schedulers: vec![SchedulerKind::Birp, SchedulerKind::Oaei, SchedulerKind::Max],
             mab: MabConfig::paper_preset(),
             run: RunConfig::default(),
-            solver: SolverConfig { node_limit: 16, root_dive: false, ..SolverConfig::scheduling() },
+            solver: SolverConfig {
+                node_limit: 16,
+                root_dive: false,
+                ..SolverConfig::scheduling()
+            },
             seed,
         }
     }
@@ -136,7 +152,13 @@ mod tests {
         let results = compare_schedulers(&cfg);
         assert_eq!(results.len(), 4);
         let loss = |k: SchedulerKind| {
-            results.iter().find(|r| r.kind == k).unwrap().run.metrics.total_loss
+            results
+                .iter()
+                .find(|r| r.kind == k)
+                .unwrap()
+                .run
+                .metrics
+                .total_loss
         };
         let birp = loss(SchedulerKind::Birp);
         let max = loss(SchedulerKind::Max);

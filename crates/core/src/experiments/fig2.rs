@@ -29,7 +29,11 @@ fn measure_exec_ms(sim: &EdgeSim, model: usize, batch: u32, rep: usize) -> f64 {
     let catalog = sim.catalog();
     let mut s = Schedule::empty(rep, catalog.num_apps(), catalog.num_edges());
     s.routing.set(AppId(0), EdgeId(0), EdgeId(0), batch);
-    s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(model), batch });
+    s.deployments[0].push(Deployment {
+        app: AppId(0),
+        model: ModelId(model),
+        batch,
+    });
     let out = sim.execute_slot(&s, None);
     out.batches[0].exec_ms
 }
@@ -41,13 +45,19 @@ pub fn fig2_experiment(seed: u64, max_batch: u32, reps: usize) -> Vec<Fig2Result
     // like the paper's 5-repetition offline sweep.
     let sim = EdgeSim::new(
         catalog.clone(),
-        SimConfig { seed, exec_noise_sigma: 0.01, ..Default::default() },
+        SimConfig {
+            seed,
+            exec_noise_sigma: 0.01,
+            ..Default::default()
+        },
     );
     let mut results = Vec::new();
     for m in 0..catalog.num_models() {
         // Baseline throughput at batch 1 (mean over reps).
-        let base_ms: f64 =
-            (0..reps).map(|r| measure_exec_ms(&sim, m, 1, r * 1000 + 1)).sum::<f64>() / reps as f64;
+        let base_ms: f64 = (0..reps)
+            .map(|r| measure_exec_ms(&sim, m, 1, r * 1000 + 1))
+            .sum::<f64>()
+            / reps as f64;
         let thr1 = 1.0 / base_ms;
 
         let mut samples = Vec::new();

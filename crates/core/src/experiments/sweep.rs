@@ -38,7 +38,10 @@ impl SweepConfig {
     pub fn paper(seed: u64, slots: usize) -> Self {
         SweepConfig {
             catalog: Catalog::small_scale(seed),
-            trace: TraceConfig { num_slots: slots, ..TraceConfig::small_scale(seed) },
+            trace: TraceConfig {
+                num_slots: slots,
+                ..TraceConfig::small_scale(seed)
+            },
             eps1_grid: (1..=7).map(|i| i as f64 * 0.01).collect(),
             eps2_grid: (4..=10).map(|i| i as f64 * 0.01).collect(),
             checkpoints: vec![10, 100, 300],
@@ -50,7 +53,10 @@ impl SweepConfig {
     pub fn quick(seed: u64, slots: usize) -> Self {
         SweepConfig {
             catalog: Catalog::small_scale(seed),
-            trace: TraceConfig { num_slots: slots, ..TraceConfig::small_scale(seed) },
+            trace: TraceConfig {
+                num_slots: slots,
+                ..TraceConfig::small_scale(seed)
+            },
             eps1_grid: vec![0.01, 0.04, 0.07],
             eps2_grid: vec![0.04, 0.07, 0.10],
             checkpoints: vec![slots / 2, slots - 1],
@@ -82,8 +88,11 @@ pub struct SweepResult {
 /// Run the sweep.
 pub fn epsilon_sweep(cfg: &SweepConfig) -> SweepResult {
     let trace = cfg.trace.generate();
-    let checkpoints: Vec<usize> =
-        cfg.checkpoints.iter().map(|&c| c.min(trace.num_slots().saturating_sub(1))).collect();
+    let checkpoints: Vec<usize> = cfg
+        .checkpoints
+        .iter()
+        .map(|&c| c.min(trace.num_slots().saturating_sub(1)))
+        .collect();
 
     // Shared BIRP-OFF reference.
     let mut off = BirpOff::new(cfg.catalog.clone());
@@ -115,11 +124,20 @@ pub fn epsilon_sweep(cfg: &SweepConfig) -> SweepResult {
                 .iter()
                 .map(|&t| (t, run.metrics.failure_rate_pct_at(t)))
                 .collect();
-            SweepPoint { eps1, eps2, delta_loss, failure_pct }
+            SweepPoint {
+                eps1,
+                eps2,
+                delta_loss,
+                failure_pct,
+            }
         })
         .collect();
 
-    SweepResult { points, checkpoints, off_loss }
+    SweepResult {
+        points,
+        checkpoints,
+        off_loss,
+    }
 }
 
 #[cfg(test)]

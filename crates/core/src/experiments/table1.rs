@@ -67,8 +67,15 @@ mod tests {
             .iter()
             .find(|r| r.model == "Yolov4-t" && r.device == "Jetson Nano")
             .unwrap();
-        assert!(yolo_nano.measured.gpu_pct < 78.0, "gpu {}", yolo_nano.measured.gpu_pct);
-        let bert_nano = rows.iter().find(|r| r.model == "BERT" && r.device == "Jetson Nano").unwrap();
+        assert!(
+            yolo_nano.measured.gpu_pct < 78.0,
+            "gpu {}",
+            yolo_nano.measured.gpu_pct
+        );
+        let bert_nano = rows
+            .iter()
+            .find(|r| r.model == "BERT" && r.device == "Jetson Nano")
+            .unwrap();
         assert!(bert_nano.measured.cpu_pct < 50.0);
     }
 }

@@ -11,9 +11,9 @@
 //! * [`schedulers`] — the four algorithms of Section 5.2:
 //!   [`schedulers::Birp`] (MAB-tuned, batch-aware),
 //!   [`schedulers::BirpOff`] (oracle TIR, no tuning),
-//!   [`schedulers::Oaei`] (serial, model-selection, online latency learning
-//!   + randomised rounding) and [`schedulers::MaxBatch`] (fixed large
-//!   batches),
+//!   [`schedulers::Oaei`] (serial, model-selection, online latency
+//!   learning plus randomised rounding) and [`schedulers::MaxBatch`]
+//!   (fixed large batches),
 //! * [`runner`] — drives a scheduler over a trace slot by slot, with
 //!   carry-over of unserved requests and full metric collection,
 //! * [`experiments`] — one entry point per paper table/figure, producing

@@ -25,7 +25,9 @@
 use birp_models::catalog::MAX_BATCH;
 use birp_models::{Catalog, EdgeId, ModelId};
 use birp_sim::{Deployment, Schedule};
-use birp_solver::{LinExpr, Model, ModelStatus, Solution, SolverConfig, SolverError, VarId, VarKind};
+use birp_solver::{
+    LinExpr, Model, ModelStatus, Solution, SolverConfig, SolverError, VarId, VarKind,
+};
 use birp_tir::{linear_coeffs, TirParams};
 use serde::{Deserialize, Serialize};
 
@@ -40,7 +42,11 @@ pub struct TirMatrix {
 
 impl TirMatrix {
     /// Build from a function of (edge index, model index).
-    pub fn from_fn(num_edges: usize, num_models: usize, f: impl Fn(usize, usize) -> TirParams) -> Self {
+    pub fn from_fn(
+        num_edges: usize,
+        num_models: usize,
+        f: impl Fn(usize, usize) -> TirParams,
+    ) -> Self {
         let mut params = Vec::with_capacity(num_edges * num_models);
         for e in 0..num_edges {
             for m in 0..num_models {
@@ -59,7 +65,9 @@ impl TirMatrix {
 
     /// The paper's conservative initialisation for every arm (Eq. 23).
     pub fn initial(catalog: &Catalog) -> Self {
-        Self::from_fn(catalog.num_edges(), catalog.num_models(), |_, _| TirParams::paper_initial())
+        Self::from_fn(catalog.num_edges(), catalog.num_models(), |_, _| {
+            TirParams::paper_initial()
+        })
     }
 
     #[inline]
@@ -91,7 +99,10 @@ pub struct ProblemConfig {
 
 impl Default for ProblemConfig {
     fn default() -> Self {
-        ProblemConfig { mode: ExecutionMode::Batched, drop_penalty: 1.0 }
+        ProblemConfig {
+            mode: ExecutionMode::Batched,
+            drop_penalty: 1.0,
+        }
     }
 }
 
@@ -161,7 +172,7 @@ impl SlotProblem {
         let serial = matches!(cfg.mode, ExecutionMode::Serial { .. });
         let batch_cap = |e: usize, m: usize| -> u32 {
             match cfg.mode {
-                ExecutionMode::Batched => tir.get(EdgeId(e), ModelId(m)).beta.min(MAX_BATCH).max(1),
+                ExecutionMode::Batched => tir.get(EdgeId(e), ModelId(m)).beta.clamp(1, MAX_BATCH),
                 ExecutionMode::Serial { max_serial } => max_serial.max(1),
             }
         };
@@ -204,9 +215,27 @@ impl SlotProblem {
             let mut i_row = Vec::with_capacity(ne);
             for k in 0..ne {
                 let supply = demand.get(birp_models::AppId(i), EdgeId(k)) as f64;
-                l_row.push(model.add_var(&format!("local[{i}][{k}]"), VarKind::Integer, 0.0, supply, 0.0));
-                o_row.push(model.add_var(&format!("out[{i}][{k}]"), VarKind::Integer, 0.0, supply, 0.0));
-                i_row.push(model.add_var(&format!("in[{i}][{k}]"), VarKind::Integer, 0.0, total, 0.0));
+                l_row.push(model.add_var(
+                    &format!("local[{i}][{k}]"),
+                    VarKind::Integer,
+                    0.0,
+                    supply,
+                    0.0,
+                ));
+                o_row.push(model.add_var(
+                    &format!("out[{i}][{k}]"),
+                    VarKind::Integer,
+                    0.0,
+                    supply,
+                    0.0,
+                ));
+                i_row.push(model.add_var(
+                    &format!("in[{i}][{k}]"),
+                    VarKind::Integer,
+                    0.0,
+                    total,
+                    0.0,
+                ));
             }
             local.push(l_row);
             out.push(o_row);
@@ -320,14 +349,18 @@ impl SlotProblem {
                 expr.add_term(out[i][k], zeta);
                 expr.add_term(inn[i][k], zeta);
             }
-            for m in 0..nm {
+            for (m, &xkm) in x[k].iter().enumerate() {
                 let was = prev.is_some_and(|p| p.is_deployed(EdgeId(k), ModelId(m)));
                 if !was {
                     // [x^t - x^{t-1}]^+ = x^t when x^{t-1} = 0, else 0.
-                    expr.add_term(x[k][m], catalog.models[m].compressed_mb);
+                    expr.add_term(xkm, catalog.models[m].compressed_mb);
                 }
             }
-            model.add_le(&format!("net[{k}]"), expr, catalog.edges[k].network_budget_mb);
+            model.add_le(
+                &format!("net[{k}]"),
+                expr,
+                catalog.edges[k].network_budget_mb,
+            );
         }
 
         // --- warm start: LP-guided greedy packing with redistribution -------
@@ -346,9 +379,7 @@ impl SlotProblem {
             .map(|s| s.x);
         let mut warm = vec![0.0; model.num_vars()];
         {
-            let guide = |v: VarId| -> f64 {
-                lp_guide.as_ref().map_or(0.0, |g| g[v.index()])
-            };
+            let guide = |v: VarId| -> f64 { lp_guide.as_ref().map_or(0.0, |g| g[v.index()]) };
             let mut mem_left: Vec<f64> = catalog.edges.iter().map(|e| e.memory_mb).collect();
             let mut compute_left = vec![catalog.slot_ms; ne];
             let mut net_left: Vec<f64> =
@@ -372,15 +403,13 @@ impl SlotProblem {
                 order.sort_by(|ma, mb| {
                     let ga = guide(b[k][ma.index()]);
                     let gb = guide(b[k][mb.index()]);
-                    gb.partial_cmp(&ga)
-                        .unwrap()
-                        .then_with(|| {
-                            catalog
-                                .model(*ma)
-                                .loss
-                                .partial_cmp(&catalog.model(*mb).loss)
-                                .unwrap()
-                        })
+                    gb.partial_cmp(&ga).unwrap().then_with(|| {
+                        catalog
+                            .model(*ma)
+                            .loss
+                            .partial_cmp(&catalog.model(*mb).loss)
+                            .unwrap()
+                    })
                 });
                 for mid in order {
                     let m = mid.index();
@@ -403,12 +432,14 @@ impl SlotProblem {
                             }
                             ExecutionMode::Serial { .. } => {
                                 dc = gamma;
-                                dm = if fresh { mv.weight_mb + mv.intermediate_mb } else { 0.0 };
+                                dm = if fresh {
+                                    mv.weight_mb + mv.intermediate_mb
+                                } else {
+                                    0.0
+                                };
                             }
                         }
-                        let dn = if fresh
-                            && !prev.is_some_and(|p| p.is_deployed(EdgeId(k), mid))
-                        {
+                        let dn = if fresh && !prev.is_some_and(|p| p.is_deployed(EdgeId(k), mid)) {
                             mv.compressed_mb
                         } else {
                             0.0
@@ -440,8 +471,15 @@ impl SlotProblem {
                     } else {
                         d
                     };
-                    let served =
-                        place(k, app, want, &mut mem_left, &mut compute_left, &mut net_left, &mut batches);
+                    let served = place(
+                        k,
+                        app,
+                        want,
+                        &mut mem_left,
+                        &mut compute_left,
+                        &mut net_left,
+                        &mut batches,
+                    );
                     warm[local[i][k].index()] = served as f64;
                     leftover[i][k] = d - served;
                 }
@@ -493,6 +531,16 @@ impl SlotProblem {
                                 if block == 0 {
                                     continue;
                                 }
+                                // Reserve the forwarding budget before
+                                // placing: `place` may also spend
+                                // `net_left[dest]` on a fresh model transfer,
+                                // and deducting the forwarding cost only
+                                // afterwards let the two overdraw the edge's
+                                // network budget (making the "feasible by
+                                // construction" warm start infeasible).
+                                let reserve = zeta * block as f64;
+                                net_left[src] -= reserve;
+                                net_left[dest] -= reserve;
                                 let placed = place(
                                     dest,
                                     app,
@@ -502,10 +550,10 @@ impl SlotProblem {
                                     &mut net_left,
                                     &mut batches,
                                 );
+                                let refund = zeta * (block - placed) as f64;
+                                net_left[src] += refund;
+                                net_left[dest] += refund;
                                 if placed > 0 {
-                                    let cost = zeta * placed as f64;
-                                    net_left[src] -= cost;
-                                    net_left[dest] -= cost;
                                     warm[out[i][src].index()] += placed as f64;
                                     warm[inn[i][dest].index()] += placed as f64;
                                     leftover[i][src] -= placed;
@@ -580,7 +628,11 @@ impl SlotProblem {
         let lp = self.model.solve_relaxation()?;
         match lp.status {
             birp_solver::LpStatus::Optimal => Ok((0..self.num_edges)
-                .map(|e| (0..self.num_models).map(|m| lp.x[self.x[e][m].index()]).collect())
+                .map(|e| {
+                    (0..self.num_models)
+                        .map(|m| lp.x[self.x[e][m].index()])
+                        .collect()
+                })
                 .collect()),
             birp_solver::LpStatus::Infeasible => Err(SolverError::Infeasible),
             birp_solver::LpStatus::Unbounded => Err(SolverError::Unbounded),
@@ -650,10 +702,15 @@ impl SlotProblem {
         for i in 0..self.num_apps {
             let app = birp_models::AppId(i);
             let ne = self.num_edges;
-            let mut local: Vec<i64> =
-                (0..ne).map(|k| sol.int_value(self.local[i][k]).max(0)).collect();
-            let mut out: Vec<i64> = (0..ne).map(|k| sol.int_value(self.out[i][k]).max(0)).collect();
-            let mut inn: Vec<i64> = (0..ne).map(|k| sol.int_value(self.inn[i][k]).max(0)).collect();
+            let mut local: Vec<i64> = (0..ne)
+                .map(|k| sol.int_value(self.local[i][k]).max(0))
+                .collect();
+            let mut out: Vec<i64> = (0..ne)
+                .map(|k| sol.int_value(self.out[i][k]).max(0))
+                .collect();
+            let mut inn: Vec<i64> = (0..ne)
+                .map(|k| sol.int_value(self.inn[i][k]).max(0))
+                .collect();
 
             // Cancel same-edge ship-and-receive into local service.
             for k in 0..ne {
@@ -664,14 +721,17 @@ impl SlotProblem {
                     inn[k] -= c;
                 }
             }
-            for k in 0..ne {
-                if local[k] > 0 {
-                    schedule.routing.set(app, EdgeId(k), EdgeId(k), local[k] as u32);
+            for (k, &lk) in local.iter().enumerate() {
+                if lk > 0 {
+                    schedule.routing.set(app, EdgeId(k), EdgeId(k), lk as u32);
                 }
                 schedule.unserved[i][k] = sol.int_value(self.o[i][k]).max(0) as u32;
             }
             // Greedy source/sink matching (disjoint after cancellation).
+            // Indexing is clearer than iterators here: `out`/`inn` advance
+            // on different cursors and are both mutated.
             let mut sink = 0usize;
+            #[allow(clippy::needless_range_loop)]
             for src in 0..ne {
                 while out[src] > 0 {
                     while sink < ne && inn[sink] == 0 {
@@ -681,13 +741,61 @@ impl SlotProblem {
                         break; // sums matched by the balance row; defensive
                     }
                     let amount = out[src].min(inn[sink]);
-                    schedule.routing.add(app, EdgeId(src), EdgeId(sink), amount as u32);
+                    schedule
+                        .routing
+                        .add(app, EdgeId(src), EdgeId(sink), amount as u32);
                     out[src] -= amount;
                     inn[sink] -= amount;
                 }
             }
         }
         schedule
+    }
+}
+
+impl SlotProblem {
+    /// Debug-only: the lowered MILP (used by diagnostics examples).
+    pub fn debug_milp(&self) -> birp_solver::MilpProblem {
+        self.model.to_milp().unwrap()
+    }
+
+    /// Debug-only: warm-start objective and max violation.
+    pub fn debug_warm(&self) -> (f64, f64) {
+        let milp = self.model.to_milp().unwrap();
+        (
+            milp.lp.objective_at(&self.warm),
+            milp.lp.max_violation(&self.warm),
+        )
+    }
+
+    /// Debug-only: named rows and column bounds the warm start violates by
+    /// more than `tol`, as `(name, violation)` pairs.
+    pub fn debug_warm_violations(&self, tol: f64) -> Vec<(String, f64)> {
+        let milp = self.model.to_milp().unwrap();
+        let named = self.model.num_constraints();
+        let mut out = Vec::new();
+        for (i, row) in milp.lp.rows.iter().enumerate() {
+            let v = row.violation(&self.warm);
+            if v > tol {
+                let name = if i < named {
+                    self.model.constraint_name(i).to_string()
+                } else {
+                    format!("row{i}")
+                };
+                out.push((name, v));
+            }
+        }
+        for j in 0..milp.lp.num_cols() {
+            let w = self.warm[j];
+            let v = (milp.lp.lower[j] - w).max(w - milp.lp.upper[j]);
+            if v > tol {
+                out.push((
+                    format!("bound:{}", self.model.var_name(VarId::from_index(j))),
+                    v,
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -723,7 +831,11 @@ mod tests {
         let tir = TirMatrix::oracle(&catalog);
         let p = SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
         let (schedule, stats) = p.solve(&SolverConfig::default()).unwrap();
-        assert_eq!(schedule.total_unserved(), 0, "light load must be fully served");
+        assert_eq!(
+            schedule.total_unserved(),
+            0,
+            "light load must be fully served"
+        );
         assert_eq!(schedule.served(), 10);
         assert!(stats.objective > 0.0);
         // The decoded schedule satisfies every structural constraint.
@@ -740,7 +852,11 @@ mod tests {
         let tir = TirMatrix::oracle(&catalog);
         let p = SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
         let (schedule, _) = p.solve(&SolverConfig::default()).unwrap();
-        let best_loss = catalog.models.iter().map(|m| m.loss).fold(f64::INFINITY, f64::min);
+        let best_loss = catalog
+            .models
+            .iter()
+            .map(|m| m.loss)
+            .fold(f64::INFINITY, f64::min);
         let expected = best_loss * 2.0;
         assert!(
             (schedule.loss(&catalog) - expected).abs() < 1e-6,
@@ -806,8 +922,19 @@ mod tests {
         // Previous slot deployed model 0 on edge 0; redeploying it is free,
         // any other model pays its compressed weight.
         let mut prev = Schedule::empty(0, catalog.num_apps(), catalog.num_edges());
-        prev.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 1 });
-        let p = SlotProblem::build(&catalog, 1, &demand, &tir, Some(&prev), &ProblemConfig::default());
+        prev.deployments[0].push(Deployment {
+            app: AppId(0),
+            model: ModelId(0),
+            batch: 1,
+        });
+        let p = SlotProblem::build(
+            &catalog,
+            1,
+            &demand,
+            &tir,
+            Some(&prev),
+            &ProblemConfig::default(),
+        );
         let (schedule, _) = p.solve(&SolverConfig::default()).unwrap();
         let trace = trace_of(&catalog, 1, &demand);
         validate_against_trace(&catalog, &trace, &schedule, Some(&prev)).unwrap();
@@ -835,18 +962,5 @@ mod tests {
         // x: 18, b: 18, local/out/in: 3 x 6, o: 6.
         assert_eq!(p.num_vars(), 18 + 18 + 18 + 6);
         assert!(p.num_constraints() > 0);
-    }
-}
-
-impl SlotProblem {
-    /// Debug-only: the lowered MILP (used by diagnostics examples).
-    pub fn debug_milp(&self) -> birp_solver::MilpProblem {
-        self.model.to_milp().unwrap()
-    }
-
-    /// Debug-only: warm-start objective and max violation.
-    pub fn debug_warm(&self) -> (f64, f64) {
-        let milp = self.model.to_milp().unwrap();
-        (milp.lp.objective_at(&self.warm), milp.lp.max_violation(&self.warm))
     }
 }

@@ -12,8 +12,14 @@
 //!   constraints before execution (a scheduler bug fails fast, loudly),
 //! * **metrics** — per-slot loss, cumulative loss, completion CDF, `p%`.
 
+use std::time::Instant;
+
 use birp_models::{AppId, Catalog, EdgeId};
-use birp_sim::{validate, EdgeSim, MetricsCollector, RunMetrics, Schedule, SimConfig};
+use birp_sim::{
+    network_usage_mb, validate, EdgeSim, MetricsCollector, RunMetrics, Schedule, SimConfig,
+};
+use birp_telemetry as telemetry;
+use birp_telemetry::{HistogramSummary, Level, LogHistogram};
 use birp_workload::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -33,7 +39,11 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { sim: SimConfig::default(), max_carryover: 1, strict: true }
+        RunConfig {
+            sim: SimConfig::default(),
+            max_carryover: 1,
+            strict: true,
+        }
     }
 }
 
@@ -45,6 +55,27 @@ pub struct RunResult {
     pub slots: usize,
     /// Total requests the trace generated.
     pub offered: u64,
+    /// Per-run observability aggregates; `None` when the telemetry facade
+    /// was disabled during the run (results serialized before this field
+    /// existed also deserialize to `None`).
+    pub telemetry: Option<RunTelemetry>,
+}
+
+/// Runner-level telemetry aggregated over one run. Unlike the global
+/// registry (which accumulates across every run in the process), these
+/// figures cover exactly this `run_scheduler` call.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunTelemetry {
+    /// Wall-clock latency of `scheduler.decide` per slot (ms).
+    pub decide_ms: HistogramSummary,
+    /// Wall-clock latency of `sim.execute_slot` per slot (ms).
+    pub execute_ms: HistogramSummary,
+    /// Total requests shipped between edges over the run (`Σ y`).
+    pub redistributed: u64,
+    /// Requests dropped after exceeding the carry-over budget.
+    pub dropped: u64,
+    /// Largest carry-over queue depth observed at any slot start.
+    pub carried_peak: u64,
 }
 
 /// Requests waiting at (app, edge), grouped by age in slots.
@@ -68,8 +99,16 @@ pub fn run_scheduler(
     scheduler: &mut dyn Scheduler,
     cfg: &RunConfig,
 ) -> RunResult {
-    assert_eq!(trace.num_apps(), catalog.num_apps(), "trace/catalog app mismatch");
-    assert_eq!(trace.num_edges(), catalog.num_edges(), "trace/catalog edge mismatch");
+    assert_eq!(
+        trace.num_apps(),
+        catalog.num_apps(),
+        "trace/catalog app mismatch"
+    );
+    assert_eq!(
+        trace.num_edges(),
+        catalog.num_edges(),
+        "trace/catalog edge mismatch"
+    );
 
     let na = catalog.num_apps();
     let ne = catalog.num_edges();
@@ -78,38 +117,67 @@ pub fn run_scheduler(
     let mut pending: Vec<Vec<PendingCell>> = vec![vec![PendingCell::default(); ne]; na];
     let mut prev: Option<Schedule> = None;
 
+    // Per-run observability state. Only touched when the global facade is
+    // enabled, so a disabled run takes the exact same decision path.
+    let instrument = telemetry::enabled();
+    let mut decide_hist = LogHistogram::new();
+    let mut execute_hist = LogHistogram::new();
+    let mut total_redistributed = 0u64;
+    let mut total_dropped = 0u64;
+    let mut carried_peak = 0u64;
+
     for t in 0..trace.num_slots() {
         // --- assemble demand: fresh + carried over -------------------------
         let mut demand = DemandMatrix::from_trace(trace, t);
-        for i in 0..na {
-            for k in 0..ne {
-                let carried = pending[i][k].total();
+        let mut carried_total = 0u64;
+        for (i, row) in pending.iter().enumerate() {
+            for (k, cell) in row.iter().enumerate() {
+                let carried = cell.total();
                 if carried > 0 {
+                    carried_total += carried as u64;
                     demand.add(AppId(i), EdgeId(k), carried);
                 }
             }
         }
+        carried_peak = carried_peak.max(carried_total);
 
         // --- decide + validate ---------------------------------------------
+        let decide_start = instrument.then(Instant::now);
         let schedule = scheduler.decide(t, &demand, prev.as_ref());
+        let decide_ms = decide_start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1000.0);
         let demand_fn = |a: AppId, e: EdgeId| demand.get(a, e);
         if let Err(err) = validate(catalog, &demand_fn, &schedule, prev.as_ref()) {
             if cfg.strict {
-                panic!("{} produced an invalid schedule at t={t}: {err}", scheduler.name());
+                panic!(
+                    "{} produced an invalid schedule at t={t}: {err}",
+                    scheduler.name()
+                );
             }
         }
 
         // --- execute ---------------------------------------------------------
+        let execute_start = instrument.then(Instant::now);
         let outcome = sim.execute_slot(&schedule, prev.as_ref());
+        let execute_ms = execute_start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1000.0);
         scheduler.observe(&outcome);
         collector.begin_slot();
         collector.record_loss(outcome.loss);
+
+        let mut slot_dropped = 0u64;
+        let redistributed: u64 = if instrument {
+            (0..na)
+                .flat_map(|i| (0..ne).map(move |k| (i, k)))
+                .map(|(i, k)| schedule.routing.outbound(AppId(i), EdgeId(k)) as u64)
+                .sum()
+        } else {
+            0
+        };
 
         // --- attribute completions to request ages ---------------------------
         // Per app: pool this slot's completion samples, serve the oldest
         // waiting requests with the earliest completions (schedulers
         // prioritise aged requests implicitly through FIFO consumption).
-        for i in 0..na {
+        for (i, pending_row) in pending.iter_mut().enumerate() {
             let mut samples: Vec<f64> = outcome
                 .batches
                 .iter()
@@ -121,12 +189,11 @@ pub fn run_scheduler(
             // Build the served-age profile: for each edge, served = demand -
             // unserved; consume pending oldest-first, remainder is fresh.
             let mut age_counts: Vec<(usize, u32)> = Vec::new(); // (age, count)
-            for k in 0..ne {
+            for (k, cell) in pending_row.iter_mut().enumerate() {
                 let d = demand.get(AppId(i), EdgeId(k));
                 let unserved = schedule.unserved[i][k];
                 let mut served = d - unserved.min(d);
                 // Oldest first: highest age index first.
-                let cell = &mut pending[i][k];
                 for age_ix in (0..cell.by_age.len()).rev() {
                     let take = cell.by_age[age_ix].min(served);
                     if take > 0 {
@@ -155,6 +222,7 @@ pub fn run_scheduler(
                 while next.len() > cfg.max_carryover {
                     let dropped = next.pop().unwrap();
                     if dropped > 0 {
+                        slot_dropped += dropped as u64;
                         collector.record_dropped(dropped as u64);
                     }
                 }
@@ -162,7 +230,7 @@ pub fn run_scheduler(
             }
 
             // Oldest requests get the earliest completions.
-            age_counts.sort_by(|a, b| b.0.cmp(&a.0));
+            age_counts.sort_by_key(|&(age, _)| std::cmp::Reverse(age));
             let mut s = samples.into_iter();
             for (age, count) in age_counts {
                 for _ in 0..count {
@@ -174,6 +242,36 @@ pub fn run_scheduler(
             }
         }
 
+        if instrument {
+            decide_hist.observe(decide_ms);
+            execute_hist.observe(execute_ms);
+            total_redistributed += redistributed;
+            total_dropped += slot_dropped;
+            telemetry::observe("runner.decide_ms", decide_ms);
+            telemetry::observe("runner.execute_ms", execute_ms);
+            telemetry::observe("runner.carryover_depth", carried_total as f64);
+            telemetry::counter("runner.slots", 1);
+            telemetry::counter("runner.redistributed", redistributed);
+            telemetry::counter("runner.dropped", slot_dropped);
+            telemetry::event(
+                Level::Info,
+                "runner.slot",
+                &[
+                    ("t", (t as u64).into()),
+                    ("demand", demand.total().into()),
+                    ("served", schedule.served().into()),
+                    ("unserved", schedule.total_unserved().into()),
+                    ("carried", carried_total.into()),
+                    ("redistributed", redistributed.into()),
+                    ("dropped", slot_dropped.into()),
+                    ("loss", outcome.loss.into()),
+                    ("decide_ms", decide_ms.into()),
+                    ("execute_ms", execute_ms.into()),
+                ],
+            );
+            audit_slot(catalog, &schedule, prev.as_ref());
+        }
+
         prev = Some(schedule);
     }
 
@@ -182,6 +280,10 @@ pub fn run_scheduler(
         for cell in row {
             let left = cell.total();
             if left > 0 {
+                if instrument {
+                    total_dropped += left as u64;
+                    telemetry::counter("runner.dropped", left as u64);
+                }
                 collector.record_dropped(left as u64);
             }
         }
@@ -192,7 +294,67 @@ pub fn run_scheduler(
         metrics: collector.finish(),
         slots: trace.num_slots(),
         offered: trace.total(),
+        telemetry: instrument.then(|| RunTelemetry {
+            decide_ms: decide_hist.summarize(),
+            execute_ms: execute_hist.summarize(),
+            redistributed: total_redistributed,
+            dropped: total_dropped,
+            carried_peak,
+        }),
     }
+}
+
+/// Emit the per-slot decision audit record: the chosen `x`/`b` digest and
+/// which capacity constraints the decision is pressed up against. Debug
+/// level — enable `--log-level debug` to capture these.
+fn audit_slot(catalog: &Catalog, schedule: &Schedule, prev: Option<&Schedule>) {
+    if (Level::Debug as u8) < (telemetry::min_level() as u8) {
+        return;
+    }
+    // Digest: "e0:m2b8;e1:m0b4;..." — one entry per deployment.
+    let mut digest = String::new();
+    for (k, deps) in schedule.deployments.iter().enumerate() {
+        for d in deps {
+            if !digest.is_empty() {
+                digest.push(';');
+            }
+            digest.push_str(&format!("e{k}:m{}b{}", d.model.index(), d.batch));
+        }
+    }
+    // Binding constraints: memory/network loaded to >= 95% of budget.
+    let mut binding = String::new();
+    for k in 0..catalog.num_edges() {
+        let edge = EdgeId(k);
+        let mem_used: f64 = schedule.deployments[k]
+            .iter()
+            .map(|d| {
+                let eff_batch = if schedule.serial { 1 } else { d.batch };
+                catalog.model(d.model).memory_mb(eff_batch)
+            })
+            .sum();
+        let net_used = network_usage_mb(catalog, schedule, prev, edge);
+        for (name, used, cap) in [
+            ("mem", mem_used, catalog.edge(edge).memory_mb),
+            ("net", net_used, catalog.edge(edge).network_budget_mb),
+        ] {
+            if cap > 0.0 && used >= 0.95 * cap {
+                if !binding.is_empty() {
+                    binding.push(',');
+                }
+                binding.push_str(&format!("{name}[{k}]"));
+            }
+        }
+    }
+    telemetry::event(
+        Level::Debug,
+        "runner.audit",
+        &[
+            ("t", (schedule.t as u64).into()),
+            ("deployments", digest.into()),
+            ("binding", binding.into()),
+            ("serial", schedule.serial.into()),
+        ],
+    );
 }
 
 #[cfg(test)]
@@ -240,7 +402,12 @@ mod tests {
         ];
         for s in schedulers.iter_mut() {
             let r = run_scheduler(&catalog, &trace, s.as_mut(), &cfg);
-            assert_eq!(r.metrics.served + r.metrics.dropped, r.offered, "{}", r.scheduler);
+            assert_eq!(
+                r.metrics.served + r.metrics.dropped,
+                r.offered,
+                "{}",
+                r.scheduler
+            );
             assert!(r.metrics.failure_rate_pct >= 0.0);
         }
     }

@@ -18,6 +18,7 @@ use birp_mab::{MabConfig, Tuner};
 use birp_models::Catalog;
 use birp_sim::{Schedule, SlotOutcome};
 use birp_solver::SolverConfig;
+use birp_telemetry as telemetry;
 
 use crate::demand::DemandMatrix;
 use crate::problem::{ExecutionMode, ProblemConfig, SlotProblem, SolveStats, TirMatrix};
@@ -38,6 +39,10 @@ pub struct Birp {
     use_lcb: bool,
     /// Solve statistics of the most recent slot (for experiment logs).
     pub last_stats: Option<SolveStats>,
+    /// Cumulative absolute TIR estimation error (LCB estimate vs ground
+    /// truth, evaluated at each executed batch size) — the tuner's regret
+    /// trajectory. Only meaningful while tuning.
+    pub cum_regret: f64,
 }
 
 impl Birp {
@@ -48,10 +53,14 @@ impl Birp {
             catalog,
             tuner,
             solver_cfg: SolverConfig::scheduling(),
-            problem_cfg: ProblemConfig { mode: ExecutionMode::Batched, ..Default::default() },
+            problem_cfg: ProblemConfig {
+                mode: ExecutionMode::Batched,
+                ..Default::default()
+            },
             tune: true,
             use_lcb: true,
             last_stats: None,
+            cum_regret: 0.0,
         }
     }
 
@@ -75,27 +84,60 @@ impl Birp {
     }
 
     fn estimates(&self) -> TirMatrix {
-        TirMatrix::from_fn(self.catalog.num_edges(), self.catalog.num_models(), |e, m| {
-            if self.use_lcb {
-                self.tuner.estimate(e, m)
-            } else {
-                self.tuner.arm(e, m).mean_estimate()
-            }
-        })
+        TirMatrix::from_fn(
+            self.catalog.num_edges(),
+            self.catalog.num_models(),
+            |e, m| {
+                if self.use_lcb {
+                    self.tuner.estimate(e, m)
+                } else {
+                    self.tuner.arm(e, m).mean_estimate()
+                }
+            },
+        )
     }
 
-    fn decide_inner(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
+    fn decide_inner(
+        &mut self,
+        t: usize,
+        demand: &DemandMatrix,
+        prev: Option<&Schedule>,
+    ) -> Schedule {
         let tir = self.estimates();
         let problem = SlotProblem::build(&self.catalog, t, demand, &tir, prev, &self.problem_cfg);
         match problem.solve(&self.solver_cfg) {
             Ok((schedule, stats)) => {
+                if telemetry::enabled() {
+                    telemetry::event(
+                        telemetry::Level::Debug,
+                        "birp.slot_solved",
+                        &[
+                            ("t", (t as u64).into()),
+                            ("objective", stats.objective.into()),
+                            ("gap", stats.gap.into()),
+                            ("nodes", (stats.nodes as u64).into()),
+                            ("optimal", stats.optimal.into()),
+                        ],
+                    );
+                }
                 self.last_stats = Some(stats);
                 schedule
             }
-            Err(_) => {
+            Err(err) => {
                 // The problem is always feasible (overflow absorbs demand);
                 // reaching this means the node budget produced no incumbent.
                 // Carry everything to the next slot rather than crash.
+                telemetry::counter("birp.fallback_all_unserved", 1);
+                if telemetry::enabled() {
+                    telemetry::event(
+                        telemetry::Level::Warn,
+                        "birp.fallback_all_unserved",
+                        &[
+                            ("t", (t as u64).into()),
+                            ("error", format!("{err:?}").into()),
+                        ],
+                    );
+                }
                 self.last_stats = None;
                 all_unserved(t, demand)
             }
@@ -108,14 +150,46 @@ impl Birp {
         }
         for b in &outcome.batches {
             if b.batch >= 2 {
-                self.tuner.observe(
-                    outcome.t as u64,
-                    b.edge.index(),
-                    b.model.index(),
-                    b.batch,
-                    b.observed_tir,
-                );
+                let (e, m) = (b.edge.index(), b.model.index());
+                // Regret sample: how far the planning estimate was from the
+                // ground-truth TIR at the batch size actually executed.
+                let est = if self.use_lcb {
+                    self.tuner.estimate(e, m)
+                } else {
+                    self.tuner.arm(e, m).mean_estimate()
+                };
+                let truth = self.catalog.edges[e].tir_truth[m];
+                self.cum_regret += (est.tir(b.batch) - truth.tir(b.batch)).abs();
+                self.tuner
+                    .observe(outcome.t as u64, e, m, b.batch, b.observed_tir);
             }
+        }
+        if telemetry::enabled() {
+            // Mean absolute parameter error across all arms vs ground truth
+            // — the convergence trajectory of the (eta, beta, C) estimates.
+            let (mut eta_err, mut beta_err, mut c_err) = (0.0f64, 0.0f64, 0.0f64);
+            let (ne, nm) = (self.catalog.num_edges(), self.catalog.num_models());
+            for e in 0..ne {
+                for m in 0..nm {
+                    let est = self.tuner.arm(e, m).mean_estimate();
+                    let truth = self.catalog.edges[e].tir_truth[m];
+                    eta_err += (est.eta - truth.eta).abs();
+                    beta_err += (est.beta as f64 - truth.beta as f64).abs();
+                    c_err += (est.c - truth.c).abs();
+                }
+            }
+            let arms = (ne * nm) as f64;
+            telemetry::event(
+                telemetry::Level::Debug,
+                "mab.slot",
+                &[
+                    ("t", (outcome.t as u64).into()),
+                    ("cum_regret", self.cum_regret.into()),
+                    ("mean_abs_eta_err", (eta_err / arms).into()),
+                    ("mean_abs_beta_err", (beta_err / arms).into()),
+                    ("mean_abs_c_err", (c_err / arms).into()),
+                ],
+            );
         }
     }
 }
@@ -215,9 +289,7 @@ mod tests {
         let s = birp.decide(0, &d, None);
         let sim = EdgeSim::new(catalog, SimConfig::default());
         let out = sim.execute_slot(&s, None);
-        let before: Vec<u64> = (0..birp.tuner().num_arms())
-            .map(|_| 0)
-            .collect();
+        let before: Vec<u64> = (0..birp.tuner().num_arms()).map(|_| 0).collect();
         birp.observe(&out);
         // At least one arm observed a batch >= 2 under this demand.
         let touched = (0..6)
@@ -251,8 +323,14 @@ mod tests {
     #[test]
     fn scheduler_names() {
         let catalog = Catalog::small_scale(1);
-        assert_eq!(Birp::new(catalog.clone(), MabConfig::paper_preset()).name(), "BIRP");
-        assert_eq!(Birp::without_lcb(catalog.clone(), MabConfig::paper_preset()).name(), "BIRP-MEAN");
+        assert_eq!(
+            Birp::new(catalog.clone(), MabConfig::paper_preset()).name(),
+            "BIRP"
+        );
+        assert_eq!(
+            Birp::without_lcb(catalog.clone(), MabConfig::paper_preset()).name(),
+            "BIRP-MEAN"
+        );
         assert_eq!(BirpOff::new(catalog).name(), "BIRP-OFF");
     }
 

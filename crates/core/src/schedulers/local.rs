@@ -21,7 +21,10 @@ pub struct LocalOnly {
 
 impl LocalOnly {
     pub fn new(catalog: Catalog) -> Self {
-        LocalOnly { catalog, planning_tir: TirParams::paper_initial() }
+        LocalOnly {
+            catalog,
+            planning_tir: TirParams::paper_initial(),
+        }
     }
 }
 
@@ -46,7 +49,11 @@ impl Scheduler for LocalOnly {
                 let mut left = demand.get(app, EdgeId(k));
                 let mut order: Vec<ModelId> = self.catalog.models_of(app).to_vec();
                 order.sort_by(|a, b| {
-                    self.catalog.model(*a).loss.partial_cmp(&self.catalog.model(*b).loss).unwrap()
+                    self.catalog
+                        .model(*a)
+                        .loss
+                        .partial_cmp(&self.catalog.model(*b).loss)
+                        .unwrap()
                 });
                 let mut served = 0u32;
                 for mid in order {
@@ -86,12 +93,12 @@ impl Scheduler for LocalOnly {
                 }
                 schedule.unserved[i][k] = left;
             }
-            for m in 0..nm {
-                if batches[m] > 0 {
+            for (m, &bm) in batches.iter().enumerate() {
+                if bm > 0 {
                     schedule.deployments[k].push(Deployment {
                         app: self.catalog.models[m].app,
                         model: ModelId(m),
-                        batch: batches[m],
+                        batch: bm,
                     });
                 }
             }
@@ -119,7 +126,10 @@ mod tests {
         let demand_fn = |a: AppId, e: EdgeId| d.get(a, e);
         birp_sim::validate(&catalog, &demand_fn, &schedule, None).unwrap();
         // The hot edge overflows (that's the point of this baseline).
-        assert!(schedule.unserved[0][0] > 0, "hot edge should overflow without redistribution");
+        assert!(
+            schedule.unserved[0][0] > 0,
+            "hot edge should overflow without redistribution"
+        );
         assert_eq!(schedule.unserved[0][3], 0);
     }
 
@@ -131,7 +141,11 @@ mod tests {
         d.set(AppId(0), EdgeId(1), 3);
         let schedule = s.decide(0, &d, None);
         assert_eq!(schedule.total_unserved(), 0);
-        let best_loss = catalog.models.iter().map(|m| m.loss).fold(f64::INFINITY, f64::min);
+        let best_loss = catalog
+            .models
+            .iter()
+            .map(|m| m.loss)
+            .fold(f64::INFINITY, f64::min);
         assert!((schedule.loss(&catalog) - 3.0 * best_loss).abs() < 1e-9);
     }
 }

@@ -42,7 +42,8 @@ impl MaxBatch {
             .map(|app| {
                 let mut ms: Vec<ModelId> = app.models.clone();
                 ms.sort_by(|a, b| {
-                    catalog.model(*a)
+                    catalog
+                        .model(*a)
                         .gamma_base_ms
                         .partial_cmp(&catalog.model(*b).gamma_base_ms)
                         .unwrap()
@@ -50,7 +51,12 @@ impl MaxBatch {
                 ms
             })
             .collect();
-        MaxBatch { catalog, b0: b0.min(MAX_BATCH).max(1), fill_order, planning_tir: TirParams::paper_initial() }
+        MaxBatch {
+            catalog,
+            b0: b0.clamp(1, MAX_BATCH),
+            fill_order,
+            planning_tir: TirParams::paper_initial(),
+        }
     }
 
     /// The paper's default `B0 = 16`.
@@ -81,7 +87,11 @@ impl MaxBatch {
                 let b = st.batches[m];
                 let delta_compute = self.est_latency(e, m, b + 1) - self.est_latency(e, m, b);
                 let fresh = b == 0;
-                let delta_mem = if fresh { mv.weight_mb + mv.intermediate_mb } else { mv.intermediate_mb };
+                let delta_mem = if fresh {
+                    mv.weight_mb + mv.intermediate_mb
+                } else {
+                    mv.intermediate_mb
+                };
                 let deploy_net = if fresh && !prev.is_some_and(|p| p.is_deployed(EdgeId(e), mid)) {
                     mv.compressed_mb
                 } else {
@@ -127,8 +137,8 @@ impl Scheduler for MaxBatch {
 
         // Pass 1: serve locally.
         let mut remaining = vec![vec![0u32; ne]; na];
-        for i in 0..na {
-            for e in 0..ne {
+        for (i, rem_row) in remaining.iter_mut().enumerate() {
+            for (e, rem) in rem_row.iter_mut().enumerate() {
                 let d = demand.get(AppId(i), EdgeId(e));
                 if d == 0 {
                     continue;
@@ -137,19 +147,22 @@ impl Scheduler for MaxBatch {
                 if placed > 0 {
                     schedule.routing.set(AppId(i), EdgeId(e), EdgeId(e), placed);
                 }
-                remaining[i][e] = d - placed;
+                *rem = d - placed;
             }
         }
 
         // Pass 2: move overflow in whole B0 blocks to the emptiest edges.
-        for i in 0..na {
+        for (i, rem_row) in remaining.iter_mut().enumerate() {
             let zeta = self.catalog.apps[i].request_mb;
-            for src in 0..ne {
-                'blocks: while remaining[i][src] >= self.b0 {
+            for (src, rem) in rem_row.iter_mut().enumerate() {
+                'blocks: while *rem >= self.b0 {
                     // Destinations ordered by remaining compute.
                     let mut order: Vec<usize> = (0..ne).filter(|&d| d != src).collect();
                     order.sort_by(|&a, &b| {
-                        states[b].compute_left.partial_cmp(&states[a].compute_left).unwrap()
+                        states[b]
+                            .compute_left
+                            .partial_cmp(&states[a].compute_left)
+                            .unwrap()
                     });
                     for dest in order {
                         // Network pre-check on both sides.
@@ -161,19 +174,22 @@ impl Scheduler for MaxBatch {
                         if block == 0 {
                             continue;
                         }
-                        let placed = self.try_assign(&mut states[dest], dest, AppId(i), block, prev);
+                        let placed =
+                            self.try_assign(&mut states[dest], dest, AppId(i), block, prev);
                         if placed > 0 {
                             let cost = zeta * placed as f64;
                             states[src].net_left -= cost;
                             states[dest].net_left -= cost;
-                            schedule.routing.add(AppId(i), EdgeId(src), EdgeId(dest), placed);
-                            remaining[i][src] -= placed;
+                            schedule
+                                .routing
+                                .add(AppId(i), EdgeId(src), EdgeId(dest), placed);
+                            *rem -= placed;
                             continue 'blocks;
                         }
                     }
                     break; // no destination accepted anything
                 }
-                schedule.unserved[i][src] = remaining[i][src];
+                schedule.unserved[i][src] = *rem;
             }
         }
 

@@ -45,8 +45,7 @@ pub(crate) fn all_unserved(t: usize, demand: &DemandMatrix) -> Schedule {
     let mut s = Schedule::empty(t, demand.num_apps(), demand.num_edges());
     for i in 0..demand.num_apps() {
         for k in 0..demand.num_edges() {
-            s.unserved[i][k] =
-                demand.get(birp_models::AppId(i), birp_models::EdgeId(k));
+            s.unserved[i][k] = demand.get(birp_models::AppId(i), birp_models::EdgeId(k));
         }
     }
     s

@@ -44,7 +44,12 @@ impl Oaei {
         let gamma_est = (0..catalog.num_edges())
             .map(|_| catalog.models.iter().map(|m| m.gamma_base_ms).collect())
             .collect();
-        Oaei { catalog, gamma_est, solver_cfg: SolverConfig::scheduling(), rng: StdRng::seed_from_u64(seed) }
+        Oaei {
+            catalog,
+            gamma_est,
+            solver_cfg: SolverConfig::scheduling(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     pub fn with_solver(mut self, cfg: SolverConfig) -> Self {
@@ -75,7 +80,9 @@ impl Scheduler for Oaei {
     fn decide(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
         let cat = self.estimated_catalog();
         let cfg = ProblemConfig {
-            mode: ExecutionMode::Serial { max_serial: MAX_SERIAL },
+            mode: ExecutionMode::Serial {
+                max_serial: MAX_SERIAL,
+            },
             ..Default::default()
         };
         // TIR estimates are irrelevant in serial mode but required by the
@@ -160,7 +167,11 @@ mod tests {
         let catalog = Catalog::small_scale(42);
         let mut oaei = Oaei::new(catalog.clone(), 1);
         let priors: Vec<Vec<f64>> = (0..catalog.num_edges())
-            .map(|e| (0..catalog.num_models()).map(|m| oaei.gamma_estimate(e, m)).collect())
+            .map(|e| {
+                (0..catalog.num_models())
+                    .map(|m| oaei.gamma_estimate(e, m))
+                    .collect()
+            })
             .collect();
 
         let mut d = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
@@ -168,7 +179,10 @@ mod tests {
         d.set(AppId(0), EdgeId(4), 6);
         let sim = EdgeSim::new(
             catalog.clone(),
-            SimConfig { exec_noise_sigma: 0.0, ..Default::default() },
+            SimConfig {
+                exec_noise_sigma: 0.0,
+                ..Default::default()
+            },
         );
         let mut executed = std::collections::HashSet::new();
         for t in 0..25 {
@@ -193,7 +207,11 @@ mod tests {
                 moved += 1;
             }
         }
-        assert!(moved > 0, "no estimate moved despite {} executed pairs", executed.len());
+        assert!(
+            moved > 0,
+            "no estimate moved despite {} executed pairs",
+            executed.len()
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use birp_core::{DemandMatrix, ProblemConfig, SlotProblem, TirMatrix};
 use birp_core::{Birp, BirpOff, MaxBatch, Oaei, Scheduler};
+use birp_core::{DemandMatrix, ProblemConfig, SlotProblem, TirMatrix};
 use birp_mab::MabConfig;
 use birp_models::{AppId, Catalog, EdgeId};
 use birp_solver::SolverConfig;

@@ -22,6 +22,7 @@
 //!
 //! Initial values follow Eq. 23: `eta = 0.1, beta = 16, C = 16^0.1`.
 
+use birp_telemetry as telemetry;
 use birp_tir::TirParams;
 use serde::{Deserialize, Serialize};
 
@@ -43,7 +44,10 @@ impl MabConfig {
 
     /// The values the paper settles on (Section 5.3).
     pub fn paper_preset() -> Self {
-        MabConfig { eps1: 0.04, eps2: 0.07 }
+        MabConfig {
+            eps1: 0.04,
+            eps2: 0.07,
+        }
     }
 }
 
@@ -104,7 +108,11 @@ impl ArmState {
 
     /// The LCB parameters the planner should use this slot.
     pub fn estimate(&self) -> TirParams {
-        TirParams { eta: self.eta_lcb, beta: self.beta_lcb, c: self.c_lcb }
+        TirParams {
+            eta: self.eta_lcb,
+            beta: self.beta_lcb,
+            c: self.c_lcb,
+        }
     }
 
     /// The raw running-mean parameters (no exploration padding).
@@ -173,7 +181,9 @@ impl Tuner {
         Tuner {
             cfg,
             num_models,
-            arms: (0..num_devices * num_models).map(|_| ArmState::new()).collect(),
+            arms: (0..num_devices * num_models)
+                .map(|_| ArmState::new())
+                .collect(),
         }
     }
 
@@ -190,7 +200,11 @@ impl Tuner {
                 arms.push(ArmState::with_initial(truth(d, m)));
             }
         }
-        Tuner { cfg, num_models, arms }
+        Tuner {
+            cfg,
+            num_models,
+            arms,
+        }
     }
 
     #[inline]
@@ -219,7 +233,27 @@ impl Tuner {
     ) -> UpdateKind {
         let cfg = self.cfg;
         let i = self.idx(device, model);
-        self.arms[i].observe(t, batch, tir_hat, &cfg)
+        let kind = self.arms[i].observe(t, batch, tir_hat, &cfg);
+        if telemetry::enabled() {
+            telemetry::counter("mab.pulls", 1);
+            telemetry::counter(
+                match kind {
+                    UpdateKind::BeyondThreshold => "mab.beyond_threshold",
+                    UpdateKind::WithinThreshold => "mab.within_threshold",
+                    UpdateKind::Skipped => "mab.skipped",
+                },
+                1,
+            );
+            // Relative width of the exploration interval on C — the padding
+            // of Eqs. 17/22 actually in effect for this arm. Shrinks toward
+            // 0 as evidence accumulates.
+            let arm = &self.arms[i];
+            if arm.c_bar > 0.0 {
+                let width = (arm.c_bar - arm.estimate().c).max(0.0) / arm.c_bar;
+                telemetry::observe("mab.lcb_rel_width", width);
+            }
+        }
+        kind
     }
 
     pub fn num_arms(&self) -> usize {
@@ -272,8 +306,8 @@ mod tests {
     fn running_mean_weights_shrink() {
         let mut a = ArmState::new();
         let cfg = MabConfig::new(0.04, 0.0); // no padding: LCB = mean
-        // All observed TIRs stay below (1 + eps1) * C_bar = 1.363, so every
-        // observation lands in the within-threshold branch.
+                                             // All observed TIRs stay below (1 + eps1) * C_bar = 1.363, so every
+                                             // observation lands in the within-threshold branch.
         let tir = |eta: f64, b: u32| (b as f64).powf(eta);
         a.observe(0, 4, tir(0.1, 4), &cfg);
         assert!((a.eta_bar - 0.1).abs() < 1e-9);
@@ -313,7 +347,12 @@ mod tests {
             a.observe(t, 8, 3.0, &cfg);
         }
         let late = a.estimate();
-        assert!(late.c > early.c, "LCB should rise: {} -> {}", early.c, late.c);
+        assert!(
+            late.c > early.c,
+            "LCB should rise: {} -> {}",
+            early.c,
+            late.c
+        );
         assert!(late.beta >= early.beta);
     }
 

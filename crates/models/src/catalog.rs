@@ -135,7 +135,10 @@ impl Catalog {
                 ("util", edge.util.len()),
             ] {
                 if len != self.models.len() {
-                    return Err(format!("edge {i}: {what} has {len} entries, expected {}", self.models.len()));
+                    return Err(format!(
+                        "edge {i}: {what} has {len} entries, expected {}",
+                        self.models.len()
+                    ));
                 }
             }
             for (m, p) in edge.tir_truth.iter().enumerate() {
@@ -158,7 +161,11 @@ impl Catalog {
                 edges.push(make_edge(
                     EdgeId(idx),
                     kind,
-                    &format!("{}-{}", kind.name().to_lowercase().replace(' ', "-"), instance),
+                    &format!(
+                        "{}-{}",
+                        kind.name().to_lowercase().replace(' ', "-"),
+                        instance
+                    ),
                     models,
                     seed,
                     slot_ms,
@@ -193,7 +200,13 @@ impl Catalog {
         }];
         let slot_ms = 2_500.0;
         let edges = Self::testbed_edges(&models, seed, slot_ms);
-        let cat = Catalog { apps, models, edges, slot_ms, seed };
+        let cat = Catalog {
+            apps,
+            models,
+            edges,
+            slot_ms,
+            seed,
+        };
         debug_assert!(cat.validate().is_ok());
         cat
     }
@@ -222,7 +235,13 @@ impl Catalog {
         }
         let slot_ms = 2_500.0;
         let edges = Self::testbed_edges(&models, seed, slot_ms);
-        let cat = Catalog { apps, models, edges, slot_ms, seed };
+        let cat = Catalog {
+            apps,
+            models,
+            edges,
+            slot_ms,
+            seed,
+        };
         debug_assert!(cat.validate().is_ok());
         cat
     }
@@ -256,14 +275,27 @@ impl Catalog {
             models: models.iter().map(|m| m.id).collect(),
         }];
         let slot_ms = 2_500.0;
-        let mut edge = make_edge(EdgeId(0), DeviceKind::JetsonNano, "jetson-nano-0", &models, seed, slot_ms);
+        let mut edge = make_edge(
+            EdgeId(0),
+            DeviceKind::JetsonNano,
+            "jetson-nano-0",
+            &models,
+            seed,
+            slot_ms,
+        );
         // Override generated ground truth with the paper's fitted curves and
         // Nano-measured latencies (gamma_base already Nano-scale here).
         for (m, (_, gamma, tir)) in specs.iter().enumerate() {
             edge.gamma_ms[m] = *gamma;
             edge.tir_truth[m] = *tir;
         }
-        let cat = Catalog { apps, models, edges: vec![edge], slot_ms, seed };
+        let cat = Catalog {
+            apps,
+            models,
+            edges: vec![edge],
+            slot_ms,
+            seed,
+        };
         debug_assert!(cat.validate().is_ok());
         cat
     }
@@ -297,8 +329,18 @@ impl Catalog {
         let slot_ms = 2_500.0;
         let reference = table1_reference();
         let mut edges = Vec::new();
-        for (e, kind) in [DeviceKind::JetsonNano, DeviceKind::Atlas200DK].into_iter().enumerate() {
-            let mut edge = make_edge(EdgeId(e), kind, &format!("{}-0", kind.name().to_lowercase().replace(' ', "-")), &models, seed, slot_ms);
+        for (e, kind) in [DeviceKind::JetsonNano, DeviceKind::Atlas200DK]
+            .into_iter()
+            .enumerate()
+        {
+            let mut edge = make_edge(
+                EdgeId(e),
+                kind,
+                &format!("{}-0", kind.name().to_lowercase().replace(' ', "-")),
+                &models,
+                seed,
+                slot_ms,
+            );
             for (m, name) in names.iter().enumerate() {
                 let row = reference
                     .iter()
@@ -309,7 +351,13 @@ impl Catalog {
             }
             edges.push(edge);
         }
-        let cat = Catalog { apps, models, edges, slot_ms, seed };
+        let cat = Catalog {
+            apps,
+            models,
+            edges,
+            slot_ms,
+            seed,
+        };
         debug_assert!(cat.validate().is_ok());
         cat
     }
@@ -428,7 +476,10 @@ mod tests {
             }
         }
         let c = Catalog::large_scale(8);
-        assert!(a.edges[0].gamma_ms != c.edges[0].gamma_ms, "different seeds must differ");
+        assert!(
+            a.edges[0].gamma_ms != c.edges[0].gamma_ms,
+            "different seeds must differ"
+        );
     }
 
     #[test]

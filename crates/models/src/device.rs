@@ -58,7 +58,11 @@ impl DeviceKind {
 
     /// All three kinds, testbed order.
     pub fn all() -> [DeviceKind; 3] {
-        [DeviceKind::JetsonNX, DeviceKind::JetsonNano, DeviceKind::Atlas200DK]
+        [
+            DeviceKind::JetsonNX,
+            DeviceKind::JetsonNano,
+            DeviceKind::Atlas200DK,
+        ]
     }
 }
 
@@ -84,7 +88,12 @@ pub struct UtilProfile {
 
 impl UtilProfile {
     pub fn zero() -> Self {
-        UtilProfile { cpu_pct: 0.0, gpu_pct: 0.0, npu_pct: 0.0, npu_core_pct: 0.0 }
+        UtilProfile {
+            cpu_pct: 0.0,
+            gpu_pct: 0.0,
+            npu_pct: 0.0,
+            npu_core_pct: 0.0,
+        }
     }
 
     /// The utilisation of the compute-bound accelerator.
@@ -159,7 +168,12 @@ mod tests {
 
     #[test]
     fn bottleneck_picks_right_column() {
-        let u = UtilProfile { cpu_pct: 50.0, gpu_pct: 72.4, npu_pct: 12.6, npu_core_pct: 31.2 };
+        let u = UtilProfile {
+            cpu_pct: 50.0,
+            gpu_pct: 72.4,
+            npu_pct: 12.6,
+            npu_core_pct: 31.2,
+        };
         assert_eq!(u.bottleneck(Accelerator::Gpu), 72.4);
         assert_eq!(u.bottleneck(Accelerator::Npu), 31.2);
     }

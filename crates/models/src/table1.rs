@@ -35,7 +35,12 @@ pub fn table1_reference() -> Vec<Table1Row> {
     let row = |model, device, cpu, gpu, npu, core, fps| Table1Row {
         model,
         device,
-        util: UtilProfile { cpu_pct: cpu, gpu_pct: gpu, npu_pct: npu, npu_core_pct: core },
+        util: UtilProfile {
+            cpu_pct: cpu,
+            gpu_pct: gpu,
+            npu_pct: npu,
+            npu_core_pct: core,
+        },
         avg_fps: fps,
     };
     vec![
@@ -66,11 +71,20 @@ mod tests {
         //  29.2%, 72.4%, and 31.2% respectively" (BERT CPU on Nano,
         //  Yolov4-t GPU on Nano, Yolov4-t NPU-core on Atlas).
         let rows = table1_reference();
-        let bert_nano = rows.iter().find(|r| r.model == "BERT" && r.device == DeviceKind::JetsonNano).unwrap();
+        let bert_nano = rows
+            .iter()
+            .find(|r| r.model == "BERT" && r.device == DeviceKind::JetsonNano)
+            .unwrap();
         assert_eq!(bert_nano.util.cpu_pct, 29.2);
-        let yolo_nano = rows.iter().find(|r| r.model == "Yolov4-t" && r.device == DeviceKind::JetsonNano).unwrap();
+        let yolo_nano = rows
+            .iter()
+            .find(|r| r.model == "Yolov4-t" && r.device == DeviceKind::JetsonNano)
+            .unwrap();
         assert_eq!(yolo_nano.util.gpu_pct, 72.4);
-        let yolo_atlas = rows.iter().find(|r| r.model == "Yolov4-t" && r.device == DeviceKind::Atlas200DK).unwrap();
+        let yolo_atlas = rows
+            .iter()
+            .find(|r| r.model == "Yolov4-t" && r.device == DeviceKind::Atlas200DK)
+            .unwrap();
         assert_eq!(yolo_atlas.util.npu_core_pct, 31.2);
     }
 
@@ -78,8 +92,14 @@ mod tests {
     fn atlas_is_faster_than_nano_on_every_model() {
         let rows = table1_reference();
         for model in ["Yolov4-t", "Yolov4-n", "ResNet-18", "BERT"] {
-            let nano = rows.iter().find(|r| r.model == model && r.device == DeviceKind::JetsonNano).unwrap();
-            let atlas = rows.iter().find(|r| r.model == model && r.device == DeviceKind::Atlas200DK).unwrap();
+            let nano = rows
+                .iter()
+                .find(|r| r.model == model && r.device == DeviceKind::JetsonNano)
+                .unwrap();
+            let atlas = rows
+                .iter()
+                .find(|r| r.model == model && r.device == DeviceKind::Atlas200DK)
+                .unwrap();
             assert!(atlas.avg_fps > nano.avg_fps, "{model}");
         }
     }
@@ -103,7 +123,10 @@ mod tests {
     #[test]
     fn gamma_inverts_fps() {
         let rows = table1_reference();
-        let bert = rows.iter().find(|r| r.model == "BERT" && r.device == DeviceKind::JetsonNano).unwrap();
+        let bert = rows
+            .iter()
+            .find(|r| r.model == "BERT" && r.device == DeviceKind::JetsonNano)
+            .unwrap();
         assert!((bert.gamma_ms() - 909.09).abs() < 0.01);
     }
 

@@ -107,7 +107,10 @@ mod tests {
         let ms = version_ladder(AppId(0), 0, 0.0);
         for w in ms.windows(2) {
             assert!(w[0].loss > w[1].loss, "loss must decrease with size");
-            assert!(w[0].gamma_base_ms < w[1].gamma_base_ms, "latency must increase");
+            assert!(
+                w[0].gamma_base_ms < w[1].gamma_base_ms,
+                "latency must increase"
+            );
             assert!(w[0].weight_mb < w[1].weight_mb);
         }
     }
@@ -133,7 +136,10 @@ mod tests {
     fn spread_differentiates_applications() {
         let a = version_ladder(AppId(0), 0, 1.0);
         let b = version_ladder(AppId(1), 5, 1.0);
-        assert!(a.iter().zip(&b).any(|(x, y)| (x.loss - y.loss).abs() > 1e-6));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .any(|(x, y)| (x.loss - y.loss).abs() > 1e-6));
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Guards the `Cdf` ingest path (the satellite fix of PR 1): `push` must be
+//! an O(1) append with a deferred sort, not an O(n) insert-sort. The
+//! `push_then_quantiles` benchmark models the runner's real access pattern —
+//! a burst of per-request completion pushes, then a handful of quantile
+//! queries at the figure boundary.
+
+use birp_sim::Cdf;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Deterministic pseudo-random completion times (no `rand` in benches).
+fn samples(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 7919 + 13) % 10_007) as f64 / 10_007.0)
+        .collect()
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cdf");
+    for &n in &[1_000usize, 10_000] {
+        let vals = samples(n);
+        g.bench_function(format!("push_{n}"), |b| {
+            b.iter(|| {
+                let mut cdf = Cdf::new();
+                for &v in &vals {
+                    cdf.push(v);
+                }
+                black_box(cdf.len())
+            })
+        });
+        g.bench_function(format!("push_then_quantiles_{n}"), |b| {
+            b.iter(|| {
+                let mut cdf = Cdf::new();
+                for &v in &vals {
+                    cdf.push(v);
+                }
+                let mut acc = 0.0;
+                for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    acc += cdf.quantile(q);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_push);
+criterion_main!(benches);

@@ -23,9 +23,18 @@ impl PowerProfile {
     /// Nominal envelope for a device kind.
     pub fn of(kind: DeviceKind) -> PowerProfile {
         match kind {
-            DeviceKind::JetsonNX => PowerProfile { idle_w: 5.0, busy_w: 20.0 },
-            DeviceKind::JetsonNano => PowerProfile { idle_w: 2.0, busy_w: 10.0 },
-            DeviceKind::Atlas200DK => PowerProfile { idle_w: 6.0, busy_w: 24.0 },
+            DeviceKind::JetsonNX => PowerProfile {
+                idle_w: 5.0,
+                busy_w: 20.0,
+            },
+            DeviceKind::JetsonNano => PowerProfile {
+                idle_w: 2.0,
+                busy_w: 10.0,
+            },
+            DeviceKind::Atlas200DK => PowerProfile {
+                idle_w: 6.0,
+                busy_w: 24.0,
+            },
         }
     }
 
@@ -73,7 +82,10 @@ mod tests {
 
     #[test]
     fn busy_time_adds_delta_power() {
-        let p = PowerProfile { idle_w: 5.0, busy_w: 20.0 };
+        let p = PowerProfile {
+            idle_w: 5.0,
+            busy_w: 20.0,
+        };
         let e = p.slot_energy_j(10_000.0, 4_000.0);
         // 5 W x 10 s + 15 W x 4 s = 50 + 60 = 110 J.
         assert!((e - 110.0).abs() < 1e-9);
@@ -84,8 +96,18 @@ mod tests {
         let catalog = Catalog::small_scale(5);
         let mut s = Schedule::empty(0, catalog.num_apps(), catalog.num_edges());
         s.routing.set(AppId(0), EdgeId(0), EdgeId(0), 8);
-        s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 8 });
-        let sim = EdgeSim::new(catalog.clone(), SimConfig { exec_noise_sigma: 0.0, ..Default::default() });
+        s.deployments[0].push(Deployment {
+            app: AppId(0),
+            model: ModelId(0),
+            batch: 8,
+        });
+        let sim = EdgeSim::new(
+            catalog.clone(),
+            SimConfig {
+                exec_noise_sigma: 0.0,
+                ..Default::default()
+            },
+        );
 
         let batched = sim.execute_slot(&s, None);
         let mut serial = s.clone();

@@ -89,7 +89,9 @@ pub struct SlotOutcome {
 impl SlotOutcome {
     /// Iterator over per-request completion times (normalised).
     pub fn completions(&self) -> impl Iterator<Item = f64> + '_ {
-        self.batches.iter().flat_map(|b| std::iter::repeat_n(b.completion_norm, b.batch as usize))
+        self.batches
+            .iter()
+            .flat_map(|b| std::iter::repeat_n(b.completion_norm, b.batch as usize))
     }
 }
 
@@ -244,7 +246,11 @@ impl EdgeSim {
             let completion = start + exec;
             cur_ms = completion;
             busy_ms += exec;
-            let observed_tir = if u.is_batch { u.batch as f64 * gamma / exec } else { 1.0 };
+            let observed_tir = if u.is_batch {
+                u.batch as f64 * gamma / exec
+            } else {
+                1.0
+            };
             batches.push(BatchOutcome {
                 edge: k,
                 app: u.app,
@@ -276,8 +282,18 @@ mod tests {
         let mut s = Schedule::empty(0, catalog.num_apps(), catalog.num_edges());
         s.routing.set(AppId(0), EdgeId(0), EdgeId(0), 6);
         s.routing.set(AppId(0), EdgeId(1), EdgeId(0), 2);
-        s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 8 });
-        let sim = EdgeSim::new(catalog, SimConfig { exec_noise_sigma: 0.0, ..Default::default() });
+        s.deployments[0].push(Deployment {
+            app: AppId(0),
+            model: ModelId(0),
+            batch: 8,
+        });
+        let sim = EdgeSim::new(
+            catalog,
+            SimConfig {
+                exec_noise_sigma: 0.0,
+                ..Default::default()
+            },
+        );
         (sim, s)
     }
 
@@ -329,12 +345,19 @@ mod tests {
         let mut s = Schedule::empty(0, catalog.num_apps(), catalog.num_edges());
         for e in 0..6 {
             s.routing.set(AppId(0), EdgeId(e), EdgeId(e), 4);
-            s.deployments[e].push(Deployment { app: AppId(0), model: ModelId(0), batch: 4 });
+            s.deployments[e].push(Deployment {
+                app: AppId(0),
+                model: ModelId(0),
+                batch: 4,
+            });
         }
         let mk = |parallel| {
             EdgeSim::new(
                 catalog.clone(),
-                SimConfig { parallel, ..Default::default() },
+                SimConfig {
+                    parallel,
+                    ..Default::default()
+                },
             )
             .execute_slot(&s, None)
         };
@@ -355,12 +378,26 @@ mod tests {
         let mut s = Schedule::empty(0, 1, catalog.num_edges());
         s.routing.set(AppId(0), EdgeId(2), EdgeId(2), 16);
         // model 2 is the xl model: 16 of them serially blow way past tau.
-        s.deployments[2].push(Deployment { app: AppId(0), model: ModelId(2), batch: 16 });
+        s.deployments[2].push(Deployment {
+            app: AppId(0),
+            model: ModelId(2),
+            batch: 16,
+        });
         s.serial = true;
-        let sim = EdgeSim::new(catalog, SimConfig { exec_noise_sigma: 0.0, ..Default::default() });
+        let sim = EdgeSim::new(
+            catalog,
+            SimConfig {
+                exec_noise_sigma: 0.0,
+                ..Default::default()
+            },
+        );
         let out = sim.execute_slot(&s, None);
         assert!(out.slo_violations > 0, "expected overruns");
-        let last = out.batches.iter().map(|b| b.completion_norm).fold(0.0, f64::max);
+        let last = out
+            .batches
+            .iter()
+            .map(|b| b.completion_norm)
+            .fold(0.0, f64::max);
         assert!(last > 1.0, "last completion {last} (slot_ms {slot_ms})");
     }
 
@@ -402,7 +439,11 @@ mod tests {
         let degraded = sim.execute_slot(&s, None);
         let h = healthy.batches[0].exec_ms;
         let d = degraded.batches[0].exec_ms;
-        assert!((d / h - 3.0).abs() < 1e-9, "expected 3x slowdown, got {}", d / h);
+        assert!(
+            (d / h - 3.0).abs() < 1e-9,
+            "expected 3x slowdown, got {}",
+            d / h
+        );
         // Observed TIR shrinks accordingly — the MAB sees the edge go bad.
         assert!(degraded.batches[0].observed_tir < healthy.batches[0].observed_tir);
     }
@@ -419,7 +460,11 @@ mod tests {
         let catalog = Catalog::small_scale(5);
         let mut s = Schedule::empty(0, 1, catalog.num_edges());
         s.routing.set(AppId(0), EdgeId(0), EdgeId(0), 4);
-        s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 4 });
+        s.deployments[0].push(Deployment {
+            app: AppId(0),
+            model: ModelId(0),
+            batch: 4,
+        });
         let ideal = catalog.edge(EdgeId(0)).true_batch_latency_ms(0, 4);
         let mut sum = 0.0;
         let n = 200;
@@ -428,11 +473,18 @@ mod tests {
             st.t = t;
             let sim = EdgeSim::new(
                 catalog.clone(),
-                SimConfig { exec_noise_sigma: 0.15, ..Default::default() },
+                SimConfig {
+                    exec_noise_sigma: 0.15,
+                    ..Default::default()
+                },
             );
             sum += sim.execute_slot(&st, None).batches[0].exec_ms;
         }
         let mean = sum / n as f64;
-        assert!((mean / ideal - 1.0).abs() < 0.05, "mean ratio {}", mean / ideal);
+        assert!(
+            (mean / ideal - 1.0).abs() < 0.05,
+            "mean ratio {}",
+            mean / ideal
+        );
     }
 }

@@ -52,7 +52,11 @@ impl FaultPlan {
     }
 
     pub fn with_outage(mut self, edge: EdgeId, from_slot: usize, to_slot: usize) -> Self {
-        self.outages.push(Outage { edge, from_slot, to_slot });
+        self.outages.push(Outage {
+            edge,
+            from_slot,
+            to_slot,
+        });
         self
     }
 
@@ -63,7 +67,12 @@ impl FaultPlan {
         to_slot: usize,
         slowdown: f64,
     ) -> Self {
-        self.degradations.push(Degradation { edge, from_slot, to_slot, slowdown });
+        self.degradations.push(Degradation {
+            edge,
+            from_slot,
+            to_slot,
+            slowdown,
+        });
         self
     }
 

@@ -30,9 +30,12 @@ pub mod noise;
 pub mod schedule;
 pub mod utilization;
 
-pub use executor::{BatchOutcome, EdgeSim, SimConfig, SlotOutcome};
 pub use energy::{energy_per_request, slot_energy, PowerProfile};
+pub use executor::{BatchOutcome, EdgeSim, SimConfig, SlotOutcome};
 pub use faults::{Degradation, FaultPlan, Outage};
 pub use metrics::{Cdf, MetricsCollector, RunMetrics};
-pub use schedule::{validate, validate_against_trace, Deployment, Routing, Schedule, ScheduleError};
+pub use schedule::{
+    network_usage_mb, validate, validate_against_trace, Deployment, Routing, Schedule,
+    ScheduleError,
+};
 pub use utilization::{measure_utilization, UtilSample};

@@ -28,7 +28,11 @@ pub struct Routing {
 
 impl Routing {
     pub fn zeros(num_apps: usize, num_edges: usize) -> Self {
-        Routing { num_apps, num_edges, flows: vec![0; num_apps * num_edges * num_edges] }
+        Routing {
+            num_apps,
+            num_edges,
+            flows: vec![0; num_apps * num_edges * num_edges],
+        }
     }
 
     #[inline]
@@ -71,13 +75,17 @@ impl Routing {
 
     /// All requests of `app` to be executed at `to` (local + remote).
     pub fn arriving(&self, app: AppId, to: EdgeId) -> u32 {
-        (0..self.num_edges).map(|from| self.get(app, EdgeId(from), to)).sum()
+        (0..self.num_edges)
+            .map(|from| self.get(app, EdgeId(from), to))
+            .sum()
     }
 
     /// Total requests routed away from `from` for `app`, including the
     /// self-loop (locally executed).
     pub fn departing_total(&self, app: AppId, from: EdgeId) -> u32 {
-        (0..self.num_edges).map(|to| self.get(app, from, EdgeId(to))).sum()
+        (0..self.num_edges)
+            .map(|to| self.get(app, from, EdgeId(to)))
+            .sum()
     }
 }
 
@@ -111,7 +119,11 @@ impl Schedule {
 
     /// Total requests executed this slot.
     pub fn served(&self) -> u64 {
-        self.deployments.iter().flatten().map(|d| d.batch as u64).sum()
+        self.deployments
+            .iter()
+            .flatten()
+            .map(|d| d.batch as u64)
+            .sum()
     }
 
     /// Total requests left unserved.
@@ -139,19 +151,46 @@ impl Schedule {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScheduleError {
     /// Eq. 3 broken: routed + unserved != demand.
-    FlowConservation { app: AppId, edge: EdgeId, routed: u32, unserved: u32, demand: u32 },
+    FlowConservation {
+        app: AppId,
+        edge: EdgeId,
+        routed: u32,
+        unserved: u32,
+        demand: u32,
+    },
     /// Eq. 5 broken: batches at an edge != arriving requests.
-    BatchMismatch { app: AppId, edge: EdgeId, batches: u32, arriving: u32 },
+    BatchMismatch {
+        app: AppId,
+        edge: EdgeId,
+        batches: u32,
+        arriving: u32,
+    },
     /// A deployment with batch 0 or above the global cap.
-    BadBatch { edge: EdgeId, model: ModelId, batch: u32 },
+    BadBatch {
+        edge: EdgeId,
+        model: ModelId,
+        batch: u32,
+    },
     /// Two deployments of the same model on one edge.
     DuplicateDeployment { edge: EdgeId, model: ModelId },
     /// A deployment whose model does not belong to its app.
-    WrongApp { edge: EdgeId, model: ModelId, app: AppId },
+    WrongApp {
+        edge: EdgeId,
+        model: ModelId,
+        app: AppId,
+    },
     /// Eq. 6 broken: memory over capacity.
-    MemoryExceeded { edge: EdgeId, used_mb: f64, capacity_mb: f64 },
+    MemoryExceeded {
+        edge: EdgeId,
+        used_mb: f64,
+        capacity_mb: f64,
+    },
     /// Eq. 9 broken: network over budget.
-    NetworkExceeded { edge: EdgeId, used_mb: f64, budget_mb: f64 },
+    NetworkExceeded {
+        edge: EdgeId,
+        used_mb: f64,
+        budget_mb: f64,
+    },
     /// Shape mismatch against the catalog.
     Shape(String),
 }
@@ -192,7 +231,12 @@ impl std::error::Error for ScheduleError {}
 /// Network MB charged to edge `k` by `schedule` (paper Eq. 9 LHS):
 /// request forwarding in both directions plus compressed-weight transfers
 /// for newly deployed models (`prev` = previous slot's deployment bits).
-pub fn network_usage_mb(catalog: &Catalog, schedule: &Schedule, prev: Option<&Schedule>, k: EdgeId) -> f64 {
+pub fn network_usage_mb(
+    catalog: &Catalog,
+    schedule: &Schedule,
+    prev: Option<&Schedule>,
+    k: EdgeId,
+) -> f64 {
     let mut used = 0.0;
     for app in &catalog.apps {
         let zeta = app.request_mb;
@@ -258,13 +302,24 @@ pub fn validate(
             // (they run one at a time); batched ones are capped by MAX_BATCH.
             let over_cap = !schedule.serial && d.batch > birp_models::catalog::MAX_BATCH;
             if d.batch == 0 || over_cap {
-                return Err(ScheduleError::BadBatch { edge, model: d.model, batch: d.batch });
+                return Err(ScheduleError::BadBatch {
+                    edge,
+                    model: d.model,
+                    batch: d.batch,
+                });
             }
             if !seen.insert(d.model) {
-                return Err(ScheduleError::DuplicateDeployment { edge, model: d.model });
+                return Err(ScheduleError::DuplicateDeployment {
+                    edge,
+                    model: d.model,
+                });
             }
             if catalog.model(d.model).app != d.app {
-                return Err(ScheduleError::WrongApp { edge, model: d.model, app: d.app });
+                return Err(ScheduleError::WrongApp {
+                    edge,
+                    model: d.model,
+                    app: d.app,
+                });
             }
         }
         for app in &catalog.apps {
@@ -275,7 +330,12 @@ pub fn validate(
                 .sum();
             let arriving = schedule.routing.arriving(app.id, edge);
             if batches != arriving {
-                return Err(ScheduleError::BatchMismatch { app: app.id, edge, batches, arriving });
+                return Err(ScheduleError::BatchMismatch {
+                    app: app.id,
+                    edge,
+                    batches,
+                    arriving,
+                });
             }
         }
 
@@ -290,14 +350,22 @@ pub fn validate(
             .sum();
         let capacity = catalog.edge(edge).memory_mb;
         if used_mb > capacity + 1e-6 {
-            return Err(ScheduleError::MemoryExceeded { edge, used_mb, capacity_mb: capacity });
+            return Err(ScheduleError::MemoryExceeded {
+                edge,
+                used_mb,
+                capacity_mb: capacity,
+            });
         }
 
         // Eq. 9: network.
         let net = network_usage_mb(catalog, schedule, prev, edge);
         let budget = catalog.edge(edge).network_budget_mb;
         if net > budget + 1e-6 {
-            return Err(ScheduleError::NetworkExceeded { edge, used_mb: net, budget_mb: budget });
+            return Err(ScheduleError::NetworkExceeded {
+                edge,
+                used_mb: net,
+                budget_mb: budget,
+            });
         }
     }
     Ok(())
@@ -334,8 +402,16 @@ mod tests {
         s.routing.set(AppId(0), EdgeId(0), EdgeId(0), 3);
         s.routing.set(AppId(0), EdgeId(0), EdgeId(1), 1);
         s.routing.set(AppId(0), EdgeId(1), EdgeId(1), 2);
-        s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 3 });
-        s.deployments[1].push(Deployment { app: AppId(0), model: ModelId(1), batch: 3 });
+        s.deployments[0].push(Deployment {
+            app: AppId(0),
+            model: ModelId(0),
+            batch: 3,
+        });
+        s.deployments[1].push(Deployment {
+            app: AppId(0),
+            model: ModelId(1),
+            batch: 3,
+        });
         s
     }
 
@@ -393,7 +469,11 @@ mod tests {
     fn duplicate_and_zero_batch_detected() {
         let (catalog, trace) = tiny_world();
         let mut s = good_schedule(&catalog);
-        s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 0 });
+        s.deployments[0].push(Deployment {
+            app: AppId(0),
+            model: ModelId(0),
+            batch: 0,
+        });
         assert!(matches!(
             validate_against_trace(&catalog, &trace, &s, None),
             Err(ScheduleError::BadBatch { .. })
@@ -401,7 +481,11 @@ mod tests {
         let mut s = good_schedule(&catalog);
         // Split edge 0's batch into two deployments of the same model.
         s.deployments[0][0].batch = 2;
-        s.deployments[0].push(Deployment { app: AppId(0), model: ModelId(0), batch: 1 });
+        s.deployments[0].push(Deployment {
+            app: AppId(0),
+            model: ModelId(0),
+            batch: 1,
+        });
         assert!(matches!(
             validate_against_trace(&catalog, &trace, &s, None),
             Err(ScheduleError::DuplicateDeployment { .. })

@@ -30,7 +30,10 @@ impl fmt::Display for SolverError {
             SolverError::Infeasible => write!(f, "problem is infeasible"),
             SolverError::Unbounded => write!(f, "problem is unbounded"),
             SolverError::BudgetExhausted { nodes } => {
-                write!(f, "search budget exhausted after {nodes} nodes with no incumbent")
+                write!(
+                    f,
+                    "search budget exhausted after {nodes} nodes with no incumbent"
+                )
             }
             SolverError::NonLinearizable { detail } => {
                 write!(f, "quadratic term cannot be linearised exactly: {detail}")
@@ -58,13 +61,21 @@ mod tests {
         assert!(SolverError::Unbounded.to_string().contains("unbounded"));
         let e = SolverError::BudgetExhausted { nodes: 17 };
         assert!(e.to_string().contains("17"));
-        let e = SolverError::InvalidBounds { var: 3, lower: 2.0, upper: 1.0 };
+        let e = SolverError::InvalidBounds {
+            var: 3,
+            lower: 2.0,
+            upper: 1.0,
+        };
         assert!(e.to_string().contains("[2, 1]"));
-        let e = SolverError::NonLinearizable { detail: "x*y".into() };
+        let e = SolverError::NonLinearizable {
+            detail: "x*y".into(),
+        };
         assert!(e.to_string().contains("x*y"));
         let e = SolverError::UnknownVariable { var: 9 };
         assert!(e.to_string().contains('9'));
-        let e = SolverError::Numerical { detail: "cycling".into() };
+        let e = SolverError::Numerical {
+            detail: "cycling".into(),
+        };
         assert!(e.to_string().contains("cycling"));
     }
 

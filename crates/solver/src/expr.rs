@@ -16,6 +16,14 @@ impl VarId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Reconstruct a handle from a dense column index. Intended for
+    /// diagnostics that walk raw LP columns; there is no validity check
+    /// against any particular model.
+    #[inline]
+    pub fn from_index(j: usize) -> VarId {
+        VarId(j)
+    }
 }
 
 /// Variable integrality class.
@@ -55,12 +63,18 @@ impl LinExpr {
 
     /// A constant expression with no variable terms.
     pub fn constant(c: f64) -> Self {
-        LinExpr { terms: Vec::new(), constant: c }
+        LinExpr {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// Single-term expression `coef · var`.
     pub fn term(var: VarId, coef: f64) -> Self {
-        LinExpr { terms: vec![(var, coef)], constant: 0.0 }
+        LinExpr {
+            terms: vec![(var, coef)],
+            constant: 0.0,
+        }
     }
 
     /// Add `coef · var` in place.
@@ -79,7 +93,10 @@ impl LinExpr {
 
     /// Weighted sum `Σ coef_j · var_j`.
     pub fn weighted_sum(pairs: impl IntoIterator<Item = (VarId, f64)>) -> Self {
-        LinExpr { terms: pairs.into_iter().collect(), constant: 0.0 }
+        LinExpr {
+            terms: pairs.into_iter().collect(),
+            constant: 0.0,
+        }
     }
 
     /// Merge duplicate variables and drop (numerically) zero coefficients.
@@ -145,7 +162,8 @@ impl AddAssign for LinExpr {
 impl Sub for LinExpr {
     type Output = LinExpr;
     fn sub(mut self, rhs: LinExpr) -> LinExpr {
-        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
         self.constant -= rhs.constant;
         self
     }
@@ -153,7 +171,8 @@ impl Sub for LinExpr {
 
 impl SubAssign for LinExpr {
     fn sub_assign(&mut self, rhs: LinExpr) {
-        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
         self.constant -= rhs.constant;
     }
 }

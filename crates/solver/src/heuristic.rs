@@ -60,7 +60,9 @@ pub fn dive(
     for _ in 0..max_rounds {
         let sol = solve_bounded(&scoped);
         if sol.status != LpStatus::Optimal {
-            if std::env::var("BIRP_DIVE_DEBUG").is_ok() { eprintln!("dive: LP {:?}", sol.status); }
+            if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
+                eprintln!("dive: LP {:?}", sol.status);
+            }
             return None;
         }
 
@@ -80,7 +82,11 @@ pub fn dive(
                 if skipped[j] {
                     continue;
                 }
-                let slot = if is_binary[j] { &mut bin_target } else { &mut gen_target };
+                let slot = if is_binary[j] {
+                    &mut bin_target
+                } else {
+                    &mut gen_target
+                };
                 match slot {
                     Some((_, _, bf)) if *bf <= frac => {}
                     _ => *slot = Some((j, v, frac)),
@@ -99,7 +105,9 @@ pub fn dive(
             return Some((obj, x));
         }
         let Some((j, v, _)) = target else {
-            if std::env::var("BIRP_DIVE_DEBUG").is_ok() { eprintln!("dive: only skipped fractionals remain"); }
+            if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
+                eprintln!("dive: only skipped fractionals remain");
+            }
             return None; // only skipped variables remain fractional
         };
 
@@ -132,7 +140,9 @@ pub fn dive(
             }
         }
         // Both roundings infeasible: restore the variable and move on.
-        if std::env::var("BIRP_DIVE_DEBUG").is_ok() { eprintln!("dive: var {j} stuck at {v} (skips left {skips_left})"); }
+        if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
+            eprintln!("dive: var {j} stuck at {v} (skips left {skips_left})");
+        }
         if skips_left == 0 {
             return None;
         }
@@ -141,7 +151,9 @@ pub fn dive(
         scoped.upper[j] = old_hi;
         skipped[j] = true;
     }
-    if std::env::var("BIRP_DIVE_DEBUG").is_ok() { eprintln!("dive: max rounds exhausted"); }
+    if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
+        eprintln!("dive: max rounds exhausted");
+    }
     None
 }
 

@@ -48,12 +48,12 @@ pub mod presolve;
 pub mod simplex;
 
 pub use error::SolverError;
-pub use lpwrite::to_lp_format;
-pub use presolve::{presolve, PresolveStatus, Reduction};
 pub use expr::{LinExpr, VarId, VarKind};
 pub use lp::{LpProblem, LpSolution, LpStatus};
+pub use lpwrite::to_lp_format;
 pub use milp::{MilpProblem, MilpResult, MilpStatus};
 pub use model::{Model, ModelStatus, Solution, SolverConfig};
+pub use presolve::{presolve, PresolveStatus, Reduction};
 
 /// Numerical tolerance used throughout the solver for feasibility checks.
 pub const FEAS_TOL: f64 = 1e-7;

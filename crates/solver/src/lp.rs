@@ -79,11 +79,21 @@ pub struct LpSolution {
 
 impl LpSolution {
     pub fn infeasible() -> Self {
-        LpSolution { status: LpStatus::Infeasible, objective: f64::INFINITY, x: Vec::new(), iterations: 0 }
+        LpSolution {
+            status: LpStatus::Infeasible,
+            objective: f64::INFINITY,
+            x: Vec::new(),
+            iterations: 0,
+        }
     }
 
     pub fn unbounded() -> Self {
-        LpSolution { status: LpStatus::Unbounded, objective: f64::NEG_INFINITY, x: Vec::new(), iterations: 0 }
+        LpSolution {
+            status: LpStatus::Unbounded,
+            objective: f64::NEG_INFINITY,
+            x: Vec::new(),
+            iterations: 0,
+        }
     }
 }
 
@@ -127,10 +137,10 @@ impl LpProblem {
         for row in &self.rows {
             worst = worst.max(row.violation(x));
         }
-        for j in 0..self.num_cols() {
-            worst = worst.max(self.lower[j] - x[j]);
+        for (j, &xj) in x.iter().enumerate().take(self.num_cols()) {
+            worst = worst.max(self.lower[j] - xj);
             if self.upper[j].is_finite() {
-                worst = worst.max(x[j] - self.upper[j]);
+                worst = worst.max(xj - self.upper[j]);
             }
         }
         worst
@@ -145,7 +155,8 @@ impl LpProblem {
     /// Returns the offending column on failure.
     pub fn validate_bounds(&self) -> Result<(), usize> {
         for j in 0..self.num_cols() {
-            if !self.lower[j].is_finite() || self.upper[j] < self.lower[j] || self.upper[j].is_nan() {
+            if !self.lower[j].is_finite() || self.upper[j] < self.lower[j] || self.upper[j].is_nan()
+            {
                 return Err(j);
             }
         }
@@ -160,7 +171,11 @@ mod tests {
     #[test]
     fn push_row_merges_and_sorts() {
         let mut lp = LpProblem::with_columns(3);
-        lp.push_row(vec![(2, 1.0), (0, 2.0), (2, 3.0), (1, 0.0)], RowCmp::Le, 7.0);
+        lp.push_row(
+            vec![(2, 1.0), (0, 2.0), (2, 3.0), (1, 0.0)],
+            RowCmp::Le,
+            7.0,
+        );
         assert_eq!(lp.rows[0].coeffs, vec![(0, 2.0), (2, 4.0)]);
     }
 

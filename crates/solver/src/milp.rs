@@ -13,6 +13,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use birp_telemetry as telemetry;
 use rayon::prelude::*;
 
 use crate::heuristic::dive;
@@ -116,7 +117,10 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the smallest bound on top.
-        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -187,24 +191,57 @@ fn incumbent_gap(objective: f64, bound: f64) -> f64 {
     (objective - bound).max(0.0) / objective.abs().max(1.0)
 }
 
+/// Emit an incumbent-trajectory trace point (objective / bound / gap after
+/// `nodes` LPs). The gap series is the solver's convergence signature.
+fn note_incumbent(source: &'static str, objective: f64, bound: f64, nodes: usize) {
+    if telemetry::enabled() {
+        telemetry::event(
+            telemetry::Level::Trace,
+            "solver.incumbent",
+            &[
+                ("source", source.into()),
+                ("objective", objective.into()),
+                ("bound", bound.into()),
+                ("gap", incumbent_gap(objective, bound).into()),
+                ("nodes", (nodes as u64).into()),
+            ],
+        );
+    }
+}
+
 /// Solve the MILP by branch and bound.
 pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
+    telemetry::counter("solver.solves", 1);
     // Presolve never removes columns, so indices and solutions line up with
     // the caller's problem; it only tightens bounds and drops rows, which
     // shrinks every node LP.
     let mut reduced = original.clone();
-    if cfg.presolve
-        && crate::presolve::presolve(&mut reduced.lp, &reduced.integers).0
-            == crate::presolve::PresolveStatus::Infeasible
-    {
-        return MilpResult {
-            status: MilpStatus::Infeasible,
-            objective: f64::INFINITY,
-            x: Vec::new(),
-            bound: f64::INFINITY,
-            gap: 0.0,
-            nodes: 0,
-        };
+    if cfg.presolve {
+        let (status, red) = crate::presolve::presolve(&mut reduced.lp, &reduced.integers);
+        if telemetry::enabled() {
+            telemetry::counter("solver.presolve_rows_removed", red.rows_removed as u64);
+            telemetry::counter("solver.presolve_vars_fixed", red.vars_fixed as u64);
+            telemetry::event(
+                telemetry::Level::Debug,
+                "solver.presolve",
+                &[
+                    ("rows_removed", (red.rows_removed as u64).into()),
+                    ("bounds_tightened", (red.bounds_tightened as u64).into()),
+                    ("vars_fixed", (red.vars_fixed as u64).into()),
+                    ("rounds", (red.rounds as u64).into()),
+                ],
+            );
+        }
+        if status == crate::presolve::PresolveStatus::Infeasible {
+            return MilpResult {
+                status: MilpStatus::Infeasible,
+                objective: f64::INFINITY,
+                x: Vec::new(),
+                bound: f64::INFINITY,
+                gap: 0.0,
+                nodes: 0,
+            };
+        }
     }
     let problem = &reduced;
     let n = problem.lp.num_cols();
@@ -220,6 +257,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
 
     // Install a validated warm start as the initial incumbent.
     if let Some(ws) = &cfg.warm_start {
+        let mut installed = false;
         if ws.len() == n {
             let integral = problem
                 .integers
@@ -227,16 +265,39 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 .all(|&j| (ws[j] - ws[j].round()).abs() < INT_TOL);
             let mut snapped = ws.clone();
             snap_integers(&mut snapped, &problem.integers);
-            if integral && problem.lp.max_violation(&snapped) < 1e-6 {
+            let violation = problem.lp.max_violation(&snapped);
+            if integral && violation < 1e-6 {
                 let obj = problem.lp.objective_at(&snapped);
+                note_incumbent("warm_start", obj, f64::NEG_INFINITY, 0);
                 incumbent = Some((obj, snapped));
+                installed = true;
+            } else if telemetry::enabled() {
+                // A rejected warm start leaves the search without a safety
+                // net under tight node budgets — worth shouting about.
+                telemetry::event(
+                    telemetry::Level::Warn,
+                    "solver.warm_start_rejected",
+                    &[
+                        ("integral", integral.into()),
+                        ("violation", violation.into()),
+                    ],
+                );
             }
         }
+        telemetry::counter(
+            if installed {
+                "solver.warm_start_accepted"
+            } else {
+                "solver.warm_start_rejected"
+            },
+            1,
+        );
     }
 
     // --- root -----------------------------------------------------------
     let root_sol = solve_node_lp(&problem.lp, &root);
     nodes_solved += 1;
+    telemetry::counter("solver.pivots", root_sol.iterations as u64);
     match root_sol.status {
         LpStatus::Infeasible => {
             return MilpResult {
@@ -265,8 +326,11 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     let (root_branch, _) = branch_var(&root_sol.x, &problem.integers, &root.lower, &root.upper);
     if let Some((j, v)) = root_branch {
         if cfg.root_dive {
+            telemetry::counter("solver.dive_attempts", 1);
             if let Some((obj, x)) = dive(&problem.lp, &problem.integers, &root.lower, &root.upper) {
                 if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
+                    telemetry::counter("solver.dive_hits", 1);
+                    note_incumbent("root_dive", obj, root_bound, nodes_solved);
                     incumbent = Some((obj, x));
                 }
             }
@@ -276,6 +340,8 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
         let mut x = root_sol.x;
         snap_integers(&mut x, &problem.integers);
         let obj = problem.lp.objective_at(&x);
+        telemetry::counter("solver.nodes", nodes_solved as u64);
+        note_incumbent("integral_root", obj, root_bound, nodes_solved);
         return MilpResult {
             status: MilpStatus::Optimal,
             objective: obj,
@@ -287,7 +353,11 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     }
 
     // --- search -----------------------------------------------------------
-    let workers = if cfg.parallel { rayon::current_num_threads().max(1) } else { 1 };
+    let workers = if cfg.parallel {
+        rayon::current_num_threads().max(1)
+    } else {
+        1
+    };
     // In-tree dives are expensive (a dive is dozens of LP solves); a few
     // well-placed ones capture nearly all their value.
     let mut tree_dives_left = 3usize;
@@ -313,7 +383,9 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
             break;
         }
         if let Some((obj, _)) = &incumbent {
-            let frontier_bound = wave[0].bound.min(heap.peek().map_or(f64::INFINITY, |n| n.bound));
+            let frontier_bound = wave[0]
+                .bound
+                .min(heap.peek().map_or(f64::INFINITY, |n| n.bound));
             if incumbent_gap(*obj, frontier_bound.max(root_bound)) <= cfg.rel_gap {
                 heap.push(wave.swap_remove(0)); // keep bound info for reporting
                 for node in wave {
@@ -324,11 +396,22 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
         }
 
         let solved: Vec<_> = if cfg.parallel && wave.len() > 1 {
-            wave.par_iter().map(|node| solve_node_lp(&problem.lp, node)).collect()
+            wave.par_iter()
+                .map(|node| solve_node_lp(&problem.lp, node))
+                .collect()
         } else {
-            wave.iter().map(|node| solve_node_lp(&problem.lp, node)).collect()
+            wave.iter()
+                .map(|node| solve_node_lp(&problem.lp, node))
+                .collect()
         };
         nodes_solved += wave.len();
+        if telemetry::enabled() {
+            telemetry::observe("solver.wave_size", wave.len() as f64);
+            telemetry::counter(
+                "solver.pivots",
+                solved.iter().map(|s| s.iterations as u64).sum(),
+            );
+        }
 
         for (node, sol) in wave.into_iter().zip(solved) {
             match sol.status {
@@ -359,6 +442,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                     snap_integers(&mut x, &problem.integers);
                     let obj = problem.lp.objective_at(&x);
                     if obj < cutoff {
+                        note_incumbent("leaf", obj, root_bound, nodes_solved);
                         incumbent = Some((obj, x));
                     }
                 }
@@ -368,12 +452,14 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                     // tight node budgets.
                     if frac_count <= 8 && tree_dives_left > 0 {
                         tree_dives_left -= 1;
+                        telemetry::counter("solver.dive_attempts", 1);
                         if let Some((obj, x)) =
                             dive(&problem.lp, &problem.integers, &node.lower, &node.upper)
                         {
-                            let cutoff =
-                                incumbent.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
+                            let cutoff = incumbent.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
                             if obj < cutoff {
+                                telemetry::counter("solver.dive_hits", 1);
+                                note_incumbent("tree_dive", obj, root_bound, nodes_solved);
                                 incumbent = Some((obj, x));
                             }
                         }
@@ -390,12 +476,27 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
         .map(|n| n.bound)
         .fold(f64::INFINITY, f64::min)
         .max(root_bound);
-    match incumbent {
+    let result = match incumbent {
         Some((obj, x)) => {
-            let bound = if heap.is_empty() { obj } else { frontier_bound.min(obj) };
+            let bound = if heap.is_empty() {
+                obj
+            } else {
+                frontier_bound.min(obj)
+            };
             let gap = incumbent_gap(obj, bound);
-            let status = if gap <= cfg.rel_gap { MilpStatus::Optimal } else { MilpStatus::Feasible };
-            MilpResult { status, objective: obj, x, bound, gap, nodes: nodes_solved }
+            let status = if gap <= cfg.rel_gap {
+                MilpStatus::Optimal
+            } else {
+                MilpStatus::Feasible
+            };
+            MilpResult {
+                status,
+                objective: obj,
+                x,
+                bound,
+                gap,
+                nodes: nodes_solved,
+            }
         }
         None => {
             if heap.is_empty() {
@@ -419,7 +520,26 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 }
             }
         }
+    };
+    if telemetry::enabled() {
+        telemetry::counter("solver.nodes", result.nodes as u64);
+        telemetry::observe("solver.nodes_per_solve", result.nodes as f64);
+        if result.gap.is_finite() {
+            telemetry::observe("solver.final_gap", result.gap);
+        }
+        telemetry::event(
+            telemetry::Level::Debug,
+            "solver.done",
+            &[
+                ("status", format!("{:?}", result.status).into()),
+                ("objective", result.objective.into()),
+                ("bound", result.bound.into()),
+                ("gap", result.gap.into()),
+                ("nodes", (result.nodes as u64).into()),
+            ],
+        );
     }
+    result
 }
 
 fn solve_node_lp(lp: &LpProblem, node: &Node) -> crate::lp::LpSolution {
@@ -464,8 +584,15 @@ mod tests {
         let mut lp = LpProblem::with_columns(n);
         lp.objective = values.iter().map(|v| -v).collect();
         lp.upper = vec![1.0; n];
-        lp.push_row(weights.iter().cloned().enumerate().collect(), RowCmp::Le, cap);
-        MilpProblem { lp, integers: (0..n).collect() }
+        lp.push_row(
+            weights.iter().cloned().enumerate().collect(),
+            RowCmp::Le,
+            cap,
+        );
+        MilpProblem {
+            lp,
+            integers: (0..n).collect(),
+        }
     }
 
     #[test]
@@ -482,8 +609,20 @@ mod tests {
         let values = [8.0, 11.0, 6.0, 4.0, 9.0, 7.5, 3.0];
         let weights = [5.0, 7.0, 4.0, 3.0, 6.0, 5.5, 2.0];
         let p = knapsack(&values, &weights, 15.0);
-        let serial = branch_and_bound(&p, &BnbConfig { parallel: false, ..Default::default() });
-        let par = branch_and_bound(&p, &BnbConfig { parallel: true, ..Default::default() });
+        let serial = branch_and_bound(
+            &p,
+            &BnbConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let par = branch_and_bound(
+            &p,
+            &BnbConfig {
+                parallel: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(serial.status, MilpStatus::Optimal);
         assert_eq!(par.status, MilpStatus::Optimal);
         assert!((serial.objective - par.objective).abs() < 1e-6);
@@ -496,7 +635,10 @@ mod tests {
         lp.objective = vec![1.0, 1.0];
         lp.upper = vec![10.0, 10.0];
         lp.push_row(vec![(0, 2.0), (1, 2.0)], RowCmp::Eq, 7.0);
-        let p = MilpProblem { lp, integers: vec![0, 1] };
+        let p = MilpProblem {
+            lp,
+            integers: vec![0, 1],
+        };
         let r = branch_and_bound(&p, &BnbConfig::default());
         assert_eq!(r.status, MilpStatus::Infeasible);
     }
@@ -509,7 +651,10 @@ mod tests {
         lp.objective = vec![-1.0, -10.0];
         lp.upper = vec![3.7, 2.0];
         lp.push_row(vec![(0, 1.0), (1, 4.0)], RowCmp::Le, 8.5);
-        let p = MilpProblem { lp, integers: vec![1] };
+        let p = MilpProblem {
+            lp,
+            integers: vec![1],
+        };
         let r = branch_and_bound(&p, &BnbConfig::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         assert!((r.x[1] - 2.0).abs() < 1e-9);
@@ -523,8 +668,17 @@ mod tests {
         let values: Vec<f64> = (1..=20).map(|i| (i as f64 * 7.3) % 13.0 + 1.0).collect();
         let weights: Vec<f64> = (1..=20).map(|i| (i as f64 * 3.1) % 9.0 + 1.0).collect();
         let p = knapsack(&values, &weights, 30.0);
-        let r = branch_and_bound(&p, &BnbConfig { node_limit: 3, ..Default::default() });
-        assert!(matches!(r.status, MilpStatus::Feasible | MilpStatus::Optimal));
+        let r = branch_and_bound(
+            &p,
+            &BnbConfig {
+                node_limit: 3,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            r.status,
+            MilpStatus::Feasible | MilpStatus::Optimal
+        ));
         if r.status == MilpStatus::Feasible {
             assert!(r.objective.is_finite());
             assert!(p.lp.max_violation(&r.x) < 1e-6);
@@ -538,7 +692,10 @@ mod tests {
         lp.objective = vec![1.0, 1.0];
         lp.upper = vec![4.0, 4.0];
         lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Ge, 4.0);
-        let p = MilpProblem { lp, integers: vec![0, 1] };
+        let p = MilpProblem {
+            lp,
+            integers: vec![0, 1],
+        };
         let r = branch_and_bound(&p, &BnbConfig::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         assert_eq!(r.nodes, 1);

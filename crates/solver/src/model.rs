@@ -31,7 +31,12 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { node_limit: 20_000, rel_gap: 1e-6, parallel: false, root_dive: true }
+        SolverConfig {
+            node_limit: 20_000,
+            rel_gap: 1e-6,
+            parallel: false,
+            root_dive: true,
+        }
     }
 }
 
@@ -40,7 +45,12 @@ impl SolverConfig {
     /// modest gap, parallel node evaluation. Gurobi-with-a-time-limit moral
     /// equivalent.
     pub fn scheduling() -> Self {
-        SolverConfig { node_limit: 96, rel_gap: 5e-3, parallel: true, root_dive: true }
+        SolverConfig {
+            node_limit: 96,
+            rel_gap: 5e-3,
+            parallel: true,
+            root_dive: true,
+        }
     }
 }
 
@@ -114,13 +124,26 @@ impl Model {
     /// Add a variable; returns its handle.
     ///
     /// For `VarKind::Binary` the bounds are clamped into `[0, 1]`.
-    pub fn add_var(&mut self, name: &str, kind: VarKind, lower: f64, upper: f64, obj: f64) -> VarId {
+    pub fn add_var(
+        &mut self,
+        name: &str,
+        kind: VarKind,
+        lower: f64,
+        upper: f64,
+        obj: f64,
+    ) -> VarId {
         let (lower, upper) = match kind {
             VarKind::Binary => (lower.max(0.0), upper.min(1.0)),
             _ => (lower, upper),
         };
         let id = VarId(self.vars.len());
-        self.vars.push(VarInfo { name: name.to_string(), kind, lower, upper, obj });
+        self.vars.push(VarInfo {
+            name: name.to_string(),
+            kind,
+            lower,
+            upper,
+            obj,
+        });
         id
     }
 
@@ -176,7 +199,12 @@ impl Model {
         expr.compact();
         let adj_rhs = rhs - expr.constant;
         expr.constant = 0.0;
-        self.rows.push(RowInfo { name: name.to_string(), expr, cmp, rhs: adj_rhs });
+        self.rows.push(RowInfo {
+            name: name.to_string(),
+            expr,
+            cmp,
+            rhs: adj_rhs,
+        });
     }
 
     /// Add constraint `expr <= rhs`.
@@ -225,7 +253,8 @@ impl Model {
             return Err(SolverError::NonLinearizable {
                 detail: format!(
                     "product {} * {} has no binary factor",
-                    self.vars[a.index()].name, self.vars[b.index()].name
+                    self.vars[a.index()].name,
+                    self.vars[b.index()].name
                 ),
             });
         };
@@ -240,11 +269,20 @@ impl Model {
         }
         let wname = format!(
             "prod({},{})",
-            self.vars[bin.index()].name, self.vars[other.index()].name
+            self.vars[bin.index()].name,
+            self.vars[other.index()].name
         );
         let w = self.add_var(&wname, VarKind::Continuous, l.min(0.0), u.max(0.0), 0.0);
-        self.add_le(&format!("{wname}:ub_bin"), LinExpr::term(w, 1.0) - LinExpr::term(bin, u), 0.0);
-        self.add_ge(&format!("{wname}:lb_bin"), LinExpr::term(w, 1.0) - LinExpr::term(bin, l), 0.0);
+        self.add_le(
+            &format!("{wname}:ub_bin"),
+            LinExpr::term(w, 1.0) - LinExpr::term(bin, u),
+            0.0,
+        );
+        self.add_ge(
+            &format!("{wname}:lb_bin"),
+            LinExpr::term(w, 1.0) - LinExpr::term(bin, l),
+            0.0,
+        );
         self.add_le(
             &format!("{wname}:ub_other"),
             LinExpr::term(w, 1.0) - LinExpr::term(other, 1.0) - LinExpr::term(bin, l),
@@ -265,7 +303,11 @@ impl Model {
         let mut lp = LpProblem::with_columns(n);
         for (j, v) in self.vars.iter().enumerate() {
             if v.lower > v.upper || !v.lower.is_finite() || v.upper.is_nan() {
-                return Err(SolverError::InvalidBounds { var: j, lower: v.lower, upper: v.upper });
+                return Err(SolverError::InvalidBounds {
+                    var: j,
+                    lower: v.lower,
+                    upper: v.upper,
+                });
             }
             lp.lower[j] = v.lower;
             lp.upper[j] = v.upper;
@@ -278,7 +320,11 @@ impl Model {
                 }
             }
             lp.push_row(
-                row.expr.terms.iter().map(|&(v, c)| (v.index(), c)).collect(),
+                row.expr
+                    .terms
+                    .iter()
+                    .map(|&(v, c)| (v.index(), c))
+                    .collect(),
                 row.cmp,
                 row.rhs,
             );
@@ -464,7 +510,10 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 0.0);
         m.add_ge("impossible", LinExpr::from(x), 5.0);
-        assert!(matches!(m.solve(&SolverConfig::default()), Err(SolverError::Infeasible)));
+        assert!(matches!(
+            m.solve(&SolverConfig::default()),
+            Err(SolverError::Infeasible)
+        ));
     }
 
     #[test]

@@ -88,7 +88,11 @@ pub fn presolve(lp: &mut LpProblem, integers: &[usize]) -> (PresolveStatus, Redu
                     lo += c * l;
                     hi += if u.is_finite() { c * u } else { f64::INFINITY };
                 } else {
-                    lo += if u.is_finite() { c * u } else { f64::NEG_INFINITY };
+                    lo += if u.is_finite() {
+                        c * u
+                    } else {
+                        f64::NEG_INFINITY
+                    };
                     hi += c * l;
                 }
             }
@@ -147,7 +151,11 @@ pub fn presolve(lp: &mut LpProblem, integers: &[usize]) -> (PresolveStatus, Redu
                     (RowCmp::Ge, true) | (RowCmp::Le, false) => (Some(v), None),
                     (RowCmp::Eq, _) => (Some(v), Some(v)),
                 };
-                updates.push(BoundUpdate { col: j, new_lower: nl, new_upper: nu });
+                updates.push(BoundUpdate {
+                    col: j,
+                    new_lower: nl,
+                    new_upper: nu,
+                });
                 keep[ri] = false;
                 changed = true;
                 continue;
@@ -183,12 +191,20 @@ pub fn presolve(lp: &mut LpProblem, integers: &[usize]) -> (PresolveStatus, Redu
                         if c > 1e-12 {
                             let implied = room / c;
                             if implied < u - 1e-9 {
-                                updates.push(BoundUpdate { col: j, new_lower: None, new_upper: Some(implied) });
+                                updates.push(BoundUpdate {
+                                    col: j,
+                                    new_lower: None,
+                                    new_upper: Some(implied),
+                                });
                             }
                         } else if c < -1e-12 {
                             let implied = room / c;
                             if implied > l + 1e-9 {
-                                updates.push(BoundUpdate { col: j, new_lower: Some(implied), new_upper: None });
+                                updates.push(BoundUpdate {
+                                    col: j,
+                                    new_lower: Some(implied),
+                                    new_upper: None,
+                                });
                             }
                         }
                     }
@@ -231,7 +247,9 @@ pub fn presolve(lp: &mut LpProblem, integers: &[usize]) -> (PresolveStatus, Redu
         if keep.iter().any(|&k| !k) {
             let mut ki = keep.iter();
             lp.rows.retain(|_| *ki.next().unwrap());
-            red.rows_removed = red.rows_removed.saturating_add(keep.iter().filter(|&&k| !k).count());
+            red.rows_removed = red
+                .rows_removed
+                .saturating_add(keep.iter().filter(|&&k| !k).count());
         }
 
         if !changed {
@@ -325,7 +343,11 @@ mod tests {
         lp.push_row(vec![(0, 1.0), (1, 2.0), (2, 1.0)], RowCmp::Le, 9.0);
         lp.push_row(vec![(0, 2.0)], RowCmp::Le, 8.0); // singleton: x0 <= 4
         lp.push_row(vec![(2, 1.0), (3, -1.0)], RowCmp::Ge, 1.0);
-        lp.push_row(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)], RowCmp::Le, 100.0); // redundant
+        lp.push_row(
+            vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+            RowCmp::Le,
+            100.0,
+        ); // redundant
 
         let before = solve_reference(&lp);
         let mut reduced = lp.clone();

@@ -157,10 +157,16 @@ impl Engine {
                 let alpha = delta * self.d[i * n + q];
                 let bi = self.basis[i];
                 let (limit, hits) = if alpha > PIVOT_TOL {
-                    (((self.xb[i] - self.lower[bi]) / alpha).max(0.0), VState::AtLower)
+                    (
+                        ((self.xb[i] - self.lower[bi]) / alpha).max(0.0),
+                        VState::AtLower,
+                    )
                 } else if alpha < -PIVOT_TOL {
                     if self.upper[bi].is_finite() {
-                        (((self.upper[bi] - self.xb[i]) / -alpha).max(0.0), VState::AtUpper)
+                        (
+                            ((self.upper[bi] - self.xb[i]) / -alpha).max(0.0),
+                            VState::AtUpper,
+                        )
                     } else {
                         continue;
                     }
@@ -172,8 +178,7 @@ impl Engine {
                 let better = match leave {
                     None => limit < t,
                     Some((li, _)) => {
-                        limit < t - PIVOT_TOL
-                            || (limit < t + PIVOT_TOL && bi < self.basis[li])
+                        limit < t - PIVOT_TOL || (limit < t + PIVOT_TOL && bi < self.basis[li])
                     }
                 };
                 if better {
@@ -204,11 +209,19 @@ impl Engine {
                             self.xb[i] -= step * dq;
                         }
                     }
-                    self.state[q] = if delta > 0.0 { VState::AtUpper } else { VState::AtLower };
+                    self.state[q] = if delta > 0.0 {
+                        VState::AtUpper
+                    } else {
+                        VState::AtLower
+                    };
                 }
                 Some((r, hits)) => {
                     let step = delta * t;
-                    let new_val = if delta > 0.0 { self.lower[q] + t } else { self.upper[q] - t };
+                    let new_val = if delta > 0.0 {
+                        self.lower[q] + t
+                    } else {
+                        self.upper[q] - t
+                    };
                     for i in 0..self.m {
                         if i == r {
                             continue;
@@ -231,8 +244,8 @@ impl Engine {
     /// Dense solution vector for the current basis/state.
     fn extract(&self) -> Vec<f64> {
         let mut x = vec![0.0; self.ncols];
-        for j in 0..self.ncols {
-            x[j] = match self.state[j] {
+        for (j, xj) in x.iter_mut().enumerate() {
+            *xj = match self.state[j] {
                 VState::AtLower => self.lower[j],
                 VState::AtUpper => self.upper[j],
                 VState::Basic => 0.0, // filled below
@@ -376,8 +389,6 @@ fn try_solve(lp: &LpProblem) -> Option<LpSolution> {
                 // xb[i] is ~0; a degenerate pivot keeps values unchanged.
                 eng.state[leaving] = VState::AtLower;
                 eng.state[q] = VState::Basic;
-                let keep = eng.xb[i];
-                eng.xb[i] = keep;
                 eng.pivot(i, q);
             }
         }
@@ -447,7 +458,12 @@ fn try_solve(lp: &LpProblem) -> Option<LpSolution> {
         return None;
     }
     let objective = lp.objective_at(&x);
-    Some(LpSolution { status: LpStatus::Optimal, objective, x, iterations: eng.iterations })
+    Some(LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        iterations: eng.iterations,
+    })
 }
 
 #[cfg(test)]

@@ -141,7 +141,11 @@ pub fn solve(lp: &LpProblem) -> LpSolution {
     let mut raw: Vec<RawRow> = Vec::with_capacity(lp.num_rows() + n);
     for row in &lp.rows {
         let shift: f64 = row.coeffs.iter().map(|&(j, c)| c * lp.lower[j]).sum();
-        raw.push(RawRow { coeffs: row.coeffs.clone(), cmp: row.cmp, rhs: row.rhs - shift });
+        raw.push(RawRow {
+            coeffs: row.coeffs.clone(),
+            cmp: row.cmp,
+            rhs: row.rhs - shift,
+        });
     }
     for j in 0..n {
         if lp.upper[j].is_finite() {
@@ -209,7 +213,12 @@ pub fn solve(lp: &LpProblem) -> LpSolution {
     };
     total_iters += it1;
     if p1_obj > 1e-6 {
-        return LpSolution { status: LpStatus::Infeasible, objective: f64::INFINITY, x: Vec::new(), iterations: total_iters };
+        return LpSolution {
+            status: LpStatus::Infeasible,
+            objective: f64::INFINITY,
+            x: Vec::new(),
+            iterations: total_iters,
+        };
     }
 
     // Drive any basic artificials out; drop redundant rows by pivoting on
@@ -247,7 +256,12 @@ pub fn solve(lp: &LpProblem) -> LpSolution {
         }
     }
     let objective = lp.objective_at(&x);
-    LpSolution { status: LpStatus::Optimal, objective, x, iterations: total_iters }
+    LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        iterations: total_iters,
+    }
 }
 
 #[cfg(test)]
@@ -269,7 +283,11 @@ mod tests {
         lp.upper[0] = 2.0;
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
-        assert!((sol.objective - (-10.0)).abs() < 1e-7, "obj={}", sol.objective);
+        assert!(
+            (sol.objective - (-10.0)).abs() < 1e-7,
+            "obj={}",
+            sol.objective
+        );
         assert!((sol.x[0] - 2.0).abs() < 1e-7);
         assert!((sol.x[1] - 2.0).abs() < 1e-7);
     }

@@ -34,7 +34,10 @@ fn arb_ip() -> impl Strategy<Value = MilpProblem> {
                     .collect();
                 lp.push_row(sparse, cmp, rhs);
             }
-            MilpProblem { lp, integers: (0..n).collect() }
+            MilpProblem {
+                lp,
+                integers: (0..n).collect(),
+            }
         })
     })
 }
@@ -104,10 +107,10 @@ proptest! {
     #[test]
     fn bound_below_objective(p in arb_ip()) {
         let r = branch_and_bound(&p, &BnbConfig::default());
-        if r.status == MilpStatus::Optimal || r.status == MilpStatus::Feasible {
-            if r.objective.is_finite() {
-                prop_assert!(r.bound <= r.objective + 1e-6);
-            }
+        if (r.status == MilpStatus::Optimal || r.status == MilpStatus::Feasible)
+            && r.objective.is_finite()
+        {
+            prop_assert!(r.bound <= r.objective + 1e-6);
         }
     }
 }

@@ -145,7 +145,10 @@ fn regression_corpus() {
                 fast.objective,
                 slow.objective
             );
-            assert!(lp.max_violation(&fast.x) < 1e-6, "case {i}: infeasible point");
+            assert!(
+                lp.max_violation(&fast.x) < 1e-6,
+                "case {i}: infeasible point"
+            );
         }
     }
 }

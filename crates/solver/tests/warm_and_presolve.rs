@@ -35,7 +35,10 @@ fn arb_ip() -> impl Strategy<Value = MilpProblem> {
                     .collect();
                 lp.push_row(sparse, cmp, rhs);
             }
-            MilpProblem { lp, integers: (0..n).collect() }
+            MilpProblem {
+                lp,
+                integers: (0..n).collect(),
+            }
         })
     })
 }

@@ -1,0 +1,746 @@
+//! Lightweight, dependency-light observability for the BIRP workspace.
+//!
+//! Design goals, in priority order:
+//!
+//! 1. **Zero cost when disabled.** The global facade starts disabled; every
+//!    entry point bails after a single relaxed atomic load, so instrumented
+//!    hot paths (simplex pivots, B&B waves, per-slot scheduling) pay nothing
+//!    measurable in production runs. Seeded runs produce byte-identical
+//!    outputs with telemetry off because nothing here touches the RNG or the
+//!    decision path — instrumentation only *reads* solver/runner state.
+//! 2. **Determinism.** Apart from wall-clock timing fields (span durations,
+//!    the `t_ms` event timestamp), identical seeded runs produce identical
+//!    event streams: counters, histogram value sequences and field maps are
+//!    all derived from deterministic simulation state.
+//! 3. **Structured, greppable output.** Events are name + ordered key/value
+//!    fields; the [`JsonlSink`] writes one JSON object per line so runs can
+//!    be analysed with standard line tools (`jq`, `grep`) or loaded back by
+//!    `birp report`.
+//!
+//! The facade keeps three kinds of state in a global registry guarded by
+//! `parking_lot` locks:
+//!
+//! - **counters** — monotonic `u64` totals (`counter("solver.nodes", n)`),
+//! - **histograms** — log₂-bucketed value distributions
+//!   ([`LogHistogram`]; `observe("runner.decide_ms", dt)`),
+//! - **events** — leveled, structured records forwarded to the active
+//!   [`Sink`] (`event(Level::Info, "runner.slot", &[...])`).
+//!
+//! [`Span`] guards time a scope and feed the elapsed milliseconds into a
+//! histogram on drop. [`summary()`] snapshots counters and histogram
+//! quantiles for end-of-run reporting, and [`render_summary`] pretty-prints
+//! that snapshot as the table `birp report` shows.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+// --- levels --------------------------------------------------------------
+
+/// Event severity. Events below the configured minimum are dropped before
+/// reaching the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Trace = 0,
+    Debug = 1,
+    Info = 2,
+    Warn = 3,
+    Error = 4,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse a CLI-style level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::Trace),
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Trace,
+            1 => Level::Debug,
+            2 => Level::Info,
+            3 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+// --- events & sinks ------------------------------------------------------
+
+/// A structured telemetry record: severity, dotted name, ordered fields.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub level: Level,
+    pub name: String,
+    /// Milliseconds since telemetry was initialised (wall clock).
+    pub t_ms: f64,
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Lower to the JSON object shape written by [`JsonlSink`].
+    pub fn to_value(&self) -> Value {
+        let mut obj = vec![
+            ("t_ms".to_string(), Value::Float(round3(self.t_ms))),
+            ("level".to_string(), Value::Str(self.level.as_str().into())),
+            ("name".to_string(), Value::Str(self.name.clone())),
+        ];
+        for (k, v) in &self.fields {
+            obj.push((k.to_string(), v.clone()));
+        }
+        Value::Object(obj)
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Destination for telemetry events. Implementations must be thread-safe:
+/// solver worker threads emit concurrently with the main loop.
+pub trait Sink: Send + Sync {
+    fn record(&self, event: &Event);
+    fn flush(&self) {}
+}
+
+/// Discards everything (the default sink).
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Writes one JSON object per event to a buffered file (JSON Lines).
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = serde_json::to_string(&event.to_value()).unwrap_or_default();
+        let mut w = self.writer.lock();
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+/// Buffers events in memory; used by tests and `RunResult` capture.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+// --- histograms ----------------------------------------------------------
+
+/// Fixed-size log₂-bucketed histogram.
+///
+/// Bucket `i` covers values in `[2^(i-32), 2^(i-31))`, so the usable range
+/// spans ~2⁻³² to ~2³¹ — nanoseconds-as-milliseconds up to hours, or counts
+/// from 1 to billions. Values ≤ 0 land in bucket 0. Quantiles are estimated
+/// at the geometric midpoint of the selected bucket, giving ≤ √2 relative
+/// error, which is plenty for latency reporting.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    buckets: [u64; 64],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket a value falls into.
+    pub fn bucket_index(value: f64) -> usize {
+        if value <= 0.0 || !value.is_finite() {
+            return 0;
+        }
+        (value.log2().floor() + 32.0).clamp(0.0, 63.0) as usize
+    }
+
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the bucket counts (geometric midpoint of
+    /// the bucket containing the q-th sample; exact min/max at the ends).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let mid = 2f64.powf(i as f64 - 32.0 + 0.5);
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn summarize(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            mean: if self.count == 0 { 0.0 } else { self.mean() },
+            p50: if self.count == 0 {
+                0.0
+            } else {
+                self.quantile(0.50)
+            },
+            p90: if self.count == 0 {
+                0.0
+            } else {
+                self.quantile(0.90)
+            },
+            p99: if self.count == 0 {
+                0.0
+            } else {
+                self.quantile(0.99)
+            },
+        }
+    }
+}
+
+/// Snapshot of one histogram, with quantiles resolved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+/// Snapshot of every counter and histogram in the registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl TelemetrySummary {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+// --- global registry -----------------------------------------------------
+
+struct Registry {
+    counters: std::collections::BTreeMap<String, u64>,
+    histograms: std::collections::BTreeMap<String, LogHistogram>,
+    sink: std::sync::Arc<dyn Sink>,
+    epoch: Instant,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            counters: Default::default(),
+            histograms: Default::default(),
+            sink: std::sync::Arc::new(NullSink),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: std::sync::OnceLock<Mutex<Registry>> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::new()))
+}
+
+/// Enable telemetry with the given sink and minimum event level. Clears any
+/// state accumulated by a previous run.
+pub fn init(sink: std::sync::Arc<dyn Sink>, min_level: Level) {
+    let mut reg = registry().lock();
+    reg.counters.clear();
+    reg.histograms.clear();
+    reg.sink = sink;
+    reg.epoch = Instant::now();
+    MIN_LEVEL.store(min_level as u8, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Convenience: enable telemetry writing JSON Lines to `path`.
+pub fn init_jsonl(path: impl AsRef<Path>, min_level: Level) -> std::io::Result<()> {
+    let sink = JsonlSink::create(path)?;
+    init(std::sync::Arc::new(sink), min_level);
+    Ok(())
+}
+
+/// Flush the sink and disable the facade. Counters/histograms stay readable
+/// through [`summary()`] until the next [`init`].
+///
+/// Before disabling, the full [`summary()`] snapshot is emitted as a final
+/// `telemetry.summary` event so a JSONL capture is self-contained:
+/// `birp report` renders the end-of-run table from that record alone. The
+/// record bypasses the level filter — it is the capture's payload, and a
+/// `--log-level warn` run would otherwise produce a file `report` cannot
+/// summarise.
+pub fn shutdown() {
+    if !enabled() {
+        return;
+    }
+    let snapshot = summary();
+    let (sink, t_ms) = {
+        let reg = registry().lock();
+        (reg.sink.clone(), reg.epoch.elapsed().as_secs_f64() * 1000.0)
+    };
+    sink.record(&Event {
+        level: Level::Info,
+        name: "telemetry.summary".to_string(),
+        t_ms,
+        fields: vec![("summary", Serialize::to_value(&snapshot))],
+    });
+    ENABLED.store(false, Ordering::Relaxed);
+    registry().lock().sink.flush();
+}
+
+/// Fast-path check used by all entry points (and available to callers that
+/// want to skip building fields entirely).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Current minimum event level.
+pub fn min_level() -> Level {
+    Level::from_u8(MIN_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Add `delta` to the named monotonic counter.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock();
+    if let Some(c) = reg.counters.get_mut(name) {
+        *c += delta;
+    } else {
+        reg.counters.insert(name.to_string(), delta);
+    }
+}
+
+/// Record `value` into the named histogram.
+#[inline]
+pub fn observe(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock();
+    if let Some(h) = reg.histograms.get_mut(name) {
+        h.observe(value);
+    } else {
+        let mut h = LogHistogram::new();
+        h.observe(value);
+        reg.histograms.insert(name.to_string(), h);
+    }
+}
+
+/// Emit a structured event to the sink (dropped below the minimum level).
+#[inline]
+pub fn event(level: Level, name: &str, fields: &[(&'static str, Value)]) {
+    if !enabled() || (level as u8) < MIN_LEVEL.load(Ordering::Relaxed) {
+        return;
+    }
+    let (sink, t_ms) = {
+        let reg = registry().lock();
+        (reg.sink.clone(), reg.epoch.elapsed().as_secs_f64() * 1000.0)
+    };
+    sink.record(&Event {
+        level,
+        name: name.to_string(),
+        t_ms,
+        fields: fields.to_vec(),
+    });
+}
+
+/// Snapshot all counters and histogram summaries.
+pub fn summary() -> TelemetrySummary {
+    let reg = registry().lock();
+    TelemetrySummary {
+        counters: reg.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summarize()))
+            .collect(),
+    }
+}
+
+/// Disable the facade and drop all recorded state (tests use this to
+/// isolate themselves; runs use [`init`]'s implicit clear instead).
+pub fn reset() {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut reg = registry().lock();
+    reg.counters.clear();
+    reg.histograms.clear();
+    reg.sink = std::sync::Arc::new(NullSink);
+}
+
+// --- spans ---------------------------------------------------------------
+
+/// Times a scope; on drop, the elapsed milliseconds are observed into the
+/// histogram `<name>` and (at trace level) emitted as a `span` event.
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Elapsed milliseconds so far (0 when telemetry is disabled).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start
+            .map(|s| s.elapsed().as_secs_f64() * 1000.0)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Start a span feeding the named histogram. When telemetry is disabled the
+/// guard is inert (no clock read).
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            if enabled() {
+                let ms = start.elapsed().as_secs_f64() * 1000.0;
+                observe(self.name, ms);
+                event(
+                    Level::Trace,
+                    "span",
+                    &[("span", self.name.into()), ("ms", round3(ms).into())],
+                );
+            }
+        }
+    }
+}
+
+// --- summary rendering ---------------------------------------------------
+
+/// Render a summary as the aligned text table printed by `birp report` and
+/// at the end of telemetry-enabled CLI runs.
+pub fn render_summary(summary: &TelemetrySummary) -> String {
+    let mut out = String::new();
+    if !summary.counters.is_empty() {
+        out.push_str("counters\n");
+        let width = summary
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &summary.counters {
+            out.push_str(&format!("  {name:<width$}  {value}\n"));
+        }
+    }
+    if !summary.histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let width = summary
+            .histograms
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("histogram".len());
+        out.push_str(&format!(
+            "{:<width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "histogram", "count", "mean", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &summary.histograms {
+            out.push_str(&format!(
+                "{name:<width$}  {:>8}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}\n",
+                h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no telemetry recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    // The registry is global, so tests that exercise it share one lock to
+    // avoid interleaving (cargo runs tests on multiple threads).
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_facade_is_inert() {
+        let _g = TEST_GUARD.lock();
+        reset();
+        counter("x", 5);
+        observe("y", 1.0);
+        event(Level::Error, "z", &[]);
+        let s = summary();
+        assert!(s.counters.is_empty());
+        assert!(s.histograms.is_empty());
+        let span = span("unused");
+        assert_eq!(span.elapsed_ms(), 0.0);
+    }
+
+    #[test]
+    fn counters_and_histograms_aggregate() {
+        let _g = TEST_GUARD.lock();
+        init(Arc::new(NullSink), Level::Info);
+        counter("solver.nodes", 3);
+        counter("solver.nodes", 4);
+        observe("lat", 1.0);
+        observe("lat", 4.0);
+        let s = summary();
+        assert_eq!(s.counter("solver.nodes"), Some(7));
+        let h = s.histogram("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 4.0);
+        assert!((h.mean - 2.5).abs() < 1e-12);
+        reset();
+    }
+
+    #[test]
+    fn events_respect_min_level_and_reach_sink() {
+        let _g = TEST_GUARD.lock();
+        let sink = Arc::new(MemorySink::new());
+        init(sink.clone(), Level::Info);
+        event(Level::Debug, "dropped", &[]);
+        event(Level::Info, "kept", &[("k", 1u64.into())]);
+        shutdown();
+        let events = sink.drain();
+        // The debug event is filtered; shutdown appends telemetry.summary.
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "kept");
+        assert_eq!(events[0].fields[0], ("k", Value::UInt(1)));
+        assert_eq!(events[1].name, "telemetry.summary");
+        reset();
+    }
+
+    #[test]
+    fn histogram_bucketing_is_log2() {
+        // Satellite: explicit bucket-boundary coverage.
+        assert_eq!(LogHistogram::bucket_index(1.0), 32);
+        assert_eq!(LogHistogram::bucket_index(1.5), 32);
+        assert_eq!(LogHistogram::bucket_index(2.0), 33);
+        assert_eq!(LogHistogram::bucket_index(0.5), 31);
+        assert_eq!(LogHistogram::bucket_index(0.0), 0);
+        assert_eq!(LogHistogram::bucket_index(-3.0), 0);
+        assert_eq!(LogHistogram::bucket_index(f64::NAN), 0);
+        // Extremes clamp instead of indexing out of range.
+        assert_eq!(LogHistogram::bucket_index(1e300), 63);
+        assert_eq!(LogHistogram::bucket_index(1e-300), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_of_magnitude_accurate() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+        let p50 = h.quantile(0.5);
+        // Log buckets guarantee no worse than a factor-√2 midpoint estimate.
+        assert!((250.0..=1000.0).contains(&p50), "p50={p50}");
+        let empty = LogHistogram::new();
+        assert!(empty.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn span_records_elapsed_into_histogram() {
+        let _g = TEST_GUARD.lock();
+        init(Arc::new(NullSink), Level::Info);
+        {
+            let _span = span("work.ms");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = summary();
+        let h = s.histogram("work.ms").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 1.0, "span under-measured: {:?}", h);
+        reset();
+    }
+
+    #[test]
+    fn summary_renders_as_table() {
+        let summary = TelemetrySummary {
+            counters: vec![("solver.nodes".into(), 42)],
+            histograms: vec![(
+                "runner.decide_ms".into(),
+                HistogramSummary {
+                    count: 10,
+                    sum: 50.0,
+                    min: 1.0,
+                    max: 9.0,
+                    mean: 5.0,
+                    p50: 4.0,
+                    p90: 8.0,
+                    p99: 9.0,
+                },
+            )],
+        };
+        let text = render_summary(&summary);
+        assert!(text.contains("solver.nodes"));
+        assert!(text.contains("runner.decide_ms"));
+        assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn summary_serializes_roundtrip() {
+        let s = TelemetrySummary {
+            counters: vec![("a".into(), 1)],
+            histograms: vec![],
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TelemetrySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+}

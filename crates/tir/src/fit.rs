@@ -72,7 +72,11 @@ fn fit_eta(samples: &[TirSample], beta: u32) -> f64 {
 /// Mean TIR of supra-threshold samples (the `C` plateau); falls back to the
 /// power-law value at `beta` when no sample lies beyond the threshold.
 fn fit_c(samples: &[TirSample], beta: u32, eta: f64) -> f64 {
-    let beyond: Vec<f64> = samples.iter().filter(|s| s.batch > beta).map(|s| s.tir).collect();
+    let beyond: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.batch > beta)
+        .map(|s| s.tir)
+        .collect();
     if beyond.is_empty() {
         (beta as f64).powf(eta)
     } else {
@@ -81,7 +85,10 @@ fn fit_c(samples: &[TirSample], beta: u32, eta: f64) -> f64 {
 }
 
 fn sse(samples: &[TirSample], p: &TirParams) -> f64 {
-    samples.iter().map(|s| (s.tir - p.tir(s.batch)).powi(2)).sum()
+    samples
+        .iter()
+        .map(|s| (s.tir - p.tir(s.batch)).powi(2))
+        .sum()
 }
 
 /// Fit the piecewise TIR model to raw samples.
@@ -97,7 +104,11 @@ pub fn fit_piecewise(samples: &[TirSample]) -> Option<FitResult> {
     for beta in 2..=max_b.max(2) {
         let eta = fit_eta(samples, beta);
         let c = fit_c(samples, beta, eta);
-        let p = TirParams { eta, beta, c: c.max(1.0) };
+        let p = TirParams {
+            eta,
+            beta,
+            c: c.max(1.0),
+        };
         let e = sse(samples, &p);
         // `<=` on replacement: when two thresholds explain the data equally
         // well (TIR(beta) == C makes beta and beta-1 indistinguishable),
@@ -108,7 +119,11 @@ pub fn fit_piecewise(samples: &[TirSample]) -> Option<FitResult> {
             _ => best = Some((p, e)),
         }
     }
-    best.map(|(params, sse)| FitResult { params, sse, n: samples.len() })
+    best.map(|(params, sse)| FitResult {
+        params,
+        sse,
+        n: samples.len(),
+    })
 }
 
 #[cfg(test)]
@@ -150,8 +165,7 @@ mod tests {
     #[test]
     fn exact_noiseless_fit_has_near_zero_error() {
         let truth = TirParams::consistent(0.3, 6);
-        let samples: Vec<TirSample> =
-            (1..=16).map(|b| TirSample::new(b, truth.tir(b))).collect();
+        let samples: Vec<TirSample> = (1..=16).map(|b| TirSample::new(b, truth.tir(b))).collect();
         let fit = fit_piecewise(&samples).unwrap();
         assert!(fit.sse < 1e-10, "sse={}", fit.sse);
         assert_eq!(fit.params.beta, 6);
@@ -189,9 +203,17 @@ mod tests {
 
     #[test]
     fn rmse_scales_sse() {
-        let f = FitResult { params: TirParams::paper_initial(), sse: 4.0, n: 16 };
+        let f = FitResult {
+            params: TirParams::paper_initial(),
+            sse: 4.0,
+            n: 16,
+        };
         assert!((f.rmse() - 0.5).abs() < 1e-12);
-        let empty = FitResult { params: TirParams::paper_initial(), sse: 0.0, n: 0 };
+        let empty = FitResult {
+            params: TirParams::paper_initial(),
+            sse: 0.0,
+            n: 0,
+        };
         assert_eq!(empty.rmse(), 0.0);
     }
 }

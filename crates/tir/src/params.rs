@@ -23,13 +23,21 @@ impl TirParams {
 
     /// Construct with the physically consistent saturation `c = beta^eta`.
     pub fn consistent(eta: f64, beta: u32) -> Self {
-        TirParams { eta, beta, c: (beta as f64).powf(eta) }
+        TirParams {
+            eta,
+            beta,
+            c: (beta as f64).powf(eta),
+        }
     }
 
     /// The paper's conservative initial estimate (Eq. 23):
     /// `eta = 0.1, beta = 16, C = 16^0.1 ~= 1.32`.
     pub fn paper_initial() -> Self {
-        TirParams { eta: 0.1, beta: 16, c: 16.0_f64.powf(0.1) }
+        TirParams {
+            eta: 0.1,
+            beta: 16,
+            c: 16.0_f64.powf(0.1),
+        }
     }
 
     /// Evaluate `TIR(b)` (paper Eq. 2).
@@ -73,7 +81,10 @@ pub struct TirCurve {
 
 impl TirCurve {
     pub fn new(label: impl Into<String>, params: TirParams) -> Self {
-        TirCurve { label: label.into(), params }
+        TirCurve {
+            label: label.into(),
+            params,
+        }
     }
 
     /// Sample the curve over `1..=max_b`.

@@ -61,10 +61,7 @@ mod tests {
             for b in 1..=16u32 {
                 let exact = gamma * (b as f64).powf(1.0 - eta);
                 let h = linearized_latency(gamma, eta, b as f64);
-                assert!(
-                    h >= exact - 1e-9,
-                    "eta={eta} b={b}: h={h} exact={exact}"
-                );
+                assert!(h >= exact - 1e-9, "eta={eta} b={b}: h={h} exact={exact}");
             }
         }
     }

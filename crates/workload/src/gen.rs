@@ -116,8 +116,8 @@ impl TraceConfig {
 
         let mut trace = Trace::zeros(self.num_slots, self.num_apps, self.num_edges);
         for t in 0..self.num_slots {
-            let day_pos = std::f64::consts::TAU * (t % self.period.max(1)) as f64
-                / self.period.max(1) as f64;
+            let day_pos =
+                std::f64::consts::TAU * (t % self.period.max(1)) as f64 / self.period.max(1) as f64;
             for a in 0..self.num_apps {
                 for e in 0..self.num_edges {
                     let phase = phases[a * self.num_edges + e];
@@ -170,8 +170,14 @@ mod tests {
 
     #[test]
     fn imbalance_knob_spreads_edges() {
-        let uniform = TraceConfig { imbalance: 0.0, ..TraceConfig::small_scale(5) };
-        let skewed = TraceConfig { imbalance: 1.2, ..TraceConfig::small_scale(5) };
+        let uniform = TraceConfig {
+            imbalance: 0.0,
+            ..TraceConfig::small_scale(5)
+        };
+        let skewed = TraceConfig {
+            imbalance: 1.2,
+            ..TraceConfig::small_scale(5)
+        };
         let su = TraceStats::compute(&uniform.generate());
         let ss = TraceStats::compute(&skewed.generate());
         assert!(
@@ -204,7 +210,11 @@ mod tests {
 
     #[test]
     fn zero_rate_yields_empty_trace() {
-        let cfg = TraceConfig { mean_rate: 0.0, burstiness: 0.0, ..TraceConfig::small_scale(1) };
+        let cfg = TraceConfig {
+            mean_rate: 0.0,
+            burstiness: 0.0,
+            ..TraceConfig::small_scale(1)
+        };
         assert_eq!(cfg.generate().total(), 0);
     }
 

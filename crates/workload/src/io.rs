@@ -16,7 +16,10 @@ pub enum TraceIoError {
     Io(io::Error),
     Json(serde_json::Error),
     /// CSV parse failure: line number (1-based) and description.
-    Csv { line: usize, detail: String },
+    Csv {
+        line: usize,
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -85,7 +88,10 @@ pub fn from_csv(s: &str, shape: Option<(usize, usize, usize)>) -> Result<Trace, 
         }
         let parts: Vec<&str> = line.split(',').collect();
         if parts.len() != 4 {
-            return Err(TraceIoError::Csv { line: ln + 1, detail: format!("expected 4 fields, got {}", parts.len()) });
+            return Err(TraceIoError::Csv {
+                line: ln + 1,
+                detail: format!("expected 4 fields, got {}", parts.len()),
+            });
         }
         let parse = |i: usize| -> Result<usize, TraceIoError> {
             parts[i].trim().parse().map_err(|e| TraceIoError::Csv {

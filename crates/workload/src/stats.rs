@@ -28,10 +28,17 @@ impl TraceStats {
         let slots = trace.num_slots().max(1);
         let total = trace.total();
         let mean_per_slot = total as f64 / slots as f64;
-        let peak = (0..trace.num_slots()).map(|t| trace.slot_total(t)).max().unwrap_or(0);
+        let peak = (0..trace.num_slots())
+            .map(|t| trace.slot_total(t))
+            .max()
+            .unwrap_or(0);
 
         let per_edge: Vec<u64> = (0..trace.num_edges())
-            .map(|e| (0..trace.num_slots()).map(|t| trace.slot_edge_total(t, EdgeId(e))).sum())
+            .map(|e| {
+                (0..trace.num_slots())
+                    .map(|t| trace.slot_edge_total(t, EdgeId(e)))
+                    .sum()
+            })
             .collect();
         let edge_mean = per_edge.iter().sum::<u64>() as f64 / per_edge.len().max(1) as f64;
         let edge_max = per_edge.iter().copied().max().unwrap_or(0) as f64;
@@ -40,8 +47,16 @@ impl TraceStats {
             total_requests: total,
             mean_per_slot,
             peak_per_slot: peak,
-            peak_to_mean: if mean_per_slot > 0.0 { peak as f64 / mean_per_slot } else { 0.0 },
-            edge_imbalance: if edge_mean > 0.0 { edge_max / edge_mean } else { 0.0 },
+            peak_to_mean: if mean_per_slot > 0.0 {
+                peak as f64 / mean_per_slot
+            } else {
+                0.0
+            },
+            edge_imbalance: if edge_mean > 0.0 {
+                edge_max / edge_mean
+            } else {
+                0.0
+            },
             edge_gini: gini(&per_edge),
         }
     }

@@ -31,13 +31,23 @@ impl Trace {
     ///
     /// # Panics
     /// Panics if the vector length does not match the shape.
-    pub fn from_flat(num_slots: usize, num_apps: usize, num_edges: usize, demand: Vec<u32>) -> Self {
+    pub fn from_flat(
+        num_slots: usize,
+        num_apps: usize,
+        num_edges: usize,
+        demand: Vec<u32>,
+    ) -> Self {
         assert_eq!(
             demand.len(),
             num_slots * num_apps * num_edges,
             "flat demand length mismatch"
         );
-        Trace { num_slots, num_apps, num_edges, demand }
+        Trace {
+            num_slots,
+            num_apps,
+            num_edges,
+            demand,
+        }
     }
 
     #[inline]
@@ -83,7 +93,9 @@ impl Trace {
     /// Total requests of app `a` at edge `e` in slot `t`... across all apps,
     /// per edge: used by imbalance diagnostics.
     pub fn slot_edge_total(&self, t: usize, edge: EdgeId) -> u64 {
-        (0..self.num_apps).map(|a| self.demand[self.idx(t, a, edge.index())] as u64).sum()
+        (0..self.num_apps)
+            .map(|a| self.demand[self.idx(t, a, edge.index())] as u64)
+            .sum()
     }
 
     /// Grand total over the whole horizon.

@@ -28,7 +28,12 @@ pub fn clip(trace: &Trace, cap: u32) -> Trace {
     for t in 0..trace.num_slots() {
         for a in 0..trace.num_apps() {
             for e in 0..trace.num_edges() {
-                out.set_demand(t, AppId(a), EdgeId(e), trace.demand(t, AppId(a), EdgeId(e)).min(cap));
+                out.set_demand(
+                    t,
+                    AppId(a),
+                    EdgeId(e),
+                    trace.demand(t, AppId(a), EdgeId(e)).min(cap),
+                );
             }
         }
     }
@@ -37,7 +42,14 @@ pub fn clip(trace: &Trace, cap: u32) -> Trace {
 
 /// Add a flash crowd: `extra` additional requests of `app` at `edge`
 /// spread uniformly over slots `[from, to)`.
-pub fn inject_spike(trace: &Trace, app: AppId, edge: EdgeId, from: usize, to: usize, extra: u32) -> Trace {
+pub fn inject_spike(
+    trace: &Trace,
+    app: AppId,
+    edge: EdgeId,
+    from: usize,
+    to: usize,
+    extra: u32,
+) -> Trace {
     let mut out = trace.clone();
     let to = to.min(trace.num_slots());
     if from >= to {
@@ -72,7 +84,12 @@ pub fn splice(a: &Trace, b: &Trace) -> Trace {
         for t in 0..src.num_slots() {
             for ap in 0..src.num_apps() {
                 for e in 0..src.num_edges() {
-                    out.set_demand(t + offset, AppId(ap), EdgeId(e), src.demand(t, AppId(ap), EdgeId(e)));
+                    out.set_demand(
+                        t + offset,
+                        AppId(ap),
+                        EdgeId(e),
+                        src.demand(t, AppId(ap), EdgeId(e)),
+                    );
                 }
             }
         }
@@ -111,7 +128,9 @@ mod tests {
         let spiked = inject_spike(&t, AppId(0), EdgeId(1), 2, 7, 23);
         assert_eq!(spiked.total(), 23);
         // Spread over 5 slots: 5,5,5,4,4.
-        let per: Vec<u32> = (2..7).map(|s| spiked.demand(s, AppId(0), EdgeId(1))).collect();
+        let per: Vec<u32> = (2..7)
+            .map(|s| spiked.demand(s, AppId(0), EdgeId(1)))
+            .collect();
         assert_eq!(per.iter().sum::<u32>(), 23);
         assert!(per.iter().all(|&v| v == 4 || v == 5));
         // Nothing outside the window.
@@ -128,13 +147,24 @@ mod tests {
 
     #[test]
     fn splice_concatenates() {
-        let cfg = TraceConfig { num_slots: 4, ..TraceConfig::small_scale(1) };
+        let cfg = TraceConfig {
+            num_slots: 4,
+            ..TraceConfig::small_scale(1)
+        };
         let a = cfg.generate();
-        let b = TraceConfig { num_slots: 3, seed: 2, ..cfg }.generate();
+        let b = TraceConfig {
+            num_slots: 3,
+            seed: 2,
+            ..cfg
+        }
+        .generate();
         let s = splice(&a, &b);
         assert_eq!(s.num_slots(), 7);
         assert_eq!(s.total(), a.total() + b.total());
-        assert_eq!(s.demand(5, AppId(0), EdgeId(0)), b.demand(1, AppId(0), EdgeId(0)));
+        assert_eq!(
+            s.demand(5, AppId(0), EdgeId(0)),
+            b.demand(1, AppId(0), EdgeId(0))
+        );
     }
 
     #[test]

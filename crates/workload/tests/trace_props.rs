@@ -14,18 +14,20 @@ fn arb_config() -> impl Strategy<Value = TraceConfig> {
         0.0f64..1.5,
         0.0f64..0.8,
     )
-        .prop_map(|(seed, slots, apps, edges, rate, amp, imb, burst)| TraceConfig {
-            seed,
-            num_slots: slots,
-            num_apps: apps,
-            num_edges: edges,
-            mean_rate: rate,
-            diurnal_amplitude: amp,
-            period: 96,
-            imbalance: imb,
-            burstiness: burst,
-            app_weights: Vec::new(),
-        })
+        .prop_map(
+            |(seed, slots, apps, edges, rate, amp, imb, burst)| TraceConfig {
+                seed,
+                num_slots: slots,
+                num_apps: apps,
+                num_edges: edges,
+                mean_rate: rate,
+                diurnal_amplitude: amp,
+                period: 96,
+                imbalance: imb,
+                burstiness: burst,
+                app_weights: Vec::new(),
+            },
+        )
 }
 
 proptest! {

@@ -18,7 +18,13 @@ fn main() {
     );
 
     let mut results = compare_schedulers(&cfg);
-    results.sort_by(|a, b| a.run.metrics.total_loss.partial_cmp(&b.run.metrics.total_loss).unwrap());
+    results.sort_by(|a, b| {
+        a.run
+            .metrics
+            .total_loss
+            .partial_cmp(&b.run.metrics.total_loss)
+            .unwrap()
+    });
 
     println!(
         "{:<10} {:>10} {:>9} {:>12} {:>8} {:>10} {:>10}",

@@ -17,8 +17,12 @@ use birp::workload::TraceConfig;
 
 fn main() {
     let catalog = Catalog::small_scale(42);
-    let trace = TraceConfig { num_slots: 32, mean_rate: 6.0, ..TraceConfig::small_scale(3) }
-        .generate();
+    let trace = TraceConfig {
+        num_slots: 32,
+        mean_rate: 6.0,
+        ..TraceConfig::small_scale(3)
+    }
+    .generate();
 
     let faults = FaultPlan::none()
         .with_outage(EdgeId(0), 8, 16)
@@ -36,7 +40,10 @@ fn main() {
     ];
     for s in schedulers.iter_mut() {
         let cfg = RunConfig {
-            sim: SimConfig { faults: faults.clone(), ..Default::default() },
+            sim: SimConfig {
+                faults: faults.clone(),
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = run_scheduler(&catalog, &trace, s.as_mut(), &cfg);

@@ -28,7 +28,11 @@ fn main() {
         );
     }
 
-    let trace = TraceConfig { num_slots: 24, ..TraceConfig::small_scale(seed) }.generate();
+    let trace = TraceConfig {
+        num_slots: 24,
+        ..TraceConfig::small_scale(seed)
+    }
+    .generate();
     let stats = TraceStats::compute(&trace);
     println!(
         "\nworkload: {} requests over {} slots (peak/mean {:.2}, edge imbalance {:.2})",
@@ -47,6 +51,12 @@ fn main() {
     println!("  dropped              {:>8}", m.dropped);
     println!("  total inference loss {:>11.2}", m.total_loss);
     println!("  SLO failure rate     {:>10.2}%", m.failure_rate_pct);
-    println!("  median completion    {:>10.3} (x slot)", m.cdf.quantile(0.5));
-    println!("  p95 completion       {:>10.3} (x slot)", m.cdf.quantile(0.95));
+    println!(
+        "  median completion    {:>10.3} (x slot)",
+        m.cdf.quantile(0.5)
+    );
+    println!(
+        "  p95 completion       {:>10.3} (x slot)",
+        m.cdf.quantile(0.95)
+    );
 }

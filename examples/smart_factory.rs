@@ -19,15 +19,30 @@ use birp::workload::TraceConfig;
 fn main() {
     let seed = 7;
     let catalog = Catalog::large_scale(seed);
-    println!("smart factory: {} applications, {} model versions, {} edges", catalog.num_apps(), catalog.num_models(), catalog.num_edges());
+    println!(
+        "smart factory: {} applications, {} model versions, {} edges",
+        catalog.num_apps(),
+        catalog.num_models(),
+        catalog.num_edges()
+    );
     for app in &catalog.apps {
         let losses: Vec<f64> = app.models.iter().map(|&m| catalog.model(m).loss).collect();
-        println!("  {:<22} request {:>4.1} MB, version losses {:?}", app.name, app.request_mb, losses);
+        println!(
+            "  {:<22} request {:>4.1} MB, version losses {:?}",
+            app.name, app.request_mb, losses
+        );
     }
 
     // One simulated day at 15-minute granularity = 96 slots.
-    let trace = TraceConfig { num_slots: 96, ..TraceConfig::large_scale(seed) }.generate();
-    println!("\nworkload: {} inference requests over one day\n", trace.total());
+    let trace = TraceConfig {
+        num_slots: 96,
+        ..TraceConfig::large_scale(seed)
+    }
+    .generate();
+    println!(
+        "\nworkload: {} inference requests over one day\n",
+        trace.total()
+    );
 
     let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
         Box::new(Birp::new(catalog.clone(), MabConfig::paper_preset())),
@@ -35,11 +50,18 @@ fn main() {
         Box::new(MaxBatch::paper_default(catalog.clone())),
     ];
 
-    println!("{:<10} {:>12} {:>8} {:>14}", "scheduler", "total loss", "p%", "loss/request");
+    println!(
+        "{:<10} {:>12} {:>8} {:>14}",
+        "scheduler", "total loss", "p%", "loss/request"
+    );
     for s in schedulers.iter_mut() {
         let r = run_scheduler(&catalog, &trace, s.as_mut(), &RunConfig::default());
         let m = &r.metrics;
-        let per_req = if m.served > 0 { m.total_loss / m.served as f64 } else { f64::NAN };
+        let per_req = if m.served > 0 {
+            m.total_loss / m.served as f64
+        } else {
+            f64::NAN
+        };
         println!(
             "{:<10} {:>12.1} {:>7.2}% {:>14.4}",
             r.scheduler, m.total_loss, m.failure_rate_pct, per_req

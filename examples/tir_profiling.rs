@@ -26,8 +26,12 @@ fn main() {
         // Mean measured TIR per batch size (the raw dots of Fig. 2).
         print!("  measured TIR :");
         for b in [1u32, 2, 4, 8, 12, 16] {
-            let vals: Vec<f64> =
-                r.samples.iter().filter(|s| s.batch == b).map(|s| s.tir).collect();
+            let vals: Vec<f64> = r
+                .samples
+                .iter()
+                .filter(|s| s.batch == b)
+                .map(|s| s.tir)
+                .collect();
             let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
             print!(" b={b}:{mean:.2}");
         }

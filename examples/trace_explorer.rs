@@ -13,15 +13,54 @@ fn main() {
         "{:<34} {:>9} {:>10} {:>11} {:>9}",
         "configuration", "total", "peak/mean", "imbalance", "gini"
     );
-    let base = TraceConfig { num_slots: 96, ..TraceConfig::small_scale(42) };
+    let base = TraceConfig {
+        num_slots: 96,
+        ..TraceConfig::small_scale(42)
+    };
     let variants: Vec<(&str, TraceConfig)> = vec![
         ("baseline", base.clone()),
-        ("no bursts (burstiness=0)", TraceConfig { burstiness: 0.0, ..base.clone() }),
-        ("heavy bursts (burstiness=0.8)", TraceConfig { burstiness: 0.8, ..base.clone() }),
-        ("uniform edges (imbalance=0)", TraceConfig { imbalance: 0.0, ..base.clone() }),
-        ("hot edges (imbalance=1.5)", TraceConfig { imbalance: 1.5, ..base.clone() }),
-        ("flat day (amplitude=0)", TraceConfig { diurnal_amplitude: 0.0, ..base.clone() }),
-        ("strong diurnal (amplitude=0.9)", TraceConfig { diurnal_amplitude: 0.9, ..base }),
+        (
+            "no bursts (burstiness=0)",
+            TraceConfig {
+                burstiness: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "heavy bursts (burstiness=0.8)",
+            TraceConfig {
+                burstiness: 0.8,
+                ..base.clone()
+            },
+        ),
+        (
+            "uniform edges (imbalance=0)",
+            TraceConfig {
+                imbalance: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "hot edges (imbalance=1.5)",
+            TraceConfig {
+                imbalance: 1.5,
+                ..base.clone()
+            },
+        ),
+        (
+            "flat day (amplitude=0)",
+            TraceConfig {
+                diurnal_amplitude: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "strong diurnal (amplitude=0.9)",
+            TraceConfig {
+                diurnal_amplitude: 0.9,
+                ..base
+            },
+        ),
     ];
     for (label, cfg) in variants {
         let t = cfg.generate();
@@ -33,12 +72,22 @@ fn main() {
     }
 
     // CSV round trip.
-    let trace = TraceConfig { num_slots: 8, ..TraceConfig::small_scale(1) }.generate();
+    let trace = TraceConfig {
+        num_slots: 8,
+        ..TraceConfig::small_scale(1)
+    }
+    .generate();
     let csv = io::to_csv(&trace);
-    let back = io::from_csv(&csv, Some((trace.num_slots(), trace.num_apps(), trace.num_edges())))
-        .expect("roundtrip");
+    let back = io::from_csv(
+        &csv,
+        Some((trace.num_slots(), trace.num_apps(), trace.num_edges())),
+    )
+    .expect("roundtrip");
     assert_eq!(trace, back);
-    println!("\nCSV round trip OK ({} bytes for 8 slots); format:", csv.len());
+    println!(
+        "\nCSV round trip OK ({} bytes for 8 slots); format:",
+        csv.len()
+    );
     for line in csv.lines().take(4) {
         println!("  {line}");
     }

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/birp-2fd119d8680f4ea4.d: src/lib.rs
+
+/root/repo/target/debug/deps/birp-2fd119d8680f4ea4: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/birp-414dac7e9db89da3.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/birp-414dac7e9db89da3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/birp-4fcfed558c85c946.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbirp-4fcfed558c85c946.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbirp-4fcfed558c85c946.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

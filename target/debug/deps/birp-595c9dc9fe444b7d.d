@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/birp-595c9dc9fe444b7d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/birp-595c9dc9fe444b7d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

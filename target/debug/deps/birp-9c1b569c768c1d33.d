@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/birp-9c1b569c768c1d33.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/birp-9c1b569c768c1d33: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

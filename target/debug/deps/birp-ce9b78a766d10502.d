@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/birp-ce9b78a766d10502.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbirp-ce9b78a766d10502.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbirp-ce9b78a766d10502.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

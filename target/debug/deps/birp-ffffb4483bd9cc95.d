@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/birp-ffffb4483bd9cc95.d: src/lib.rs
+
+/root/repo/target/debug/deps/birp-ffffb4483bd9cc95: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/birp_bench-15f4ca344138a3ed.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/birp_bench-15f4ca344138a3ed: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/birp_bench-81af1a568e74dee3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbirp_bench-81af1a568e74dee3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbirp_bench-81af1a568e74dee3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/birp_bench-aefd6ebbc736f0b2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/birp_bench-aefd6ebbc736f0b2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

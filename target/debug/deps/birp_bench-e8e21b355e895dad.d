@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/birp_bench-e8e21b355e895dad.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbirp_bench-e8e21b355e895dad.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbirp_bench-e8e21b355e895dad.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/birp_core-3f1a33d56fb74fca.d: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/comparison.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/table1.rs crates/core/src/problem.rs crates/core/src/runner.rs crates/core/src/schedulers/mod.rs crates/core/src/schedulers/birp.rs crates/core/src/schedulers/local.rs crates/core/src/schedulers/max.rs crates/core/src/schedulers/oaei.rs
+
+/root/repo/target/debug/deps/birp_core-3f1a33d56fb74fca: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/comparison.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/table1.rs crates/core/src/problem.rs crates/core/src/runner.rs crates/core/src/schedulers/mod.rs crates/core/src/schedulers/birp.rs crates/core/src/schedulers/local.rs crates/core/src/schedulers/max.rs crates/core/src/schedulers/oaei.rs
+
+crates/core/src/lib.rs:
+crates/core/src/demand.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/comparison.rs:
+crates/core/src/experiments/fig2.rs:
+crates/core/src/experiments/sweep.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/problem.rs:
+crates/core/src/runner.rs:
+crates/core/src/schedulers/mod.rs:
+crates/core/src/schedulers/birp.rs:
+crates/core/src/schedulers/local.rs:
+crates/core/src/schedulers/max.rs:
+crates/core/src/schedulers/oaei.rs:

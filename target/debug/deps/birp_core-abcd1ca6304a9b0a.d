@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/birp_core-abcd1ca6304a9b0a.d: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/comparison.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/table1.rs crates/core/src/problem.rs crates/core/src/runner.rs crates/core/src/schedulers/mod.rs crates/core/src/schedulers/birp.rs crates/core/src/schedulers/local.rs crates/core/src/schedulers/max.rs crates/core/src/schedulers/oaei.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbirp_core-abcd1ca6304a9b0a.rmeta: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/comparison.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/table1.rs crates/core/src/problem.rs crates/core/src/runner.rs crates/core/src/schedulers/mod.rs crates/core/src/schedulers/birp.rs crates/core/src/schedulers/local.rs crates/core/src/schedulers/max.rs crates/core/src/schedulers/oaei.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/demand.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/comparison.rs:
+crates/core/src/experiments/fig2.rs:
+crates/core/src/experiments/sweep.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/problem.rs:
+crates/core/src/runner.rs:
+crates/core/src/schedulers/mod.rs:
+crates/core/src/schedulers/birp.rs:
+crates/core/src/schedulers/local.rs:
+crates/core/src/schedulers/max.rs:
+crates/core/src/schedulers/oaei.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

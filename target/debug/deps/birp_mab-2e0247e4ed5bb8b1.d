@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/birp_mab-2e0247e4ed5bb8b1.d: crates/mab/src/lib.rs
+
+/root/repo/target/debug/deps/libbirp_mab-2e0247e4ed5bb8b1.rlib: crates/mab/src/lib.rs
+
+/root/repo/target/debug/deps/libbirp_mab-2e0247e4ed5bb8b1.rmeta: crates/mab/src/lib.rs
+
+crates/mab/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/birp_mab-51b41687d5f80a90.d: crates/mab/src/lib.rs
+
+/root/repo/target/debug/deps/birp_mab-51b41687d5f80a90: crates/mab/src/lib.rs
+
+crates/mab/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/birp_mab-6021751ebdabb36e.d: crates/mab/src/lib.rs
+
+/root/repo/target/debug/deps/birp_mab-6021751ebdabb36e: crates/mab/src/lib.rs
+
+crates/mab/src/lib.rs:

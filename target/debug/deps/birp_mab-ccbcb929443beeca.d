@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/birp_mab-ccbcb929443beeca.d: crates/mab/src/lib.rs
+
+/root/repo/target/debug/deps/libbirp_mab-ccbcb929443beeca.rlib: crates/mab/src/lib.rs
+
+/root/repo/target/debug/deps/libbirp_mab-ccbcb929443beeca.rmeta: crates/mab/src/lib.rs
+
+crates/mab/src/lib.rs:

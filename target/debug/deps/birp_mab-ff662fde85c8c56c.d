@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/birp_mab-ff662fde85c8c56c.d: crates/mab/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbirp_mab-ff662fde85c8c56c.rmeta: crates/mab/src/lib.rs Cargo.toml
+
+crates/mab/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

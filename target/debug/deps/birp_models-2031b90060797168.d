@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/birp_models-2031b90060797168.d: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/device.rs crates/models/src/ids.rs crates/models/src/table1.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/libbirp_models-2031b90060797168.rlib: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/device.rs crates/models/src/ids.rs crates/models/src/table1.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/libbirp_models-2031b90060797168.rmeta: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/device.rs crates/models/src/ids.rs crates/models/src/table1.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/catalog.rs:
+crates/models/src/device.rs:
+crates/models/src/ids.rs:
+crates/models/src/table1.rs:
+crates/models/src/zoo.rs:

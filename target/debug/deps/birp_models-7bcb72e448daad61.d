@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/birp_models-7bcb72e448daad61.d: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/device.rs crates/models/src/ids.rs crates/models/src/table1.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/birp_models-7bcb72e448daad61: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/device.rs crates/models/src/ids.rs crates/models/src/table1.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/catalog.rs:
+crates/models/src/device.rs:
+crates/models/src/ids.rs:
+crates/models/src/table1.rs:
+crates/models/src/zoo.rs:

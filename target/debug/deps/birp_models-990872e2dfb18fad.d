@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/birp_models-990872e2dfb18fad.d: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/device.rs crates/models/src/ids.rs crates/models/src/table1.rs crates/models/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbirp_models-990872e2dfb18fad.rmeta: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/device.rs crates/models/src/ids.rs crates/models/src/table1.rs crates/models/src/zoo.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/catalog.rs:
+crates/models/src/device.rs:
+crates/models/src/ids.rs:
+crates/models/src/table1.rs:
+crates/models/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/birp_sim-1d6c304bfc643e68.d: crates/sim/src/lib.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/schedule.rs crates/sim/src/utilization.rs
+
+/root/repo/target/debug/deps/birp_sim-1d6c304bfc643e68: crates/sim/src/lib.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/schedule.rs crates/sim/src/utilization.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/utilization.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/birp_sim-482670b46efb8936.d: crates/sim/src/lib.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/schedule.rs crates/sim/src/utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbirp_sim-482670b46efb8936.rmeta: crates/sim/src/lib.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/schedule.rs crates/sim/src/utilization.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/birp_sim-b514c87e3fc57c9e.d: crates/sim/src/lib.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/schedule.rs crates/sim/src/utilization.rs
+
+/root/repo/target/debug/deps/libbirp_sim-b514c87e3fc57c9e.rlib: crates/sim/src/lib.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/schedule.rs crates/sim/src/utilization.rs
+
+/root/repo/target/debug/deps/libbirp_sim-b514c87e3fc57c9e.rmeta: crates/sim/src/lib.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/schedule.rs crates/sim/src/utilization.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/utilization.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/birp_solver-19de927253e51548.d: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/expr.rs crates/solver/src/heuristic.rs crates/solver/src/lp.rs crates/solver/src/lpwrite.rs crates/solver/src/milp.rs crates/solver/src/model.rs crates/solver/src/presolve.rs crates/solver/src/simplex/mod.rs crates/solver/src/simplex/bounded.rs crates/solver/src/simplex/reference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbirp_solver-19de927253e51548.rmeta: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/expr.rs crates/solver/src/heuristic.rs crates/solver/src/lp.rs crates/solver/src/lpwrite.rs crates/solver/src/milp.rs crates/solver/src/model.rs crates/solver/src/presolve.rs crates/solver/src/simplex/mod.rs crates/solver/src/simplex/bounded.rs crates/solver/src/simplex/reference.rs Cargo.toml
+
+crates/solver/src/lib.rs:
+crates/solver/src/error.rs:
+crates/solver/src/expr.rs:
+crates/solver/src/heuristic.rs:
+crates/solver/src/lp.rs:
+crates/solver/src/lpwrite.rs:
+crates/solver/src/milp.rs:
+crates/solver/src/model.rs:
+crates/solver/src/presolve.rs:
+crates/solver/src/simplex/mod.rs:
+crates/solver/src/simplex/bounded.rs:
+crates/solver/src/simplex/reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

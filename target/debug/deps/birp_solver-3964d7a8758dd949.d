@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/birp_solver-3964d7a8758dd949.d: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/expr.rs crates/solver/src/heuristic.rs crates/solver/src/lp.rs crates/solver/src/lpwrite.rs crates/solver/src/milp.rs crates/solver/src/model.rs crates/solver/src/presolve.rs crates/solver/src/simplex/mod.rs crates/solver/src/simplex/bounded.rs crates/solver/src/simplex/reference.rs
+
+/root/repo/target/debug/deps/birp_solver-3964d7a8758dd949: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/expr.rs crates/solver/src/heuristic.rs crates/solver/src/lp.rs crates/solver/src/lpwrite.rs crates/solver/src/milp.rs crates/solver/src/model.rs crates/solver/src/presolve.rs crates/solver/src/simplex/mod.rs crates/solver/src/simplex/bounded.rs crates/solver/src/simplex/reference.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/error.rs:
+crates/solver/src/expr.rs:
+crates/solver/src/heuristic.rs:
+crates/solver/src/lp.rs:
+crates/solver/src/lpwrite.rs:
+crates/solver/src/milp.rs:
+crates/solver/src/model.rs:
+crates/solver/src/presolve.rs:
+crates/solver/src/simplex/mod.rs:
+crates/solver/src/simplex/bounded.rs:
+crates/solver/src/simplex/reference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/birp_telemetry-21310d9adf843e09.d: crates/telemetry/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbirp_telemetry-21310d9adf843e09.rmeta: crates/telemetry/src/lib.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

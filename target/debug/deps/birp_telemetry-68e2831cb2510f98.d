@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/birp_telemetry-68e2831cb2510f98.d: crates/telemetry/src/lib.rs
+
+/root/repo/target/debug/deps/birp_telemetry-68e2831cb2510f98: crates/telemetry/src/lib.rs
+
+crates/telemetry/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/birp_telemetry-bf4c4a85935b7b7c.d: crates/telemetry/src/lib.rs
+
+/root/repo/target/debug/deps/libbirp_telemetry-bf4c4a85935b7b7c.rlib: crates/telemetry/src/lib.rs
+
+/root/repo/target/debug/deps/libbirp_telemetry-bf4c4a85935b7b7c.rmeta: crates/telemetry/src/lib.rs
+
+crates/telemetry/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/birp_tir-27a5c194868d90df.d: crates/tir/src/lib.rs crates/tir/src/fit.rs crates/tir/src/params.rs crates/tir/src/taylor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbirp_tir-27a5c194868d90df.rmeta: crates/tir/src/lib.rs crates/tir/src/fit.rs crates/tir/src/params.rs crates/tir/src/taylor.rs Cargo.toml
+
+crates/tir/src/lib.rs:
+crates/tir/src/fit.rs:
+crates/tir/src/params.rs:
+crates/tir/src/taylor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/birp_tir-4306cbd458d03223.d: crates/tir/src/lib.rs crates/tir/src/fit.rs crates/tir/src/params.rs crates/tir/src/taylor.rs
+
+/root/repo/target/debug/deps/birp_tir-4306cbd458d03223: crates/tir/src/lib.rs crates/tir/src/fit.rs crates/tir/src/params.rs crates/tir/src/taylor.rs
+
+crates/tir/src/lib.rs:
+crates/tir/src/fit.rs:
+crates/tir/src/params.rs:
+crates/tir/src/taylor.rs:

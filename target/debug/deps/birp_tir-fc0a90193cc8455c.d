@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/birp_tir-fc0a90193cc8455c.d: crates/tir/src/lib.rs crates/tir/src/fit.rs crates/tir/src/params.rs crates/tir/src/taylor.rs
+
+/root/repo/target/debug/deps/libbirp_tir-fc0a90193cc8455c.rlib: crates/tir/src/lib.rs crates/tir/src/fit.rs crates/tir/src/params.rs crates/tir/src/taylor.rs
+
+/root/repo/target/debug/deps/libbirp_tir-fc0a90193cc8455c.rmeta: crates/tir/src/lib.rs crates/tir/src/fit.rs crates/tir/src/params.rs crates/tir/src/taylor.rs
+
+crates/tir/src/lib.rs:
+crates/tir/src/fit.rs:
+crates/tir/src/params.rs:
+crates/tir/src/taylor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/birp_workload-322b60e646255db6.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/io.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/transform.rs
+
+/root/repo/target/debug/deps/libbirp_workload-322b60e646255db6.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/io.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/transform.rs
+
+/root/repo/target/debug/deps/libbirp_workload-322b60e646255db6.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/io.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/transform.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/io.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/transform.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/birp_workload-86196035cacc2fbb.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/io.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbirp_workload-86196035cacc2fbb.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/io.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/transform.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/io.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/birp_workload-9bbc48d918dbe1c7.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/io.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/transform.rs
+
+/root/repo/target/debug/deps/birp_workload-9bbc48d918dbe1c7: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/io.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/transform.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/io.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/transform.rs:

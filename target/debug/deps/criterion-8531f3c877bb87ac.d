@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-8531f3c877bb87ac.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8531f3c877bb87ac.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8531f3c877bb87ac.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-0cf846fcabd84a06.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-0cf846fcabd84a06: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-44007a5f629c43f0.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-44007a5f629c43f0: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

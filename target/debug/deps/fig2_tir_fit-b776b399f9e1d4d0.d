@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_tir_fit-b776b399f9e1d4d0.d: crates/bench/benches/fig2_tir_fit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_tir_fit-b776b399f9e1d4d0.rmeta: crates/bench/benches/fig2_tir_fit.rs Cargo.toml
+
+crates/bench/benches/fig2_tir_fit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

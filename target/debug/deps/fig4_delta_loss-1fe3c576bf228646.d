@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_delta_loss-1fe3c576bf228646.d: crates/bench/benches/fig4_delta_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_delta_loss-1fe3c576bf228646.rmeta: crates/bench/benches/fig4_delta_loss.rs Cargo.toml
+
+crates/bench/benches/fig4_delta_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_slo_sweep-746df804b718757f.d: crates/bench/benches/fig5_slo_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_slo_sweep-746df804b718757f.rmeta: crates/bench/benches/fig5_slo_sweep.rs Cargo.toml
+
+crates/bench/benches/fig5_slo_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_small_scale-6d4fb711d68c7b31.d: crates/bench/benches/fig6_small_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_small_scale-6d4fb711d68c7b31.rmeta: crates/bench/benches/fig6_small_scale.rs Cargo.toml
+
+crates/bench/benches/fig6_small_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

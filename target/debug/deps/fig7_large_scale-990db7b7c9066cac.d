@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_large_scale-990db7b7c9066cac.d: crates/bench/benches/fig7_large_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_large_scale-990db7b7c9066cac.rmeta: crates/bench/benches/fig7_large_scale.rs Cargo.toml
+
+crates/bench/benches/fig7_large_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fit_props-d97b590462a32541.d: crates/tir/tests/fit_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfit_props-d97b590462a32541.rmeta: crates/tir/tests/fit_props.rs Cargo.toml
+
+crates/tir/tests/fit_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

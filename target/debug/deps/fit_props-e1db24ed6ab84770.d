@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fit_props-e1db24ed6ab84770.d: crates/tir/tests/fit_props.rs
+
+/root/repo/target/debug/deps/fit_props-e1db24ed6ab84770: crates/tir/tests/fit_props.rs
+
+crates/tir/tests/fit_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_claims-0054a89d5ce0f4c9.d: tests/headline_claims.rs
+
+/root/repo/target/debug/deps/headline_claims-0054a89d5ce0f4c9: tests/headline_claims.rs
+
+tests/headline_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_claims-56919035baa232aa.d: tests/headline_claims.rs
+
+/root/repo/target/debug/deps/headline_claims-56919035baa232aa: tests/headline_claims.rs
+
+tests/headline_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headline_claims-dba3f5c9e80b40ff.d: tests/headline_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheadline_claims-dba3f5c9e80b40ff.rmeta: tests/headline_claims.rs Cargo.toml
+
+tests/headline_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_cdf-63f11b8434080a93.d: crates/sim/benches/metrics_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_cdf-63f11b8434080a93.rmeta: crates/sim/benches/metrics_cdf.rs Cargo.toml
+
+crates/sim/benches/metrics_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

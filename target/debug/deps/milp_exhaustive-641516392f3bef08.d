@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/milp_exhaustive-641516392f3bef08.d: crates/solver/tests/milp_exhaustive.rs
+
+/root/repo/target/debug/deps/milp_exhaustive-641516392f3bef08: crates/solver/tests/milp_exhaustive.rs
+
+crates/solver/tests/milp_exhaustive.rs:

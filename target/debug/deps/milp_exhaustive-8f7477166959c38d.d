@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/milp_exhaustive-8f7477166959c38d.d: crates/solver/tests/milp_exhaustive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmilp_exhaustive-8f7477166959c38d.rmeta: crates/solver/tests/milp_exhaustive.rs Cargo.toml
+
+crates/solver/tests/milp_exhaustive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/milp_exhaustive-b0c436d93d2ecafb.d: crates/solver/tests/milp_exhaustive.rs
+
+/root/repo/target/debug/deps/milp_exhaustive-b0c436d93d2ecafb: crates/solver/tests/milp_exhaustive.rs
+
+crates/solver/tests/milp_exhaustive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-b57e893a6f5a8e30.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-b57e893a6f5a8e30: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-7f64d15c2b7982e9.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-7f64d15c2b7982e9: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-fe6aba46de1aa2aa.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-fe6aba46de1aa2aa: tests/pipeline.rs
+
+tests/pipeline.rs:

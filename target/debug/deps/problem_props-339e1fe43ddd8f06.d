@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/problem_props-339e1fe43ddd8f06.d: crates/core/tests/problem_props.rs
+
+/root/repo/target/debug/deps/problem_props-339e1fe43ddd8f06: crates/core/tests/problem_props.rs
+
+crates/core/tests/problem_props.rs:

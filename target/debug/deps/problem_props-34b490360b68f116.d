@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/problem_props-34b490360b68f116.d: crates/core/tests/problem_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproblem_props-34b490360b68f116.rmeta: crates/core/tests/problem_props.rs Cargo.toml
+
+crates/core/tests/problem_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

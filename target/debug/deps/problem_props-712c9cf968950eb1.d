@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/problem_props-712c9cf968950eb1.d: crates/core/tests/problem_props.rs
+
+/root/repo/target/debug/deps/problem_props-712c9cf968950eb1: crates/core/tests/problem_props.rs
+
+crates/core/tests/problem_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2dacc7ffb006c30b.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-2dacc7ffb006c30b: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

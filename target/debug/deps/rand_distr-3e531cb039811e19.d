@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-3e531cb039811e19.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-3e531cb039811e19.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-3e531cb039811e19.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-5684ee8f90aa7e3e.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/rand_distr-5684ee8f90aa7e3e: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-0f79c01540b6bde4.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-0f79c01540b6bde4: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-fdfb380911cc9354.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-fdfb380911cc9354.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-fdfb380911cc9354.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig2-698d9222f13cebd7.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/debug/deps/repro_fig2-698d9222f13cebd7: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig2-6a65a0993db8b26c.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/debug/deps/repro_fig2-6a65a0993db8b26c: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig2-b137dca79541d901.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/debug/deps/repro_fig2-b137dca79541d901: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig4-0467784e9eeaa7d3.d: crates/bench/src/bin/repro_fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig4-0467784e9eeaa7d3.rmeta: crates/bench/src/bin/repro_fig4.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4-381e5e8d75631520.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/debug/deps/repro_fig4-381e5e8d75631520: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4-3c8b5a6597cef7ec.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/debug/deps/repro_fig4-3c8b5a6597cef7ec: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4-7799f3dde631935b.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/debug/deps/repro_fig4-7799f3dde631935b: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

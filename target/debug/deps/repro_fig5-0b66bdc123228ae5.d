@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig5-0b66bdc123228ae5.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/debug/deps/repro_fig5-0b66bdc123228ae5: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

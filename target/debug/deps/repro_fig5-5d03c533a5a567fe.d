@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig5-5d03c533a5a567fe.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/debug/deps/repro_fig5-5d03c533a5a567fe: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

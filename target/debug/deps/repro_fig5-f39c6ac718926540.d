@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig5-f39c6ac718926540.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/debug/deps/repro_fig5-f39c6ac718926540: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-2789d50b7d7aabe9.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-2789d50b7d7aabe9: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-52a5f346342c664a.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-52a5f346342c664a: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-742e81788cf8c8c9.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-742e81788cf8c8c9: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig7-5dd3a62336fb5a01.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/debug/deps/repro_fig7-5dd3a62336fb5a01: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

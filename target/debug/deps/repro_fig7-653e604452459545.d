@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig7-653e604452459545.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/debug/deps/repro_fig7-653e604452459545: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_headline-20938580055ba567.d: crates/bench/src/bin/repro_headline.rs
+
+/root/repo/target/debug/deps/repro_headline-20938580055ba567: crates/bench/src/bin/repro_headline.rs
+
+crates/bench/src/bin/repro_headline.rs:

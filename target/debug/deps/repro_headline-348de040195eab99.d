@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_headline-348de040195eab99.d: crates/bench/src/bin/repro_headline.rs
+
+/root/repo/target/debug/deps/repro_headline-348de040195eab99: crates/bench/src/bin/repro_headline.rs
+
+crates/bench/src/bin/repro_headline.rs:

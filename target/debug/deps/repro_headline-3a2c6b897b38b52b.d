@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_headline-3a2c6b897b38b52b.d: crates/bench/src/bin/repro_headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_headline-3a2c6b897b38b52b.rmeta: crates/bench/src/bin/repro_headline.rs Cargo.toml
+
+crates/bench/src/bin/repro_headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

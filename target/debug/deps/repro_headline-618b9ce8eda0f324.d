@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_headline-618b9ce8eda0f324.d: crates/bench/src/bin/repro_headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_headline-618b9ce8eda0f324.rmeta: crates/bench/src/bin/repro_headline.rs Cargo.toml
+
+crates/bench/src/bin/repro_headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_headline-8c0e705155151a72.d: crates/bench/src/bin/repro_headline.rs
+
+/root/repo/target/debug/deps/repro_headline-8c0e705155151a72: crates/bench/src/bin/repro_headline.rs
+
+crates/bench/src/bin/repro_headline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-1b6ac3f0adbdaed2.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-1b6ac3f0adbdaed2: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-5e782ab8a3eee95b.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-5e782ab8a3eee95b: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

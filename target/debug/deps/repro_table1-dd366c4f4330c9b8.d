@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-dd366c4f4330c9b8.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-dd366c4f4330c9b8: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-b888d51ca5a81745.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-b888d51ca5a81745: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

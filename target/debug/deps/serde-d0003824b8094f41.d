@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-d0003824b8094f41.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d0003824b8094f41.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d0003824b8094f41.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ca6cf6a619c06059.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ca6cf6a619c06059.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

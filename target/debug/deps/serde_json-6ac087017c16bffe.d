@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-6ac087017c16bffe.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6ac087017c16bffe.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6ac087017c16bffe.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simplex_cross-59b9aa6571cd4706.d: crates/solver/tests/simplex_cross.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimplex_cross-59b9aa6571cd4706.rmeta: crates/solver/tests/simplex_cross.rs Cargo.toml
+
+crates/solver/tests/simplex_cross.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

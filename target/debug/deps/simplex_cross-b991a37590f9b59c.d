@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simplex_cross-b991a37590f9b59c.d: crates/solver/tests/simplex_cross.rs
+
+/root/repo/target/debug/deps/simplex_cross-b991a37590f9b59c: crates/solver/tests/simplex_cross.rs
+
+crates/solver/tests/simplex_cross.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simplex_cross-c2c46160f922bbec.d: crates/solver/tests/simplex_cross.rs
+
+/root/repo/target/debug/deps/simplex_cross-c2c46160f922bbec: crates/solver/tests/simplex_cross.rs
+
+crates/solver/tests/simplex_cross.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_micro-8a70ce039810d1c3.d: crates/bench/benches/solver_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_micro-8a70ce039810d1c3.rmeta: crates/bench/benches/solver_micro.rs Cargo.toml
+
+crates/bench/benches/solver_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_utilization-fd225d9842904c3d.d: crates/bench/benches/table1_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_utilization-fd225d9842904c3d.rmeta: crates/bench/benches/table1_utilization.rs Cargo.toml
+
+crates/bench/benches/table1_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_probe-6a2a4981174078b7.d: tests/tmp_probe.rs
+
+/root/repo/target/debug/deps/tmp_probe-6a2a4981174078b7: tests/tmp_probe.rs
+
+tests/tmp_probe.rs:

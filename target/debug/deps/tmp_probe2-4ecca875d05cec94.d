@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_probe2-4ecca875d05cec94.d: crates/core/tests/tmp_probe2.rs
+
+/root/repo/target/debug/deps/tmp_probe2-4ecca875d05cec94: crates/core/tests/tmp_probe2.rs
+
+crates/core/tests/tmp_probe2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_props-3b98b7bdb848631f.d: crates/workload/tests/trace_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_props-3b98b7bdb848631f.rmeta: crates/workload/tests/trace_props.rs Cargo.toml
+
+crates/workload/tests/trace_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

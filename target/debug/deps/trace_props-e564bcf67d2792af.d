@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_props-e564bcf67d2792af.d: crates/workload/tests/trace_props.rs
+
+/root/repo/target/debug/deps/trace_props-e564bcf67d2792af: crates/workload/tests/trace_props.rs
+
+crates/workload/tests/trace_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tuner_props-7cf8e87f566cbe4e.d: crates/mab/tests/tuner_props.rs
+
+/root/repo/target/debug/deps/tuner_props-7cf8e87f566cbe4e: crates/mab/tests/tuner_props.rs
+
+crates/mab/tests/tuner_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tuner_props-9c5521c2d073abad.d: crates/mab/tests/tuner_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtuner_props-9c5521c2d073abad.rmeta: crates/mab/tests/tuner_props.rs Cargo.toml
+
+crates/mab/tests/tuner_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

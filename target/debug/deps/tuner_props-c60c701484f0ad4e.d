@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tuner_props-c60c701484f0ad4e.d: crates/mab/tests/tuner_props.rs
+
+/root/repo/target/debug/deps/tuner_props-c60c701484f0ad4e: crates/mab/tests/tuner_props.rs
+
+crates/mab/tests/tuner_props.rs:

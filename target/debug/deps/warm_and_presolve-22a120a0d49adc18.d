@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/warm_and_presolve-22a120a0d49adc18.d: crates/solver/tests/warm_and_presolve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwarm_and_presolve-22a120a0d49adc18.rmeta: crates/solver/tests/warm_and_presolve.rs Cargo.toml
+
+crates/solver/tests/warm_and_presolve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warm_and_presolve-5aa941eef108d3ba.d: crates/solver/tests/warm_and_presolve.rs
+
+/root/repo/target/debug/deps/warm_and_presolve-5aa941eef108d3ba: crates/solver/tests/warm_and_presolve.rs
+
+crates/solver/tests/warm_and_presolve.rs:

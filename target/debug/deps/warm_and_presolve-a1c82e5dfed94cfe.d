@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warm_and_presolve-a1c82e5dfed94cfe.d: crates/solver/tests/warm_and_presolve.rs
+
+/root/repo/target/debug/deps/warm_and_presolve-a1c82e5dfed94cfe: crates/solver/tests/warm_and_presolve.rs
+
+crates/solver/tests/warm_and_presolve.rs:

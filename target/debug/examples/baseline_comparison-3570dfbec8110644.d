@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/baseline_comparison-3570dfbec8110644.d: examples/baseline_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbaseline_comparison-3570dfbec8110644.rmeta: examples/baseline_comparison.rs Cargo.toml
+
+examples/baseline_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

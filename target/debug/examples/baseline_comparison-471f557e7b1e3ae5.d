@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/baseline_comparison-471f557e7b1e3ae5.d: examples/baseline_comparison.rs
+
+/root/repo/target/debug/examples/baseline_comparison-471f557e7b1e3ae5: examples/baseline_comparison.rs
+
+examples/baseline_comparison.rs:

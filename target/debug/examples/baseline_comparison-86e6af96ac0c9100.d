@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/baseline_comparison-86e6af96ac0c9100.d: examples/baseline_comparison.rs
+
+/root/repo/target/debug/examples/baseline_comparison-86e6af96ac0c9100: examples/baseline_comparison.rs
+
+examples/baseline_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_drill-2f2ec6594bec881f.d: examples/failure_drill.rs
+
+/root/repo/target/debug/examples/failure_drill-2f2ec6594bec881f: examples/failure_drill.rs
+
+examples/failure_drill.rs:

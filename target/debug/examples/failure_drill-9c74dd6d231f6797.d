@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_drill-9c74dd6d231f6797.d: examples/failure_drill.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_drill-9c74dd6d231f6797.rmeta: examples/failure_drill.rs Cargo.toml
+
+examples/failure_drill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

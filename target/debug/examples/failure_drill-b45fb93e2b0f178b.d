@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_drill-b45fb93e2b0f178b.d: examples/failure_drill.rs
+
+/root/repo/target/debug/examples/failure_drill-b45fb93e2b0f178b: examples/failure_drill.rs
+
+examples/failure_drill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1068771fcf32518b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1068771fcf32518b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7f1223ccaa7a1b92.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7f1223ccaa7a1b92: examples/quickstart.rs
+
+examples/quickstart.rs:

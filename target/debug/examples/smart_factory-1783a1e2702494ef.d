@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_factory-1783a1e2702494ef.d: examples/smart_factory.rs
+
+/root/repo/target/debug/examples/smart_factory-1783a1e2702494ef: examples/smart_factory.rs
+
+examples/smart_factory.rs:

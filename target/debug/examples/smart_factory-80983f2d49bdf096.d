@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_factory-80983f2d49bdf096.d: examples/smart_factory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_factory-80983f2d49bdf096.rmeta: examples/smart_factory.rs Cargo.toml
+
+examples/smart_factory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_factory-ee424125c7238caa.d: examples/smart_factory.rs
+
+/root/repo/target/debug/examples/smart_factory-ee424125c7238caa: examples/smart_factory.rs
+
+examples/smart_factory.rs:

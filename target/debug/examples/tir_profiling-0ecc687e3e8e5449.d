@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tir_profiling-0ecc687e3e8e5449.d: examples/tir_profiling.rs
+
+/root/repo/target/debug/examples/tir_profiling-0ecc687e3e8e5449: examples/tir_profiling.rs
+
+examples/tir_profiling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tir_profiling-480c533dc0b4b5d5.d: examples/tir_profiling.rs
+
+/root/repo/target/debug/examples/tir_profiling-480c533dc0b4b5d5: examples/tir_profiling.rs
+
+examples/tir_profiling.rs:

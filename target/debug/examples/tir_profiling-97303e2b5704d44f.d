@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tir_profiling-97303e2b5704d44f.d: examples/tir_profiling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtir_profiling-97303e2b5704d44f.rmeta: examples/tir_profiling.rs Cargo.toml
+
+examples/tir_profiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

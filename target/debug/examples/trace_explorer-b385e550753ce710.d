@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_explorer-b385e550753ce710.d: examples/trace_explorer.rs
+
+/root/repo/target/debug/examples/trace_explorer-b385e550753ce710: examples/trace_explorer.rs
+
+examples/trace_explorer.rs:

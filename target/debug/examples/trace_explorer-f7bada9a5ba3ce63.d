@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_explorer-f7bada9a5ba3ce63.d: examples/trace_explorer.rs
+
+/root/repo/target/debug/examples/trace_explorer-f7bada9a5ba3ce63: examples/trace_explorer.rs
+
+examples/trace_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/birp-c34b644b8ea9494c.d: src/lib.rs
+
+/root/repo/target/release/deps/libbirp-c34b644b8ea9494c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbirp-c34b644b8ea9494c.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/birp-f95fc3dee5c57c4b.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/birp-f95fc3dee5c57c4b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

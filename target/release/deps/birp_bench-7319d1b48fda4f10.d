@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/birp_bench-7319d1b48fda4f10.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbirp_bench-7319d1b48fda4f10.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbirp_bench-7319d1b48fda4f10.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/birp_core-0ca2f5ab5f39259b.d: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/comparison.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/table1.rs crates/core/src/problem.rs crates/core/src/runner.rs crates/core/src/schedulers/mod.rs crates/core/src/schedulers/birp.rs crates/core/src/schedulers/local.rs crates/core/src/schedulers/max.rs crates/core/src/schedulers/oaei.rs
+
+/root/repo/target/release/deps/libbirp_core-0ca2f5ab5f39259b.rlib: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/comparison.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/table1.rs crates/core/src/problem.rs crates/core/src/runner.rs crates/core/src/schedulers/mod.rs crates/core/src/schedulers/birp.rs crates/core/src/schedulers/local.rs crates/core/src/schedulers/max.rs crates/core/src/schedulers/oaei.rs
+
+/root/repo/target/release/deps/libbirp_core-0ca2f5ab5f39259b.rmeta: crates/core/src/lib.rs crates/core/src/demand.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/comparison.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/table1.rs crates/core/src/problem.rs crates/core/src/runner.rs crates/core/src/schedulers/mod.rs crates/core/src/schedulers/birp.rs crates/core/src/schedulers/local.rs crates/core/src/schedulers/max.rs crates/core/src/schedulers/oaei.rs
+
+crates/core/src/lib.rs:
+crates/core/src/demand.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/comparison.rs:
+crates/core/src/experiments/fig2.rs:
+crates/core/src/experiments/sweep.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/problem.rs:
+crates/core/src/runner.rs:
+crates/core/src/schedulers/mod.rs:
+crates/core/src/schedulers/birp.rs:
+crates/core/src/schedulers/local.rs:
+crates/core/src/schedulers/max.rs:
+crates/core/src/schedulers/oaei.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/birp_mab-6fe8b9a9cfeb240c.d: crates/mab/src/lib.rs
+
+/root/repo/target/release/deps/libbirp_mab-6fe8b9a9cfeb240c.rlib: crates/mab/src/lib.rs
+
+/root/repo/target/release/deps/libbirp_mab-6fe8b9a9cfeb240c.rmeta: crates/mab/src/lib.rs
+
+crates/mab/src/lib.rs:

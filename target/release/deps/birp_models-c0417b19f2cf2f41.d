@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/birp_models-c0417b19f2cf2f41.d: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/device.rs crates/models/src/ids.rs crates/models/src/table1.rs crates/models/src/zoo.rs
+
+/root/repo/target/release/deps/libbirp_models-c0417b19f2cf2f41.rlib: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/device.rs crates/models/src/ids.rs crates/models/src/table1.rs crates/models/src/zoo.rs
+
+/root/repo/target/release/deps/libbirp_models-c0417b19f2cf2f41.rmeta: crates/models/src/lib.rs crates/models/src/catalog.rs crates/models/src/device.rs crates/models/src/ids.rs crates/models/src/table1.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/catalog.rs:
+crates/models/src/device.rs:
+crates/models/src/ids.rs:
+crates/models/src/table1.rs:
+crates/models/src/zoo.rs:

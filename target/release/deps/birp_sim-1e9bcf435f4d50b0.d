@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/birp_sim-1e9bcf435f4d50b0.d: crates/sim/src/lib.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/schedule.rs crates/sim/src/utilization.rs
+
+/root/repo/target/release/deps/libbirp_sim-1e9bcf435f4d50b0.rlib: crates/sim/src/lib.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/schedule.rs crates/sim/src/utilization.rs
+
+/root/repo/target/release/deps/libbirp_sim-1e9bcf435f4d50b0.rmeta: crates/sim/src/lib.rs crates/sim/src/energy.rs crates/sim/src/executor.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/noise.rs crates/sim/src/schedule.rs crates/sim/src/utilization.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/utilization.rs:

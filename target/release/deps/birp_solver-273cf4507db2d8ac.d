@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/birp_solver-273cf4507db2d8ac.d: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/expr.rs crates/solver/src/heuristic.rs crates/solver/src/lp.rs crates/solver/src/lpwrite.rs crates/solver/src/milp.rs crates/solver/src/model.rs crates/solver/src/presolve.rs crates/solver/src/simplex/mod.rs crates/solver/src/simplex/bounded.rs crates/solver/src/simplex/reference.rs
+
+/root/repo/target/release/deps/libbirp_solver-273cf4507db2d8ac.rlib: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/expr.rs crates/solver/src/heuristic.rs crates/solver/src/lp.rs crates/solver/src/lpwrite.rs crates/solver/src/milp.rs crates/solver/src/model.rs crates/solver/src/presolve.rs crates/solver/src/simplex/mod.rs crates/solver/src/simplex/bounded.rs crates/solver/src/simplex/reference.rs
+
+/root/repo/target/release/deps/libbirp_solver-273cf4507db2d8ac.rmeta: crates/solver/src/lib.rs crates/solver/src/error.rs crates/solver/src/expr.rs crates/solver/src/heuristic.rs crates/solver/src/lp.rs crates/solver/src/lpwrite.rs crates/solver/src/milp.rs crates/solver/src/model.rs crates/solver/src/presolve.rs crates/solver/src/simplex/mod.rs crates/solver/src/simplex/bounded.rs crates/solver/src/simplex/reference.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/error.rs:
+crates/solver/src/expr.rs:
+crates/solver/src/heuristic.rs:
+crates/solver/src/lp.rs:
+crates/solver/src/lpwrite.rs:
+crates/solver/src/milp.rs:
+crates/solver/src/model.rs:
+crates/solver/src/presolve.rs:
+crates/solver/src/simplex/mod.rs:
+crates/solver/src/simplex/bounded.rs:
+crates/solver/src/simplex/reference.rs:

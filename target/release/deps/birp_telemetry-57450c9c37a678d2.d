@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/birp_telemetry-57450c9c37a678d2.d: crates/telemetry/src/lib.rs
+
+/root/repo/target/release/deps/libbirp_telemetry-57450c9c37a678d2.rlib: crates/telemetry/src/lib.rs
+
+/root/repo/target/release/deps/libbirp_telemetry-57450c9c37a678d2.rmeta: crates/telemetry/src/lib.rs
+
+crates/telemetry/src/lib.rs:

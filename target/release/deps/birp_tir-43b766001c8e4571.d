@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/birp_tir-43b766001c8e4571.d: crates/tir/src/lib.rs crates/tir/src/fit.rs crates/tir/src/params.rs crates/tir/src/taylor.rs
+
+/root/repo/target/release/deps/libbirp_tir-43b766001c8e4571.rlib: crates/tir/src/lib.rs crates/tir/src/fit.rs crates/tir/src/params.rs crates/tir/src/taylor.rs
+
+/root/repo/target/release/deps/libbirp_tir-43b766001c8e4571.rmeta: crates/tir/src/lib.rs crates/tir/src/fit.rs crates/tir/src/params.rs crates/tir/src/taylor.rs
+
+crates/tir/src/lib.rs:
+crates/tir/src/fit.rs:
+crates/tir/src/params.rs:
+crates/tir/src/taylor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/birp_workload-4d81cb981064eba7.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/io.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/transform.rs
+
+/root/repo/target/release/deps/libbirp_workload-4d81cb981064eba7.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/io.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/transform.rs
+
+/root/repo/target/release/deps/libbirp_workload-4d81cb981064eba7.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/io.rs crates/workload/src/stats.rs crates/workload/src/trace.rs crates/workload/src/transform.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/io.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metrics_cdf-d828d1e42d78ad9d.d: crates/sim/benches/metrics_cdf.rs
+
+/root/repo/target/release/deps/metrics_cdf-d828d1e42d78ad9d: crates/sim/benches/metrics_cdf.rs
+
+crates/sim/benches/metrics_cdf.rs:

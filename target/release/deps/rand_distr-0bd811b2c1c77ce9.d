@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-0bd811b2c1c77ce9.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-0bd811b2c1c77ce9.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-0bd811b2c1c77ce9.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig2-90c8994dcbfcf829.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/release/deps/repro_fig2-90c8994dcbfcf829: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig4-0c6d95a5f2456352.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/release/deps/repro_fig4-0c6d95a5f2456352: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

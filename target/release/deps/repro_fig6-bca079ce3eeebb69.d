@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig6-bca079ce3eeebb69.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/release/deps/repro_fig6-bca079ce3eeebb69: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig7-33739a68281c4f4c.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/release/deps/repro_fig7-33739a68281c4f4c: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_headline-95d351df1170d78a.d: crates/bench/src/bin/repro_headline.rs
+
+/root/repo/target/release/deps/repro_headline-95d351df1170d78a: crates/bench/src/bin/repro_headline.rs
+
+crates/bench/src/bin/repro_headline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-6a37bfd74e5236b9.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-6a37bfd74e5236b9: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,9 +1,7 @@
 //! Smoke tests for every experiment entry point (scaled down) — each
 //! table/figure harness must run end to end and produce sane records.
 
-use birp::core::experiments::{
-    epsilon_sweep, fig2_experiment, table1_experiment, SweepConfig,
-};
+use birp::core::experiments::{epsilon_sweep, fig2_experiment, table1_experiment, SweepConfig};
 
 #[test]
 fn table1_harness() {
@@ -25,7 +23,12 @@ fn fig2_harness() {
         assert!(r.fit.params.is_valid(), "{}: {:?}", r.model, r.fit.params);
         assert_eq!(r.samples.len(), 12 * 3);
         // TIR at batch 1 must be ~1 by construction.
-        let b1: Vec<f64> = r.samples.iter().filter(|s| s.batch == 1).map(|s| s.tir).collect();
+        let b1: Vec<f64> = r
+            .samples
+            .iter()
+            .filter(|s| s.batch == 1)
+            .map(|s| s.tir)
+            .collect();
         let mean = b1.iter().sum::<f64>() / b1.len() as f64;
         assert!((mean - 1.0).abs() < 0.1, "{}: batch-1 TIR {mean}", r.model);
     }

@@ -24,7 +24,11 @@ fn schedulers(catalog: &Catalog) -> Vec<Box<dyn Scheduler>> {
 #[test]
 fn every_scheduler_survives_a_small_scale_run() {
     let catalog = Catalog::small_scale(42);
-    let trace = TraceConfig { num_slots: 10, ..TraceConfig::small_scale(7) }.generate();
+    let trace = TraceConfig {
+        num_slots: 10,
+        ..TraceConfig::small_scale(7)
+    }
+    .generate();
     for mut s in schedulers(&catalog) {
         let r = run_scheduler(&catalog, &trace, s.as_mut(), &RunConfig::default());
         assert_eq!(
@@ -43,7 +47,11 @@ fn every_scheduler_survives_a_small_scale_run() {
         );
         // Cumulative loss is non-decreasing.
         for w in r.metrics.cumulative_loss.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "{}: cumulative loss decreased", r.scheduler);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "{}: cumulative loss decreased",
+                r.scheduler
+            );
         }
         // p% consistent with counters.
         let expected_pct =
@@ -55,20 +63,40 @@ fn every_scheduler_survives_a_small_scale_run() {
 #[test]
 fn large_scale_smoke() {
     let catalog = Catalog::large_scale(42);
-    let trace = TraceConfig { num_slots: 3, mean_rate: 1.5, ..TraceConfig::large_scale(7) }.generate();
+    let trace = TraceConfig {
+        num_slots: 3,
+        mean_rate: 1.5,
+        ..TraceConfig::large_scale(7)
+    }
+    .generate();
     for mut s in schedulers(&catalog) {
         let r = run_scheduler(&catalog, &trace, s.as_mut(), &RunConfig::default());
-        assert_eq!(r.metrics.served + r.metrics.dropped, r.offered, "{}", r.scheduler);
+        assert_eq!(
+            r.metrics.served + r.metrics.dropped,
+            r.offered,
+            "{}",
+            r.scheduler
+        );
     }
 }
 
 #[test]
 fn deterministic_across_repeats() {
     let catalog = Catalog::small_scale(42);
-    let trace = TraceConfig { num_slots: 6, ..TraceConfig::small_scale(9) }.generate();
+    let trace = TraceConfig {
+        num_slots: 6,
+        ..TraceConfig::small_scale(9)
+    }
+    .generate();
     let run = |seed: u64| {
         let mut s = Birp::new(catalog.clone(), MabConfig::paper_preset());
-        let cfg = RunConfig { sim: SimConfig { seed, ..Default::default() }, ..Default::default() };
+        let cfg = RunConfig {
+            sim: SimConfig {
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         run_scheduler(&catalog, &trace, &mut s, &cfg)
     };
     let a = run(1);
@@ -78,7 +106,10 @@ fn deterministic_across_repeats() {
     assert_eq!(a.metrics.slo_failures, b.metrics.slo_failures);
     // Different sim seed -> different noise -> (almost surely) different CDF.
     let c = run(2);
-    assert_eq!(a.metrics.served + a.metrics.dropped, c.metrics.served + c.metrics.dropped);
+    assert_eq!(
+        a.metrics.served + a.metrics.dropped,
+        c.metrics.served + c.metrics.dropped
+    );
 }
 
 #[test]
@@ -86,8 +117,12 @@ fn batching_beats_serial_execution_on_identical_decisions() {
     // Direct A/B: the same workload executed by BIRP (batched) finishes
     // earlier in distribution than OAEI (serial) under identical pressure.
     let catalog = Catalog::small_scale(42);
-    let trace =
-        TraceConfig { num_slots: 8, mean_rate: 8.0, ..TraceConfig::small_scale(3) }.generate();
+    let trace = TraceConfig {
+        num_slots: 8,
+        mean_rate: 8.0,
+        ..TraceConfig::small_scale(3)
+    }
+    .generate();
     let mut birp = BirpOff::new(catalog.clone());
     let birp_run = run_scheduler(&catalog, &trace, &mut birp, &RunConfig::default());
     let mut oaei = Oaei::new(catalog.clone(), 3);

@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/API surface the `birp-bench` crate uses
+//! (`criterion_group!`/`criterion_main!`, `bench_function`, benchmark
+//! groups with `sample_size`) backed by a deliberately small timing loop:
+//! one warm-up iteration, then a ~60 ms measurement budget per benchmark,
+//! reporting mean ns/iter to stdout. No statistics, no HTML reports — the
+//! goal is that `cargo bench` runs and prints comparable numbers, not
+//! publication-grade measurement.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark measurement budget.
+const BUDGET: Duration = Duration::from_millis(60);
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), &mut routine);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the fixed time budget already keeps
+    /// runs short, so the requested sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut routine);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` until the per-benchmark budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= BUDGET {
+                self.iters_done = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, routine: &mut F) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    if b.iters_done == 0 {
+        println!("bench {name:<48} (no iterations recorded)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    println!(
+        "bench {name:<48} {:>14.1} ns/iter ({} iters)",
+        ns_per_iter, b.iters_done
+    );
+}
+
+/// `black_box` re-export for call sites importing it from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("inner".to_string(), |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+}

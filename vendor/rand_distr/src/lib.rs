@@ -1,0 +1,134 @@
+//! Offline stand-in for the `rand_distr` crate: [`LogNormal`] and
+//! [`Poisson`], the two distributions the workload generator and the
+//! execution-noise model draw from.
+//!
+//! Sampling algorithms are textbook (Box–Muller for the normal kernel,
+//! Knuth multiplication for small-λ Poisson, a normal approximation for
+//! large λ) — accurate enough that the simulator's mean-preservation tests
+//! (±2–5% over tens of thousands of draws) pass comfortably.
+
+use rand::RngCore;
+
+/// Invalid-parameter error returned by distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A distribution sampleable with any [`RngCore`].
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Standard normal draw via Box–Muller (one of the pair is discarded —
+/// simplicity over throughput; these are not hot paths).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Map to (0, 1] so the log never sees zero.
+    let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Poisson distribution with rate `lambda`; samples are returned as `f64`
+/// to match the upstream API (call sites cast to `u32`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(Error);
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: multiply uniforms until the product drops below e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut product = rng.next_f64();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.next_f64();
+                count += 1;
+            }
+            count as f64
+        } else {
+            // Normal approximation with continuity correction; fine at λ≥30.
+            let draw = self.lambda + self.lambda.sqrt() * standard_normal(rng) + 0.5;
+            draw.floor().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_mean_one_when_mu_compensates() {
+        // E[exp(N(-s^2/2, s))] = 1.
+        let sigma = 0.2;
+        let d = LogNormal::new(-sigma * sigma / 2.0, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &lambda in &[0.5, 3.0, 12.0, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 30_000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda + 0.05,
+                "lambda={lambda} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-2.0).is_err());
+    }
+}

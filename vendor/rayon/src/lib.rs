@@ -1,0 +1,197 @@
+//! Offline stand-in for `rayon`, covering the `into_par_iter().map().collect()`
+//! and `par_iter().map().collect()` shapes this workspace uses.
+//!
+//! Unlike a sequential shim, this actually runs the closure on multiple OS
+//! threads: items go into index-addressed slots, workers claim indices from a
+//! shared atomic counter (simple work-stealing-free dynamic scheduling), and
+//! results are collected **in input order**, so callers observe the same
+//! ordering guarantees as rayon's indexed parallel iterators.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel call fans out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Entry point mirroring rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `par_iter()` on borrowed collections (items are `&T`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator (rayon's lazy splitting replaced by an
+/// upfront item vector — every call site iterates bounded, in-memory data).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// Shared trait so call sites can keep using rayon's method names.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    fn map<O: Send, F: Fn(Self::Item) -> O + Sync + Send>(self, f: F) -> ParMap<Self::Item, F>;
+}
+
+impl<I: Send> ParallelIterator for ParIter<I> {
+    type Item = I;
+
+    fn map<O: Send, F: Fn(I) -> O + Sync + Send>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Run the map on scoped worker threads and collect results in input
+    /// order.
+    pub fn collect<O, C>(self) -> C
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync + Send,
+        C: FromIterator<O>,
+    {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        if n == 0 {
+            return std::iter::empty().collect();
+        }
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let slots = &slots;
+        let results = &results;
+        let next = &next;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let item = slots[idx]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("item claimed twice");
+                    let out = f(item);
+                    *results[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                });
+            }
+        });
+
+        results
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("worker panicked before producing a result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let out: Vec<u64> = data.par_iter().map(|&x| x + 10).collect();
+        assert_eq!(out, vec![11, 12, 13, 14]);
+        assert_eq!(data.len(), 4); // still owned here
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64)
+            .into_par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let distinct = ids.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(distinct > 1, "expected parallel execution, got {distinct}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (which lower everything through `serde::Value`). Instead of pulling
+//! in `syn`/`quote` — unavailable offline — the item is parsed with a small
+//! hand-rolled walk over `proc_macro::TokenTree` and the impl is emitted as a
+//! source string, then re-parsed into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - unit / tuple / named-field structs (single-field tuple structs are
+//!   transparent, matching upstream newtype behaviour)
+//! - enums in serde's externally tagged representation
+//! - the `#[serde(default)]` field attribute
+//!
+//! Generic types are rejected with a clear compile error.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    gen_serialize(&name, &body)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    gen_deserialize(&name, &body)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Advance past a run of `#[...]` attributes; returns whether any of them
+/// was `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while is_punct(toks.get(*i), '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            if attr_is_serde_default(g) {
+                default = true;
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+fn attr_is_serde_default(attr: &Group) -> bool {
+    if attr.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    if !is_ident(toks.first(), "serde") {
+        return false;
+    }
+    match toks.get(1) {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if is_ident(toks.get(*i), "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            None | Some(TokenTree::Punct(_)) => Body::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g))
+            }
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (name, body)
+}
+
+/// Skip a type (or any token run) up to the next top-level comma, tracking
+/// angle-bracket depth so `Vec<(A, B)>`-style types don't split early.
+fn skip_to_top_level_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_to_top_level_comma(&toks, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break; // trailing comma
+        }
+        count += 1;
+        skip_to_top_level_comma(&toks, &mut i);
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(vg))
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(vg))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_to_top_level_comma(&toks, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --- codegen -------------------------------------------------------------
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let expr = match body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(ser_variant_arm).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {expr} }} \
+         }}"
+    )
+}
+
+fn ser_variant_arm(v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("Self::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "Self::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+               ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                .collect();
+            format!(
+                "Self::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                   ::serde::Value::Array(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "Self::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                   ::serde::Value::Object(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+    }
+}
+
+/// Expression producing one named field's value from object slice `__obj`
+/// (used both for named structs and struct enum variants).
+fn de_named_field(type_name: &str, f: &Field) -> String {
+    let fname = &f.name;
+    let missing = if f.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        // `Option<T>` fields tolerate absence by deserializing from Null;
+        // everything else reports a missing-field error.
+        format!(
+            "::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+               ::serde::DeError::custom(\"missing field `{fname}` in `{type_name}`\"))?"
+        )
+    };
+    format!(
+        "{fname}: match ::serde::field(__obj, \"{fname}\") {{ \
+           ::core::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v) \
+             .map_err(|e| ::serde::DeError::custom(format!(\"{type_name}.{fname}: {{}}\", e)))?, \
+           ::core::option::Option::None => {missing}, \
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::UnitStruct => "::core::result::Result::Ok(Self)".to_string(),
+        Body::TupleStruct(1) => "::serde::Deserialize::from_value(v).map(Self)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = v.as_array().ok_or_else(|| \
+                   ::serde::DeError::custom(\"expected array for `{name}`\"))?; \
+                 if __a.len() != {n} {{ return ::core::result::Result::Err(\
+                   ::serde::DeError::custom(\"wrong tuple arity for `{name}`\")); }} \
+                 ::core::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let items: Vec<String> = fields.iter().map(|f| de_named_field(name, f)).collect();
+            format!(
+                "let __obj = v.as_object().ok_or_else(|| \
+                   ::serde::DeError::custom(\"expected object for `{name}`\"))?; \
+                 ::core::result::Result::Ok(Self {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ \
+             {body_code} \
+           }} \
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    for v in variants {
+        if matches!(v.kind, VariantKind::Unit) {
+            str_arms.push_str(&format!(
+                "\"{0}\" => ::core::result::Result::Ok(Self::{0}),",
+                v.name
+            ));
+        }
+    }
+    let mut tag_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {}
+            VariantKind::Tuple(1) => tag_arms.push_str(&format!(
+                "\"{vn}\" => ::core::result::Result::Ok(Self::{vn}(\
+                   ::serde::Deserialize::from_value(__inner)?)),"
+            )),
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                tag_arms.push_str(&format!(
+                    "\"{vn}\" => {{ \
+                       let __a = __inner.as_array().ok_or_else(|| ::serde::DeError::custom(\
+                         \"expected array for `{name}::{vn}`\"))?; \
+                       if __a.len() != {n} {{ return ::core::result::Result::Err(\
+                         ::serde::DeError::custom(\"wrong arity for `{name}::{vn}`\")); }} \
+                       ::core::result::Result::Ok(Self::{vn}({})) }}",
+                    items.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| de_named_field(&format!("{name}::{vn}"), f))
+                    .collect();
+                tag_arms.push_str(&format!(
+                    "\"{vn}\" => {{ \
+                       let __obj = __inner.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                         \"expected object for `{name}::{vn}`\"))?; \
+                       ::core::result::Result::Ok(Self::{vn} {{ {} }}) }}",
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{ \
+           ::serde::Value::Str(__s) => match __s.as_str() {{ \
+             {str_arms} \
+             __other => ::core::result::Result::Err(::serde::DeError::custom(\
+               format!(\"unknown variant `{{}}` of `{name}`\", __other))), \
+           }}, \
+           ::serde::Value::Object(__o) if __o.len() == 1 => {{ \
+             let (__tag, __inner) = &__o[0]; \
+             match __tag.as_str() {{ \
+               {tag_arms} \
+               __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{}}` of `{name}`\", __other))), \
+             }} \
+           }}, \
+           _ => ::core::result::Result::Err(::serde::DeError::custom(\
+             \"expected string or single-key object for enum `{name}`\")), \
+         }}"
+    )
+}
