@@ -127,5 +127,44 @@ fn bench_slot_problem(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simplex, bench_bnb, bench_slot_problem);
+/// Node throughput on the representative per-slot MILP: exhaust a fixed
+/// node budget serially (no gap early-exit, no dives) so the measurement is
+/// LP-re-solve cost, not search luck. `warm` vs `cold` isolates the
+/// warm-start machinery; nodes/sec = node budget / measured time.
+fn bench_node_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("node_throughput");
+    g.sample_size(10);
+    let catalog = Catalog::small_scale(42);
+    let mut demand = DemandMatrix::zeros(catalog.num_apps(), catalog.num_edges());
+    for i in 0..catalog.num_apps() {
+        for k in 0..catalog.num_edges() {
+            demand.set(AppId(i), EdgeId(k), ((3 * i + 5 * k) % 14) as u32);
+        }
+    }
+    let tir = TirMatrix::oracle(&catalog);
+    let problem = SlotProblem::build(&catalog, 0, &demand, &tir, None, &ProblemConfig::default());
+    let milp = problem.debug_milp();
+    for (label, warm_nodes) in [("warm", true), ("cold", false)] {
+        let cfg = BnbConfig {
+            node_limit: 256,
+            rel_gap: 0.0,
+            parallel: false,
+            root_dive: false,
+            warm_nodes,
+            ..Default::default()
+        };
+        g.bench_function(format!("slot_256_nodes_{label}"), |b| {
+            b.iter(|| black_box(branch_and_bound(&milp, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simplex,
+    bench_bnb,
+    bench_slot_problem,
+    bench_node_throughput
+);
 criterion_main!(benches);

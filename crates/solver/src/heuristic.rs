@@ -7,13 +7,60 @@
 //! incumbent after a single-digit number of LP solves, which in turn is what
 //! lets the BIRP per-slot solves run with small node budgets at a bounded,
 //! reported optimality gap.
+//!
+//! Dives dominate the LP-solve count under the small per-slot node budgets,
+//! so they are the main beneficiary of the warm-start machinery: after the
+//! first relaxation, every fixing re-optimises the engine *in place*
+//! ([`SimplexEngine::resolve_with_bounds`]) — a few dual-simplex pivots
+//! instead of a full two-phase solve per round.
 
-use crate::lp::{LpProblem, LpStatus};
+use birp_telemetry as telemetry;
+
+use crate::lp::{LpProblem, LpSolution, LpStatus};
 use crate::milp::snap_integers;
-use crate::simplex::solve_bounded;
+use crate::simplex::{with_engine, EngineSnapshot, SimplexEngine, SimplexOptions};
+
+/// Solve the relaxation over `[lo, hi]`, warm when possible: first from the
+/// engine's own state (the previous round of this dive), then from `seed`
+/// (the B&B node snapshot that launched the dive), and cold as the last
+/// resort. Tracks warm/cold counts for the solver telemetry ratio.
+fn dive_solve(
+    eng: &mut SimplexEngine,
+    lp: &LpProblem,
+    lo: &[f64],
+    hi: &[f64],
+    seed: Option<&EngineSnapshot>,
+    opts: &SimplexOptions,
+    allow_chain: bool,
+) -> LpSolution {
+    // `allow_chain` guards against stale thread-local state: the engine may
+    // still hold a coincidentally shape-compatible tableau from a *different*
+    // problem, so in-place re-solves are only trusted once this dive has
+    // loaded `lp` itself.
+    if allow_chain {
+        if let Some(sol) = eng.resolve_with_bounds(lp, lo, hi, opts) {
+            telemetry::counter("solver.lp_warm", 1);
+            telemetry::counter("solver.warm_pivots", sol.iterations as u64);
+            return sol;
+        }
+    }
+    if let Some(snap) = seed {
+        if let Some(sol) = eng.solve_warm(lp, snap, lo, hi, opts) {
+            telemetry::counter("solver.lp_warm", 1);
+            telemetry::counter("solver.warm_pivots", sol.iterations as u64);
+            return sol;
+        }
+    }
+    let sol = eng.solve_cold(lp, lo, hi, opts);
+    telemetry::counter("solver.lp_cold", 1);
+    telemetry::counter("solver.cold_pivots", sol.iterations as u64);
+    sol
+}
 
 /// Attempt to find an integral feasible point inside the box
-/// `[lower, upper]`. Returns `(objective, x)` on success.
+/// `[lower, upper]`. Returns `(objective, x)` on success. `seed` may carry
+/// the engine snapshot of the B&B node the dive starts from, warm-starting
+/// even the first relaxation.
 ///
 /// Strategy: *guided fractional diving* in two phases.
 ///
@@ -35,21 +82,22 @@ pub fn dive(
     integers: &[usize],
     lower: &[f64],
     upper: &[f64],
+    seed: Option<&EngineSnapshot>,
+    opts: &SimplexOptions,
 ) -> Option<(f64, Vec<f64>)> {
-    let mut scoped = lp.clone();
-    scoped.lower.copy_from_slice(lower);
-    scoped.upper.copy_from_slice(upper);
+    let mut lo = lower.to_vec();
+    let mut hi = upper.to_vec();
 
     // Binary classification against the *entry* box (fixed variables would
     // otherwise masquerade as binaries).
-    let is_binary: Vec<bool> = (0..scoped.num_cols())
+    let is_binary: Vec<bool> = (0..lp.num_cols())
         .map(|j| upper[j] - lower[j] <= 1.0 + crate::INT_TOL)
         .collect();
 
     // Variables whose rounding turned out infeasible both ways; they are
     // left to drift with the relaxation and re-checked at the end (often
     // they become integral once everything around them is fixed).
-    let mut skipped: Vec<bool> = vec![false; scoped.num_cols()];
+    let mut skipped: Vec<bool> = vec![false; lp.num_cols()];
     let mut skips_left = 6usize;
 
     // Each successful round fixes one variable; rounds needed track the
@@ -57,110 +105,118 @@ pub fn dive(
     // count), so a fixed cap keeps worst-case dive cost bounded on the
     // 400-variable large-scale problems.
     let max_rounds = integers.len().min(96) + 8;
-    for _ in 0..max_rounds {
-        let sol = solve_bounded(&scoped);
-        if sol.status != LpStatus::Optimal {
-            if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
-                eprintln!("dive: LP {:?}", sol.status);
-            }
-            return None;
-        }
-
-        // Find the least-fractional unfixed variable, binaries strictly
-        // first (see the phase discussion above). Deliberately do NOT
-        // freeze variables that merely happen to be integral right now:
-        // slack-like columns — overflow, routing — often sit at 0 in early
-        // relaxations but must move once batches get rounded.
-        let mut bin_target: Option<(usize, f64, f64)> = None; // (var, value, frac)
-        let mut gen_target: Option<(usize, f64, f64)> = None;
-        let mut all_integral = true;
-        for &j in integers {
-            let v = sol.x[j];
-            let frac = (v - v.round()).abs();
-            if frac > crate::INT_TOL {
-                all_integral = false;
-                if skipped[j] {
-                    continue;
+    with_engine(|eng| {
+        let mut chained = false;
+        for _ in 0..max_rounds {
+            let sol = dive_solve(eng, lp, &lo, &hi, seed, opts, chained);
+            chained = true;
+            if sol.status != LpStatus::Optimal {
+                if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
+                    eprintln!("dive: LP {:?}", sol.status);
                 }
-                let slot = if is_binary[j] {
-                    &mut bin_target
-                } else {
-                    &mut gen_target
-                };
-                match slot {
-                    Some((_, _, bf)) if *bf <= frac => {}
-                    _ => *slot = Some((j, v, frac)),
-                }
-            }
-        }
-        let target = bin_target.or(gen_target);
-        if all_integral {
-            let mut x = sol.x;
-            snap_integers(&mut x, integers);
-            // Snapping can disturb rows; verify before claiming feasibility.
-            if scoped.max_violation(&x) > 1e-6 {
                 return None;
             }
-            let obj = lp.objective_at(&x);
-            return Some((obj, x));
-        }
-        let Some((j, v, _)) = target else {
-            if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
-                eprintln!("dive: only skipped fractionals remain");
+
+            // Find the least-fractional unfixed variable, binaries strictly
+            // first (see the phase discussion above). Deliberately do NOT
+            // freeze variables that merely happen to be integral right now:
+            // slack-like columns — overflow, routing — often sit at 0 in early
+            // relaxations but must move once batches get rounded.
+            let mut bin_target: Option<(usize, f64, f64)> = None; // (var, value, frac)
+            let mut gen_target: Option<(usize, f64, f64)> = None;
+            let mut all_integral = true;
+            for &j in integers {
+                let v = sol.x[j];
+                let frac = (v - v.round()).abs();
+                if frac > crate::INT_TOL {
+                    all_integral = false;
+                    if skipped[j] {
+                        continue;
+                    }
+                    let slot = if is_binary[j] {
+                        &mut bin_target
+                    } else {
+                        &mut gen_target
+                    };
+                    match slot {
+                        Some((_, _, bf)) if *bf <= frac => {}
+                        _ => *slot = Some((j, v, frac)),
+                    }
+                }
             }
-            return None; // only skipped variables remain fractional
-        };
+            let target = bin_target.or(gen_target);
+            if all_integral {
+                let mut x = sol.x;
+                snap_integers(&mut x, integers);
+                // Snapping can disturb rows; verify before claiming feasibility.
+                if lp.max_violation_with_bounds(&x, &lo, &hi) > 1e-6 {
+                    return None;
+                }
+                let obj = lp.objective_at(&x);
+                return Some((obj, x));
+            }
+            let Some((j, v, _)) = target else {
+                if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
+                    eprintln!("dive: only skipped fractionals remain");
+                }
+                return None; // only skipped variables remain fractional
+            };
 
-        // Binaries: ceiling first — a fractional indicator usually guards
-        // capacity the relaxation is actively using, and switching it off
-        // forfeits that capacity (expensive), while switching it on only
-        // costs its resource footprint. Generals: floor first
-        // (resource-safe).
-        let (near, far) = if is_binary[j] {
-            let up = v.ceil().clamp(scoped.lower[j], scoped.upper[j]);
-            (up, up - 1.0)
-        } else {
-            let down = v.floor().clamp(scoped.lower[j], scoped.upper[j]);
-            (down, down + 1.0)
-        };
+            // Binaries: ceiling first — a fractional indicator usually guards
+            // capacity the relaxation is actively using, and switching it off
+            // forfeits that capacity (expensive), while switching it on only
+            // costs its resource footprint. Generals: floor first
+            // (resource-safe).
+            let (near, far) = if is_binary[j] {
+                let up = v.ceil().clamp(lo[j], hi[j]);
+                (up, up - 1.0)
+            } else {
+                let down = v.floor().clamp(lo[j], hi[j]);
+                (down, down + 1.0)
+            };
 
-        let (old_lo, old_hi) = (scoped.lower[j], scoped.upper[j]);
-        scoped.lower[j] = near;
-        scoped.upper[j] = near;
-        let near_sol = solve_bounded(&scoped);
-        if near_sol.status == LpStatus::Optimal {
-            continue;
-        }
-        if far >= old_lo - 1e-12 && far <= old_hi + 1e-12 {
-            scoped.lower[j] = far;
-            scoped.upper[j] = far;
-            let far_sol = solve_bounded(&scoped);
-            if far_sol.status == LpStatus::Optimal {
+            let (old_lo, old_hi) = (lo[j], hi[j]);
+            lo[j] = near;
+            hi[j] = near;
+            let near_sol = dive_solve(eng, lp, &lo, &hi, seed, opts, chained);
+            if near_sol.status == LpStatus::Optimal {
                 continue;
             }
+            if far >= old_lo - 1e-12 && far <= old_hi + 1e-12 {
+                lo[j] = far;
+                hi[j] = far;
+                let far_sol = dive_solve(eng, lp, &lo, &hi, seed, opts, chained);
+                if far_sol.status == LpStatus::Optimal {
+                    continue;
+                }
+            }
+            // Both roundings infeasible: restore the variable and move on.
+            if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
+                eprintln!("dive: var {j} stuck at {v} (skips left {skips_left})");
+            }
+            if skips_left == 0 {
+                return None;
+            }
+            skips_left -= 1;
+            lo[j] = old_lo;
+            hi[j] = old_hi;
+            skipped[j] = true;
         }
-        // Both roundings infeasible: restore the variable and move on.
         if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
-            eprintln!("dive: var {j} stuck at {v} (skips left {skips_left})");
+            eprintln!("dive: max rounds exhausted");
         }
-        if skips_left == 0 {
-            return None;
-        }
-        skips_left -= 1;
-        scoped.lower[j] = old_lo;
-        scoped.upper[j] = old_hi;
-        skipped[j] = true;
-    }
-    if std::env::var("BIRP_DIVE_DEBUG").is_ok() {
-        eprintln!("dive: max rounds exhausted");
-    }
-    None
+        None
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lp::RowCmp;
+
+    fn opts() -> SimplexOptions {
+        SimplexOptions::default()
+    }
 
     #[test]
     fn dive_finds_integral_point_on_knapsack() {
@@ -169,7 +225,15 @@ mod tests {
         lp.upper = vec![1.0; 3];
         lp.push_row(vec![(0, 3.0), (1, 4.0), (2, 2.0)], RowCmp::Le, 5.0);
         let ints = [0, 1, 2];
-        let (obj, x) = dive(&lp, &ints, &lp.lower.clone(), &lp.upper.clone()).unwrap();
+        let (obj, x) = dive(
+            &lp,
+            &ints,
+            &lp.lower.clone(),
+            &lp.upper.clone(),
+            None,
+            &opts(),
+        )
+        .unwrap();
         assert!(lp.max_violation(&x) < 1e-6);
         for &j in &ints {
             assert!((x[j] - x[j].round()).abs() < 1e-9);
@@ -184,7 +248,15 @@ mod tests {
         lp.objective = vec![1.0, 1.0];
         lp.upper = vec![3.0, 3.0];
         lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Ge, 2.0);
-        let (obj, _x) = dive(&lp, &[0, 1], &lp.lower.clone(), &lp.upper.clone()).unwrap();
+        let (obj, _x) = dive(
+            &lp,
+            &[0, 1],
+            &lp.lower.clone(),
+            &lp.upper.clone(),
+            None,
+            &opts(),
+        )
+        .unwrap();
         assert!((obj - 2.0).abs() < 1e-6);
     }
 
@@ -193,7 +265,15 @@ mod tests {
         let mut lp = LpProblem::with_columns(1);
         lp.upper = vec![1.0];
         lp.push_row(vec![(0, 1.0)], RowCmp::Ge, 5.0);
-        assert!(dive(&lp, &[0], &lp.lower.clone(), &lp.upper.clone()).is_none());
+        assert!(dive(
+            &lp,
+            &[0],
+            &lp.lower.clone(),
+            &lp.upper.clone(),
+            None,
+            &opts()
+        )
+        .is_none());
     }
 
     #[test]
@@ -205,7 +285,34 @@ mod tests {
         lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Ge, 1.5);
         let lower = vec![1.0, 0.0];
         let upper = vec![1.0, 4.0];
-        let (_, x) = dive(&lp, &[0, 1], &lower, &upper).unwrap();
+        let (_, x) = dive(&lp, &[0, 1], &lower, &upper, None, &opts()).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dive_accepts_seed_snapshot() {
+        // Seeding with the root relaxation snapshot must not change the
+        // qualitative outcome (feasible point on the knapsack).
+        let mut lp = LpProblem::with_columns(3);
+        lp.objective = vec![-10.0, -13.0, -7.0];
+        lp.upper = vec![1.0; 3];
+        lp.push_row(vec![(0, 3.0), (1, 4.0), (2, 2.0)], RowCmp::Le, 5.0);
+        let snap = {
+            let mut eng = SimplexEngine::new();
+            let s = eng.solve_cold(&lp, &lp.lower, &lp.upper, &opts());
+            assert_eq!(s.status, LpStatus::Optimal);
+            eng.snapshot().unwrap()
+        };
+        let (obj, x) = dive(
+            &lp,
+            &[0, 1, 2],
+            &lp.lower.clone(),
+            &lp.upper.clone(),
+            Some(&snap),
+            &opts(),
+        )
+        .unwrap();
+        assert!(lp.max_violation(&x) < 1e-6);
+        assert!(obj <= 0.0);
     }
 }

@@ -54,6 +54,7 @@ pub use lpwrite::to_lp_format;
 pub use milp::{MilpProblem, MilpResult, MilpStatus};
 pub use model::{Model, ModelStatus, Solution, SolverConfig};
 pub use presolve::{presolve, PresolveStatus, Reduction};
+pub use simplex::{EngineSnapshot, SimplexEngine, SimplexOptions};
 
 /// Numerical tolerance used throughout the solver for feasibility checks.
 pub const FEAS_TOL: f64 = 1e-7;

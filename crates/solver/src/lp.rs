@@ -146,6 +146,25 @@ impl LpProblem {
         worst
     }
 
+    /// Like [`max_violation`](Self::max_violation) but checked against an
+    /// external box `[lo, hi]` instead of this problem's own bounds. Branch
+    /// and bound nodes share one `LpProblem` and carry their tightened
+    /// bounds separately, so feasibility must be judged against the node's
+    /// box.
+    pub fn max_violation_with_bounds(&self, x: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for row in &self.rows {
+            worst = worst.max(row.violation(x));
+        }
+        for (j, &xj) in x.iter().enumerate().take(self.num_cols()) {
+            worst = worst.max(lo[j] - xj);
+            if hi[j].is_finite() {
+                worst = worst.max(xj - hi[j]);
+            }
+        }
+        worst
+    }
+
     /// Objective value at `x`.
     pub fn objective_at(&self, x: &[f64]) -> f64 {
         self.objective.iter().zip(x).map(|(c, v)| c * v).sum()

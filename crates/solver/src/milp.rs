@@ -9,16 +9,28 @@
 //! worker is popped from the frontier, their LPs are solved with rayon, and
 //! the results are folded back in deterministically (the fold order is the
 //! pop order, not the completion order, so runs are reproducible).
+//!
+//! Node LPs are solved on per-thread persistent [`SimplexEngine`]s
+//! ([`with_engine`]): the shared `LpProblem` rows are never cloned per
+//! node, and each solved node leaves an [`EngineSnapshot`] that its two
+//! children restore and re-optimise with the dual simplex — a few pivots
+//! instead of a full two-phase solve, since branching only shifts one
+//! bound and the parent basis stays dual-feasible. Snapshot memory on the
+//! frontier is capped by [`BnbConfig::warm_memory_budget`] with a
+//! deterministic gate, so behaviour is reproducible at any budget.
+//!
+//! [`SimplexEngine`]: crate::simplex::SimplexEngine
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use birp_telemetry as telemetry;
 use rayon::prelude::*;
 
 use crate::heuristic::dive;
 use crate::lp::{LpProblem, LpStatus};
-use crate::simplex::solve_bounded;
+use crate::simplex::{with_engine, EngineSnapshot, SimplexOptions};
 use crate::INT_TOL;
 
 /// A MILP: an [`LpProblem`] plus the set of columns required to be integral.
@@ -50,6 +62,17 @@ pub struct BnbConfig {
     /// Run the presolve reductions before the search (recommended; on the
     /// BIRP per-slot problems it cuts node LP time several-fold).
     pub presolve: bool,
+    /// Warm-start child node LPs from their parent's engine snapshot
+    /// (dual-simplex bound-shift re-optimisation instead of a full
+    /// two-phase solve). Off is only useful for A/B validation.
+    pub warm_nodes: bool,
+    /// Approximate cap, in bytes, on frontier memory spent on engine
+    /// snapshots. When the estimated footprint of the open nodes would
+    /// exceed this, new nodes are pushed without snapshots and re-solve
+    /// cold — a deterministic degradation, never an OOM.
+    pub warm_memory_budget: usize,
+    /// Tunables forwarded to the simplex engine (pivot cap).
+    pub simplex: SimplexOptions,
 }
 
 impl Default for BnbConfig {
@@ -61,6 +84,9 @@ impl Default for BnbConfig {
             root_dive: true,
             warm_start: None,
             presolve: true,
+            warm_nodes: true,
+            warm_memory_budget: 256 << 20,
+            simplex: SimplexOptions::default(),
         }
     }
 }
@@ -94,12 +120,15 @@ pub struct MilpResult {
 }
 
 /// Frontier node: a box (bound vectors) plus an optimistic objective bound
-/// inherited from the parent LP.
+/// inherited from the parent LP, and (optionally) the parent's solved
+/// engine snapshot so the node LP can warm-start. Siblings share the
+/// snapshot through the `Arc`.
 #[derive(Debug, Clone)]
 struct Node {
     lower: Vec<f64>,
     upper: Vec<f64>,
     bound: f64,
+    snap: Option<Arc<EngineSnapshot>>,
 }
 
 /// Min-heap ordering on the optimistic bound (best-first).
@@ -249,7 +278,11 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
         lower: problem.lp.lower.clone(),
         upper: problem.lp.upper.clone(),
         bound: f64::NEG_INFINITY,
+        snap: None,
     };
+    // Deterministic snapshot budget: estimated per-snapshot footprint,
+    // computed once from the (presolved) problem shape.
+    let est_snap_bytes = EngineSnapshot::estimate_bytes(&problem.lp).max(1);
 
     let mut nodes_solved = 0usize;
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
@@ -295,7 +328,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     }
 
     // --- root -----------------------------------------------------------
-    let root_sol = solve_node_lp(&problem.lp, &root);
+    let (root_sol, root_snap) = solve_node_lp(&problem.lp, &root, &cfg.simplex, cfg.warm_nodes);
     nodes_solved += 1;
     telemetry::counter("solver.pivots", root_sol.iterations as u64);
     match root_sol.status {
@@ -327,7 +360,14 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     if let Some((j, v)) = root_branch {
         if cfg.root_dive {
             telemetry::counter("solver.dive_attempts", 1);
-            if let Some((obj, x)) = dive(&problem.lp, &problem.integers, &root.lower, &root.upper) {
+            if let Some((obj, x)) = dive(
+                &problem.lp,
+                &problem.integers,
+                &root.lower,
+                &root.upper,
+                root_snap.as_deref(),
+                &cfg.simplex,
+            ) {
                 if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
                     telemetry::counter("solver.dive_hits", 1);
                     note_incumbent("root_dive", obj, root_bound, nodes_solved);
@@ -335,7 +375,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 }
             }
         }
-        push_children(&mut heap, &root, j, v, root_sol.objective);
+        push_children(&mut heap, &root, j, v, root_sol.objective, root_snap);
     } else {
         let mut x = root_sol.x;
         snap_integers(&mut x, &problem.integers);
@@ -395,13 +435,23 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
             }
         }
 
+        // Deterministic memory gate: would snapshotting this wave (each
+        // node's children share one snapshot) blow the budget, given what
+        // the frontier may already be holding? Computed from heap/wave
+        // sizes on the main thread, so seeded runs always agree.
+        let want_snaps = cfg.warm_nodes
+            && (heap.len() + 2 * wave.len()).saturating_mul(est_snap_bytes)
+                <= cfg.warm_memory_budget;
+        if cfg.warm_nodes && !want_snaps {
+            telemetry::counter("solver.warm_budget_skips", wave.len() as u64);
+        }
         let solved: Vec<_> = if cfg.parallel && wave.len() > 1 {
             wave.par_iter()
-                .map(|node| solve_node_lp(&problem.lp, node))
+                .map(|node| solve_node_lp(&problem.lp, node, &cfg.simplex, want_snaps))
                 .collect()
         } else {
             wave.iter()
-                .map(|node| solve_node_lp(&problem.lp, node))
+                .map(|node| solve_node_lp(&problem.lp, node, &cfg.simplex, want_snaps))
                 .collect()
         };
         nodes_solved += wave.len();
@@ -409,11 +459,11 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
             telemetry::observe("solver.wave_size", wave.len() as f64);
             telemetry::counter(
                 "solver.pivots",
-                solved.iter().map(|s| s.iterations as u64).sum(),
+                solved.iter().map(|(s, _)| s.iterations as u64).sum(),
             );
         }
 
-        for (node, sol) in wave.into_iter().zip(solved) {
+        for (node, (sol, node_snap)) in wave.into_iter().zip(solved) {
             match sol.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::Unbounded => {
@@ -453,9 +503,14 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                     if frac_count <= 8 && tree_dives_left > 0 {
                         tree_dives_left -= 1;
                         telemetry::counter("solver.dive_attempts", 1);
-                        if let Some((obj, x)) =
-                            dive(&problem.lp, &problem.integers, &node.lower, &node.upper)
-                        {
+                        if let Some((obj, x)) = dive(
+                            &problem.lp,
+                            &problem.integers,
+                            &node.lower,
+                            &node.upper,
+                            node_snap.as_deref(),
+                            &cfg.simplex,
+                        ) {
                             let cutoff = incumbent.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
                             if obj < cutoff {
                                 telemetry::counter("solver.dive_hits", 1);
@@ -464,7 +519,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                             }
                         }
                     }
-                    push_children(&mut heap, &node, j, v, sol.objective);
+                    push_children(&mut heap, &node, j, v, sol.objective, node_snap);
                 }
             }
         }
@@ -542,20 +597,65 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     result
 }
 
-fn solve_node_lp(lp: &LpProblem, node: &Node) -> crate::lp::LpSolution {
-    let mut scoped = lp.clone();
-    scoped.lower.copy_from_slice(&node.lower);
-    scoped.upper.copy_from_slice(&node.upper);
-    solve_bounded(&scoped)
+/// Solve one node's LP relaxation on this worker's thread-local engine.
+///
+/// The `LpProblem` rows are shared by reference — nodes only differ in
+/// their bound vectors, so nothing is cloned per node. Warm path: restore
+/// the parent's snapshot and dual-simplex the branched bound back to
+/// feasibility; cold path: full two-phase solve. When `want_snapshot` is
+/// set and the node solved to optimality, the solved engine state is
+/// captured for this node's children.
+fn solve_node_lp(
+    lp: &LpProblem,
+    node: &Node,
+    opts: &SimplexOptions,
+    want_snapshot: bool,
+) -> (crate::lp::LpSolution, Option<Arc<EngineSnapshot>>) {
+    with_engine(|eng| {
+        let mut warm = false;
+        let sol = match node.snap.as_deref() {
+            Some(snap) => match eng.solve_warm(lp, snap, &node.lower, &node.upper, opts) {
+                Some(sol) => {
+                    warm = true;
+                    sol
+                }
+                None => eng.solve_cold(lp, &node.lower, &node.upper, opts),
+            },
+            None => eng.solve_cold(lp, &node.lower, &node.upper, opts),
+        };
+        if telemetry::enabled() {
+            if warm {
+                telemetry::counter("solver.lp_warm", 1);
+                telemetry::counter("solver.warm_pivots", sol.iterations as u64);
+            } else {
+                telemetry::counter("solver.lp_cold", 1);
+                telemetry::counter("solver.cold_pivots", sol.iterations as u64);
+            }
+        }
+        let snap = if want_snapshot && sol.status == LpStatus::Optimal {
+            eng.snapshot().map(Arc::new)
+        } else {
+            None
+        };
+        (sol, snap)
+    })
 }
 
-fn push_children(heap: &mut BinaryHeap<Node>, parent: &Node, j: usize, v: f64, parent_obj: f64) {
+fn push_children(
+    heap: &mut BinaryHeap<Node>,
+    parent: &Node,
+    j: usize,
+    v: f64,
+    parent_obj: f64,
+    snap: Option<Arc<EngineSnapshot>>,
+) {
     let floor = v.floor();
     // Down child: x_j <= floor(v)
     if floor >= parent.lower[j] - 1e-12 {
         let mut child = parent.clone();
         child.upper[j] = floor.min(child.upper[j]);
         child.bound = parent_obj;
+        child.snap = snap.clone();
         if child.lower[j] <= child.upper[j] + 1e-12 {
             child.upper[j] = child.upper[j].max(child.lower[j]);
             heap.push(child);
@@ -567,6 +667,7 @@ fn push_children(heap: &mut BinaryHeap<Node>, parent: &Node, j: usize, v: f64, p
         let mut child = parent.clone();
         child.lower[j] = ceil.max(child.lower[j]);
         child.bound = parent_obj;
+        child.snap = snap;
         if child.lower[j] <= child.upper[j] + 1e-12 {
             child.lower[j] = child.lower[j].min(child.upper[j]);
             heap.push(child);

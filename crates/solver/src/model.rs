@@ -14,7 +14,7 @@ use crate::error::SolverError;
 use crate::expr::{LinExpr, VarId, VarKind};
 use crate::lp::{LpProblem, LpSolution, RowCmp};
 use crate::milp::{branch_and_bound, BnbConfig, MilpProblem, MilpStatus};
-use crate::simplex::solve_bounded;
+use crate::simplex::{solve_bounded, SimplexOptions};
 
 /// Configuration forwarded to branch and bound.
 #[derive(Debug, Clone)]
@@ -27,6 +27,11 @@ pub struct SolverConfig {
     pub parallel: bool,
     /// Run the diving heuristic at the root.
     pub root_dive: bool,
+    /// Warm-start node LPs from parent basis snapshots (dual-simplex
+    /// re-optimisation). Disable only for A/B validation of the warm path.
+    pub warm_nodes: bool,
+    /// Simplex engine tunables (pivot cap).
+    pub simplex: SimplexOptions,
 }
 
 impl Default for SolverConfig {
@@ -36,6 +41,8 @@ impl Default for SolverConfig {
             rel_gap: 1e-6,
             parallel: false,
             root_dive: true,
+            warm_nodes: true,
+            simplex: SimplexOptions::default(),
         }
     }
 }
@@ -50,6 +57,7 @@ impl SolverConfig {
             rel_gap: 5e-3,
             parallel: true,
             root_dive: true,
+            ..Self::default()
         }
     }
 }
@@ -359,6 +367,9 @@ impl Model {
             root_dive: cfg.root_dive,
             warm_start,
             presolve: true,
+            warm_nodes: cfg.warm_nodes,
+            simplex: cfg.simplex,
+            ..BnbConfig::default()
         };
         let res = branch_and_bound(&milp, &bnb);
         match res.status {

@@ -1,4 +1,4 @@
-//! Two-phase primal simplex with native variable bounds.
+//! Two-phase primal simplex with native variable bounds and warm restarts.
 //!
 //! This is the production LP engine. Unlike the [`reference`](crate::simplex::reference)
 //! solver it keeps `l <= x <= u` out of the constraint matrix: non-basic
@@ -7,13 +7,38 @@
 //! without a basis change). On BIRP's per-slot scheduling LPs this shrinks
 //! the tableau by ~4x per dimension, i.e. ~16x less work per pivot.
 //!
-//! Pivoting rule: Dantzig (steepest reduced cost) with an automatic switch
-//! to Bland's rule after a stall, which guarantees finite termination.
-//! If the tableau ever turns non-finite (pathological scaling), the solver
-//! transparently falls back to the slow-but-hardy reference engine.
+//! The engine is a persistent object ([`SimplexEngine`]): its tableau,
+//! basis and variable-state buffers survive across solves, so a worker
+//! thread solving thousands of branch-and-bound node LPs pays for its
+//! allocations once ([`with_engine`] hands out a thread-local instance).
+//! After a successful solve the full engine state can be captured as an
+//! [`EngineSnapshot`] and later *warm-restored* with changed variable
+//! bounds ([`SimplexEngine::solve_warm`]): since branching only shifts
+//! bounds, the constraint matrix — and therefore `B⁻¹A` — is unchanged, the
+//! parent's optimal basis stays dual-feasible, and a short dual-simplex
+//! clean-up re-optimises in a few pivots instead of a full two-phase solve.
+//!
+//! Pricing: candidate-list partial pricing — each pivot re-scores a small
+//! list of previously attractive columns and only falls back to a sectional
+//! scan (round-robin cursor over the column range) when the list runs dry.
+//! Optimality is still only declared after a full wrap finds no eligible
+//! column. After a stall the engine switches to Bland's rule (full scan,
+//! lowest index), which guarantees finite termination. If the tableau ever
+//! turns non-finite (pathological scaling), the solver transparently falls
+//! back to the slow-but-hardy reference engine.
+
+use std::cell::RefCell;
+
+use birp_telemetry as telemetry;
 
 use crate::lp::{LpProblem, LpSolution, LpStatus, RowCmp};
 use crate::simplex::{reference, COST_TOL, PIVOT_TOL};
+
+/// Primal feasibility tolerance for warm-restore bound violations.
+const WARM_FEAS_TOL: f64 = 1e-7;
+
+/// Upper bound on the candidate list kept by partial pricing.
+const CAND_MAX: usize = 24;
 
 /// Where a non-basic variable currently rests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +48,97 @@ enum VState {
     AtUpper,
 }
 
-struct Engine {
+/// Tunables for the bounded-variable engine.
+///
+/// The pivot cap bounds the total simplex iterations of one solve
+/// (`pivot_cap_base + pivot_cap_per_dim * (m + ncols)`); hitting it is
+/// reported through the `solver.pivot_cap_hit` telemetry counter/event and
+/// makes the solve fall back to the reference engine instead of silently
+/// spinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplexOptions {
+    /// Flat component of the pivot cap.
+    pub pivot_cap_base: usize,
+    /// Per-dimension component of the pivot cap (multiplies `m + ncols`).
+    pub pivot_cap_per_dim: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            pivot_cap_base: 200_000,
+            pivot_cap_per_dim: 100,
+        }
+    }
+}
+
+impl SimplexOptions {
+    /// Iteration cap for a problem with `m` rows and `ncols` tableau columns.
+    #[inline]
+    pub fn pivot_cap(&self, m: usize, ncols: usize) -> usize {
+        self.pivot_cap_base + self.pivot_cap_per_dim * (m + ncols)
+    }
+}
+
+/// Frozen engine state captured at a solved vertex, sufficient to restore
+/// the solve in O(copy) and re-optimise after bound shifts. Opaque outside
+/// the engine; obtain one with [`SimplexEngine::snapshot`].
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    d: Vec<f64>,
+    xb: Vec<f64>,
+    basis: Vec<usize>,
+    state: Vec<VState>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    z: Vec<f64>,
+    m: usize,
+    ncols: usize,
+    nstruct: usize,
+    num_slacks: usize,
+}
+
+impl EngineSnapshot {
+    /// Approximate heap footprint, used by branch and bound to budget how
+    /// many node snapshots may live on the frontier at once.
+    pub fn bytes(&self) -> usize {
+        (self.d.capacity() + self.xb.capacity() + self.lower.capacity() + self.upper.capacity())
+            * std::mem::size_of::<f64>()
+            + self.z.capacity() * std::mem::size_of::<f64>()
+            + self.basis.capacity() * std::mem::size_of::<usize>()
+            + self.state.capacity()
+    }
+
+    /// Estimate the snapshot footprint for `lp` without solving it.
+    pub fn estimate_bytes(lp: &LpProblem) -> usize {
+        let m = lp.num_rows();
+        let num_slacks = lp.rows.iter().filter(|r| r.cmp != RowCmp::Eq).count();
+        // Post-compaction column count: structural + slacks + a handful of
+        // surviving artificials (bounded by m, usually ~0).
+        let ncols = lp.num_cols() + num_slacks;
+        (m * ncols + 4 * ncols + 2 * m) * std::mem::size_of::<f64>()
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    NumericalTrouble,
+}
+
+enum DualOutcome {
+    PrimalFeasible,
+    Infeasible,
+    NumericalTrouble,
+}
+
+/// Persistent bounded-variable simplex engine.
+///
+/// All buffers are reused across solves; create one per worker thread (or
+/// use [`with_engine`]) and call [`solve_cold`](Self::solve_cold) /
+/// [`solve_warm`](Self::solve_warm) repeatedly.
+#[derive(Debug, Default)]
+pub struct SimplexEngine {
     /// Dense `m x ncols` matrix `B^{-1} A`, row-major.
     d: Vec<f64>,
     /// Values of the basic variables, one per row.
@@ -35,30 +150,68 @@ struct Engine {
     upper: Vec<f64>,
     /// Reduced costs for the current phase.
     z: Vec<f64>,
+    /// Cost vector staging area for [`reset_costs`](Self::reset_costs).
+    costs: Vec<f64>,
+    /// Pivot-row copy reused by [`pivot`](Self::pivot).
+    scratch: Vec<f64>,
+    /// Partial-pricing candidate list and round-robin scan cursor.
+    cands: Vec<usize>,
+    cursor: usize,
     m: usize,
     ncols: usize,
+    /// Structural column count (`lp.num_cols()`).
+    nstruct: usize,
+    num_slacks: usize,
     iterations: usize,
+    /// True iff the buffers hold a coherent post-solve state (optimal, or a
+    /// dual-feasible infeasibility certificate), i.e. a snapshot taken now
+    /// can seed warm restarts.
+    ready: bool,
 }
 
-enum PhaseOutcome {
-    Optimal,
-    Unbounded,
-    NumericalTrouble,
-}
-
-impl Engine {
-    #[inline]
-    fn row(&self, i: usize) -> &[f64] {
-        &self.d[i * self.ncols..(i + 1) * self.ncols]
+impl SimplexEngine {
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Recompute reduced costs `z = c - c_B B^{-1} A` from scratch.
-    fn reset_costs(&mut self, costs: &[f64]) {
-        self.z.copy_from_slice(costs);
+    /// Simplex iterations spent by the most recent solve (both phases, or
+    /// dual + primal clean-up for warm solves).
+    pub fn last_iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Capture the current optimal state for later warm restarts. Returns
+    /// `None` unless the engine just finished a successful solve (a
+    /// reference fallback or failed solve leaves no usable state).
+    pub fn snapshot(&self) -> Option<EngineSnapshot> {
+        if !self.ready {
+            return None;
+        }
+        Some(EngineSnapshot {
+            d: self.d.clone(),
+            xb: self.xb.clone(),
+            basis: self.basis.clone(),
+            state: self.state.clone(),
+            lower: self.lower.clone(),
+            upper: self.upper.clone(),
+            z: self.z.clone(),
+            m: self.m,
+            ncols: self.ncols,
+            nstruct: self.nstruct,
+            num_slacks: self.num_slacks,
+        })
+    }
+
+    // --- shared pivoting machinery ------------------------------------
+
+    /// Recompute reduced costs `z = c - c_B B^{-1} A` from `self.costs`.
+    fn reset_costs(&mut self) {
+        let n = self.ncols;
+        self.z.copy_from_slice(&self.costs);
         for i in 0..self.m {
-            let cb = costs[self.basis[i]];
+            let cb = self.costs[self.basis[i]];
             if cb != 0.0 {
-                let row = &self.d[i * self.ncols..(i + 1) * self.ncols];
+                let row = &self.d[i * n..(i + 1) * n];
                 for (zj, dj) in self.z.iter_mut().zip(row) {
                     *zj -= cb * dj;
                 }
@@ -82,9 +235,12 @@ impl Engine {
             row[q] = 1.0;
         }
         // Eliminate the pivot column from every other row and from z.
-        // Split borrows: copy the pivot row once (m is a few hundred, the
-        // copy is cheap compared to the O(m n) elimination).
-        let pivot_row: Vec<f64> = self.row(r).to_vec();
+        // Split borrows: copy the pivot row once into the reusable scratch
+        // buffer (m is a few hundred, the copy is cheap compared to the
+        // O(m n) elimination).
+        let mut pivot_row = std::mem::take(&mut self.scratch);
+        pivot_row.clear();
+        pivot_row.extend_from_slice(&self.d[r * n..(r + 1) * n]);
         for i in 0..self.m {
             if i == r {
                 continue;
@@ -105,10 +261,93 @@ impl Engine {
             }
             self.z[q] = 0.0;
         }
+        self.scratch = pivot_row;
         self.basis[r] = q;
     }
 
-    /// Run one simplex phase to optimality for the already-loaded `z`.
+    /// Direction a non-basic column may profitably move in, if any.
+    #[inline]
+    fn eligible_delta(&self, j: usize) -> Option<f64> {
+        if self.upper[j] - self.lower[j] < PIVOT_TOL {
+            return None;
+        }
+        match self.state[j] {
+            VState::Basic => None,
+            VState::AtLower => (self.z[j] < -COST_TOL).then_some(1.0),
+            VState::AtUpper => (self.z[j] > COST_TOL).then_some(-1.0),
+        }
+    }
+
+    /// Choose the entering column.
+    ///
+    /// Normal mode: candidate-list partial pricing — re-score the retained
+    /// candidates, and only when none remain eligible refill the list by a
+    /// sectional scan from the round-robin cursor. A full wrap with no
+    /// eligible column proves optimality. Bland mode: full scan, lowest
+    /// eligible index (anti-cycling).
+    fn price(&mut self, bland: bool) -> Option<(usize, f64)> {
+        let n = self.ncols;
+        if bland {
+            self.cands.clear();
+            return (0..n).find_map(|j| self.eligible_delta(j).map(|d| (j, d)));
+        }
+        let mut cands = std::mem::take(&mut self.cands);
+        cands.retain(|&j| self.eligible_delta(j).is_some());
+        if cands.is_empty() {
+            let section = (n / 8).max(64).min(n).max(1);
+            let start = self.cursor.min(n.saturating_sub(1));
+            let mut scanned = 0usize;
+            while scanned < n {
+                let mut j = start + scanned;
+                if j >= n {
+                    j -= n;
+                }
+                scanned += 1;
+                if self.eligible_delta(j).is_some() {
+                    cands.push(j);
+                    if cands.len() >= CAND_MAX {
+                        break;
+                    }
+                }
+                // Stop at a section boundary once something was found.
+                if !cands.is_empty() && scanned.is_multiple_of(section) {
+                    break;
+                }
+            }
+            self.cursor = (start + scanned) % n.max(1);
+        }
+        // Dantzig among the candidates (ties -> earliest listed).
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &j in &cands {
+            if let Some(delta) = self.eligible_delta(j) {
+                let score = self.z[j].abs();
+                match best {
+                    Some((_, s, _)) if s >= score => {}
+                    _ => best = Some((j, score, delta)),
+                }
+            }
+        }
+        self.cands = cands;
+        best.map(|(j, _, d)| (j, d))
+    }
+
+    fn note_cap_hit(&self, cap: usize, phase: &'static str) {
+        telemetry::counter("solver.pivot_cap_hit", 1);
+        if telemetry::enabled() {
+            telemetry::event(
+                telemetry::Level::Warn,
+                "solver.pivot_cap_hit",
+                &[
+                    ("phase", phase.into()),
+                    ("m", (self.m as u64).into()),
+                    ("ncols", (self.ncols as u64).into()),
+                    ("cap", (cap as u64).into()),
+                ],
+            );
+        }
+    }
+
+    /// Run one primal simplex phase to optimality for the already-loaded `z`.
     fn run(&mut self, cap: usize) -> PhaseOutcome {
         let n = self.ncols;
         let mut since_improve = 0usize;
@@ -116,32 +355,13 @@ impl Engine {
         loop {
             self.iterations += 1;
             if self.iterations > cap {
+                self.note_cap_hit(cap, "primal");
                 return PhaseOutcome::NumericalTrouble;
             }
             let bland = since_improve > stall_limit;
 
             // --- choose entering column -----------------------------------
-            let mut entering: Option<(usize, f64, f64)> = None; // (col, |z|, delta)
-            for j in 0..n {
-                let (eligible, delta) = match self.state[j] {
-                    VState::Basic => (false, 0.0),
-                    VState::AtLower => (self.z[j] < -COST_TOL, 1.0),
-                    VState::AtUpper => (self.z[j] > COST_TOL, -1.0),
-                };
-                if !eligible || self.upper[j] - self.lower[j] < PIVOT_TOL {
-                    continue;
-                }
-                let score = self.z[j].abs();
-                if bland {
-                    entering = Some((j, score, delta));
-                    break;
-                }
-                match entering {
-                    Some((_, best, _)) if best >= score => {}
-                    _ => entering = Some((j, score, delta)),
-                }
-            }
-            let Some((q, _, delta)) = entering else {
+            let Some((q, delta)) = self.price(bland) else {
                 return PhaseOutcome::Optimal;
             };
             if !self.z[q].is_finite() {
@@ -241,6 +461,119 @@ impl Engine {
         }
     }
 
+    /// Dual simplex: restore primal feasibility after bound shifts while
+    /// keeping dual feasibility. The entry invariant is a dual-feasible
+    /// basis (`z` sign-correct for every non-basic state), which holds at
+    /// any snapshot of an optimal solve; bound changes never disturb `z`.
+    fn dual_run(&mut self, cap: usize) -> DualOutcome {
+        let n = self.ncols;
+        loop {
+            // --- choose leaving row: most violated basic ------------------
+            let mut leave: Option<(usize, f64, bool)> = None; // (row, viol, too_low)
+            for i in 0..self.m {
+                let bi = self.basis[i];
+                let v = self.xb[i];
+                if !v.is_finite() {
+                    return DualOutcome::NumericalTrouble;
+                }
+                let below = self.lower[bi] - v;
+                let above = v - self.upper[bi];
+                let (viol, too_low) = if below > above {
+                    (below, true)
+                } else {
+                    (above, false)
+                };
+                if viol > WARM_FEAS_TOL {
+                    match leave {
+                        Some((_, worst, _)) if worst >= viol => {}
+                        _ => leave = Some((i, viol, too_low)),
+                    }
+                }
+            }
+            let Some((r, _, too_low)) = leave else {
+                return DualOutcome::PrimalFeasible;
+            };
+            self.iterations += 1;
+            if self.iterations > cap {
+                self.note_cap_hit(cap, "dual");
+                return DualOutcome::NumericalTrouble;
+            }
+
+            // --- dual ratio test ------------------------------------------
+            // The leaving basic must travel towards its violated bound; a
+            // non-basic q is eligible if moving it in its own feasible
+            // direction pushes xb[r] the right way. Among eligible columns
+            // the smallest |z_q| / |a_rq| keeps every reduced cost
+            // sign-correct after the pivot.
+            let row = &self.d[r * n..(r + 1) * n];
+            let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, delta)
+            for (j, &a) in row.iter().enumerate() {
+                if self.upper[j] - self.lower[j] < PIVOT_TOL {
+                    continue;
+                }
+                let (ok, delta) = match (self.state[j], too_low) {
+                    (VState::Basic, _) => (false, 0.0),
+                    (VState::AtLower, true) => (a < -PIVOT_TOL, 1.0),
+                    (VState::AtUpper, true) => (a > PIVOT_TOL, -1.0),
+                    (VState::AtLower, false) => (a > PIVOT_TOL, 1.0),
+                    (VState::AtUpper, false) => (a < -PIVOT_TOL, -1.0),
+                };
+                if !ok {
+                    continue;
+                }
+                let ratio = self.z[j].abs() / a.abs();
+                let better = match best {
+                    None => true,
+                    Some((bj, br, _)) => ratio < br - 1e-12 || (ratio < br + 1e-12 && j < bj),
+                };
+                if better {
+                    best = Some((j, ratio, delta));
+                }
+            }
+            // No column can move xb[r] towards its bound: Farkas-style
+            // certificate that the shifted box is infeasible.
+            let Some((q, _, delta)) = best else {
+                return DualOutcome::Infeasible;
+            };
+
+            // --- pivot -----------------------------------------------------
+            let bi = self.basis[r];
+            let target = if too_low {
+                self.lower[bi]
+            } else {
+                self.upper[bi]
+            };
+            let a_rq = self.d[r * n + q];
+            let t = (target - self.xb[r]) / (-a_rq * delta);
+            if !t.is_finite() || t < 0.0 {
+                return DualOutcome::NumericalTrouble;
+            }
+            let step = delta * t;
+            for i in 0..self.m {
+                if i == r {
+                    continue;
+                }
+                let dq = self.d[i * n + q];
+                if dq != 0.0 {
+                    self.xb[i] -= step * dq;
+                }
+            }
+            let entering_val = if delta > 0.0 {
+                self.lower[q] + t
+            } else {
+                self.upper[q] - t
+            };
+            self.state[bi] = if too_low {
+                VState::AtLower
+            } else {
+                VState::AtUpper
+            };
+            self.state[q] = VState::Basic;
+            self.xb[r] = entering_val;
+            self.pivot(r, q);
+        }
+    }
+
     /// Dense solution vector for the current basis/state.
     fn extract(&self) -> Vec<f64> {
         let mut x = vec![0.0; self.ncols];
@@ -260,210 +593,422 @@ impl Engine {
     fn has_nan(&self) -> bool {
         self.xb.iter().any(|v| !v.is_finite()) || self.z.iter().any(|v| !v.is_finite())
     }
-}
 
-/// Solve `lp` with the bounded-variable engine.
-///
-/// # Panics
-/// Panics if a lower bound is non-finite; callers must pre-validate with
-/// [`LpProblem::validate_bounds`].
-pub fn solve(lp: &LpProblem) -> LpSolution {
-    match try_solve(lp) {
-        Some(sol) => sol,
-        // Rare numerical emergency: hand the problem to the audit oracle.
-        None => reference::solve(lp),
-    }
-}
+    // --- cold path ------------------------------------------------------
 
-fn try_solve(lp: &LpProblem) -> Option<LpSolution> {
-    if let Err(j) = lp.validate_bounds() {
-        panic!("invalid bounds on column {j}; validate before solving");
-    }
-    let n = lp.num_cols();
-    let m = lp.num_rows();
-    let num_slacks = lp.rows.iter().filter(|r| r.cmp != RowCmp::Eq).count();
-    let ncols = n + num_slacks + m; // structural + slack + artificial
+    /// Assemble the phase-1 tableau for `lp` restricted to the box
+    /// `[lo, hi]` (structural bounds; rows are read in place, never cloned).
+    fn load(&mut self, lp: &LpProblem, lo: &[f64], hi: &[f64]) {
+        let n = lp.num_cols();
+        let m = lp.num_rows();
+        let num_slacks = lp.rows.iter().filter(|r| r.cmp != RowCmp::Eq).count();
+        let ncols = n + num_slacks + m; // structural + slack + artificial
+        self.m = m;
+        self.ncols = ncols;
+        self.nstruct = n;
+        self.num_slacks = num_slacks;
+        self.iterations = 0;
+        self.ready = false;
+        self.cursor = 0;
+        self.cands.clear();
 
-    let mut lower = Vec::with_capacity(ncols);
-    let mut upper = Vec::with_capacity(ncols);
-    lower.extend_from_slice(&lp.lower);
-    upper.extend_from_slice(&lp.upper);
-    for _ in 0..num_slacks {
-        lower.push(0.0);
-        upper.push(f64::INFINITY);
-    }
-    for _ in 0..m {
-        lower.push(0.0);
-        upper.push(f64::INFINITY);
-    }
-
-    // Residuals with every structural/slack variable at its lower bound
-    // (slack lower bounds are 0, so they do not contribute).
-    let mut resid: Vec<f64> = Vec::with_capacity(m);
-    for row in &lp.rows {
-        let lhs_at_lower: f64 = row.coeffs.iter().map(|&(j, c)| c * lp.lower[j]).sum();
-        resid.push(row.rhs - lhs_at_lower);
-    }
-
-    // Assemble D = B^{-1} A where B = diag(sign(resid)) over artificials:
-    // row i of D is sign_i * (original row i).
-    let mut d = vec![0.0; m * ncols];
-    let mut basis = Vec::with_capacity(m);
-    let mut state = vec![VState::AtLower; ncols];
-    let mut xb = Vec::with_capacity(m);
-    let mut slack = n;
-    for (i, row) in lp.rows.iter().enumerate() {
-        let sign = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
-        let drow = &mut d[i * ncols..(i + 1) * ncols];
-        for &(j, c) in &row.coeffs {
-            drow[j] = sign * c;
+        self.lower.clear();
+        self.lower.extend_from_slice(lo);
+        self.upper.clear();
+        self.upper.extend_from_slice(hi);
+        for _ in 0..num_slacks + m {
+            self.lower.push(0.0);
+            self.upper.push(f64::INFINITY);
         }
-        match row.cmp {
-            RowCmp::Le => {
-                drow[slack] = sign;
-                slack += 1;
+
+        // Assemble D = B^{-1} A where B = diag(sign(resid)) over artificials:
+        // row i of D is sign_i * (original row i), with residuals taken at
+        // the all-at-lower-bound point.
+        self.d.clear();
+        self.d.resize(m * ncols, 0.0);
+        self.state.clear();
+        self.state.resize(ncols, VState::AtLower);
+        self.basis.clear();
+        self.xb.clear();
+        let mut slack = n;
+        for (i, row) in lp.rows.iter().enumerate() {
+            let lhs_at_lower: f64 = row.coeffs.iter().map(|&(j, c)| c * lo[j]).sum();
+            let resid = row.rhs - lhs_at_lower;
+            let sign = if resid >= 0.0 { 1.0 } else { -1.0 };
+            let drow = &mut self.d[i * ncols..(i + 1) * ncols];
+            for &(j, c) in &row.coeffs {
+                drow[j] = sign * c;
             }
-            RowCmp::Ge => {
-                drow[slack] = -sign;
-                slack += 1;
+            match row.cmp {
+                RowCmp::Le => {
+                    drow[slack] = sign;
+                    slack += 1;
+                }
+                RowCmp::Ge => {
+                    drow[slack] = -sign;
+                    slack += 1;
+                }
+                RowCmp::Eq => {}
             }
-            RowCmp::Eq => {}
+            let art = n + num_slacks + i;
+            drow[art] = 1.0; // sign * sign
+            self.basis.push(art);
+            self.state[art] = VState::Basic;
+            self.xb.push(resid.abs());
         }
-        let art = n + num_slacks + i;
-        drow[art] = 1.0; // sign * sign
-        basis.push(art);
-        state[art] = VState::Basic;
-        xb.push(resid[i].abs());
+        self.z.clear();
+        self.z.resize(ncols, 0.0);
     }
 
-    let mut eng = Engine {
-        d,
-        xb,
-        basis,
-        state,
-        lower,
-        upper,
-        z: vec![0.0; ncols],
-        m,
-        ncols,
-        iterations: 0,
-    };
-
-    let cap = 200_000 + 100 * (m + ncols);
-
-    // --- phase 1 -----------------------------------------------------------
-    let mut costs1 = vec![0.0; ncols];
-    for c in costs1.iter_mut().skip(n + num_slacks) {
-        *c = 1.0;
-    }
-    eng.reset_costs(&costs1);
-    match eng.run(cap) {
-        PhaseOutcome::Optimal => {}
-        PhaseOutcome::Unbounded => unreachable!("phase 1 objective is bounded below"),
-        PhaseOutcome::NumericalTrouble => return None,
-    }
-    if eng.has_nan() {
-        return None;
-    }
-    let infeasibility: f64 = (0..m)
-        .filter(|&i| eng.basis[i] >= n + num_slacks)
-        .map(|i| eng.xb[i])
-        .sum();
-    if infeasibility > 1e-6 {
-        return Some(LpSolution {
-            status: LpStatus::Infeasible,
-            objective: f64::INFINITY,
-            x: Vec::new(),
-            iterations: eng.iterations,
-        });
-    }
-
-    // Drive basic artificials out (degenerate pivots); redundant rows keep
-    // their artificial basic at 0, pinned by the [0,0] bounds below.
-    for i in 0..m {
-        if eng.basis[i] >= n + num_slacks {
-            let col = (0..n + num_slacks)
-                .find(|&j| eng.state[j] != VState::Basic && eng.d[i * ncols + j].abs() > 1e-7);
-            if let Some(q) = col {
-                let leaving = eng.basis[i];
-                // xb[i] is ~0; a degenerate pivot keeps values unchanged.
-                eng.state[leaving] = VState::AtLower;
-                eng.state[q] = VState::Basic;
-                eng.pivot(i, q);
-            }
-        }
-    }
-    // Compact the tableau: drop every non-basic artificial column (the
-    // vast majority). Pivots cost O(m * ncols), so phase 2 runs ~(m/ncols)
-    // faster without them. Basic artificials (redundant rows) survive with
-    // frozen [0, 0] bounds.
-    {
-        let keep: Vec<usize> = (0..eng.ncols)
-            .filter(|&j| j < n + num_slacks || eng.state[j] == VState::Basic)
+    /// Drop every non-basic artificial column after phase 1. Pivots cost
+    /// O(m * ncols), so phase 2 runs ~(m/ncols) faster without them. Basic
+    /// artificials (redundant rows) survive with frozen [0, 0] bounds.
+    fn compact(&mut self) {
+        let m = self.m;
+        let keep: Vec<usize> = (0..self.ncols)
+            .filter(|&j| j < self.nstruct + self.num_slacks || self.state[j] == VState::Basic)
             .collect();
-        if keep.len() < eng.ncols {
-            let mut remap = vec![usize::MAX; eng.ncols];
+        if keep.len() < self.ncols {
+            let mut remap = vec![usize::MAX; self.ncols];
             for (new_j, &old_j) in keep.iter().enumerate() {
                 remap[old_j] = new_j;
             }
             let new_c = keep.len();
             let mut nd = vec![0.0; m * new_c];
             for i in 0..m {
-                let src = &eng.d[i * eng.ncols..(i + 1) * eng.ncols];
+                let src = &self.d[i * self.ncols..(i + 1) * self.ncols];
                 let dst = &mut nd[i * new_c..(i + 1) * new_c];
                 for (new_j, &old_j) in keep.iter().enumerate() {
                     dst[new_j] = src[old_j];
                 }
             }
-            eng.d = nd;
-            let lower_new: Vec<f64> = keep.iter().map(|&j| eng.lower[j]).collect();
-            let upper_new: Vec<f64> = keep.iter().map(|&j| eng.upper[j]).collect();
-            let state_new: Vec<VState> = keep.iter().map(|&j| eng.state[j]).collect();
-            eng.lower = lower_new;
-            eng.upper = upper_new;
-            eng.state = state_new;
-            for b in eng.basis.iter_mut() {
+            self.d = nd;
+            let lower_new: Vec<f64> = keep.iter().map(|&j| self.lower[j]).collect();
+            let upper_new: Vec<f64> = keep.iter().map(|&j| self.upper[j]).collect();
+            let state_new: Vec<VState> = keep.iter().map(|&j| self.state[j]).collect();
+            self.lower = lower_new;
+            self.upper = upper_new;
+            self.state = state_new;
+            for b in self.basis.iter_mut() {
                 *b = remap[*b];
                 debug_assert!(*b != usize::MAX, "basic column dropped");
             }
-            eng.z = vec![0.0; new_c];
-            eng.ncols = new_c;
+            self.z.clear();
+            self.z.resize(new_c, 0.0);
+            self.ncols = new_c;
+        }
+        // Freeze surviving artificials at zero for phase 2.
+        for j in self.nstruct + self.num_slacks..self.ncols {
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
         }
     }
-    let ncols = eng.ncols;
-    // Freeze surviving artificials at zero for phase 2.
-    for j in n + num_slacks..ncols {
-        eng.lower[j] = 0.0;
-        eng.upper[j] = 0.0;
+
+    /// Full two-phase solve of `lp` over the box `[lo, hi]`, reusing this
+    /// engine's buffers. `None` signals numerical trouble; the caller
+    /// decides the fallback.
+    pub fn try_solve_cold(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &SimplexOptions,
+    ) -> Option<LpSolution> {
+        for j in 0..lp.num_cols() {
+            if !lo[j].is_finite() || hi[j] < lo[j] || hi[j].is_nan() {
+                panic!("invalid bounds on column {j}; validate before solving");
+            }
+        }
+        self.load(lp, lo, hi);
+        let n = self.nstruct;
+        let num_slacks = self.num_slacks;
+        let cap = opts.pivot_cap(self.m, self.ncols);
+
+        // --- phase 1 -------------------------------------------------------
+        self.costs.clear();
+        self.costs.resize(self.ncols, 0.0);
+        for c in self.costs.iter_mut().skip(n + num_slacks) {
+            *c = 1.0;
+        }
+        self.reset_costs();
+        match self.run(cap) {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded => unreachable!("phase 1 objective is bounded below"),
+            PhaseOutcome::NumericalTrouble => return None,
+        }
+        if self.has_nan() {
+            return None;
+        }
+        let infeasibility: f64 = (0..self.m)
+            .filter(|&i| self.basis[i] >= n + num_slacks)
+            .map(|i| self.xb[i])
+            .sum();
+        if infeasibility > 1e-6 {
+            return Some(LpSolution {
+                status: LpStatus::Infeasible,
+                objective: f64::INFINITY,
+                x: Vec::new(),
+                iterations: self.iterations,
+            });
+        }
+
+        // Drive basic artificials out (degenerate pivots); redundant rows
+        // keep their artificial basic at 0, pinned by the frozen bounds.
+        for i in 0..self.m {
+            if self.basis[i] >= n + num_slacks {
+                let col = (0..n + num_slacks).find(|&j| {
+                    self.state[j] != VState::Basic && self.d[i * self.ncols + j].abs() > 1e-7
+                });
+                if let Some(q) = col {
+                    let leaving = self.basis[i];
+                    // xb[i] is ~0; a degenerate pivot keeps values unchanged.
+                    self.state[leaving] = VState::AtLower;
+                    self.state[q] = VState::Basic;
+                    self.pivot(i, q);
+                }
+            }
+        }
+        self.compact();
+
+        // --- phase 2 -------------------------------------------------------
+        self.costs.clear();
+        self.costs.resize(self.ncols, 0.0);
+        self.costs[..n].copy_from_slice(&lp.objective);
+        self.reset_costs();
+        self.cursor = 0;
+        self.cands.clear();
+        match self.run(cap) {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded => return Some(LpSolution::unbounded()),
+            PhaseOutcome::NumericalTrouble => return None,
+        }
+        self.finish(lp, lo, hi)
     }
 
-    // --- phase 2 -----------------------------------------------------------
-    let mut costs2 = vec![0.0; ncols];
-    costs2[..n].copy_from_slice(&lp.objective);
-    eng.reset_costs(&costs2);
-    match eng.run(cap) {
-        PhaseOutcome::Optimal => {}
-        PhaseOutcome::Unbounded => return Some(LpSolution::unbounded()),
-        PhaseOutcome::NumericalTrouble => return None,
-    }
-    if eng.has_nan() {
-        return None;
+    /// Shared tail of the cold and warm paths: extract, validate, report.
+    fn finish(&mut self, lp: &LpProblem, lo: &[f64], hi: &[f64]) -> Option<LpSolution> {
+        if self.has_nan() {
+            return None;
+        }
+        let full = self.extract();
+        let x = full[..self.nstruct].to_vec();
+        // Guard: numerical drift can leave tiny violations; if they are
+        // large the fast path is not trustworthy and the caller falls back.
+        if lp.max_violation_with_bounds(&x, lo, hi) > 1e-5 {
+            return None;
+        }
+        let objective = lp.objective_at(&x);
+        self.ready = true;
+        Some(LpSolution {
+            status: LpStatus::Optimal,
+            objective,
+            x,
+            iterations: self.iterations,
+        })
     }
 
-    let full = eng.extract();
-    let x = full[..n].to_vec();
-    // Guard: numerical drift can leave tiny violations; if they are large
-    // the fast path is not trustworthy and the caller falls back.
-    if lp.max_violation(&x) > 1e-5 {
-        return None;
+    /// Cold solve with fallback to the reference engine on numerical
+    /// trouble (the rare emergency path).
+    pub fn solve_cold(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &SimplexOptions,
+    ) -> LpSolution {
+        match self.try_solve_cold(lp, lo, hi, opts) {
+            Some(sol) => sol,
+            None => {
+                self.ready = false;
+                telemetry::counter("solver.reference_fallback", 1);
+                let mut scoped = lp.clone();
+                scoped.lower.clear();
+                scoped.lower.extend_from_slice(lo);
+                scoped.upper.clear();
+                scoped.upper.extend_from_slice(hi);
+                reference::solve(&scoped)
+            }
+        }
     }
-    let objective = lp.objective_at(&x);
-    Some(LpSolution {
-        status: LpStatus::Optimal,
-        objective,
-        x,
-        iterations: eng.iterations,
-    })
+
+    // --- warm path ------------------------------------------------------
+
+    /// Re-solve `lp` over the shifted box `[lo, hi]` starting from `snap`,
+    /// a snapshot of an optimal solve of the *same rows* under different
+    /// bounds. Restores the tableau in O(copy), shifts the resting point of
+    /// every non-basic variable whose bound moved, re-establishes primal
+    /// feasibility with the dual simplex, and polishes with the primal.
+    ///
+    /// Returns `None` when the snapshot does not match the problem shape or
+    /// the re-optimisation hits numerical trouble — callers then fall back
+    /// to [`solve_cold`](Self::solve_cold). Never panics on a mismatched
+    /// snapshot.
+    pub fn solve_warm(
+        &mut self,
+        lp: &LpProblem,
+        snap: &EngineSnapshot,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &SimplexOptions,
+    ) -> Option<LpSolution> {
+        if snap.nstruct != lp.num_cols() || snap.m != lp.num_rows() {
+            return None;
+        }
+        self.ready = false;
+        self.m = snap.m;
+        self.ncols = snap.ncols;
+        self.nstruct = snap.nstruct;
+        self.num_slacks = snap.num_slacks;
+        self.iterations = 0;
+        self.cursor = 0;
+        self.cands.clear();
+        self.d.clone_from(&snap.d);
+        self.xb.clone_from(&snap.xb);
+        self.basis.clone_from(&snap.basis);
+        self.state.clone_from(&snap.state);
+        self.lower.clone_from(&snap.lower);
+        self.upper.clone_from(&snap.upper);
+        self.z.clone_from(&snap.z);
+
+        self.apply_bound_deltas(lo, hi);
+        self.reoptimize(lp, lo, hi, opts)
+    }
+
+    /// Re-solve the *currently loaded* problem under a shifted box without
+    /// going through a snapshot — the engine's own state after a successful
+    /// solve is the warm-start source. This is what the diving heuristic
+    /// chains: each fixing re-optimises in place in a handful of dual
+    /// pivots.
+    ///
+    /// Returns `None` when the engine holds no usable state (fresh engine,
+    /// prior fallback/numerical failure, or different problem shape).
+    pub fn resolve_with_bounds(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &SimplexOptions,
+    ) -> Option<LpSolution> {
+        if !self.ready || self.nstruct != lp.num_cols() || self.m != lp.num_rows() {
+            return None;
+        }
+        self.ready = false;
+        self.iterations = 0;
+        self.cursor = 0;
+        self.cands.clear();
+        self.apply_bound_deltas(lo, hi);
+        self.reoptimize(lp, lo, hi, opts)
+    }
+
+    /// Move the structural bounds to `[lo, hi]`, shifting the resting value
+    /// of every non-basic variable whose active bound moved. Basic
+    /// variables only need the bound arrays updated (violations are the
+    /// dual simplex's job); non-basic variables rest *at* a bound, so a
+    /// moved bound shifts their value and the basic values absorb the
+    /// difference.
+    fn apply_bound_deltas(&mut self, lo: &[f64], hi: &[f64]) {
+        for j in 0..self.nstruct {
+            let (ol, ou) = (self.lower[j], self.upper[j]);
+            let (nl, nu) = (lo[j], hi[j]);
+            if nl == ol && nu == ou {
+                continue;
+            }
+            self.lower[j] = nl;
+            self.upper[j] = nu;
+            match self.state[j] {
+                VState::Basic => {}
+                VState::AtLower => {
+                    if nl != ol {
+                        self.shift_nonbasic(j, nl - ol);
+                    }
+                }
+                VState::AtUpper => {
+                    if nu != ou {
+                        if nu.is_finite() {
+                            self.shift_nonbasic(j, nu - ou);
+                        } else {
+                            // Upper bound relaxed to infinity: re-seat the
+                            // variable at its lower bound.
+                            self.state[j] = VState::AtLower;
+                            self.shift_nonbasic(j, nl - ou);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shared warm-path tail: dual clean-up, primal polish, extraction.
+    fn reoptimize(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &SimplexOptions,
+    ) -> Option<LpSolution> {
+        let cap = opts.pivot_cap(self.m, self.ncols);
+        match self.dual_run(cap) {
+            DualOutcome::PrimalFeasible => {}
+            DualOutcome::Infeasible => {
+                // The tableau is still coherent (dual-feasible basis, bound
+                // arrays match the box), so further warm restarts from this
+                // state remain valid.
+                self.ready = true;
+                return Some(LpSolution {
+                    status: LpStatus::Infeasible,
+                    objective: f64::INFINITY,
+                    x: Vec::new(),
+                    iterations: self.iterations,
+                });
+            }
+            DualOutcome::NumericalTrouble => return None,
+        }
+        // Dual feasibility can erode at tolerance level; the primal run
+        // usually exits on its first pricing pass.
+        match self.run(cap) {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded => return Some(LpSolution::unbounded()),
+            PhaseOutcome::NumericalTrouble => return None,
+        }
+        self.finish(lp, lo, hi)
+    }
+
+    /// Move non-basic `j`'s resting value by `delta`; basics absorb it.
+    fn shift_nonbasic(&mut self, j: usize, delta: f64) {
+        if delta == 0.0 || !delta.is_finite() {
+            return;
+        }
+        let n = self.ncols;
+        for i in 0..self.m {
+            let a = self.d[i * n + j];
+            if a != 0.0 {
+                self.xb[i] -= a * delta;
+            }
+        }
+    }
+}
+
+thread_local! {
+    static TL_ENGINE: RefCell<SimplexEngine> = RefCell::new(SimplexEngine::new());
+}
+
+/// Run `f` with this thread's reusable [`SimplexEngine`]. Rayon worker
+/// threads each get their own engine, so branch-and-bound waves amortise
+/// tableau allocations across every node a worker touches.
+///
+/// Do not call [`with_engine`] re-entrantly from inside `f` — the engine is
+/// a single thread-local slot.
+pub fn with_engine<R>(f: impl FnOnce(&mut SimplexEngine) -> R) -> R {
+    TL_ENGINE.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Solve `lp` with the bounded-variable engine (thread-local instance).
+///
+/// # Panics
+/// Panics if a lower bound is non-finite; callers must pre-validate with
+/// [`LpProblem::validate_bounds`].
+pub fn solve(lp: &LpProblem) -> LpSolution {
+    with_engine(|eng| eng.solve_cold(lp, &lp.lower, &lp.upper, &SimplexOptions::default()))
 }
 
 #[cfg(test)]
@@ -579,5 +1124,169 @@ mod tests {
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.objective + 0.05).abs() < 1e-6, "obj={}", sol.objective);
+    }
+
+    #[test]
+    fn engine_reuse_is_clean() {
+        // Two different problems through the same engine: no state leaks.
+        let mut eng = SimplexEngine::new();
+        let mut lp1 = LpProblem::with_columns(2);
+        lp1.objective = vec![-3.0, -2.0];
+        lp1.upper[0] = 2.0;
+        lp1.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 4.0);
+        let s1 = eng.solve_cold(&lp1, &lp1.lower, &lp1.upper, &SimplexOptions::default());
+        assert!((s1.objective + 10.0).abs() < 1e-7);
+
+        let mut lp2 = LpProblem::with_columns(3);
+        lp2.objective = vec![1.0, 1.0, 1.0];
+        lp2.upper = vec![9.0; 3];
+        lp2.push_row(vec![(0, 1.0), (1, 1.0), (2, 1.0)], RowCmp::Ge, 6.0);
+        let s2 = eng.solve_cold(&lp2, &lp2.lower, &lp2.upper, &SimplexOptions::default());
+        assert_eq!(s2.status, LpStatus::Optimal);
+        assert!((s2.objective - 6.0).abs() < 1e-7);
+
+        // And back to the first problem.
+        let s3 = eng.solve_cold(&lp1, &lp1.lower, &lp1.upper, &SimplexOptions::default());
+        assert!((s3.objective - s1.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_restart_after_bound_tightening() {
+        // max 3x + 2y st x + y <= 4, x <= 2 -> x=2, y=2, obj=-10.
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![-3.0, -2.0];
+        lp.upper[0] = 2.0;
+        lp.upper[1] = 10.0;
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 4.0);
+        let mut eng = SimplexEngine::new();
+        let cold = eng.solve_cold(&lp, &lp.lower, &lp.upper, &SimplexOptions::default());
+        assert_eq!(cold.status, LpStatus::Optimal);
+        let snap = eng.snapshot().expect("solved engine must snapshot");
+
+        // Tighten x <= 1 (like a branching step): optimum moves to x=1, y=3.
+        let lo = lp.lower.clone();
+        let mut hi = lp.upper.clone();
+        hi[0] = 1.0;
+        let warm = eng
+            .solve_warm(&lp, &snap, &lo, &hi, &SimplexOptions::default())
+            .expect("warm restart must succeed on a plain bound shift");
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!(
+            (warm.objective + 9.0).abs() < 1e-7,
+            "obj={}",
+            warm.objective
+        );
+        assert!((warm.x[0] - 1.0).abs() < 1e-7);
+        assert!((warm.x[1] - 3.0).abs() < 1e-7);
+
+        // Cross-check against a cold solve of the tightened problem.
+        let mut tight = lp.clone();
+        tight.upper[0] = 1.0;
+        let cold2 = solve(&tight);
+        assert!((warm.objective - cold2.objective).abs() < 1e-7);
+    }
+
+    #[test]
+    fn warm_restart_detects_infeasible_child() {
+        // x + y >= 3 with x,y in [0,2]; fix both to 0 via bounds -> infeasible.
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.upper = vec![2.0, 2.0];
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Ge, 3.0);
+        let mut eng = SimplexEngine::new();
+        let cold = eng.solve_cold(&lp, &lp.lower, &lp.upper, &SimplexOptions::default());
+        assert_eq!(cold.status, LpStatus::Optimal);
+        let snap = eng.snapshot().unwrap();
+        let lo = lp.lower.clone();
+        let hi = vec![0.5, 0.5]; // x + y <= 1 < 3
+        let warm = eng
+            .solve_warm(&lp, &snap, &lo, &hi, &SimplexOptions::default())
+            .expect("dual simplex must certify infeasibility");
+        assert_eq!(warm.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn resolve_in_place_chains_fixings() {
+        // Dive-style chain: solve, fix a variable, re-solve in place, fix
+        // another, re-solve again; every step must match a cold solve.
+        let mut lp = LpProblem::with_columns(3);
+        lp.objective = vec![-10.0, -13.0, -7.0];
+        lp.upper = vec![1.0; 3];
+        lp.push_row(vec![(0, 3.0), (1, 4.0), (2, 2.0)], RowCmp::Le, 5.0);
+        let mut eng = SimplexEngine::new();
+        let opts = SimplexOptions::default();
+        let s0 = eng.solve_cold(&lp, &lp.lower, &lp.upper, &opts);
+        assert_eq!(s0.status, LpStatus::Optimal);
+
+        let mut lo = lp.lower.clone();
+        let mut hi = lp.upper.clone();
+        lo[0] = 1.0; // fix x0 = 1
+        hi[0] = 1.0;
+        let s1 = eng
+            .resolve_with_bounds(&lp, &lo, &hi, &opts)
+            .expect("in-place re-solve after a fixing");
+        let mut cold = lp.clone();
+        cold.lower.clone_from(&lo);
+        cold.upper.clone_from(&hi);
+        let c1 = solve(&cold);
+        assert_eq!(s1.status, c1.status);
+        assert!((s1.objective - c1.objective).abs() < 1e-7);
+
+        lo[1] = 0.0; // then fix x1 = 0
+        hi[1] = 0.0;
+        let s2 = eng
+            .resolve_with_bounds(&lp, &lo, &hi, &opts)
+            .expect("second chained re-solve");
+        cold.lower.clone_from(&lo);
+        cold.upper.clone_from(&hi);
+        let c2 = solve(&cold);
+        assert_eq!(s2.status, c2.status);
+        assert!((s2.objective - c2.objective).abs() < 1e-7);
+    }
+
+    #[test]
+    fn warm_restart_rejects_mismatched_snapshot() {
+        let mut lp = LpProblem::with_columns(2);
+        lp.objective = vec![-1.0, -1.0];
+        lp.upper = vec![1.0, 1.0];
+        lp.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 10.0);
+        let mut eng = SimplexEngine::new();
+        eng.solve_cold(&lp, &lp.lower, &lp.upper, &SimplexOptions::default());
+        let snap = eng.snapshot().unwrap();
+
+        let other = LpProblem::with_columns(3);
+        let sol = eng.solve_warm(
+            &other,
+            &snap,
+            &other.lower,
+            &other.upper,
+            &SimplexOptions::default(),
+        );
+        assert!(sol.is_none(), "shape mismatch must be rejected");
+    }
+
+    #[test]
+    fn tiny_pivot_cap_falls_back_not_hangs() {
+        let mut lp = LpProblem::with_columns(4);
+        lp.objective = vec![-1.0, -2.0, -3.0, -4.0];
+        lp.upper = vec![5.0; 4];
+        lp.push_row(
+            vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+            RowCmp::Le,
+            8.0,
+        );
+        let opts = SimplexOptions {
+            pivot_cap_base: 1,
+            pivot_cap_per_dim: 0,
+        };
+        let mut eng = SimplexEngine::new();
+        // try_solve_cold must give up (None) under a 1-pivot cap…
+        assert!(eng
+            .try_solve_cold(&lp, &lp.lower, &lp.upper, &opts)
+            .is_none());
+        // …and solve_cold must still produce the right answer via fallback.
+        let sol = eng.solve_cold(&lp, &lp.lower, &lp.upper, &opts);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 29.0).abs() < 1e-6, "obj={}", sol.objective);
     }
 }

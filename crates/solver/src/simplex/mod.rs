@@ -20,6 +20,7 @@ pub mod bounded;
 pub mod reference;
 
 pub use bounded::solve as solve_bounded;
+pub use bounded::{with_engine, EngineSnapshot, SimplexEngine, SimplexOptions};
 pub use reference::solve as solve_reference;
 
 /// Pivot tolerance shared by both engines.
