@@ -1,14 +1,22 @@
 //! `birp` — command-line front end for the BIRP reproduction.
 //!
 //! ```text
-//! birp run      [--scale small|large] [--slots N] [--seed S] [--scheduler birp|birp-off|oaei|max]
-//! birp compare  [--scale small|large] [--slots N] [--seed S]
-//! birp sweep    [--slots N] [--seed S]
-//! birp table1   [--windows N] [--seed S]
-//! birp fig2     [--reps N] [--seed S]
-//! birp trace    [--scale small|large] [--slots N] [--seed S] [--csv|--json]
-//! birp report   <run.jsonl>
+//! birp run        [--scale small|large] [--slots N] [--seed S] [--scheduler birp|birp-off|oaei|max]
+//!                 [--faults plan.json] [--resilience on|off]
+//! birp compare    [--scale small|large] [--slots N] [--seed S] [--faults plan.json] [--resilience on|off]
+//! birp resilience [--slots N] [--seed S] [--smoke] [--out result.json]
+//! birp sweep      [--slots N] [--seed S]
+//! birp table1     [--windows N] [--seed S]
+//! birp fig2       [--reps N] [--seed S]
+//! birp trace      [--scale small|large] [--slots N] [--seed S] [--csv|--json]
+//! birp report     <run.jsonl>
 //! ```
+//!
+//! `--faults` loads a serialized [`birp_sim::FaultPlan`] (outages,
+//! degradations, link faults, flaky edges) into the executor; `--resilience
+//! on` enables the failure detector / quarantine-and-reroute layer
+//! (DESIGN.md §10). `birp resilience` runs the canned three-way
+//! BIRP ± resilience experiment and optionally writes its JSON record.
 //!
 //! Every command additionally accepts `--telemetry <path.jsonl>` to capture
 //! a structured event stream (solver search, MAB tuning, per-slot runner
@@ -26,10 +34,10 @@ use std::process::ExitCode;
 use birp_telemetry as telemetry;
 
 use birp_core::experiments::{
-    compare_schedulers, epsilon_sweep, fig2_experiment, table1_experiment, ComparisonConfig,
-    SchedulerKind, SweepConfig,
+    compare_schedulers, epsilon_sweep, fig2_experiment, resilience_experiment, table1_experiment,
+    ComparisonConfig, ResilienceConfig, SchedulerKind, SweepConfig,
 };
-use birp_core::{run_scheduler, RunConfig};
+use birp_core::{run_scheduler, HealthConfig, RunConfig};
 use birp_mab::MabConfig;
 use birp_models::Catalog;
 use birp_solver::SolverConfig;
@@ -82,13 +90,18 @@ fn usage() -> ExitCode {
         "birp — batch-aware inference workload redistribution (ICPP 2023 reproduction)
 
 USAGE:
-    birp run      [--scale small|large] [--slots N] [--seed S] [--scheduler birp|birp-off|oaei|max]
-    birp compare  [--scale small|large] [--slots N] [--seed S]
-    birp sweep    [--slots N] [--seed S]
-    birp table1   [--windows N] [--seed S]
-    birp fig2     [--reps N] [--seed S]
-    birp trace    [--scale small|large] [--slots N] [--seed S] [--csv] [--json]
-    birp report   <run.jsonl>
+    birp run        [--scale small|large] [--slots N] [--seed S] [--scheduler birp|birp-off|oaei|max]
+    birp compare    [--scale small|large] [--slots N] [--seed S]
+    birp resilience [--slots N] [--seed S] [--smoke] [--out result.json]
+    birp sweep      [--slots N] [--seed S]
+    birp table1     [--windows N] [--seed S]
+    birp fig2       [--reps N] [--seed S]
+    birp trace      [--scale small|large] [--slots N] [--seed S] [--csv] [--json]
+    birp report     <run.jsonl>
+
+ROBUSTNESS (run / compare):
+    --faults <plan.json>       inject a serialized FaultPlan into the executor
+    --resilience on|off        failure detector + quarantine-and-reroute (default: off)
 
 OBSERVABILITY (any command):
     --telemetry <path.jsonl>   capture structured events to a JSON Lines file
@@ -116,6 +129,29 @@ fn trace_cfg_for(scale: &str, seed: u64, slots: usize) -> TraceConfig {
     }
 }
 
+/// Apply `--faults <plan.json>` and `--resilience on|off` to a run config.
+fn apply_robustness(args: &Args, run: &mut RunConfig) -> Result<(), ExitCode> {
+    if let Some(path) = args.get("faults") {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read fault plan {path}: {e}");
+            ExitCode::from(1)
+        })?;
+        run.sim.faults = serde_json::from_str(&text).map_err(|e| {
+            eprintln!("cannot parse fault plan {path}: {e}");
+            ExitCode::from(1)
+        })?;
+    }
+    match args.get("resilience") {
+        Some("on") => run.resilience = Some(HealthConfig::default()),
+        Some("off") | None => {}
+        Some(other) => {
+            eprintln!("--resilience takes on|off, got '{other}'");
+            return Err(ExitCode::from(2));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> ExitCode {
     let scale = args.get("scale").unwrap_or("small").to_string();
     let seed = args.num("seed", 42u64);
@@ -140,8 +176,12 @@ fn cmd_run(args: &Args) -> ExitCode {
     } else {
         SolverConfig::scheduling()
     };
+    let mut run_cfg = RunConfig::default();
+    if let Err(code) = apply_robustness(args, &mut run_cfg) {
+        return code;
+    }
     let mut scheduler = kind.build(&catalog, MabConfig::paper_preset(), seed, &solver);
-    let result = run_scheduler(&catalog, &trace, scheduler.as_mut(), &RunConfig::default());
+    let result = run_scheduler(&catalog, &trace, scheduler.as_mut(), &run_cfg);
     let m = &result.metrics;
     println!("scheduler      {}", result.scheduler);
     println!("slots          {}", result.slots);
@@ -155,6 +195,11 @@ fn cmd_run(args: &Args) -> ExitCode {
     );
     println!("median compl.  {:.3}", m.cdf.quantile(0.5));
     println!("p95 compl.     {:.3}", m.cdf.quantile(0.95));
+    if let Some(h) = &result.health {
+        println!("quarantines    {}", h.events.len());
+        println!("rerouted       {}", h.rerouted);
+        println!("probes         {}", h.probes);
+    }
     ExitCode::SUCCESS
 }
 
@@ -162,10 +207,13 @@ fn cmd_compare(args: &Args) -> ExitCode {
     let scale = args.get("scale").unwrap_or("small").to_string();
     let seed = args.num("seed", 42u64);
     let slots = args.num("slots", 48usize);
-    let cfg = match scale.as_str() {
+    let mut cfg = match scale.as_str() {
         "large" => ComparisonConfig::large_scale(seed, slots),
         _ => ComparisonConfig::small_scale(seed, slots),
     };
+    if let Err(code) = apply_robustness(args, &mut cfg.run) {
+        return code;
+    }
     let results = compare_schedulers(&cfg);
     println!(
         "{:<10} {:>12} {:>8} {:>9} {:>9}",
@@ -177,6 +225,47 @@ fn cmd_compare(args: &Args) -> ExitCode {
             "{:<10} {:>12.1} {:>7.2}% {:>9} {:>9}",
             r.run.scheduler, m.total_loss, m.failure_rate_pct, m.served, m.dropped
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_resilience(args: &Args) -> ExitCode {
+    let seed = args.num("seed", 42u64);
+    let cfg = if args.has("smoke") {
+        ResilienceConfig::smoke(seed)
+    } else {
+        let slots = args.num("slots", 48usize);
+        ResilienceConfig::with_horizon(seed, slots)
+    };
+    let r = resilience_experiment(&cfg);
+    println!(
+        "{:<32} {:>10} {:>11} {:>8} {:>8} {:>8}",
+        "variant", "in-window", "out-window", "dropped", "rerouted", "probes"
+    );
+    for s in [&r.blind, &r.resilient, &r.fault_free] {
+        println!(
+            "{:<32} {:>10} {:>11} {:>8} {:>8} {:>8}",
+            s.label,
+            s.slo_failures_in_window,
+            s.slo_failures_out_window,
+            s.dropped,
+            s.rerouted,
+            s.probes
+        );
+    }
+    println!(
+        "\ndetection latency  {} slot(s)",
+        r.detection_latency_slots
+            .map_or("never".to_string(), |l| l.to_string())
+    );
+    println!("false positives    {}", r.false_positive_quarantines);
+    if let Some(out) = args.get("out") {
+        let json = serde_json::to_string_pretty(&r).expect("serializable");
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote {out}");
     }
     ExitCode::SUCCESS
 }
@@ -350,6 +439,7 @@ fn main() -> ExitCode {
     let code = match cmd.as_str() {
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
+        "resilience" => cmd_resilience(&args),
         "sweep" => cmd_sweep(&args),
         "table1" => cmd_table1(&args),
         "fig2" => cmd_fig2(&args),

@@ -10,13 +10,16 @@
 //! | [`fig2`] | Fig. 2 — TIR raw data + piecewise fits |
 //! | [`sweep`] | Figs. 4 & 5 — (eps1, eps2) grids of ΔLoss and p% |
 //! | [`comparison`] | Figs. 6 & 7 — CDF / per-slot loss / cumulative loss |
+//! | [`resilience`] | DESIGN.md §10 — BIRP ± resilience under a canned fault plan |
 
 pub mod comparison;
 pub mod fig2;
+pub mod resilience;
 pub mod sweep;
 pub mod table1;
 
 pub use comparison::{compare_schedulers, ComparisonConfig, ComparisonResult, SchedulerKind};
 pub use fig2::{fig2_experiment, Fig2Result};
+pub use resilience::{resilience_experiment, ResilienceConfig, ResilienceResult, RunSummary};
 pub use sweep::{epsilon_sweep, SweepConfig, SweepPoint, SweepResult};
 pub use table1::{table1_experiment, Table1Result};

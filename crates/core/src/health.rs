@@ -1,0 +1,441 @@
+//! Per-edge failure detection from executor outcomes only.
+//!
+//! The monitor never sees the injected `FaultPlan` — exactly the
+//! information asymmetry a real redistribution controller faces (and the
+//! same one the MAB tuner exploits for TIR estimation, Eqs. 15–23). Its
+//! only inputs are the per-batch outcomes of executed slots:
+//!
+//! * **completion blowups** — a dark edge's batches come back at the
+//!   [`birp_sim::OUTAGE_COMPLETION`] sentinel (8.0× the slot), far past
+//!   anything a merely slow edge produces,
+//! * **collapsed observed TIR** — those same batches report
+//!   `observed_tir == 0`, which no healthy execution can.
+//!
+//! Each edge carries a *suspicion* score: an EWMA of the per-slot fraction
+//! of its batches that look blown up. Hysteresis thresholds drive the state
+//! machine
+//!
+//! ```text
+//! Healthy --(s >= suspect_enter)--> Suspect --(s >= quarantine_enter)--> Quarantined
+//!    ^            |                                                          |
+//!    |            +--(s <= suspect_exit)------------------------------------+|
+//!    |                                                              probe ok ||
+//!    |                                                                       v|
+//!    +--(probation_required consecutive probe successes)------- Probation <--+
+//!                                      (probe failure sends Probation back)
+//! ```
+//!
+//! Quarantined and probation edges are masked out of planning (see
+//! [`crate::problem::ProblemConfig::masked_edges`]); the runner places a
+//! periodic single-request *probe* batch on them so recovery is observable
+//! at all — a masked edge otherwise never executes anything again.
+
+use birp_models::EdgeId;
+use birp_sim::SlotOutcome;
+use birp_telemetry as telemetry;
+use serde::{Deserialize, Serialize};
+
+/// Detector tuning. The defaults are chosen against the simulator's fault
+/// repertoire: a full outage (every batch at the 8.0 sentinel) crosses
+/// `quarantine_enter` on the second bad slot, while a ≤3.5× degradation
+/// never reaches `blowup_threshold` at all — zero false positives on
+/// merely-slow edges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Weight of the newest per-slot bad-batch fraction in the EWMA.
+    pub ewma_alpha: f64,
+    /// Normalised completion time at or above which a batch counts as
+    /// blown up (0.75 × the outage sentinel by default).
+    pub blowup_threshold: f64,
+    /// Suspicion at which a healthy edge becomes suspect.
+    pub suspect_enter: f64,
+    /// Suspicion at or below which a suspect edge is cleared (hysteresis:
+    /// strictly below `suspect_enter`).
+    pub suspect_exit: f64,
+    /// Suspicion at which an edge is quarantined.
+    pub quarantine_enter: f64,
+    /// Slots between recovery probes while quarantined (probation probes
+    /// every slot).
+    pub probe_interval: usize,
+    /// Consecutive successful probes required to leave probation.
+    pub probation_required: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            ewma_alpha: 0.5,
+            blowup_threshold: 0.75 * birp_sim::OUTAGE_COMPLETION,
+            suspect_enter: 0.3,
+            suspect_exit: 0.15,
+            quarantine_enter: 0.7,
+            probe_interval: 3,
+            probation_required: 2,
+        }
+    }
+}
+
+/// Detector state of one edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    Healthy,
+    /// Elevated suspicion; still scheduled normally.
+    Suspect,
+    /// Masked out of planning; probed every `probe_interval` slots.
+    Quarantined,
+    /// Still masked; probed every slot until `probation_required`
+    /// consecutive successes confirm recovery.
+    Probation,
+}
+
+/// One quarantine episode (closed when the edge returns to healthy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEvent {
+    pub edge: EdgeId,
+    /// Slot at which the edge entered quarantine.
+    pub entered: usize,
+    /// Slot at which it was confirmed healthy again (`None` = still out).
+    pub released: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct EdgeHealth {
+    state: HealthState,
+    suspicion: f64,
+    /// Consecutive successful probes while in probation.
+    probe_successes: usize,
+    /// Slot of the most recent probe placement.
+    last_probe: Option<usize>,
+}
+
+impl EdgeHealth {
+    fn new() -> Self {
+        EdgeHealth {
+            state: HealthState::Healthy,
+            suspicion: 0.0,
+            probe_successes: 0,
+            last_probe: None,
+        }
+    }
+}
+
+/// The per-run health monitor. Owned by the runner; fed every executed
+/// slot's outcome, queried for the planning mask and due probes.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    edges: Vec<EdgeHealth>,
+    events: Vec<QuarantineEvent>,
+}
+
+impl HealthMonitor {
+    pub fn new(num_edges: usize, cfg: HealthConfig) -> Self {
+        HealthMonitor {
+            cfg,
+            edges: vec![EdgeHealth::new(); num_edges],
+            events: Vec::new(),
+        }
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    pub fn state(&self, edge: EdgeId) -> HealthState {
+        self.edges[edge.index()].state
+    }
+
+    pub fn suspicion(&self, edge: EdgeId) -> f64 {
+        self.edges[edge.index()].suspicion
+    }
+
+    /// Is `edge` excluded from planning this slot?
+    pub fn is_masked(&self, edge: EdgeId) -> bool {
+        matches!(
+            self.edges[edge.index()].state,
+            HealthState::Quarantined | HealthState::Probation
+        )
+    }
+
+    /// Planning mask for the schedulers; `None` when every edge is in play
+    /// (so mask-free runs take exactly the pre-resilience code path).
+    pub fn mask(&self) -> Option<Vec<bool>> {
+        if self
+            .edges
+            .iter()
+            .any(|e| matches!(e.state, HealthState::Quarantined | HealthState::Probation))
+        {
+            Some(
+                (0..self.edges.len())
+                    .map(|k| self.is_masked(EdgeId(k)))
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Edges owed a recovery probe at slot `t`: probation edges every slot,
+    /// quarantined edges every `probe_interval` slots since their last probe.
+    pub fn probes_due(&self, t: usize) -> Vec<EdgeId> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| match e.state {
+                HealthState::Probation => true,
+                HealthState::Quarantined => e
+                    .last_probe
+                    .is_none_or(|lp| t >= lp + self.cfg.probe_interval.max(1)),
+                _ => false,
+            })
+            .map(|(k, _)| EdgeId(k))
+            .collect()
+    }
+
+    /// Record that the runner placed a probe on `edge` at slot `t`.
+    pub fn mark_probed(&mut self, edge: EdgeId, t: usize) {
+        self.edges[edge.index()].last_probe = Some(t);
+        telemetry::counter("health.probe", 1);
+        if telemetry::enabled() {
+            telemetry::event(
+                telemetry::Level::Debug,
+                "health.probe",
+                &[("t", (t as u64).into()), ("edge", (edge.0 as u64).into())],
+            );
+        }
+    }
+
+    /// Digest one executed slot. For healthy/suspect edges this updates the
+    /// suspicion EWMA from the fraction of blown-up batches; for masked
+    /// edges the only batches present are the runner's probes, whose
+    /// success or failure drives the recovery ladder.
+    pub fn observe(&mut self, outcome: &SlotOutcome) {
+        let t = outcome.t;
+        for (k, eh) in self.edges.iter_mut().enumerate() {
+            let mut total = 0u32;
+            let mut bad = 0u32;
+            for b in outcome.batches.iter().filter(|b| b.edge.index() == k) {
+                total += 1;
+                let blown = b.completion_norm >= self.cfg.blowup_threshold || b.observed_tir <= 0.0;
+                if blown {
+                    bad += 1;
+                }
+            }
+            if total == 0 {
+                continue; // nothing executed here: no evidence either way
+            }
+            let frac = bad as f64 / total as f64;
+            eh.suspicion += self.cfg.ewma_alpha * (frac - eh.suspicion);
+            telemetry::observe("health.suspicion", eh.suspicion);
+
+            match eh.state {
+                HealthState::Healthy | HealthState::Suspect => {
+                    if eh.suspicion >= self.cfg.quarantine_enter {
+                        eh.state = HealthState::Quarantined;
+                        eh.probe_successes = 0;
+                        eh.last_probe = None;
+                        self.events.push(QuarantineEvent {
+                            edge: EdgeId(k),
+                            entered: t,
+                            released: None,
+                        });
+                        telemetry::counter("health.quarantined", 1);
+                        if telemetry::enabled() {
+                            telemetry::event(
+                                telemetry::Level::Warn,
+                                "health.quarantined",
+                                &[
+                                    ("t", (t as u64).into()),
+                                    ("edge", (k as u64).into()),
+                                    ("suspicion", eh.suspicion.into()),
+                                ],
+                            );
+                        }
+                    } else if eh.suspicion >= self.cfg.suspect_enter {
+                        eh.state = HealthState::Suspect;
+                    } else if eh.suspicion <= self.cfg.suspect_exit {
+                        eh.state = HealthState::Healthy;
+                    }
+                }
+                HealthState::Quarantined | HealthState::Probation => {
+                    // Masked edge: these batches are probes.
+                    let probe_ok = bad == 0;
+                    if probe_ok {
+                        eh.probe_successes += 1;
+                        if eh.state == HealthState::Quarantined {
+                            eh.state = HealthState::Probation;
+                        }
+                        if eh.probe_successes >= self.cfg.probation_required.max(1) {
+                            eh.state = HealthState::Healthy;
+                            eh.suspicion = 0.0;
+                            eh.probe_successes = 0;
+                            if let Some(ev) = self
+                                .events
+                                .iter_mut()
+                                .rev()
+                                .find(|ev| ev.edge.index() == k && ev.released.is_none())
+                            {
+                                ev.released = Some(t);
+                            }
+                            telemetry::counter("health.recovered", 1);
+                            if telemetry::enabled() {
+                                telemetry::event(
+                                    telemetry::Level::Info,
+                                    "health.recovered",
+                                    &[("t", (t as u64).into()), ("edge", (k as u64).into())],
+                                );
+                            }
+                        }
+                    } else {
+                        eh.state = HealthState::Quarantined;
+                        eh.probe_successes = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every quarantine episode so far (open and closed).
+    pub fn events(&self) -> &[QuarantineEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birp_models::{AppId, ModelId};
+    use birp_sim::{BatchOutcome, OUTAGE_COMPLETION};
+
+    fn outcome(t: usize, batches: Vec<BatchOutcome>) -> SlotOutcome {
+        SlotOutcome {
+            t,
+            batches,
+            loss: 0.0,
+            compute_used_ms: vec![],
+            network_used_mb: vec![],
+            served: 0,
+            unserved: 0,
+            slo_violations: 0,
+        }
+    }
+
+    fn batch(edge: usize, completion_norm: f64, observed_tir: f64) -> BatchOutcome {
+        BatchOutcome {
+            edge: EdgeId(edge),
+            app: AppId(0),
+            model: ModelId(0),
+            batch: 4,
+            start_ms: 0.0,
+            exec_ms: 10.0,
+            completion_norm,
+            observed_tir,
+        }
+    }
+
+    fn dark(edge: usize) -> BatchOutcome {
+        batch(edge, OUTAGE_COMPLETION, 0.0)
+    }
+
+    fn healthy(edge: usize) -> BatchOutcome {
+        batch(edge, 0.4, 2.0)
+    }
+
+    #[test]
+    fn outage_quarantines_within_two_bad_slots() {
+        let mut m = HealthMonitor::new(3, HealthConfig::default());
+        m.observe(&outcome(0, vec![dark(1), healthy(0)]));
+        assert_eq!(m.state(EdgeId(1)), HealthState::Suspect);
+        assert_eq!(m.state(EdgeId(0)), HealthState::Healthy);
+        m.observe(&outcome(1, vec![dark(1), healthy(0)]));
+        assert_eq!(m.state(EdgeId(1)), HealthState::Quarantined);
+        assert!(m.is_masked(EdgeId(1)));
+        assert!(!m.is_masked(EdgeId(0)));
+        let mask = m.mask().expect("one edge is masked");
+        assert_eq!(mask, vec![false, true, false]);
+        assert_eq!(m.events().len(), 1);
+        assert_eq!(m.events()[0].entered, 1);
+        assert_eq!(m.events()[0].released, None);
+    }
+
+    #[test]
+    fn moderate_slowdowns_never_quarantine() {
+        // A 3.5x degradation yields completions well under the blowup
+        // threshold (6.0): suspicion must stay at zero.
+        let mut m = HealthMonitor::new(1, HealthConfig::default());
+        for t in 0..50 {
+            m.observe(&outcome(t, vec![batch(0, 3.5, 0.9)]));
+        }
+        assert_eq!(m.state(EdgeId(0)), HealthState::Healthy);
+        assert_eq!(m.suspicion(EdgeId(0)), 0.0);
+        assert!(m.events().is_empty());
+        assert!(m.mask().is_none());
+    }
+
+    #[test]
+    fn no_batches_means_no_evidence() {
+        let mut m = HealthMonitor::new(2, HealthConfig::default());
+        m.observe(&outcome(0, vec![dark(0)]));
+        let s = m.suspicion(EdgeId(0));
+        // Idle slots must not decay or grow suspicion.
+        m.observe(&outcome(1, vec![]));
+        assert_eq!(m.suspicion(EdgeId(0)), s);
+    }
+
+    #[test]
+    fn probe_ladder_recovers_through_probation() {
+        let cfg = HealthConfig::default();
+        let mut m = HealthMonitor::new(1, cfg);
+        m.observe(&outcome(0, vec![dark(0)]));
+        m.observe(&outcome(1, vec![dark(0)]));
+        assert_eq!(m.state(EdgeId(0)), HealthState::Quarantined);
+        // Quarantined edge owes a probe immediately (never probed).
+        assert_eq!(m.probes_due(2), vec![EdgeId(0)]);
+        m.mark_probed(EdgeId(0), 2);
+        // ... and then not again until the interval elapses.
+        assert!(m.probes_due(3).is_empty());
+        assert!(m.probes_due(4).is_empty());
+        assert_eq!(m.probes_due(5), vec![EdgeId(0)]);
+        // First successful probe -> probation (probed every slot).
+        m.observe(&outcome(5, vec![healthy(0)]));
+        assert_eq!(m.state(EdgeId(0)), HealthState::Probation);
+        assert!(m.is_masked(EdgeId(0)));
+        assert_eq!(m.probes_due(6), vec![EdgeId(0)]);
+        // Second consecutive success confirms recovery.
+        m.observe(&outcome(6, vec![healthy(0)]));
+        assert_eq!(m.state(EdgeId(0)), HealthState::Healthy);
+        assert_eq!(m.suspicion(EdgeId(0)), 0.0);
+        assert_eq!(m.events()[0].released, Some(6));
+        assert!(m.mask().is_none());
+    }
+
+    #[test]
+    fn failed_probe_resets_probation() {
+        let mut m = HealthMonitor::new(1, HealthConfig::default());
+        m.observe(&outcome(0, vec![dark(0)]));
+        m.observe(&outcome(1, vec![dark(0)]));
+        m.observe(&outcome(2, vec![healthy(0)])); // probe ok -> probation
+        assert_eq!(m.state(EdgeId(0)), HealthState::Probation);
+        m.observe(&outcome(3, vec![dark(0)])); // probe fails
+        assert_eq!(m.state(EdgeId(0)), HealthState::Quarantined);
+        assert_eq!(m.events().len(), 1, "same episode stays open");
+        assert_eq!(m.events()[0].released, None);
+    }
+
+    #[test]
+    fn suspect_clears_after_good_slots() {
+        let mut m = HealthMonitor::new(1, HealthConfig::default());
+        m.observe(&outcome(0, vec![dark(0)]));
+        assert_eq!(m.state(EdgeId(0)), HealthState::Suspect);
+        // Healthy batches wash the suspicion back down.
+        for t in 1..5 {
+            m.observe(&outcome(t, vec![healthy(0)]));
+        }
+        assert_eq!(m.state(EdgeId(0)), HealthState::Healthy);
+        assert!(m.events().is_empty());
+    }
+}

@@ -16,16 +16,21 @@
 //!   (fixed large batches),
 //! * [`runner`] — drives a scheduler over a trace slot by slot, with
 //!   carry-over of unserved requests and full metric collection,
+//! * [`health`] — outcome-only failure detection: per-edge suspicion
+//!   scores, quarantine-and-probe state machine (DESIGN.md §10); the
+//!   runner uses it to mask failed edges out of planning,
 //! * [`experiments`] — one entry point per paper table/figure, producing
 //!   serialisable result records the bench harness prints.
 
 pub mod demand;
 pub mod experiments;
+pub mod health;
 pub mod problem;
 pub mod runner;
 pub mod schedulers;
 
 pub use demand::DemandMatrix;
+pub use health::{HealthConfig, HealthMonitor, HealthState, QuarantineEvent};
 pub use problem::{ExecutionMode, ProblemConfig, SlotProblem, TirMatrix};
 pub use runner::{run_scheduler, RunConfig, RunResult};
 pub use schedulers::{Birp, BirpOff, LocalOnly, MaxBatch, Oaei, Scheduler};

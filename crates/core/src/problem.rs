@@ -95,6 +95,12 @@ pub struct ProblemConfig {
     /// Objective penalty per unserved request; must exceed the worst model
     /// loss (0.49) so that serving always dominates dropping.
     pub drop_penalty: f64,
+    /// Quarantine mask (`masked_edges[k] == true` ⇒ edge `k` is excluded):
+    /// a masked edge deploys no models, runs no batches, serves nothing
+    /// locally and receives no redistributed requests. Its own arrivals may
+    /// still ship out or overflow, so the problem stays feasible. `None`
+    /// means no edge is masked.
+    pub masked_edges: Option<Vec<bool>>,
 }
 
 impl Default for ProblemConfig {
@@ -102,6 +108,7 @@ impl Default for ProblemConfig {
         ProblemConfig {
             mode: ExecutionMode::Batched,
             drop_penalty: 1.0,
+            masked_edges: None,
         }
     }
 }
@@ -113,6 +120,10 @@ pub struct SolveStats {
     pub gap: f64,
     pub nodes: usize,
     pub optimal: bool,
+    /// The solve budget ran out: the schedule decodes the best incumbent,
+    /// not a proven (near-)optimum.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// The lowered per-slot problem plus the variable maps needed to decode.
@@ -258,6 +269,25 @@ impl SlotProblem {
             })
             .collect();
 
+        // --- quarantine mask -----------------------------------------------
+        // A masked edge hosts nothing and receives nothing; its own supply
+        // keeps `out`/`o` open so the flow rows stay feasible.
+        let masked = |k: usize| -> bool {
+            cfg.masked_edges
+                .as_ref()
+                .is_some_and(|m| m.get(k).copied().unwrap_or(false))
+        };
+        for e in (0..ne).filter(|&e| masked(e)) {
+            for m in 0..nm {
+                model.set_bounds(x[e][m], 0.0, 0.0);
+                model.set_bounds(b[e][m], 0.0, 0.0);
+            }
+            for i in 0..na {
+                model.set_bounds(local[i][e], 0.0, 0.0);
+                model.set_bounds(inn[i][e], 0.0, 0.0);
+            }
+        }
+
         // --- Eq. 3: flow conservation + overflow ---------------------------
         // local + out + o = r per (app, edge).
         for i in 0..na {
@@ -396,6 +426,9 @@ impl SlotProblem {
                          net_left: &mut [f64],
                          batches: &mut [Vec<u32>]|
              -> u32 {
+                if masked(k) {
+                    return 0;
+                }
                 let mut left = want;
                 // LP-preferred models first (largest fractional batch),
                 // then by accuracy.
@@ -618,6 +651,7 @@ impl SlotProblem {
             gap: sol.gap,
             nodes: sol.nodes,
             optimal: sol.status == ModelStatus::Optimal,
+            degraded: sol.degraded,
         };
         Ok((self.decode(&sol), stats))
     }
@@ -670,6 +704,7 @@ impl SlotProblem {
             gap: sol.gap,
             nodes: sol.nodes,
             optimal: sol.status == ModelStatus::Optimal,
+            degraded: sol.degraded,
         };
         Ok((self.decode(&sol), stats))
     }
@@ -951,6 +986,40 @@ mod tests {
         assert_eq!(schedule.total_unserved(), 0);
         assert!(schedule.deployments.iter().all(|d| d.is_empty()));
         assert!(stats.objective.abs() < 1e-9);
+    }
+
+    #[test]
+    fn masked_edge_hosts_nothing_and_receives_nothing() {
+        let catalog = Catalog::small_scale(42);
+        // Demand on the masked edge itself and on a healthy neighbour.
+        let demand = demand_of(&catalog, &[(0, 2, 8), (0, 0, 5)]);
+        let tir = TirMatrix::oracle(&catalog);
+        let mut mask = vec![false; catalog.num_edges()];
+        mask[2] = true;
+        let cfg = ProblemConfig {
+            masked_edges: Some(mask),
+            ..Default::default()
+        };
+        let p = SlotProblem::build(&catalog, 0, &demand, &tir, None, &cfg);
+        let (schedule, _) = p.solve(&SolverConfig::scheduling()).unwrap();
+        assert!(
+            schedule.deployments[2].is_empty(),
+            "masked edge must deploy nothing"
+        );
+        for i in 0..catalog.num_apps() {
+            for src in 0..catalog.num_edges() {
+                assert_eq!(
+                    schedule.routing.get(AppId(i), EdgeId(src), EdgeId(2)),
+                    0,
+                    "no route into the masked edge"
+                );
+            }
+        }
+        // The masked edge's own arrivals are shipped out or dropped, never
+        // lost from the accounting.
+        let trace = trace_of(&catalog, 0, &demand);
+        validate_against_trace(&catalog, &trace, &schedule, None).unwrap();
+        assert_eq!(schedule.served() + schedule.total_unserved(), 13);
     }
 
     #[test]

@@ -10,13 +10,19 @@
 //!   failures,
 //! * **validation** — every schedule is checked against the structural
 //!   constraints before execution (a scheduler bug fails fast, loudly),
+//! * **resilience** (opt-in via [`RunConfig::resilience`]) — a
+//!   [`HealthMonitor`] watches executor outcomes, masks quarantined edges
+//!   out of planning, reroutes demand stranded on them back into the
+//!   global queue, and places single-request recovery probes (DESIGN.md
+//!   §10). The monitor never sees the fault plan — outcomes only,
 //! * **metrics** — per-slot loss, cumulative loss, completion CDF, `p%`.
 
 use std::time::Instant;
 
-use birp_models::{AppId, Catalog, EdgeId};
+use birp_models::{AppId, Catalog, EdgeId, ModelId};
 use birp_sim::{
-    network_usage_mb, validate, EdgeSim, MetricsCollector, RunMetrics, Schedule, SimConfig,
+    network_usage_mb, validate, Deployment, EdgeSim, MetricsCollector, RunMetrics, Schedule,
+    SimConfig,
 };
 use birp_telemetry as telemetry;
 use birp_telemetry::{HistogramSummary, Level, LogHistogram};
@@ -24,6 +30,7 @@ use birp_workload::Trace;
 use serde::{Deserialize, Serialize};
 
 use crate::demand::DemandMatrix;
+use crate::health::{HealthConfig, HealthMonitor, QuarantineEvent};
 use crate::schedulers::Scheduler;
 
 /// Runner configuration.
@@ -35,6 +42,10 @@ pub struct RunConfig {
     /// Panic on structurally invalid schedules (on by default; experiments
     /// should never proceed on garbage decisions).
     pub strict: bool,
+    /// Enable the failure detector / quarantine-and-reroute layer with the
+    /// given tuning. `None` (the default) runs fault-blind: the exact
+    /// pre-resilience behaviour.
+    pub resilience: Option<HealthConfig>,
 }
 
 impl Default for RunConfig {
@@ -43,6 +54,7 @@ impl Default for RunConfig {
             sim: SimConfig::default(),
             max_carryover: 1,
             strict: true,
+            resilience: None,
         }
     }
 }
@@ -59,6 +71,20 @@ pub struct RunResult {
     /// was disabled during the run (results serialized before this field
     /// existed also deserialize to `None`).
     pub telemetry: Option<RunTelemetry>,
+    /// Resilience-layer summary; `None` when [`RunConfig::resilience`] was
+    /// off (older serialized results also deserialize to `None`).
+    pub health: Option<HealthReport>,
+}
+
+/// What the resilience layer did over one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Every quarantine episode (open episodes have `released == None`).
+    pub events: Vec<QuarantineEvent>,
+    /// Requests moved off masked edges back into the global queue.
+    pub rerouted: u64,
+    /// Single-request recovery probes placed.
+    pub probes: u64,
 }
 
 /// Runner-level telemetry aggregated over one run. Unlike the global
@@ -126,9 +152,56 @@ pub fn run_scheduler(
     let mut total_dropped = 0u64;
     let mut carried_peak = 0u64;
 
+    // Resilience layer (opt-in). The monitor only ever sees executed
+    // outcomes — never `cfg.sim.faults`.
+    let mut monitor = cfg.resilience.map(|hc| HealthMonitor::new(ne, hc));
+    let mut total_rerouted = 0u64;
+    let mut total_probes = 0u64;
+
     for t in 0..trace.num_slots() {
+        // --- quarantine: mask planning, reroute stranded work --------------
+        let mask = monitor.as_ref().and_then(|m| m.mask());
+        scheduler.set_edge_mask(mask.as_deref());
+
         // --- assemble demand: fresh + carried over -------------------------
         let mut demand = DemandMatrix::from_trace(trace, t);
+        if let Some(mask) = &mask {
+            let healthy: Vec<usize> = (0..ne).filter(|&k| !mask[k]).collect();
+            if !healthy.is_empty() {
+                let mut moved = 0u64;
+                for k in (0..ne).filter(|&k| mask[k]) {
+                    for i in 0..na {
+                        let dest = healthy[(i + k + t) % healthy.len()];
+                        // Fresh arrivals at a masked edge enter the global
+                        // queue at a healthy edge instead.
+                        let fresh = demand.get(AppId(i), EdgeId(k));
+                        if fresh > 0 {
+                            demand.set(AppId(i), EdgeId(k), 0);
+                            demand.add(AppId(i), EdgeId(dest), fresh);
+                            moved += fresh as u64;
+                        }
+                        // Carried requests stranded on the masked edge
+                        // follow, keeping their ages (they would otherwise
+                        // wait out the quarantine and age into drops).
+                        let cell = std::mem::take(&mut pending[i][k]);
+                        if cell.total() > 0 {
+                            moved += cell.total() as u64;
+                            let dst = &mut pending[i][dest];
+                            if dst.by_age.len() < cell.by_age.len() {
+                                dst.by_age.resize(cell.by_age.len(), 0);
+                            }
+                            for (age, c) in cell.by_age.into_iter().enumerate() {
+                                dst.by_age[age] += c;
+                            }
+                        }
+                    }
+                }
+                if moved > 0 {
+                    total_rerouted += moved;
+                    telemetry::counter("runner.rerouted", moved);
+                }
+            }
+        }
         let mut carried_total = 0u64;
         for (i, row) in pending.iter().enumerate() {
             for (k, cell) in row.iter().enumerate() {
@@ -155,10 +228,61 @@ pub fn run_scheduler(
             }
         }
 
+        // --- recovery probes -------------------------------------------------
+        // Masked edges execute nothing, so recovery would be unobservable;
+        // place a single-request batch of the edge's cheapest model on each
+        // edge owed a probe. Probes ride the executed schedule only — the
+        // scheduler's decision (already validated) is untouched.
+        let probe_edges: Vec<EdgeId> = monitor.as_ref().map_or_else(Vec::new, |m| m.probes_due(t));
+        let exec_schedule = if probe_edges.is_empty() {
+            None
+        } else {
+            let mut s = schedule.clone();
+            for &pe in &probe_edges {
+                let k = pe.index();
+                let m = (0..catalog.num_models())
+                    .min_by(|&a, &b| {
+                        catalog.edges[k].gamma_ms[a]
+                            .partial_cmp(&catalog.edges[k].gamma_ms[b])
+                            .unwrap()
+                    })
+                    .expect("catalog has at least one model");
+                s.deployments[k].push(Deployment {
+                    app: catalog.models[m].app,
+                    model: ModelId(m),
+                    batch: 1,
+                });
+                monitor.as_mut().unwrap().mark_probed(pe, t);
+                total_probes += 1;
+            }
+            Some(s)
+        };
+
         // --- execute ---------------------------------------------------------
         let execute_start = instrument.then(Instant::now);
-        let outcome = sim.execute_slot(&schedule, prev.as_ref());
+        let outcome = sim.execute_slot(exec_schedule.as_ref().unwrap_or(&schedule), prev.as_ref());
         let execute_ms = execute_start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1000.0);
+        // The monitor digests the full outcome (probe batches included —
+        // they are its recovery evidence) ...
+        if let Some(mon) = monitor.as_mut() {
+            mon.observe(&outcome);
+        }
+        // ... but probes are diagnostics, not served traffic: strip them
+        // before anything that feeds metrics or scheduler feedback.
+        let outcome = if probe_edges.is_empty() {
+            outcome
+        } else {
+            let mut o = outcome;
+            o.batches.retain(|b| !probe_edges.contains(&b.edge));
+            o.loss = schedule.loss(catalog);
+            o.slo_violations = o
+                .batches
+                .iter()
+                .filter(|b| b.completion_norm > 1.0)
+                .map(|b| b.batch as u64)
+                .sum();
+            o
+        };
         scheduler.observe(&outcome);
         collector.begin_slot();
         collector.record_loss(outcome.loss);
@@ -272,7 +396,9 @@ pub fn run_scheduler(
             audit_slot(catalog, &schedule, prev.as_ref());
         }
 
-        prev = Some(schedule);
+        // Next slot's transfer accounting must see what actually ran —
+        // including probe deployments.
+        prev = Some(exec_schedule.unwrap_or(schedule));
     }
 
     // Anything still waiting at the end of the horizon was never served.
@@ -300,6 +426,11 @@ pub fn run_scheduler(
             redistributed: total_redistributed,
             dropped: total_dropped,
             carried_peak,
+        }),
+        health: monitor.map(|m| HealthReport {
+            events: m.events().to_vec(),
+            rerouted: total_rerouted,
+            probes: total_probes,
         }),
     }
 }
@@ -427,6 +558,60 @@ mod tests {
             "expected aged completions or drops under overload"
         );
         assert_eq!(r.metrics.served + r.metrics.dropped, 60);
+    }
+
+    #[test]
+    fn resilience_quarantines_outage_and_conserves_requests() {
+        let (catalog, trace) = small_trace(24, 6.0);
+        let cfg = RunConfig {
+            sim: SimConfig {
+                faults: birp_sim::FaultPlan::default().with_outage(EdgeId(2), 4, 16),
+                ..SimConfig::default()
+            },
+            resilience: Some(HealthConfig::default()),
+            ..RunConfig::default()
+        };
+        let mut birp = BirpOff::new(catalog.clone());
+        let r = run_scheduler(&catalog, &trace, &mut birp, &cfg);
+        assert_eq!(
+            r.metrics.served + r.metrics.dropped,
+            r.offered,
+            "conservation must hold under quarantine-and-reroute"
+        );
+        let health = r.health.expect("resilience was on");
+        assert!(
+            health.events.iter().any(|e| e.edge == EdgeId(2)),
+            "outage edge never quarantined: {:?}",
+            health.events
+        );
+        assert!(health.probes > 0, "quarantined edge was never probed");
+    }
+
+    #[test]
+    fn resilience_fault_free_run_never_quarantines() {
+        let (catalog, trace) = small_trace(16, 6.0);
+        let cfg = RunConfig {
+            resilience: Some(HealthConfig::default()),
+            ..RunConfig::default()
+        };
+        let mut birp = BirpOff::new(catalog.clone());
+        let r = run_scheduler(&catalog, &trace, &mut birp, &cfg);
+        let health = r.health.expect("resilience was on");
+        assert!(
+            health.events.is_empty(),
+            "false-positive quarantine on a fault-free run: {:?}",
+            health.events
+        );
+        assert_eq!(health.rerouted, 0);
+        assert_eq!(health.probes, 0);
+    }
+
+    #[test]
+    fn resilience_off_reports_no_health() {
+        let (catalog, trace) = small_trace(4, 4.0);
+        let mut birp = BirpOff::new(catalog.clone());
+        let r = run_scheduler(&catalog, &trace, &mut birp, &RunConfig::default());
+        assert!(r.health.is_none());
     }
 
     #[test]

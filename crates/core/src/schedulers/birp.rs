@@ -19,10 +19,12 @@ use birp_models::Catalog;
 use birp_sim::{Schedule, SlotOutcome};
 use birp_solver::SolverConfig;
 use birp_telemetry as telemetry;
+use birp_tir::TirParams;
 
 use crate::demand::DemandMatrix;
 use crate::problem::{ExecutionMode, ProblemConfig, SlotProblem, SolveStats, TirMatrix};
-use crate::schedulers::{all_unserved, Scheduler};
+use crate::schedulers::local::greedy_local;
+use crate::schedulers::Scheduler;
 
 /// The batch-aware, MAB-tuned scheduler (the paper's contribution).
 pub struct Birp {
@@ -37,6 +39,9 @@ pub struct Birp {
     /// ("BIRP-MEAN"). The paper's Eq. 17/22 argue the LCB avoids local
     /// optima; this switch lets the benches quantify that.
     use_lcb: bool,
+    /// Quarantine mask from the runner's health monitor (see
+    /// [`Scheduler::set_edge_mask`]).
+    mask: Option<Vec<bool>>,
     /// Solve statistics of the most recent slot (for experiment logs).
     pub last_stats: Option<SolveStats>,
     /// Cumulative absolute TIR estimation error (LCB estimate vs ground
@@ -59,6 +64,7 @@ impl Birp {
             },
             tune: true,
             use_lcb: true,
+            mask: None,
             last_stats: None,
             cum_regret: 0.0,
         }
@@ -104,7 +110,11 @@ impl Birp {
         prev: Option<&Schedule>,
     ) -> Schedule {
         let tir = self.estimates();
-        let problem = SlotProblem::build(&self.catalog, t, demand, &tir, prev, &self.problem_cfg);
+        let cfg = ProblemConfig {
+            masked_edges: self.mask.clone(),
+            ..self.problem_cfg.clone()
+        };
+        let problem = SlotProblem::build(&self.catalog, t, demand, &tir, prev, &cfg);
         match problem.solve(&self.solver_cfg) {
             Ok((schedule, stats)) => {
                 if telemetry::enabled() {
@@ -125,13 +135,14 @@ impl Birp {
             }
             Err(err) => {
                 // The problem is always feasible (overflow absorbs demand);
-                // reaching this means the node budget produced no incumbent.
-                // Carry everything to the next slot rather than crash.
-                telemetry::counter("birp.fallback_all_unserved", 1);
+                // reaching this means the solve budget produced no incumbent.
+                // Degrade to the loss-greedy strictly-local packing — still a
+                // valid, demand-balanced schedule — rather than stall a slot.
+                telemetry::counter("birp.fallback_local", 1);
                 if telemetry::enabled() {
                     telemetry::event(
                         telemetry::Level::Warn,
-                        "birp.fallback_all_unserved",
+                        "birp.fallback_local",
                         &[
                             ("t", (t as u64).into()),
                             ("error", format!("{err:?}").into()),
@@ -139,7 +150,14 @@ impl Birp {
                     );
                 }
                 self.last_stats = None;
-                all_unserved(t, demand)
+                greedy_local(
+                    &self.catalog,
+                    &TirParams::paper_initial(),
+                    t,
+                    demand,
+                    prev,
+                    self.mask.as_deref(),
+                )
             }
         }
     }
@@ -210,6 +228,10 @@ impl Scheduler for Birp {
     fn observe(&mut self, outcome: &SlotOutcome) {
         self.observe_inner(outcome);
     }
+
+    fn set_edge_mask(&mut self, mask: Option<&[bool]>) {
+        self.mask = mask.map(|m| m.to_vec());
+    }
 }
 
 /// BIRP with offline-profiled (oracle) TIR curves and no online tuning.
@@ -252,6 +274,10 @@ impl Scheduler for BirpOff {
 
     fn observe(&mut self, _outcome: &SlotOutcome) {
         // Oracle mode: nothing to learn.
+    }
+
+    fn set_edge_mask(&mut self, mask: Option<&[bool]>) {
+        self.inner.set_edge_mask(mask);
     }
 }
 

@@ -4,6 +4,11 @@
 //! batched packing — i.e. BIRP's batching without its redistribution.
 //! Quantifies how much of BIRP's advantage comes from moving work versus
 //! batching it (an ablation the paper motivates but does not plot).
+//!
+//! The packing itself is exposed as [`greedy_local`]: it is also the
+//! degradation floor every MILP-backed scheduler falls back to when its
+//! solve budget runs out without an incumbent — always feasible, never
+//! panics, costs one linear pass.
 
 use birp_models::catalog::MAX_BATCH;
 use birp_models::{AppId, Catalog, EdgeId, ModelId};
@@ -13,10 +18,98 @@ use birp_tir::TirParams;
 use crate::demand::DemandMatrix;
 use crate::schedulers::Scheduler;
 
+/// Loss-greedy strictly-local packing. A masked edge serves nothing: its
+/// entire demand lands in `unserved` (the runner reroutes or carries it).
+pub(crate) fn greedy_local(
+    catalog: &Catalog,
+    planning_tir: &TirParams,
+    t: usize,
+    demand: &DemandMatrix,
+    prev: Option<&Schedule>,
+    mask: Option<&[bool]>,
+) -> Schedule {
+    let na = catalog.num_apps();
+    let ne = catalog.num_edges();
+    let nm = catalog.num_models();
+    let mut schedule = Schedule::empty(t, na, ne);
+    for k in 0..ne {
+        if mask.is_some_and(|m| m.get(k).copied().unwrap_or(false)) {
+            for i in 0..na {
+                schedule.unserved[i][k] = demand.get(AppId(i), EdgeId(k));
+            }
+            continue;
+        }
+        let edge = &catalog.edges[k];
+        let mut compute_left = catalog.slot_ms;
+        let mut mem_left = edge.memory_mb;
+        let mut net_left = edge.network_budget_mb;
+        let mut batches = vec![0u32; nm];
+        for i in 0..na {
+            let app = AppId(i);
+            let mut left = demand.get(app, EdgeId(k));
+            let mut order: Vec<ModelId> = catalog.models_of(app).to_vec();
+            order.sort_by(|a, b| {
+                catalog
+                    .model(*a)
+                    .loss
+                    .partial_cmp(&catalog.model(*b).loss)
+                    .unwrap()
+            });
+            let mut served = 0u32;
+            for mid in order {
+                let m = mid.index();
+                let mv = &catalog.models[m];
+                let cap = planning_tir.beta.min(MAX_BATCH);
+                let gamma = edge.gamma_ms[m];
+                while left > 0 && batches[m] < cap {
+                    let fresh = batches[m] == 0;
+                    let (slope, intercept) = birp_tir::linear_coeffs(gamma, planning_tir.eta);
+                    let dc = slope + if fresh { intercept } else { 0.0 };
+                    let dm = if fresh {
+                        mv.weight_mb + mv.intermediate_mb
+                    } else {
+                        mv.intermediate_mb
+                    };
+                    let dn = if fresh && !prev.is_some_and(|p| p.is_deployed(EdgeId(k), mid)) {
+                        mv.compressed_mb
+                    } else {
+                        0.0
+                    };
+                    if dc <= compute_left && dm <= mem_left && dn <= net_left {
+                        compute_left -= dc;
+                        mem_left -= dm;
+                        net_left -= dn;
+                        batches[m] += 1;
+                        left -= 1;
+                        served += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if served > 0 {
+                schedule.routing.set(app, EdgeId(k), EdgeId(k), served);
+            }
+            schedule.unserved[i][k] = left;
+        }
+        for (m, &bm) in batches.iter().enumerate() {
+            if bm > 0 {
+                schedule.deployments[k].push(Deployment {
+                    app: catalog.models[m].app,
+                    model: ModelId(m),
+                    batch: bm,
+                });
+            }
+        }
+    }
+    schedule
+}
+
 pub struct LocalOnly {
     catalog: Catalog,
     /// Planning TIR estimate (conservative paper initialisation).
     planning_tir: TirParams,
+    mask: Option<Vec<bool>>,
 }
 
 impl LocalOnly {
@@ -24,6 +117,7 @@ impl LocalOnly {
         LocalOnly {
             catalog,
             planning_tir: TirParams::paper_initial(),
+            mask: None,
         }
     }
 }
@@ -34,76 +128,18 @@ impl Scheduler for LocalOnly {
     }
 
     fn decide(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
-        let na = self.catalog.num_apps();
-        let ne = self.catalog.num_edges();
-        let nm = self.catalog.num_models();
-        let mut schedule = Schedule::empty(t, na, ne);
-        for k in 0..ne {
-            let edge = &self.catalog.edges[k];
-            let mut compute_left = self.catalog.slot_ms;
-            let mut mem_left = edge.memory_mb;
-            let mut net_left = edge.network_budget_mb;
-            let mut batches = vec![0u32; nm];
-            for i in 0..na {
-                let app = AppId(i);
-                let mut left = demand.get(app, EdgeId(k));
-                let mut order: Vec<ModelId> = self.catalog.models_of(app).to_vec();
-                order.sort_by(|a, b| {
-                    self.catalog
-                        .model(*a)
-                        .loss
-                        .partial_cmp(&self.catalog.model(*b).loss)
-                        .unwrap()
-                });
-                let mut served = 0u32;
-                for mid in order {
-                    let m = mid.index();
-                    let mv = &self.catalog.models[m];
-                    let cap = self.planning_tir.beta.min(MAX_BATCH);
-                    let gamma = edge.gamma_ms[m];
-                    while left > 0 && batches[m] < cap {
-                        let fresh = batches[m] == 0;
-                        let (slope, intercept) =
-                            birp_tir::linear_coeffs(gamma, self.planning_tir.eta);
-                        let dc = slope + if fresh { intercept } else { 0.0 };
-                        let dm = if fresh {
-                            mv.weight_mb + mv.intermediate_mb
-                        } else {
-                            mv.intermediate_mb
-                        };
-                        let dn = if fresh && !prev.is_some_and(|p| p.is_deployed(EdgeId(k), mid)) {
-                            mv.compressed_mb
-                        } else {
-                            0.0
-                        };
-                        if dc <= compute_left && dm <= mem_left && dn <= net_left {
-                            compute_left -= dc;
-                            mem_left -= dm;
-                            net_left -= dn;
-                            batches[m] += 1;
-                            left -= 1;
-                            served += 1;
-                        } else {
-                            break;
-                        }
-                    }
-                }
-                if served > 0 {
-                    schedule.routing.set(app, EdgeId(k), EdgeId(k), served);
-                }
-                schedule.unserved[i][k] = left;
-            }
-            for (m, &bm) in batches.iter().enumerate() {
-                if bm > 0 {
-                    schedule.deployments[k].push(Deployment {
-                        app: self.catalog.models[m].app,
-                        model: ModelId(m),
-                        batch: bm,
-                    });
-                }
-            }
-        }
-        schedule
+        greedy_local(
+            &self.catalog,
+            &self.planning_tir,
+            t,
+            demand,
+            prev,
+            self.mask.as_deref(),
+        )
+    }
+
+    fn set_edge_mask(&mut self, mask: Option<&[bool]>) {
+        self.mask = mask.map(|m| m.to_vec());
     }
 }
 
@@ -147,5 +183,23 @@ mod tests {
             .map(|m| m.loss)
             .fold(f64::INFINITY, f64::min);
         assert!((schedule.loss(&catalog) - 3.0 * best_loss).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masked_edge_serves_nothing_locally() {
+        let catalog = Catalog::small_scale(42);
+        let mut s = LocalOnly::new(catalog.clone());
+        let mut d = DemandMatrix::zeros(1, 6);
+        d.set(AppId(0), EdgeId(1), 3);
+        d.set(AppId(0), EdgeId(2), 4);
+        s.set_edge_mask(Some(&[false, true, false, false, false, false]));
+        let schedule = s.decide(0, &d, None);
+        assert!(schedule.deployments[1].is_empty());
+        assert_eq!(schedule.unserved[0][1], 3);
+        assert_eq!(schedule.unserved[0][2], 0);
+        // Clearing the mask restores service.
+        s.set_edge_mask(None);
+        let schedule = s.decide(1, &d, None);
+        assert_eq!(schedule.total_unserved(), 0);
     }
 }

@@ -25,6 +25,7 @@ pub struct MaxBatch {
     /// first) — the utilisation-maximising fill order.
     fill_order: Vec<Vec<ModelId>>,
     planning_tir: TirParams,
+    mask: Option<Vec<bool>>,
 }
 
 struct EdgeState {
@@ -56,7 +57,14 @@ impl MaxBatch {
             b0: b0.clamp(1, MAX_BATCH),
             fill_order,
             planning_tir: TirParams::paper_initial(),
+            mask: None,
         }
+    }
+
+    fn masked(&self, e: usize) -> bool {
+        self.mask
+            .as_ref()
+            .is_some_and(|m| m.get(e).copied().unwrap_or(false))
     }
 
     /// The paper's default `B0 = 16`.
@@ -143,6 +151,10 @@ impl Scheduler for MaxBatch {
                 if d == 0 {
                     continue;
                 }
+                if self.masked(e) {
+                    *rem = d;
+                    continue;
+                }
                 let placed = self.try_assign(&mut states[e], e, AppId(i), d, prev);
                 if placed > 0 {
                     schedule.routing.set(AppId(i), EdgeId(e), EdgeId(e), placed);
@@ -157,7 +169,8 @@ impl Scheduler for MaxBatch {
             for (src, rem) in rem_row.iter_mut().enumerate() {
                 'blocks: while *rem >= self.b0 {
                     // Destinations ordered by remaining compute.
-                    let mut order: Vec<usize> = (0..ne).filter(|&d| d != src).collect();
+                    let mut order: Vec<usize> =
+                        (0..ne).filter(|&d| d != src && !self.masked(d)).collect();
                     order.sort_by(|&a, &b| {
                         states[b]
                             .compute_left
@@ -206,6 +219,10 @@ impl Scheduler for MaxBatch {
             }
         }
         schedule
+    }
+
+    fn set_edge_mask(&mut self, mask: Option<&[bool]>) {
+        self.mask = mask.map(|m| m.to_vec());
     }
 }
 

@@ -38,6 +38,13 @@ pub trait Scheduler {
 
     /// Feedback after the slot executed (observed TIRs, latencies).
     fn observe(&mut self, _outcome: &SlotOutcome) {}
+
+    /// Exclude edges from planning (`mask[k] == true` ⇒ edge `k` deploys
+    /// nothing and receives no redistributed work). Set by the runner's
+    /// health monitor before each `decide`; `None` clears the mask. The
+    /// default implementation ignores the mask, so mask-unaware schedulers
+    /// keep their original behaviour.
+    fn set_edge_mask(&mut self, _mask: Option<&[bool]>) {}
 }
 
 /// A safe fallback when a solver hiccups: serve nothing, carry everything.

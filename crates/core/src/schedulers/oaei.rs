@@ -35,6 +35,7 @@ pub struct Oaei {
     gamma_est: Vec<Vec<f64>>,
     solver_cfg: SolverConfig,
     rng: StdRng,
+    mask: Option<Vec<bool>>,
 }
 
 impl Oaei {
@@ -49,6 +50,7 @@ impl Oaei {
             gamma_est,
             solver_cfg: SolverConfig::scheduling(),
             rng: StdRng::seed_from_u64(seed),
+            mask: None,
         }
     }
 
@@ -83,6 +85,7 @@ impl Scheduler for Oaei {
             mode: ExecutionMode::Serial {
                 max_serial: MAX_SERIAL,
             },
+            masked_edges: self.mask.clone(),
             ..Default::default()
         };
         // TIR estimates are irrelevant in serial mode but required by the
@@ -132,6 +135,10 @@ impl Scheduler for Oaei {
                 *est += LEARN_RATE * (b.exec_ms - *est);
             }
         }
+    }
+
+    fn set_edge_mask(&mut self, mask: Option<&[bool]>) {
+        self.mask = mask.map(|m| m.to_vec());
     }
 }
 

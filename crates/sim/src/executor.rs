@@ -155,14 +155,33 @@ impl EdgeSim {
     }
 
     /// Wireless arrival delay (ms) of app `a`'s redistributed requests at
-    /// edge `k`: inbound bytes over the edge's bandwidth.
+    /// edge `k`: inbound bytes over the edge's bandwidth, accumulated per
+    /// source link so injected link faults scale (or sever) each path
+    /// independently. A dead link (`factor == 0`) means those requests
+    /// never arrive within the slot: the batch waits far past the SLO.
     fn inbound_delay_ms(&self, schedule: &Schedule, a: AppId, k: EdgeId) -> f64 {
         let inbound = schedule.routing.inbound(a, k);
         if inbound == 0 {
             return 0.0;
         }
-        let mb = self.catalog.app(a).request_mb * inbound as f64;
-        mb * 8.0 / self.catalog.edge(k).bandwidth_mbps * 1000.0
+        let per_request_ms =
+            self.catalog.app(a).request_mb * 8.0 / self.catalog.edge(k).bandwidth_mbps * 1000.0;
+        let mut delay = 0.0;
+        for src in 0..self.catalog.num_edges() {
+            if src == k.index() {
+                continue;
+            }
+            let n = schedule.routing.get(a, EdgeId(src), k);
+            if n == 0 {
+                continue;
+            }
+            let factor = self.cfg.faults.link_factor(EdgeId(src), k, schedule.t);
+            if factor <= 0.0 {
+                return crate::faults::OUTAGE_COMPLETION * self.catalog.slot_ms;
+            }
+            delay += per_request_ms * n as f64 / factor;
+        }
+        delay
     }
 
     fn execute_edge(&self, k: EdgeId, schedule: &Schedule) -> EdgeOutcome {
@@ -446,6 +465,93 @@ mod tests {
         );
         // Observed TIR shrinks accordingly — the MAB sees the edge go bad.
         assert!(degraded.batches[0].observed_tir < healthy.batches[0].observed_tir);
+    }
+
+    #[test]
+    fn degraded_link_stretches_inbound_delay() {
+        let (sim_base, s) = setup();
+        let catalog = sim_base.catalog().clone();
+        let healthy = sim_base.execute_slot(&s, None);
+        let sim = EdgeSim::new(
+            catalog,
+            SimConfig {
+                exec_noise_sigma: 0.0,
+                faults: crate::faults::FaultPlan::none().with_link_fault(
+                    EdgeId(1),
+                    EdgeId(0),
+                    0,
+                    1,
+                    0.25,
+                ),
+                ..Default::default()
+            },
+        );
+        let degraded = sim.execute_slot(&s, None);
+        // The 2 requests shipped 1 -> 0 take 4x longer to arrive.
+        assert!(
+            (degraded.batches[0].start_ms - 4.0 * healthy.batches[0].start_ms).abs() < 1e-9,
+            "start {} vs healthy {}",
+            degraded.batches[0].start_ms,
+            healthy.batches[0].start_ms
+        );
+    }
+
+    #[test]
+    fn dead_link_blows_the_slo_without_killing_the_edge() {
+        let (sim_base, s) = setup();
+        let catalog = sim_base.catalog().clone();
+        let sim = EdgeSim::new(
+            catalog,
+            SimConfig {
+                exec_noise_sigma: 0.0,
+                faults: crate::faults::FaultPlan::none().with_link_fault(
+                    EdgeId(1),
+                    EdgeId(0),
+                    0,
+                    1,
+                    0.0,
+                ),
+                ..Default::default()
+            },
+        );
+        let out = sim.execute_slot(&s, None);
+        let b = &out.batches[0];
+        // The batch still executes (the edge is healthy) but cannot start
+        // before its stranded inbound requests, far past the slot boundary.
+        assert!(b.exec_ms > 0.0);
+        assert!(
+            b.completion_norm >= crate::faults::OUTAGE_COMPLETION,
+            "completion {}",
+            b.completion_norm
+        );
+        assert!(out.slo_violations >= 8);
+    }
+
+    #[test]
+    fn flaky_edge_alternates_outage_slots() {
+        let (sim_base, s) = setup();
+        let catalog = sim_base.catalog().clone();
+        let sim = EdgeSim::new(
+            catalog,
+            SimConfig {
+                exec_noise_sigma: 0.0,
+                faults: crate::faults::FaultPlan::none().with_flaky(EdgeId(0), 0, 10, 2, 1),
+                ..Default::default()
+            },
+        );
+        let mut s0 = s.clone();
+        s0.t = 0; // down phase
+        let mut s1 = s.clone();
+        s1.t = 1; // up phase
+        let down = sim.execute_slot(&s0, None);
+        let up = sim.execute_slot(&s1, None);
+        assert_eq!(down.batches[0].exec_ms, 0.0);
+        assert_eq!(
+            down.batches[0].completion_norm,
+            crate::faults::OUTAGE_COMPLETION
+        );
+        assert!(up.batches[0].exec_ms > 0.0);
+        assert!(up.batches[0].completion_norm < 1.0);
     }
 
     #[test]

@@ -7,18 +7,25 @@
 //!   execute (their requests blow far past the SLO), and the observed TIR
 //!   collapses, which the MAB tuner perceives as the arm going bad,
 //! * **degradations** — an edge runs slower by a factor for a slot range
-//!   (thermal throttling, co-tenant interference).
+//!   (thermal throttling, co-tenant interference),
+//! * **link faults** — a directed redistribution path `(k, k')` is down or
+//!   bandwidth-degraded for a slot range: requests shipped over it arrive
+//!   late (or effectively never, blowing the SLO),
+//! * **flaky edges** — intermittent outages: within a window the edge
+//!   cycles `down_slots` dark slots out of every `period` (loose contacts,
+//!   crash loops, periodic co-tenant evictions).
 //!
-//! Schedulers are *not* told about faults; they only see the outcomes —
-//! exactly the information asymmetry a real redistribution scheduler faces.
+//! All windows are half-open `[from_slot, to_slot)`. Schedulers are *not*
+//! told about faults; they only see the outcomes — exactly the information
+//! asymmetry a real redistribution scheduler faces.
 
 use serde::{Deserialize, Serialize};
 
 use birp_models::EdgeId;
 
 /// Completion-time (normalised) assigned to requests whose batch never ran
-/// because its edge was down. Far beyond any SLO; distinguishable from slow
-///-but-finished work in the CDF tail.
+/// because its edge was down. Far beyond any SLO; distinguishable from
+/// slow-but-finished work in the CDF tail.
 pub const OUTAGE_COMPLETION: f64 = 8.0;
 
 /// One edge outage window (inclusive start, exclusive end).
@@ -38,11 +45,42 @@ pub struct Degradation {
     pub slowdown: f64,
 }
 
+/// One directed link fault: requests of any app shipped `from -> to` see
+/// their transfer bandwidth scaled by `bandwidth_factor` (0.0 = the path is
+/// down — shipped requests effectively never arrive within the slot).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    pub from: EdgeId,
+    pub to: EdgeId,
+    pub from_slot: usize,
+    pub to_slot: usize,
+    /// Multiplier on the path's effective bandwidth, clamped to `[0, 1]`.
+    pub bandwidth_factor: f64,
+}
+
+/// One flaky window: inside `[from_slot, to_slot)` the edge is dark for the
+/// first `down_slots` slots of every `period`-slot cycle (phase anchored at
+/// `from_slot`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flaky {
+    pub edge: EdgeId,
+    pub from_slot: usize,
+    pub to_slot: usize,
+    pub period: usize,
+    pub down_slots: usize,
+}
+
 /// The full fault schedule for a run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
+    #[serde(default)]
     pub outages: Vec<Outage>,
+    #[serde(default)]
     pub degradations: Vec<Degradation>,
+    #[serde(default)]
+    pub link_faults: Vec<LinkFault>,
+    #[serde(default)]
+    pub flaky: Vec<Flaky>,
 }
 
 impl FaultPlan {
@@ -76,11 +114,64 @@ impl FaultPlan {
         self
     }
 
+    pub fn with_link_fault(
+        mut self,
+        from: EdgeId,
+        to: EdgeId,
+        from_slot: usize,
+        to_slot: usize,
+        bandwidth_factor: f64,
+    ) -> Self {
+        self.link_faults.push(LinkFault {
+            from,
+            to,
+            from_slot,
+            to_slot,
+            bandwidth_factor,
+        });
+        self
+    }
+
+    pub fn with_flaky(
+        mut self,
+        edge: EdgeId,
+        from_slot: usize,
+        to_slot: usize,
+        period: usize,
+        down_slots: usize,
+    ) -> Self {
+        self.flaky.push(Flaky {
+            edge,
+            from_slot,
+            to_slot,
+            period,
+            down_slots,
+        });
+        self
+    }
+
     /// Is `edge` dark during `slot`?
     pub fn is_down(&self, edge: EdgeId, slot: usize) -> bool {
         self.outages
             .iter()
             .any(|o| o.edge == edge && slot >= o.from_slot && slot < o.to_slot)
+            || self.flaky.iter().any(|f| {
+                f.edge == edge
+                    && slot >= f.from_slot
+                    && slot < f.to_slot
+                    && (slot - f.from_slot) % f.period.max(1) < f.down_slots
+            })
+    }
+
+    /// Effective bandwidth multiplier for the directed path `from -> to`
+    /// during `slot`. Overlapping faults take the worst (smallest) factor;
+    /// 1.0 means healthy, 0.0 means the path is down.
+    pub fn link_factor(&self, from: EdgeId, to: EdgeId, slot: usize) -> f64 {
+        self.link_faults
+            .iter()
+            .filter(|l| l.from == from && l.to == to && slot >= l.from_slot && slot < l.to_slot)
+            .map(|l| l.bandwidth_factor.clamp(0.0, 1.0))
+            .fold(1.0, f64::min)
     }
 
     /// Execution-time multiplier for `edge` during `slot` (1.0 = healthy).
@@ -93,7 +184,10 @@ impl FaultPlan {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.outages.is_empty() && self.degradations.is_empty()
+        self.outages.is_empty()
+            && self.degradations.is_empty()
+            && self.link_faults.is_empty()
+            && self.flaky.is_empty()
     }
 }
 
@@ -134,5 +228,50 @@ mod tests {
     fn sub_unity_slowdowns_are_clamped() {
         let p = FaultPlan::none().with_degradation(EdgeId(0), 0, 5, 0.1);
         assert_eq!(p.slowdown(EdgeId(0), 1), 1.0);
+    }
+
+    #[test]
+    fn link_fault_windows_are_half_open_and_directional() {
+        let p = FaultPlan::none().with_link_fault(EdgeId(1), EdgeId(3), 4, 8, 0.25);
+        assert_eq!(p.link_factor(EdgeId(1), EdgeId(3), 3), 1.0);
+        assert_eq!(p.link_factor(EdgeId(1), EdgeId(3), 4), 0.25);
+        assert_eq!(p.link_factor(EdgeId(1), EdgeId(3), 7), 0.25);
+        assert_eq!(p.link_factor(EdgeId(1), EdgeId(3), 8), 1.0);
+        // Opposite direction is unaffected.
+        assert_eq!(p.link_factor(EdgeId(3), EdgeId(1), 5), 1.0);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn overlapping_link_faults_take_the_worst_factor() {
+        let p = FaultPlan::none()
+            .with_link_fault(EdgeId(0), EdgeId(1), 0, 10, 0.5)
+            .with_link_fault(EdgeId(0), EdgeId(1), 3, 6, 0.0);
+        assert_eq!(p.link_factor(EdgeId(0), EdgeId(1), 1), 0.5);
+        assert_eq!(p.link_factor(EdgeId(0), EdgeId(1), 4), 0.0);
+        // Factors outside [0, 1] are clamped.
+        let q = FaultPlan::none().with_link_fault(EdgeId(0), EdgeId(1), 0, 5, 3.0);
+        assert_eq!(q.link_factor(EdgeId(0), EdgeId(1), 2), 1.0);
+    }
+
+    #[test]
+    fn flaky_edge_cycles_within_its_window() {
+        // [10, 20), period 4, down 2: down at 10,11,14,15,18,19.
+        let p = FaultPlan::none().with_flaky(EdgeId(2), 10, 20, 4, 2);
+        for slot in [10, 11, 14, 15, 18, 19] {
+            assert!(p.is_down(EdgeId(2), slot), "slot {slot} should be down");
+        }
+        for slot in [9, 12, 13, 16, 17, 20, 21] {
+            assert!(!p.is_down(EdgeId(2), slot), "slot {slot} should be up");
+        }
+        assert!(!p.is_down(EdgeId(1), 10));
+    }
+
+    #[test]
+    fn flaky_zero_period_is_treated_as_full_outage() {
+        let p = FaultPlan::none().with_flaky(EdgeId(0), 2, 5, 0, 1);
+        assert!(p.is_down(EdgeId(0), 2));
+        assert!(p.is_down(EdgeId(0), 4));
+        assert!(!p.is_down(EdgeId(0), 5));
     }
 }

@@ -32,7 +32,7 @@ pub mod utilization;
 
 pub use energy::{energy_per_request, slot_energy, PowerProfile};
 pub use executor::{BatchOutcome, EdgeSim, SimConfig, SlotOutcome};
-pub use faults::{Degradation, FaultPlan, Outage};
+pub use faults::{Degradation, FaultPlan, Flaky, LinkFault, Outage, OUTAGE_COMPLETION};
 pub use metrics::{Cdf, MetricsCollector, RunMetrics};
 pub use schedule::{
     network_usage_mb, validate, validate_against_trace, Deployment, Routing, Schedule,

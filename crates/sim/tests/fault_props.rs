@@ -1,0 +1,152 @@
+//! Property tests for the fault plan: serde round-trips, worst-of
+//! overlapping windows, and half-open window semantics for arbitrary
+//! generated plans.
+
+use proptest::prelude::*;
+
+use birp_models::EdgeId;
+use birp_sim::{Degradation, FaultPlan, Flaky, LinkFault, Outage};
+
+const NE: usize = 6;
+const HORIZON: usize = 64;
+
+fn arb_window() -> impl Strategy<Value = (usize, usize)> {
+    (0usize..HORIZON, 1usize..24).prop_map(|(from, len)| (from, from + len))
+}
+
+fn arb_outage() -> impl Strategy<Value = Outage> {
+    (0usize..NE, arb_window()).prop_map(|(e, (from_slot, to_slot))| Outage {
+        edge: EdgeId(e),
+        from_slot,
+        to_slot,
+    })
+}
+
+fn arb_degradation() -> impl Strategy<Value = Degradation> {
+    (0usize..NE, arb_window(), 0.1f64..6.0).prop_map(|(e, (from_slot, to_slot), slowdown)| {
+        Degradation {
+            edge: EdgeId(e),
+            from_slot,
+            to_slot,
+            slowdown,
+        }
+    })
+}
+
+fn arb_link_fault() -> impl Strategy<Value = LinkFault> {
+    (0usize..NE, 0usize..NE, arb_window(), -0.5f64..2.0).prop_map(
+        |(from, to, (from_slot, to_slot), bandwidth_factor)| LinkFault {
+            from: EdgeId(from),
+            to: EdgeId(to),
+            from_slot,
+            to_slot,
+            bandwidth_factor,
+        },
+    )
+}
+
+fn arb_flaky() -> impl Strategy<Value = Flaky> {
+    (0usize..NE, arb_window(), 0usize..6, 0usize..4).prop_map(
+        |(e, (from_slot, to_slot), period, down_slots)| Flaky {
+            edge: EdgeId(e),
+            from_slot,
+            to_slot,
+            period,
+            down_slots,
+        },
+    )
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        proptest::collection::vec(arb_outage(), 0..4),
+        proptest::collection::vec(arb_degradation(), 0..4),
+        proptest::collection::vec(arb_link_fault(), 0..4),
+        proptest::collection::vec(arb_flaky(), 0..4),
+    )
+        .prop_map(|(outages, degradations, link_faults, flaky)| FaultPlan {
+            outages,
+            degradations,
+            link_faults,
+            flaky,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any plan survives a JSON round-trip unchanged.
+    #[test]
+    fn plan_round_trips_through_json(plan in arb_plan()) {
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(plan, back);
+    }
+
+    /// At every (edge, slot), the effective slowdown is exactly the worst
+    /// clamped factor among the windows covering that slot — overlapping
+    /// windows never compound.
+    #[test]
+    fn overlapping_degradations_apply_the_worst(plan in arb_plan()) {
+        for e in 0..NE {
+            for t in 0..HORIZON + 24 {
+                let expected = plan
+                    .degradations
+                    .iter()
+                    .filter(|d| d.edge == EdgeId(e) && t >= d.from_slot && t < d.to_slot)
+                    .map(|d| d.slowdown.max(1.0))
+                    .fold(1.0, f64::max);
+                prop_assert_eq!(plan.slowdown(EdgeId(e), t), expected);
+                prop_assert!(plan.slowdown(EdgeId(e), t) >= 1.0);
+            }
+        }
+    }
+
+    /// Link-fault windows are half-open: active at `from_slot`, inactive at
+    /// `to_slot`; the factor is always inside [0, 1] and directional.
+    #[test]
+    fn link_fault_windows_are_half_open(fault in arb_link_fault()) {
+        let plan = FaultPlan { link_faults: vec![fault], ..FaultPlan::default() };
+        let clamped = fault.bandwidth_factor.clamp(0.0, 1.0);
+        prop_assert_eq!(plan.link_factor(fault.from, fault.to, fault.from_slot), clamped);
+        prop_assert_eq!(plan.link_factor(fault.from, fault.to, fault.to_slot), 1.0);
+        if fault.from_slot > 0 {
+            prop_assert_eq!(
+                plan.link_factor(fault.from, fault.to, fault.from_slot - 1),
+                1.0
+            );
+        }
+        if fault.from != fault.to {
+            // The reverse direction is untouched.
+            prop_assert_eq!(plan.link_factor(fault.to, fault.from, fault.from_slot), 1.0);
+        }
+        for t in 0..HORIZON + 24 {
+            let f = plan.link_factor(fault.from, fault.to, t);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    /// Outage and flaky windows are half-open, and a dark slot is always
+    /// explained by some covering window.
+    #[test]
+    fn down_slots_are_covered_by_windows(plan in arb_plan()) {
+        for o in &plan.outages {
+            prop_assert!(plan.is_down(o.edge, o.from_slot));
+            prop_assert!(plan.is_down(o.edge, o.to_slot - 1));
+        }
+        for e in 0..NE {
+            for t in 0..HORIZON + 24 {
+                if plan.is_down(EdgeId(e), t) {
+                    let covered = plan
+                        .outages
+                        .iter()
+                        .any(|o| o.edge == EdgeId(e) && t >= o.from_slot && t < o.to_slot)
+                        || plan.flaky.iter().any(|f| {
+                            f.edge == EdgeId(e) && t >= f.from_slot && t < f.to_slot
+                        });
+                    prop_assert!(covered, "edge {e} dark at {t} with no window");
+                }
+            }
+        }
+    }
+}

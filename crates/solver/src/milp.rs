@@ -41,6 +41,42 @@ pub struct MilpProblem {
     pub integers: Vec<usize>,
 }
 
+/// A deterministic work budget for one MILP solve, layered on top of
+/// [`BnbConfig::node_limit`]. When any limit trips, the search stops and
+/// returns its best incumbent with [`MilpResult::degraded`] set — graceful
+/// degradation instead of an unbounded solve.
+///
+/// Node and pivot budgets are exact and deterministic (both are counted on
+/// the main search thread in fold order). The wall-clock deadline is the
+/// only nondeterministic limit — leave it `None` for bit-reproducible runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveBudget {
+    /// Cap on LP relaxations solved (combined with `node_limit` by `min`).
+    pub max_nodes: Option<usize>,
+    /// Cap on cumulative simplex pivots across every node LP. Checked at
+    /// node boundaries: the in-flight LP always completes, so the root
+    /// relaxation runs even under `max_pivots = 1`.
+    pub max_pivots: Option<u64>,
+    /// Wall-clock deadline in milliseconds. **Not deterministic.**
+    pub deadline_ms: Option<f64>,
+}
+
+impl SolveBudget {
+    /// No limits beyond the existing `node_limit` (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when any configured limit is met or exceeded.
+    fn exhausted(&self, pivots: u64, started: Option<std::time::Instant>) -> bool {
+        self.max_pivots.is_some_and(|cap| pivots >= cap)
+            || match (self.deadline_ms, started) {
+                (Some(ms), Some(t0)) => t0.elapsed().as_secs_f64() * 1000.0 >= ms,
+                _ => false,
+            }
+    }
+}
+
 /// Branch-and-bound search parameters.
 #[derive(Debug, Clone)]
 pub struct BnbConfig {
@@ -73,6 +109,8 @@ pub struct BnbConfig {
     pub warm_memory_budget: usize,
     /// Tunables forwarded to the simplex engine (pivot cap).
     pub simplex: SimplexOptions,
+    /// Additional node/pivot/deadline limits (see [`SolveBudget`]).
+    pub budget: SolveBudget,
 }
 
 impl Default for BnbConfig {
@@ -87,6 +125,7 @@ impl Default for BnbConfig {
             warm_nodes: true,
             warm_memory_budget: 256 << 20,
             simplex: SimplexOptions::default(),
+            budget: SolveBudget::default(),
         }
     }
 }
@@ -117,6 +156,9 @@ pub struct MilpResult {
     pub gap: f64,
     /// LP relaxations solved.
     pub nodes: usize,
+    /// The search stopped on a node/pivot/deadline budget before proving
+    /// optimality — the incumbent (if any) is best-effort.
+    pub degraded: bool,
 }
 
 /// Frontier node: a box (bound vectors) plus an optimistic objective bound
@@ -241,6 +283,19 @@ fn note_incumbent(source: &'static str, objective: f64, bound: f64, nodes: usize
 /// Solve the MILP by branch and bound.
 pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     telemetry::counter("solver.solves", 1);
+    // Effective budgets: the node limit folds into the classic knob, pivots
+    // and the (optional, nondeterministic) deadline are checked at node
+    // boundaries alongside it.
+    let node_limit = cfg
+        .node_limit
+        .min(cfg.budget.max_nodes.unwrap_or(usize::MAX));
+    let budget_clock = cfg
+        .budget
+        .deadline_ms
+        .is_some()
+        .then(std::time::Instant::now);
+    let mut pivots_total = 0u64;
+    let mut budget_hit = false;
     // Presolve never removes columns, so indices and solutions line up with
     // the caller's problem; it only tightens bounds and drops rows, which
     // shrinks every node LP.
@@ -269,6 +324,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 bound: f64::INFINITY,
                 gap: 0.0,
                 nodes: 0,
+                degraded: false,
             };
         }
     }
@@ -330,6 +386,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     // --- root -----------------------------------------------------------
     let (root_sol, root_snap) = solve_node_lp(&problem.lp, &root, &cfg.simplex, cfg.warm_nodes);
     nodes_solved += 1;
+    pivots_total += root_sol.iterations as u64;
     telemetry::counter("solver.pivots", root_sol.iterations as u64);
     match root_sol.status {
         LpStatus::Infeasible => {
@@ -340,6 +397,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 bound: f64::INFINITY,
                 gap: 0.0,
                 nodes: nodes_solved,
+                degraded: false,
             };
         }
         LpStatus::Unbounded => {
@@ -350,6 +408,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 bound: f64::NEG_INFINITY,
                 gap: 0.0,
                 nodes: nodes_solved,
+                degraded: false,
             };
         }
         LpStatus::Optimal => {}
@@ -358,7 +417,12 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
 
     let (root_branch, _) = branch_var(&root_sol.x, &problem.integers, &root.lower, &root.upper);
     if let Some((j, v)) = root_branch {
-        if cfg.root_dive {
+        if nodes_solved >= node_limit || cfg.budget.exhausted(pivots_total, budget_clock) {
+            // Budget spent on the root alone: skip the dive (it is dozens
+            // of LP solves) and fall straight through to the report with
+            // whatever incumbent the warm start installed.
+            budget_hit = true;
+        } else if cfg.root_dive {
             telemetry::counter("solver.dive_attempts", 1);
             if let Some((obj, x)) = dive(
                 &problem.lp,
@@ -389,6 +453,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
             bound: root_bound,
             gap: 0.0,
             nodes: nodes_solved,
+            degraded: false,
         };
     }
 
@@ -401,8 +466,9 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     // In-tree dives are expensive (a dive is dozens of LP solves); a few
     // well-placed ones capture nearly all their value.
     let mut tree_dives_left = 3usize;
-    'outer: while !heap.is_empty() {
-        if nodes_solved >= cfg.node_limit {
+    'outer: while !budget_hit && !heap.is_empty() {
+        if nodes_solved >= node_limit || cfg.budget.exhausted(pivots_total, budget_clock) {
+            budget_hit = true;
             break;
         }
         // Prune against the incumbent, then pop a wave.
@@ -455,6 +521,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 .collect()
         };
         nodes_solved += wave.len();
+        pivots_total += solved.iter().map(|(s, _)| s.iterations as u64).sum::<u64>();
         if telemetry::enabled() {
             telemetry::observe("solver.wave_size", wave.len() as f64);
             telemetry::counter(
@@ -476,6 +543,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                         bound: f64::NEG_INFINITY,
                         gap: 0.0,
                         nodes: nodes_solved,
+                        degraded: false,
                     };
                 }
                 LpStatus::Optimal => {}
@@ -551,6 +619,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 bound,
                 gap,
                 nodes: nodes_solved,
+                degraded: budget_hit && status != MilpStatus::Optimal,
             }
         }
         None => {
@@ -562,6 +631,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                     bound: f64::INFINITY,
                     gap: 0.0,
                     nodes: nodes_solved,
+                    degraded: false,
                 }
             } else {
                 // Budget ran out with open nodes and no incumbent.
@@ -572,10 +642,14 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                     bound: frontier_bound,
                     gap: f64::INFINITY,
                     nodes: nodes_solved,
+                    degraded: true,
                 }
             }
         }
     };
+    if result.degraded {
+        telemetry::counter("solver.degraded", 1);
+    }
     if telemetry::enabled() {
         telemetry::counter("solver.nodes", result.nodes as u64);
         telemetry::observe("solver.nodes_per_solve", result.nodes as f64);
@@ -591,6 +665,8 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 ("bound", result.bound.into()),
                 ("gap", result.gap.into()),
                 ("nodes", (result.nodes as u64).into()),
+                ("degraded", result.degraded.into()),
+                ("pivots", pivots_total.into()),
             ],
         );
     }
@@ -801,6 +877,61 @@ mod tests {
         assert_eq!(r.status, MilpStatus::Optimal);
         assert_eq!(r.nodes, 1);
         assert!((r.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pivot_budget_returns_degraded_incumbent_or_exhausted() {
+        let values: Vec<f64> = (1..=24).map(|i| (i as f64 * 7.3) % 13.0 + 1.0).collect();
+        let weights: Vec<f64> = (1..=24).map(|i| (i as f64 * 3.1) % 9.0 + 1.0).collect();
+        let p = knapsack(&values, &weights, 35.0);
+        let r = branch_and_bound(
+            &p,
+            &BnbConfig {
+                budget: SolveBudget {
+                    max_pivots: Some(1),
+                    ..SolveBudget::unlimited()
+                },
+                ..Default::default()
+            },
+        );
+        // Never a panic: either a (degraded) incumbent from the root dive or
+        // an explicitly exhausted Feasible with infinite objective.
+        assert_eq!(r.status, MilpStatus::Feasible);
+        if r.objective.is_finite() {
+            assert!(p.lp.max_violation(&r.x) < 1e-6);
+        }
+        assert!(r.degraded);
+    }
+
+    #[test]
+    fn node_budget_caps_nodes_solved() {
+        let values: Vec<f64> = (1..=24).map(|i| (i as f64 * 7.3) % 13.0 + 1.0).collect();
+        let weights: Vec<f64> = (1..=24).map(|i| (i as f64 * 3.1) % 9.0 + 1.0).collect();
+        let p = knapsack(&values, &weights, 35.0);
+        let r = branch_and_bound(
+            &p,
+            &BnbConfig {
+                budget: SolveBudget {
+                    max_nodes: Some(2),
+                    ..SolveBudget::unlimited()
+                },
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        assert!(r.nodes <= 2, "nodes={}", r.nodes);
+        assert!(matches!(
+            r.status,
+            MilpStatus::Feasible | MilpStatus::Optimal
+        ));
+    }
+
+    #[test]
+    fn unlimited_budget_leaves_result_untouched() {
+        let p = knapsack(&[10.0, 13.0, 7.0], &[3.0, 4.0, 2.0], 5.0);
+        let r = branch_and_bound(&p, &BnbConfig::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!(!r.degraded);
     }
 
     #[test]

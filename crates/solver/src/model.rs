@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use crate::error::SolverError;
 use crate::expr::{LinExpr, VarId, VarKind};
 use crate::lp::{LpProblem, LpSolution, RowCmp};
-use crate::milp::{branch_and_bound, BnbConfig, MilpProblem, MilpStatus};
+use crate::milp::{branch_and_bound, BnbConfig, MilpProblem, MilpStatus, SolveBudget};
 use crate::simplex::{solve_bounded, SimplexOptions};
 
 /// Configuration forwarded to branch and bound.
@@ -32,6 +32,10 @@ pub struct SolverConfig {
     pub warm_nodes: bool,
     /// Simplex engine tunables (pivot cap).
     pub simplex: SimplexOptions,
+    /// Hard degradation budget (nodes / pivots / wall-clock). On exhaustion
+    /// the solve returns its best incumbent flagged `degraded`, or
+    /// [`SolverError::BudgetExhausted`] if no incumbent exists yet.
+    pub budget: SolveBudget,
 }
 
 impl Default for SolverConfig {
@@ -43,6 +47,7 @@ impl Default for SolverConfig {
             root_dive: true,
             warm_nodes: true,
             simplex: SimplexOptions::default(),
+            budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -83,6 +88,9 @@ pub struct Solution {
     pub gap: f64,
     /// LP relaxations solved.
     pub nodes: usize,
+    /// The solve budget ran out before the gap closed: the point is the best
+    /// incumbent found, not a proven (near-)optimum.
+    pub degraded: bool,
 }
 
 impl Solution {
@@ -369,6 +377,7 @@ impl Model {
             presolve: true,
             warm_nodes: cfg.warm_nodes,
             simplex: cfg.simplex,
+            budget: cfg.budget,
             ..BnbConfig::default()
         };
         let res = branch_and_bound(&milp, &bnb);
@@ -389,6 +398,7 @@ impl Model {
                 bound: res.bound,
                 gap: res.gap,
                 nodes: res.nodes,
+                degraded: res.degraded,
             }),
         }
     }

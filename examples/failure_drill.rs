@@ -7,9 +7,11 @@
 //! Slots 8..16 take down edge 0 (a Jetson NX, the fastest device); slots
 //! 16..24 degrade edge 4 (an Atlas) to a third of its speed. BIRP's bandit
 //! notices the collapsing throughput-improvement ratios and steers work
-//! away; the oblivious MAX baseline keeps feeding the dead edge.
+//! away; the oblivious MAX baseline keeps feeding the dead edge. The final
+//! row turns on the resilience layer (DESIGN.md §10): the health monitor
+//! quarantines the dark edge outright and reroutes its queue.
 
-use birp::core::{run_scheduler, Birp, MaxBatch, RunConfig, Scheduler};
+use birp::core::{run_scheduler, Birp, HealthConfig, MaxBatch, RunConfig, Scheduler};
 use birp::mab::MabConfig;
 use birp::models::{Catalog, EdgeId};
 use birp::sim::{FaultPlan, SimConfig};
@@ -34,28 +36,49 @@ fn main() {
         "scheduler", "total loss", "p%", "dropped", "p95 compl"
     );
 
-    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(Birp::new(catalog.clone(), MabConfig::paper_preset())),
-        Box::new(MaxBatch::paper_default(catalog.clone())),
+    let mut variants: Vec<(Box<dyn Scheduler>, bool)> = vec![
+        (
+            Box::new(Birp::new(catalog.clone(), MabConfig::paper_preset())),
+            false,
+        ),
+        (Box::new(MaxBatch::paper_default(catalog.clone())), false),
+        (
+            Box::new(Birp::new(catalog.clone(), MabConfig::paper_preset())),
+            true,
+        ),
     ];
-    for s in schedulers.iter_mut() {
+    for (s, resilient) in variants.iter_mut() {
         let cfg = RunConfig {
             sim: SimConfig {
                 faults: faults.clone(),
                 ..Default::default()
             },
+            resilience: resilient.then(HealthConfig::default),
             ..Default::default()
         };
         let r = run_scheduler(&catalog, &trace, s.as_mut(), &cfg);
         let m = &r.metrics;
+        let label = if *resilient {
+            format!("{}+res", r.scheduler)
+        } else {
+            r.scheduler.clone()
+        };
         println!(
             "{:<10} {:>12.1} {:>7.2}% {:>9} {:>10.3}",
-            r.scheduler,
+            label,
             m.total_loss,
             m.failure_rate_pct,
             m.dropped,
             m.cdf.quantile(0.95)
         );
+        if let Some(h) = &r.health {
+            println!(
+                "           quarantined {} episode(s), rerouted {}, {} probes",
+                h.events.len(),
+                h.rerouted,
+                h.probes
+            );
+        }
     }
 
     println!("\n(compare against a healthy run with `--example baseline_comparison`)");
