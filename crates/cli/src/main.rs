@@ -10,6 +10,7 @@
 //! birp fig2       [--reps N] [--seed S]
 //! birp trace      [--scale small|large] [--slots N] [--seed S] [--csv|--json]
 //! birp report     <run.jsonl>
+//! birp conformance [--check] [--update-golden] [--oracle N] [--seed S]
 //! ```
 //!
 //! `--faults` loads a serialized [`birp_sim::FaultPlan`] (outages,
@@ -98,6 +99,12 @@ USAGE:
     birp fig2       [--reps N] [--seed S]
     birp trace      [--scale small|large] [--slots N] [--seed S] [--csv] [--json]
     birp report     <run.jsonl>
+    birp conformance [--check] [--update-golden] [--oracle N] [--seed S]
+
+CONFORMANCE:
+    --check          diff golden-trace replays bitwise against tests/golden/ (default; exit 1 on drift)
+    --update-golden  regenerate the committed snapshots from the current implementation
+    --oracle N       differentially check N random tiny instances against the brute-force oracle
 
 ROBUSTNESS (run / compare):
     --faults <plan.json>       inject a serialized FaultPlan into the executor
@@ -420,6 +427,91 @@ fn cmd_report(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_conformance(args: &Args) -> ExitCode {
+    use birp_conformance::golden::{check_all, update_all, GoldenStatus};
+
+    if args.has("update-golden") {
+        return match update_all() {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("wrote {}", p.display());
+                }
+                println!(
+                    "{} snapshot(s) regenerated — review and commit the diff",
+                    paths.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot write golden snapshots: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    // Optional differential smoke against the brute-force oracle.
+    if let Some(n) = args.get("oracle") {
+        let n: usize = match n.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--oracle takes a case count, got '{n}'");
+                return ExitCode::from(2);
+            }
+        };
+        let seed = args.num("seed", 42u64);
+        let mut rng = proptest::TestRng::from_name(&format!("birp-conformance-cli-{seed}"));
+        let cfg = SolverConfig {
+            node_limit: 50_000,
+            rel_gap: 1e-9,
+            ..SolverConfig::default()
+        };
+        for case in 0..n {
+            let inst = birp_conformance::sample_tiny_instance(&mut rng);
+            let oracle = birp_conformance::oracle_report(&inst);
+            let stats = match inst.problem().solve(&cfg) {
+                Ok((_, stats)) => stats,
+                Err(e) => {
+                    eprintln!("case {case}: solver error {e:?}");
+                    return ExitCode::from(1);
+                }
+            };
+            let tol = 1e-6 * (1.0 + oracle.objective.abs());
+            if (stats.objective - oracle.objective).abs() > tol {
+                eprintln!(
+                    "case {case}: MISMATCH solver {} vs oracle {}",
+                    stats.objective, oracle.objective
+                );
+                return ExitCode::from(1);
+            }
+        }
+        println!("oracle differential: {n} tiny instance(s) matched");
+    }
+
+    // Default action: bitwise golden check.
+    let mut drifted = false;
+    for (sc, status) in check_all() {
+        match status {
+            GoldenStatus::Match => println!("{:<20} match", sc.name),
+            GoldenStatus::Missing => {
+                println!("{:<20} MISSING (run with --update-golden)", sc.name);
+                drifted = true;
+            }
+            GoldenStatus::Drift { first_diff_line } => {
+                println!("{:<20} DRIFT at line {first_diff_line}", sc.name);
+                drifted = true;
+            }
+        }
+    }
+    if drifted {
+        eprintln!(
+            "golden drift — if intentional, regenerate with `birp conformance --update-golden`"
+        );
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
@@ -445,6 +537,7 @@ fn main() -> ExitCode {
         "fig2" => cmd_fig2(&args),
         "trace" => cmd_trace(&args),
         "report" => cmd_report(&raw[1..]),
+        "conformance" => cmd_conformance(&args),
         _ => usage(),
     };
     // Flush + append the telemetry.summary record (no-op when disabled).

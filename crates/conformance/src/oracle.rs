@@ -1,0 +1,403 @@
+//! Brute-force ground truth for tiny slot problems.
+//!
+//! The per-slot MILP's objective is `Σ loss·b + penalty·Σ o`. Three of its
+//! rows pin the routing side completely once the batch matrix is chosen:
+//! the serve rows force `Σ_m b[k][m of app i] = local[i][k] + in[i][k]`,
+//! the flow rows force `local + out + o = r`, and the balance rows force
+//! `Σ out = Σ in` per app — summing them gives
+//! `Σ_k o[i][k] = total_i − Σ_k B[i][k]` where `B[i][k]` is app `i`'s batch
+//! total at edge `k`. The objective is therefore a function of `(x, b)`
+//! alone, and the oracle only has to decide, per enumerated `(x, b)`,
+//! whether *any* residual routing is feasible.
+//!
+//! That feasibility check exploits a maximal-local exchange argument: any
+//! feasible routing can be transformed, one request at a time, into one
+//! with `local[i][k] = min(B[i][k], r[i][k])` without increasing any edge's
+//! network load (moving a request from shipped-in to served-locally frees
+//! `ζ` on both sides of the transfer). So it suffices to fix maximal local
+//! service, derive `in = B − local`, and search integer `out` assignments
+//! covering `Σ in` within each edge's leftover network budget — a DFS over
+//! a handful of cells with single-digit amounts.
+//!
+//! Everything here mirrors `birp_core::problem::SlotProblem::build` row by
+//! row (memory, Taylor-linearised compute, network with the
+//! `x^{t-1}`-conditional transfer charge, quarantine masks, serial mode).
+//! The differential tests in `tests/oracle_differential.rs` hold the MILP
+//! path to this implementation under every solver toggle.
+
+use birp_core::{DemandMatrix, ExecutionMode, ProblemConfig, TirMatrix};
+use birp_models::catalog::MAX_BATCH;
+use birp_models::{AppId, Catalog, EdgeId, ModelId};
+use birp_sim::Schedule;
+use birp_tir::linear_coeffs;
+
+use crate::tiny::TinyInstance;
+
+/// Slack added to every `<=` comparison; far below any plausible gap
+/// between randomly-drawn coefficients, far above accumulated f64 noise.
+const TOL: f64 = 1e-9;
+
+/// Result of a brute-force solve.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Optimal objective (`Σ loss·b + penalty·Σ o`). Always finite: the
+    /// all-drop assignment is feasible by construction.
+    pub objective: f64,
+    /// Requests served by the optimal assignment.
+    pub served: u64,
+    /// Optimal batch matrix `[edge][model]`.
+    pub best_batches: Vec<Vec<u32>>,
+    /// Leaf `(x, b)` assignments whose routing feasibility was checked.
+    pub leaves_checked: u64,
+}
+
+/// Convenience wrapper over [`oracle_solve`] for a [`TinyInstance`].
+pub fn oracle_report(inst: &TinyInstance) -> OracleReport {
+    oracle_solve(
+        &inst.catalog,
+        &inst.demand,
+        &inst.tir,
+        inst.prev.as_ref(),
+        &inst.cfg,
+    )
+}
+
+/// One feasible per-edge `(x, b)` configuration.
+struct EdgeConfig {
+    /// Batch per model (`x` implied: deployed iff `b > 0`; an idle
+    /// deployment only consumes resources, so it is never needed for
+    /// optimality).
+    b: Vec<u32>,
+    /// Batch total per app.
+    app_batch: Vec<u32>,
+    /// Network charge for models not deployed in the previous slot, MB.
+    transfer: f64,
+    /// Objective delta versus dropping those requests:
+    /// `Σ (loss − penalty)·b`. Negative whenever serving beats dropping.
+    contrib: f64,
+}
+
+/// Exhaustively solve a tiny instance. Panics only on malformed inputs
+/// (mismatched dimensions), never on hard instances — the all-drop
+/// assignment keeps the search space non-empty.
+pub fn oracle_solve(
+    catalog: &Catalog,
+    demand: &DemandMatrix,
+    tir: &TirMatrix,
+    prev: Option<&Schedule>,
+    cfg: &ProblemConfig,
+) -> OracleReport {
+    let na = catalog.num_apps();
+    let ne = catalog.num_edges();
+    let nm = catalog.num_models();
+    let serial = matches!(cfg.mode, ExecutionMode::Serial { .. });
+    let masked = |k: usize| -> bool {
+        cfg.masked_edges
+            .as_ref()
+            .is_some_and(|m| m.get(k).copied().unwrap_or(false))
+    };
+    let batch_cap = |e: usize, m: usize| -> u32 {
+        match cfg.mode {
+            ExecutionMode::Batched => tir.get(EdgeId(e), ModelId(m)).beta.clamp(1, MAX_BATCH),
+            ExecutionMode::Serial { max_serial } => max_serial.max(1),
+        }
+    };
+
+    let app_total: Vec<u32> = (0..na)
+        .map(|i| {
+            (0..ne)
+                .map(|k| demand.get(AppId(i), EdgeId(k)))
+                .sum::<u32>()
+        })
+        .collect();
+    let grand_total: u64 = app_total.iter().map(|&t| t as u64).sum();
+    let penalty = cfg.drop_penalty;
+
+    // --- enumerate feasible per-edge configurations ----------------------
+    let configs: Vec<Vec<EdgeConfig>> = (0..ne)
+        .map(|e| {
+            enumerate_edge_configs(
+                catalog,
+                tir,
+                prev,
+                cfg,
+                &app_total,
+                e,
+                serial,
+                masked(e),
+                &batch_cap,
+            )
+        })
+        .collect();
+
+    // Optimistic per-edge contribution for DFS bounding: the all-zero
+    // config always exists, so every entry is <= 0.
+    let best_contrib: Vec<f64> = configs
+        .iter()
+        .map(|cs| cs.iter().map(|c| c.contrib).fold(0.0, f64::min))
+        .collect();
+    let mut suffix_bound = vec![0.0; ne + 1];
+    for e in (0..ne).rev() {
+        suffix_bound[e] = suffix_bound[e + 1] + best_contrib[e];
+    }
+
+    // --- DFS over edges ---------------------------------------------------
+    let mut state = SearchState {
+        catalog,
+        demand,
+        na,
+        ne,
+        app_total: &app_total,
+        penalty,
+        grand_total,
+        configs: &configs,
+        suffix_bound: &suffix_bound,
+        chosen: Vec::with_capacity(ne),
+        best: f64::INFINITY,
+        best_batches: vec![vec![0; nm]; ne],
+        best_served: 0,
+        leaves_checked: 0,
+    };
+    dfs(&mut state, 0, &vec![0u32; na], 0.0);
+
+    OracleReport {
+        objective: state.best,
+        served: state.best_served,
+        best_batches: state.best_batches,
+        leaves_checked: state.leaves_checked,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_edge_configs(
+    catalog: &Catalog,
+    tir: &TirMatrix,
+    prev: Option<&Schedule>,
+    cfg: &ProblemConfig,
+    app_total: &[u32],
+    e: usize,
+    serial: bool,
+    edge_masked: bool,
+    batch_cap: &dyn Fn(usize, usize) -> u32,
+) -> Vec<EdgeConfig> {
+    let na = catalog.num_apps();
+    let nm = catalog.num_models();
+    let penalty = cfg.drop_penalty;
+    let zero = EdgeConfig {
+        b: vec![0; nm],
+        app_batch: vec![0; na],
+        transfer: 0.0,
+        contrib: 0.0,
+    };
+    if edge_masked {
+        // Masked edges host nothing; the builder pins x = b = 0 there.
+        return vec![zero];
+    }
+    // Batching beyond the app's entire demand can never be served (the
+    // serve row caps Σ b at arriving workload), so cap the odometer there.
+    let caps: Vec<u32> = (0..nm)
+        .map(|m| batch_cap(e, m).min(app_total[catalog.models[m].app.index()]))
+        .collect();
+    let mem_limit = catalog.edges[e].memory_mb;
+    let compute_limit = catalog.slot_ms;
+    let net_limit = catalog.edges[e].network_budget_mb;
+
+    let mut out = Vec::new();
+    let mut b = vec![0u32; nm];
+    'odometer: loop {
+        // Evaluate the current vector.
+        let mut app_batch = vec![0u32; na];
+        let mut mem = 0.0;
+        let mut compute = 0.0;
+        let mut transfer = 0.0;
+        let mut contrib = 0.0;
+        for (m, &bv) in b.iter().enumerate() {
+            let mv = &catalog.models[m];
+            if bv > 0 {
+                app_batch[mv.app.index()] += bv;
+                contrib += (mv.loss - penalty) * bv as f64;
+                if serial {
+                    mem += mv.weight_mb + mv.intermediate_mb;
+                    compute += catalog.edges[e].gamma_ms[m] * bv as f64;
+                } else {
+                    mem += mv.weight_mb + mv.intermediate_mb * bv as f64;
+                    let eta = tir.get(EdgeId(e), ModelId(m)).eta;
+                    let (slope, intercept) = linear_coeffs(catalog.edges[e].gamma_ms[m], eta);
+                    compute += slope * bv as f64 + intercept;
+                }
+                if !prev.is_some_and(|p| p.is_deployed(EdgeId(e), ModelId(m))) {
+                    transfer += mv.compressed_mb;
+                }
+            }
+        }
+        let per_app_ok = (0..na).all(|i| app_batch[i] <= app_total[i]);
+        if per_app_ok
+            && mem <= mem_limit + TOL
+            && compute <= compute_limit + TOL
+            && transfer <= net_limit + TOL
+        {
+            out.push(EdgeConfig {
+                b: b.clone(),
+                app_batch,
+                transfer,
+                contrib,
+            });
+        }
+        // Odometer increment.
+        let mut m = 0;
+        loop {
+            if m == nm {
+                break 'odometer;
+            }
+            if b[m] < caps[m] {
+                b[m] += 1;
+                break;
+            }
+            b[m] = 0;
+            m += 1;
+        }
+    }
+    // Most promising (most negative contribution) first, so the DFS finds
+    // strong incumbents early and the suffix bound prunes hard.
+    out.sort_by(|a, c| a.contrib.partial_cmp(&c.contrib).unwrap());
+    out
+}
+
+struct SearchState<'a> {
+    catalog: &'a Catalog,
+    demand: &'a DemandMatrix,
+    na: usize,
+    ne: usize,
+    app_total: &'a [u32],
+    penalty: f64,
+    grand_total: u64,
+    configs: &'a [Vec<EdgeConfig>],
+    suffix_bound: &'a [f64],
+    chosen: Vec<usize>,
+    best: f64,
+    best_batches: Vec<Vec<u32>>,
+    best_served: u64,
+    leaves_checked: u64,
+}
+
+fn dfs(s: &mut SearchState<'_>, e: usize, running_app: &[u32], partial_contrib: f64) {
+    // Bound: even serving maximally on the remaining edges cannot beat the
+    // incumbent.
+    let base = s.penalty * s.grand_total as f64;
+    if base + partial_contrib + s.suffix_bound[e] >= s.best - 1e-12 {
+        return;
+    }
+    if e == s.ne {
+        s.leaves_checked += 1;
+        let candidate = base + partial_contrib;
+        if routing_feasible(s) {
+            s.best = candidate;
+            for (k, &ci) in s.chosen.iter().enumerate() {
+                s.best_batches[k].clone_from(&s.configs[k][ci].b);
+            }
+            s.best_served = s
+                .chosen
+                .iter()
+                .enumerate()
+                .map(|(k, &ci)| s.configs[k][ci].b.iter().map(|&b| b as u64).sum::<u64>())
+                .sum();
+        }
+        return;
+    }
+    for ci in 0..s.configs[e].len() {
+        let cfg = &s.configs[e][ci];
+        let mut next_app = running_app.to_vec();
+        let mut ok = true;
+        for ((next, &add), &cap) in next_app
+            .iter_mut()
+            .zip(cfg.app_batch.iter())
+            .zip(s.app_total.iter())
+        {
+            *next += add;
+            if *next > cap {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let contrib = cfg.contrib;
+        s.chosen.push(ci);
+        dfs(s, e + 1, &next_app, partial_contrib + contrib);
+        s.chosen.pop();
+    }
+}
+
+/// Can the chosen batch matrix be fed? Fix maximal local service (WLOG per
+/// the module-level exchange argument), then DFS over integer `out`
+/// assignments that cover every edge's shipped-in workload within the
+/// remaining network budgets.
+fn routing_feasible(s: &SearchState<'_>) -> bool {
+    let (na, ne) = (s.na, s.ne);
+    // inn[i][k], residual out capacity, and per-edge leftover budget.
+    let mut inn = vec![vec![0u32; ne]; na];
+    let mut cap_out = vec![vec![0u32; ne]; na];
+    let mut need = vec![0u32; na];
+    let mut slack: Vec<f64> = (0..ne)
+        .map(|k| s.catalog.edges[k].network_budget_mb - s.configs[k][s.chosen[k]].transfer)
+        .collect();
+    for i in 0..na {
+        let zeta = s.catalog.apps[i].request_mb;
+        for k in 0..ne {
+            let r = s.demand.get(AppId(i), EdgeId(k));
+            let b_total = s.configs[k][s.chosen[k]].app_batch[i];
+            let local = b_total.min(r);
+            inn[i][k] = b_total - local;
+            cap_out[i][k] = r - local;
+            need[i] += inn[i][k];
+            slack[k] -= zeta * inn[i][k] as f64;
+        }
+    }
+    if slack.iter().any(|&v| v < -TOL) {
+        return false;
+    }
+    for i in 0..na {
+        let total_cap: u32 = cap_out[i].iter().sum();
+        if total_cap < need[i] {
+            return false;
+        }
+    }
+    assign_out(s, &cap_out, &need, &mut slack, 0, 0, 0)
+}
+
+/// DFS over cells `(app, edge)` choosing how many of app `i`'s leftover
+/// requests edge `k` ships out. `rem` tracks the app's still-uncovered
+/// shipped-in total; a cell may send at most its residual demand and at
+/// most what its edge's network slack affords.
+fn assign_out(
+    s: &SearchState<'_>,
+    cap_out: &[Vec<u32>],
+    need: &[u32],
+    slack: &mut [f64],
+    i: usize,
+    k: usize,
+    used: u32,
+) -> bool {
+    if i == s.na {
+        return true;
+    }
+    let rem = need[i] - used;
+    if k == s.ne {
+        return rem == 0 && assign_out(s, cap_out, need, slack, i + 1, 0, 0);
+    }
+    let zeta = s.catalog.apps[i].request_mb;
+    let by_budget = ((slack[k] + TOL) / zeta).floor().max(0.0) as u32;
+    let max_here = cap_out[i][k].min(rem).min(by_budget);
+    // Largest first: the remaining cells then carry the least load, which
+    // finds a witness quickly when one exists.
+    for a in (0..=max_here).rev() {
+        slack[k] -= zeta * a as f64;
+        if assign_out(s, cap_out, need, slack, i, k + 1, used + a) {
+            slack[k] += zeta * a as f64;
+            return true;
+        }
+        slack[k] += zeta * a as f64;
+    }
+    false
+}

@@ -1,0 +1,180 @@
+//! Shared property-test generators.
+//!
+//! Before this crate existed, `arb_ip` lived in three solver test files,
+//! `arb_demand` in the core tests and the fault-plan generators in the sim
+//! tests — each a private copy that drifted independently (the solver copies
+//! already disagreed on whether `Eq` rows were generated). The canonical
+//! versions live here; the per-crate proptests consume them through a
+//! dev-dependency on `birp-conformance`.
+
+use birp_core::DemandMatrix;
+use birp_models::{AppId, EdgeId};
+use birp_sim::{Degradation, FaultPlan, Flaky, LinkFault, Outage};
+use birp_solver::lp::{LpProblem, RowCmp};
+use birp_solver::milp::MilpProblem;
+use proptest::prelude::*;
+
+/// Random small pure-IP: `n <= 4` integer variables in `[0, ub]` with
+/// `ub <= 4`, `m <= 4` rows mixing `Le`/`Ge`/`Eq` comparisons, so
+/// exhaustive lattice enumeration stays cheap.
+///
+/// `Eq` rows are deliberately included: a continuous-feasible equality with
+/// a fractional right-hand side is the classic way to make the relaxation
+/// feasible while the lattice is empty, which is exactly the regression the
+/// promoted seed in `crates/solver/tests/warm_and_presolve.rs` pins down.
+pub fn arb_ip() -> impl Strategy<Value = MilpProblem> {
+    (1usize..=4, 1usize..=4).prop_flat_map(|(n, m)| {
+        let ubs = proptest::collection::vec(0u8..=4, n);
+        let objs = proptest::collection::vec(-5i32..=5, n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(-3i32..=3, n),
+                prop_oneof![Just(RowCmp::Le), Just(RowCmp::Ge), Just(RowCmp::Eq)],
+                -5.0f64..15.0,
+            ),
+            m,
+        );
+        (ubs, objs, rows).prop_map(move |(ubs, objs, rows)| {
+            let mut lp = LpProblem::with_columns(n);
+            for (j, ub) in ubs.iter().enumerate() {
+                lp.upper[j] = *ub as f64;
+            }
+            lp.objective = objs.iter().map(|&c| c as f64).collect();
+            for (coeffs, cmp, rhs) in rows {
+                let sparse: Vec<(usize, f64)> = coeffs
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, c)| c != 0)
+                    .map(|(j, c)| (j, c as f64))
+                    .collect();
+                lp.push_row(sparse, cmp, rhs);
+            }
+            MilpProblem {
+                lp,
+                integers: (0..n).collect(),
+            }
+        })
+    })
+}
+
+/// Enumerate every lattice point in the box of an [`arb_ip`]-sized problem;
+/// return the best feasible objective and a point attaining it, or `None`
+/// if no lattice point is feasible.
+pub fn brute_force_milp(p: &MilpProblem) -> Option<(f64, Vec<f64>)> {
+    let n = p.lp.num_cols();
+    let ubs: Vec<i64> = p.lp.upper.iter().map(|&u| u as i64).collect();
+    let mut x = vec![0i64; n];
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    loop {
+        let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        if p.lp.max_violation(&xf) < 1e-9 {
+            let obj = p.lp.objective_at(&xf);
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                best = Some((obj, xf));
+            }
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            if x[i] < ubs[i] {
+                x[i] += 1;
+                break;
+            }
+            x[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Random demand matrix with every cell in `0..=max`.
+pub fn arb_demand(
+    num_apps: usize,
+    num_edges: usize,
+    max: u32,
+) -> impl Strategy<Value = DemandMatrix> {
+    proptest::collection::vec(0..=max, num_apps * num_edges).prop_map(move |vals| {
+        let mut d = DemandMatrix::zeros(num_apps, num_edges);
+        for (i, v) in vals.into_iter().enumerate() {
+            d.set(AppId(i / num_edges), EdgeId(i % num_edges), v);
+        }
+        d
+    })
+}
+
+/// Half-open fault window `[from, to)` starting inside the horizon.
+pub fn arb_window(horizon: usize) -> impl Strategy<Value = (usize, usize)> {
+    (0usize..horizon, 1usize..24).prop_map(|(from, len)| (from, from + len))
+}
+
+/// Random total outage of one edge.
+pub fn arb_outage(num_edges: usize, horizon: usize) -> impl Strategy<Value = Outage> {
+    (0usize..num_edges, arb_window(horizon)).prop_map(|(e, (from_slot, to_slot))| Outage {
+        edge: EdgeId(e),
+        from_slot,
+        to_slot,
+    })
+}
+
+/// Random compute slowdown window (factors below 1 exercise clamping).
+pub fn arb_degradation(num_edges: usize, horizon: usize) -> impl Strategy<Value = Degradation> {
+    (0usize..num_edges, arb_window(horizon), 0.1f64..6.0).prop_map(
+        |(e, (from_slot, to_slot), slowdown)| Degradation {
+            edge: EdgeId(e),
+            from_slot,
+            to_slot,
+            slowdown,
+        },
+    )
+}
+
+/// Random directional link fault (factors outside `[0, 1]` exercise
+/// clamping).
+pub fn arb_link_fault(num_edges: usize, horizon: usize) -> impl Strategy<Value = LinkFault> {
+    (
+        0usize..num_edges,
+        0usize..num_edges,
+        arb_window(horizon),
+        -0.5f64..2.0,
+    )
+        .prop_map(
+            |(from, to, (from_slot, to_slot), bandwidth_factor)| LinkFault {
+                from: EdgeId(from),
+                to: EdgeId(to),
+                from_slot,
+                to_slot,
+                bandwidth_factor,
+            },
+        )
+}
+
+/// Random periodic flakiness (degenerate periods included).
+pub fn arb_flaky(num_edges: usize, horizon: usize) -> impl Strategy<Value = Flaky> {
+    (0usize..num_edges, arb_window(horizon), 0usize..6, 0usize..4).prop_map(
+        |(e, (from_slot, to_slot), period, down_slots)| Flaky {
+            edge: EdgeId(e),
+            from_slot,
+            to_slot,
+            period,
+            down_slots,
+        },
+    )
+}
+
+/// Random fault plan mixing up to four of each fault kind.
+pub fn arb_fault_plan(num_edges: usize, horizon: usize) -> impl Strategy<Value = FaultPlan> {
+    (
+        proptest::collection::vec(arb_outage(num_edges, horizon), 0..4),
+        proptest::collection::vec(arb_degradation(num_edges, horizon), 0..4),
+        proptest::collection::vec(arb_link_fault(num_edges, horizon), 0..4),
+        proptest::collection::vec(arb_flaky(num_edges, horizon), 0..4),
+    )
+        .prop_map(|(outages, degradations, link_faults, flaky)| FaultPlan {
+            outages,
+            degradations,
+            link_faults,
+            flaky,
+        })
+}

@@ -1,0 +1,173 @@
+//! Metamorphic transforms over [`TinyInstance`]s.
+//!
+//! Each transform documents the invariant it must preserve; the proptests in
+//! `tests/metamorphic.rs` hold the production solver to them. These relations
+//! need no oracle — they pit the solver against itself on related inputs, so
+//! they stay meaningful on instances far larger than the oracle can sweep.
+
+use birp_core::{DemandMatrix, TirMatrix};
+use birp_models::{AppId, Catalog, EdgeId};
+use birp_sim::Schedule;
+
+use crate::tiny::TinyInstance;
+
+/// Relabel edges: new edge `j` is old edge `perm[j]`.
+///
+/// Invariant: the optimal objective is unchanged — edge identity carries no
+/// information beyond its attached capacities, demand column, TIR row, warm
+/// deployments and mask bit, all of which move with the permutation.
+///
+/// `perm` must be a permutation of `0..num_edges`.
+pub fn permute_edges(inst: &TinyInstance, perm: &[usize]) -> TinyInstance {
+    let ne = inst.catalog.num_edges();
+    let na = inst.catalog.num_apps();
+    let nm = inst.catalog.num_models();
+    assert_eq!(perm.len(), ne, "perm length must equal num_edges");
+    {
+        let mut seen = vec![false; ne];
+        for &p in perm {
+            assert!(p < ne && !seen[p], "perm must be a permutation of 0..ne");
+            seen[p] = true;
+        }
+    }
+
+    let edges = (0..ne)
+        .map(|j| {
+            let mut e = inst.catalog.edges[perm[j]].clone();
+            e.id = EdgeId(j);
+            e
+        })
+        .collect();
+    let catalog = Catalog {
+        apps: inst.catalog.apps.clone(),
+        models: inst.catalog.models.clone(),
+        edges,
+        slot_ms: inst.catalog.slot_ms,
+        seed: inst.catalog.seed,
+    };
+
+    let mut demand = DemandMatrix::zeros(na, ne);
+    for i in 0..na {
+        for (j, &pj) in perm.iter().enumerate() {
+            demand.set(AppId(i), EdgeId(j), inst.demand.get(AppId(i), EdgeId(pj)));
+        }
+    }
+
+    let tir = TirMatrix::from_fn(ne, nm, |j, m| {
+        *inst.tir.get(EdgeId(perm[j]), birp_models::ModelId(m))
+    });
+
+    let prev = inst.prev.as_ref().map(|p| {
+        let mut out = Schedule::empty(p.t, na, ne);
+        for (j, &pj) in perm.iter().enumerate() {
+            out.deployments[j] = p.deployments[pj].clone();
+        }
+        out
+    });
+
+    let mut cfg = inst.cfg.clone();
+    cfg.masked_edges = inst
+        .cfg
+        .masked_edges
+        .as_ref()
+        .map(|mask| (0..ne).map(|j| mask[perm[j]]).collect());
+
+    TinyInstance {
+        catalog,
+        demand,
+        tir,
+        prev,
+        cfg,
+    }
+}
+
+/// Scale capacities up: memory by `mem_f`, network budgets (and the
+/// bandwidth they derive from) by `net_f`, the slot length by `slot_f`.
+///
+/// Invariant: for factors `>= 1` every previously feasible assignment stays
+/// feasible, so the optimal objective cannot increase (the objective
+/// minimises loss + drops).
+pub fn relax_budgets(inst: &TinyInstance, mem_f: f64, net_f: f64, slot_f: f64) -> TinyInstance {
+    assert!(
+        mem_f >= 1.0 && net_f >= 1.0 && slot_f >= 1.0,
+        "relaxation factors must be >= 1"
+    );
+    let mut out = inst.clone();
+    out.catalog.slot_ms *= slot_f;
+    for e in &mut out.catalog.edges {
+        e.memory_mb *= mem_f;
+        e.network_budget_mb *= net_f;
+        e.bandwidth_mbps *= net_f;
+    }
+    out
+}
+
+/// Extract the sub-instance on the edges in `keep` (strictly increasing
+/// indices into the original edge list).
+///
+/// Invariant (used by the mask ≡ submatrix test): when every *dropped* edge
+/// has zero demand, solving the original instance with those edges masked
+/// yields the same optimal objective as solving this sub-instance — a
+/// masked, demandless edge can neither host models nor originate traffic,
+/// so it is decision-irrelevant.
+pub fn restrict_edges(inst: &TinyInstance, keep: &[usize]) -> TinyInstance {
+    let ne = inst.catalog.num_edges();
+    let na = inst.catalog.num_apps();
+    let nm = inst.catalog.num_models();
+    assert!(!keep.is_empty(), "must keep at least one edge");
+    assert!(
+        keep.windows(2).all(|w| w[0] < w[1]) && *keep.last().unwrap() < ne,
+        "keep must be strictly increasing indices into 0..ne"
+    );
+
+    let edges = keep
+        .iter()
+        .enumerate()
+        .map(|(j, &old)| {
+            let mut e = inst.catalog.edges[old].clone();
+            e.id = EdgeId(j);
+            e
+        })
+        .collect();
+    let catalog = Catalog {
+        apps: inst.catalog.apps.clone(),
+        models: inst.catalog.models.clone(),
+        edges,
+        slot_ms: inst.catalog.slot_ms,
+        seed: inst.catalog.seed,
+    };
+
+    let mut demand = DemandMatrix::zeros(na, keep.len());
+    for i in 0..na {
+        for (j, &old) in keep.iter().enumerate() {
+            demand.set(AppId(i), EdgeId(j), inst.demand.get(AppId(i), EdgeId(old)));
+        }
+    }
+
+    let tir = TirMatrix::from_fn(keep.len(), nm, |j, m| {
+        *inst.tir.get(EdgeId(keep[j]), birp_models::ModelId(m))
+    });
+
+    let prev = inst.prev.as_ref().map(|p| {
+        let mut out = Schedule::empty(p.t, na, keep.len());
+        for (j, &old) in keep.iter().enumerate() {
+            out.deployments[j] = p.deployments[old].clone();
+        }
+        out
+    });
+
+    let mut cfg = inst.cfg.clone();
+    cfg.masked_edges = inst
+        .cfg
+        .masked_edges
+        .as_ref()
+        .map(|mask| keep.iter().map(|&old| mask[old]).collect());
+
+    TinyInstance {
+        catalog,
+        demand,
+        tir,
+        prev,
+        cfg,
+    }
+}

@@ -1,0 +1,46 @@
+//! Golden-trace replay: the committed snapshots under `tests/golden/` are
+//! the behavioural contract for the full stack (workload generator,
+//! schedulers, solver, simulator, runner).
+//!
+//! On intentional behaviour changes regenerate with
+//! `cargo run -p birp-cli -- conformance --update-golden` and commit the
+//! diff; TESTING.md documents the workflow.
+
+use birp_conformance::golden::{check_all, replay, scenarios, GoldenStatus};
+
+/// Replaying the same scenario twice in one process must be bitwise
+/// identical — the determinism that makes golden snapshots meaningful.
+#[test]
+fn replay_is_deterministic() {
+    for sc in scenarios() {
+        let a = replay(&sc);
+        let b = replay(&sc);
+        assert_eq!(a, b, "scenario {} is not deterministic", sc.name);
+        assert!(
+            a.lines().count() == sc.num_slots + 1,
+            "scenario {} should emit one line per slot plus a summary",
+            sc.name,
+        );
+    }
+}
+
+/// Every committed snapshot matches a fresh replay bitwise.
+#[test]
+fn replays_match_committed_snapshots() {
+    for (sc, status) in check_all() {
+        match status {
+            GoldenStatus::Match => {}
+            GoldenStatus::Missing => panic!(
+                "no golden snapshot for {} — run `cargo run -p birp-cli -- \
+                 conformance --update-golden` and commit tests/golden/",
+                sc.name,
+            ),
+            GoldenStatus::Drift { first_diff_line } => panic!(
+                "golden drift in {} (first differing line {}) — if the \
+                 behaviour change is intentional, regenerate with \
+                 `--update-golden` and commit the diff",
+                sc.name, first_diff_line,
+            ),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Sensitivity check for the differential harness itself.
+//!
+//! A ground-truth oracle is only as good as its ability to notice a wrong
+//! solver. This test runs a deliberately simple branch and bound over the
+//! lowered MILP in two variants — a correct one and one with a classic
+//! off-by-one in the down-branch bound (`b <= floor(v) - 1` instead of
+//! `b <= floor(v)`, wrongly excluding the integer just below the fractional
+//! LP value) — and asserts that the oracle (a) agrees with the correct
+//! variant everywhere and (b) catches the buggy variant on at least one
+//! instance. If (b) ever stops holding, the tiny-instance distribution has
+//! become too easy to discriminate and must be re-tightened.
+
+use birp_conformance::{oracle_report, sample_tiny_instance};
+use birp_solver::milp::MilpProblem;
+use birp_solver::simplex::solve_bounded;
+use birp_solver::LpStatus;
+use proptest::TestRng;
+
+const INT_TOL: f64 = 1e-6;
+
+/// Textbook best-first-free DFS branch and bound. `buggy` injects the
+/// off-by-one down-branch.
+fn naive_bnb(p: &MilpProblem, buggy: bool) -> Option<f64> {
+    fn rec(
+        p: &MilpProblem,
+        lo: &mut Vec<f64>,
+        hi: &mut Vec<f64>,
+        best: &mut Option<f64>,
+        nodes: &mut usize,
+        buggy: bool,
+    ) {
+        *nodes += 1;
+        assert!(*nodes < 100_000, "naive bnb runaway");
+        if lo.iter().zip(hi.iter()).any(|(l, h)| l > h) {
+            return;
+        }
+        let mut lp = p.lp.clone();
+        lp.lower.clone_from(lo);
+        lp.upper.clone_from(hi);
+        let sol = solve_bounded(&lp);
+        match sol.status {
+            LpStatus::Optimal => {}
+            _ => return,
+        }
+        if let Some(b) = *best {
+            if sol.objective >= b - 1e-9 {
+                return;
+            }
+        }
+        let frac = p
+            .integers
+            .iter()
+            .copied()
+            .find(|&j| (sol.x[j] - sol.x[j].round()).abs() > INT_TOL);
+        match frac {
+            None => *best = Some(sol.objective),
+            Some(j) => {
+                let v = sol.x[j];
+                let (save_lo, save_hi) = (lo[j], hi[j]);
+                hi[j] = if buggy { v.floor() - 1.0 } else { v.floor() };
+                rec(p, lo, hi, best, nodes, buggy);
+                hi[j] = save_hi;
+                lo[j] = v.ceil();
+                rec(p, lo, hi, best, nodes, buggy);
+                lo[j] = save_lo;
+            }
+        }
+    }
+
+    let mut lo = p.lp.lower.clone();
+    let mut hi = p.lp.upper.clone();
+    let mut best = None;
+    let mut nodes = 0;
+    rec(p, &mut lo, &mut hi, &mut best, &mut nodes, buggy);
+    best
+}
+
+#[test]
+fn oracle_agrees_with_correct_bnb_and_catches_injected_bug() {
+    let mut rng = TestRng::from_name("oracle_catches_bugs");
+    let mut bug_caught = 0usize;
+    const N: usize = 40;
+    for case in 0..N {
+        let inst = sample_tiny_instance(&mut rng);
+        let oracle = oracle_report(&inst);
+        let milp = inst.problem().debug_milp();
+        let tol = 1e-6 * (1.0 + oracle.objective.abs());
+
+        let correct = naive_bnb(&milp, false)
+            .unwrap_or_else(|| panic!("case {case}: correct bnb found no incumbent"));
+        assert!(
+            (correct - oracle.objective).abs() <= tol,
+            "case {case}: correct naive bnb {} != oracle {}",
+            correct,
+            oracle.objective,
+        );
+
+        // The buggy branch may prune the optimum (worse objective) or the
+        // whole tree (no incumbent at all); either counts as caught.
+        match naive_bnb(&milp, true) {
+            None => bug_caught += 1,
+            Some(b) if (b - oracle.objective).abs() > tol => bug_caught += 1,
+            Some(_) => {}
+        }
+    }
+    assert!(
+        bug_caught >= 1,
+        "off-by-one branching bound survived all {N} instances — the tiny \
+         distribution no longer discriminates a broken solver",
+    );
+}

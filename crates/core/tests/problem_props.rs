@@ -2,23 +2,14 @@
 //! per-slot problem (and every scheduler) emits is structurally feasible
 //! and conserves requests.
 
+use birp_conformance::strategies::arb_demand;
 use proptest::prelude::*;
 
 use birp_core::{Birp, BirpOff, MaxBatch, Oaei, Scheduler};
-use birp_core::{DemandMatrix, ProblemConfig, SlotProblem, TirMatrix};
+use birp_core::{ProblemConfig, SlotProblem, TirMatrix};
 use birp_mab::MabConfig;
 use birp_models::{AppId, Catalog, EdgeId};
 use birp_solver::SolverConfig;
-
-fn arb_demand(num_apps: usize, num_edges: usize, max: u32) -> impl Strategy<Value = DemandMatrix> {
-    proptest::collection::vec(0..=max, num_apps * num_edges).prop_map(move |vals| {
-        let mut d = DemandMatrix::zeros(num_apps, num_edges);
-        for (i, v) in vals.into_iter().enumerate() {
-            d.set(AppId(i / num_edges), EdgeId(i % num_edges), v);
-        }
-        d
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]

@@ -1,0 +1,119 @@
+//! Calibration invariants over the paper-derived reference data: Table 1
+//! rows, the model-version ladder, and the TIR parameterisation. These are
+//! facts the rest of the stack silently assumes (positive latencies,
+//! memory monotone in model size, the TIR curve continuous at its knee);
+//! breaking any of them while editing the calibration tables should fail
+//! here, not three crates downstream.
+
+use birp_models::catalog::MAX_BATCH;
+use birp_models::zoo::version_ladder;
+use birp_models::{table1_reference, AppId, Catalog};
+use birp_tir::TirParams;
+
+/// Every published Table 1 row implies a finite, positive single-request
+/// latency, and utilisation percentages stay inside [0, 100].
+#[test]
+fn table1_latencies_positive_and_utilisation_bounded() {
+    let rows = table1_reference();
+    assert_eq!(rows.len(), 8);
+    for r in &rows {
+        let gamma = r.gamma_ms();
+        assert!(
+            gamma.is_finite() && gamma > 0.0,
+            "{} on {:?}: gamma {} must be positive",
+            r.model,
+            r.device,
+            gamma
+        );
+        for (name, v) in [
+            ("cpu", r.util.cpu_pct),
+            ("gpu", r.util.gpu_pct),
+            ("npu", r.util.npu_pct),
+            ("npu_core", r.util.npu_core_pct),
+        ] {
+            assert!(
+                (0.0..=100.0).contains(&v),
+                "{} on {:?}: {name}% = {v} out of range",
+                r.model,
+                r.device
+            );
+        }
+    }
+}
+
+/// Up the version ladder (small → large model), memory is strictly
+/// monotone, and within one version the deployed footprint is monotone in
+/// the batch size.
+#[test]
+fn ladder_memory_monotone_in_size_and_batch() {
+    for a in 0..5 {
+        let ladder = version_ladder(AppId(a), a * 5, 0.6);
+        for w in ladder.windows(2) {
+            for b in [0u32, 1, 4, MAX_BATCH] {
+                assert!(
+                    w[0].memory_mb(b) < w[1].memory_mb(b),
+                    "app {a}: {} not lighter than {} at b={b}",
+                    w[0].name,
+                    w[1].name
+                );
+            }
+        }
+        for m in &ladder {
+            assert!(m.in_paper_ranges(), "{} outside paper ranges", m.name);
+            for b in 0..MAX_BATCH {
+                assert!(
+                    m.memory_mb(b) < m.memory_mb(b + 1),
+                    "{}: memory not monotone in batch at b={b}",
+                    m.name
+                );
+            }
+        }
+    }
+}
+
+/// The TIR curve `tir(b) = b^eta (b <= beta), c beyond` is continuous at
+/// the knee exactly when `c == beta^eta` — which `TirParams::consistent`
+/// guarantees and every catalog truth table must satisfy.
+#[test]
+fn tir_knee_is_continuous() {
+    for eta in [0.05, 0.18, 0.32] {
+        for beta in [1u32, 4, 9, 16] {
+            let p = TirParams::consistent(eta, beta);
+            assert!(p.is_valid());
+            let at_knee = p.tir(beta);
+            let past_knee = p.tir(beta + 1);
+            assert!(
+                (p.c - (beta as f64).powf(eta)).abs() < 1e-12,
+                "consistent() must set c = beta^eta"
+            );
+            assert!(
+                (at_knee - past_knee).abs() < 1e-12,
+                "eta={eta} beta={beta}: tir jumps at the knee ({at_knee} -> {past_knee})"
+            );
+        }
+    }
+}
+
+/// Both built-in catalogs carry knee-consistent TIR truths and positive
+/// per-edge latencies for every (edge, model) pair.
+#[test]
+fn catalogs_are_knee_consistent_with_positive_latencies() {
+    for catalog in [Catalog::small_scale(42), Catalog::large_scale(42)] {
+        catalog.validate().expect("catalog validates");
+        for e in &catalog.edges {
+            for m in 0..catalog.num_models() {
+                assert!(
+                    e.gamma_ms[m].is_finite() && e.gamma_ms[m] > 0.0,
+                    "{}: non-positive gamma for model {m}",
+                    e.name
+                );
+                let p = &e.tir_truth[m];
+                assert!(
+                    (p.c - (p.beta as f64).powf(p.eta)).abs() < 1e-9,
+                    "{}: model {m} TIR truth violates c == beta^eta",
+                    e.name
+                );
+            }
+        }
+    }
+}

@@ -1,75 +1,24 @@
 //! Property tests for the fault plan: serde round-trips, worst-of
 //! overlapping windows, and half-open window semantics for arbitrary
-//! generated plans.
+//! generated plans. The fault generators live in
+//! `birp_conformance::strategies`, parameterized by this file's NE/HORIZON.
 
 use proptest::prelude::*;
 
+use birp_conformance::strategies;
 use birp_models::EdgeId;
-use birp_sim::{Degradation, FaultPlan, Flaky, LinkFault, Outage};
+use birp_sim::{FaultPlan, LinkFault};
 
 const NE: usize = 6;
 const HORIZON: usize = 64;
 
-fn arb_window() -> impl Strategy<Value = (usize, usize)> {
-    (0usize..HORIZON, 1usize..24).prop_map(|(from, len)| (from, from + len))
-}
-
-fn arb_outage() -> impl Strategy<Value = Outage> {
-    (0usize..NE, arb_window()).prop_map(|(e, (from_slot, to_slot))| Outage {
-        edge: EdgeId(e),
-        from_slot,
-        to_slot,
-    })
-}
-
-fn arb_degradation() -> impl Strategy<Value = Degradation> {
-    (0usize..NE, arb_window(), 0.1f64..6.0).prop_map(|(e, (from_slot, to_slot), slowdown)| {
-        Degradation {
-            edge: EdgeId(e),
-            from_slot,
-            to_slot,
-            slowdown,
-        }
-    })
-}
-
+// Shared parameterized generators, pinned to this file's fixture shape.
 fn arb_link_fault() -> impl Strategy<Value = LinkFault> {
-    (0usize..NE, 0usize..NE, arb_window(), -0.5f64..2.0).prop_map(
-        |(from, to, (from_slot, to_slot), bandwidth_factor)| LinkFault {
-            from: EdgeId(from),
-            to: EdgeId(to),
-            from_slot,
-            to_slot,
-            bandwidth_factor,
-        },
-    )
-}
-
-fn arb_flaky() -> impl Strategy<Value = Flaky> {
-    (0usize..NE, arb_window(), 0usize..6, 0usize..4).prop_map(
-        |(e, (from_slot, to_slot), period, down_slots)| Flaky {
-            edge: EdgeId(e),
-            from_slot,
-            to_slot,
-            period,
-            down_slots,
-        },
-    )
+    strategies::arb_link_fault(NE, HORIZON)
 }
 
 fn arb_plan() -> impl Strategy<Value = FaultPlan> {
-    (
-        proptest::collection::vec(arb_outage(), 0..4),
-        proptest::collection::vec(arb_degradation(), 0..4),
-        proptest::collection::vec(arb_link_fault(), 0..4),
-        proptest::collection::vec(arb_flaky(), 0..4),
-    )
-        .prop_map(|(outages, degradations, link_faults, flaky)| FaultPlan {
-            outages,
-            degradations,
-            link_faults,
-            flaky,
-        })
+    strategies::arb_fault_plan(NE, HORIZON)
 }
 
 proptest! {

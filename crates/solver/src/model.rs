@@ -30,7 +30,11 @@ pub struct SolverConfig {
     /// Warm-start node LPs from parent basis snapshots (dual-simplex
     /// re-optimisation). Disable only for A/B validation of the warm path.
     pub warm_nodes: bool,
-    /// Simplex engine tunables (pivot cap).
+    /// Run presolve reductions before branch and bound. On by default;
+    /// disable only for A/B validation (e.g. the conformance differential
+    /// suite cross-checks both paths against a brute-force oracle).
+    pub presolve: bool,
+    /// Simplex engine tunables (pivot cap, partial-pricing candidate list).
     pub simplex: SimplexOptions,
     /// Hard degradation budget (nodes / pivots / wall-clock). On exhaustion
     /// the solve returns its best incumbent flagged `degraded`, or
@@ -46,6 +50,7 @@ impl Default for SolverConfig {
             parallel: false,
             root_dive: true,
             warm_nodes: true,
+            presolve: true,
             simplex: SimplexOptions::default(),
             budget: SolveBudget::unlimited(),
         }
@@ -374,7 +379,7 @@ impl Model {
             parallel: cfg.parallel,
             root_dive: cfg.root_dive,
             warm_start,
-            presolve: true,
+            presolve: cfg.presolve,
             warm_nodes: cfg.warm_nodes,
             simplex: cfg.simplex,
             budget: cfg.budget,

@@ -37,7 +37,7 @@ use crate::simplex::{reference, COST_TOL, PIVOT_TOL};
 /// Primal feasibility tolerance for warm-restore bound violations.
 const WARM_FEAS_TOL: f64 = 1e-7;
 
-/// Upper bound on the candidate list kept by partial pricing.
+/// Default upper bound on the candidate list kept by partial pricing.
 const CAND_MAX: usize = 24;
 
 /// Where a non-basic variable currently rests.
@@ -61,6 +61,11 @@ pub struct SimplexOptions {
     pub pivot_cap_base: usize,
     /// Per-dimension component of the pivot cap (multiplies `m + ncols`).
     pub pivot_cap_per_dim: usize,
+    /// Partial-pricing candidate-list size. `1` degenerates to
+    /// single-candidate sectional pricing, large values approach full
+    /// Dantzig pricing; either extreme must produce the same optimum, which
+    /// the conformance suite exercises.
+    pub candidate_cap: usize,
 }
 
 impl Default for SimplexOptions {
@@ -68,6 +73,7 @@ impl Default for SimplexOptions {
         SimplexOptions {
             pivot_cap_base: 200_000,
             pivot_cap_per_dim: 100,
+            candidate_cap: CAND_MAX,
         }
     }
 }
@@ -157,6 +163,8 @@ pub struct SimplexEngine {
     /// Partial-pricing candidate list and round-robin scan cursor.
     cands: Vec<usize>,
     cursor: usize,
+    /// Candidate-list cap for this solve (from [`SimplexOptions`]).
+    cand_cap: usize,
     m: usize,
     ncols: usize,
     /// Structural column count (`lp.num_cols()`).
@@ -305,7 +313,7 @@ impl SimplexEngine {
                 scanned += 1;
                 if self.eligible_delta(j).is_some() {
                     cands.push(j);
-                    if cands.len() >= CAND_MAX {
+                    if cands.len() >= self.cand_cap.max(1) {
                         break;
                     }
                 }
@@ -720,6 +728,7 @@ impl SimplexEngine {
             }
         }
         self.load(lp, lo, hi);
+        self.cand_cap = opts.candidate_cap;
         let n = self.nstruct;
         let num_slacks = self.num_slacks;
         let cap = opts.pivot_cap(self.m, self.ncols);
@@ -946,6 +955,7 @@ impl SimplexEngine {
         hi: &[f64],
         opts: &SimplexOptions,
     ) -> Option<LpSolution> {
+        self.cand_cap = opts.candidate_cap;
         let cap = opts.pivot_cap(self.m, self.ncols);
         match self.dual_run(cap) {
             DualOutcome::PrimalFeasible => {}
@@ -1278,6 +1288,7 @@ mod tests {
         let opts = SimplexOptions {
             pivot_cap_base: 1,
             pivot_cap_per_dim: 0,
+            candidate_cap: CAND_MAX,
         };
         let mut eng = SimplexEngine::new();
         // try_solve_cold must give up (None) under a 1-pivot cap…

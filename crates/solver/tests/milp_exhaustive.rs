@@ -1,74 +1,15 @@
 //! Property-based validation of branch and bound against brute-force
 //! enumeration on small pure-integer programs.
 
-use birp_solver::lp::{LpProblem, RowCmp};
+use birp_conformance::strategies::{arb_ip, brute_force_milp};
 use birp_solver::milp::{branch_and_bound, BnbConfig, MilpProblem, MilpStatus};
 use proptest::prelude::*;
 
-/// Random small pure-IP: every variable integer in [0, ub] with ub <= 4,
-/// so exhaustive enumeration is cheap.
-fn arb_ip() -> impl Strategy<Value = MilpProblem> {
-    (1usize..=4, 1usize..=4).prop_flat_map(|(n, m)| {
-        let ubs = proptest::collection::vec(0u8..=4, n);
-        let objs = proptest::collection::vec(-5i32..=5, n);
-        let rows = proptest::collection::vec(
-            (
-                proptest::collection::vec(-3i32..=3, n),
-                prop_oneof![Just(RowCmp::Le), Just(RowCmp::Ge)],
-                -5.0f64..15.0,
-            ),
-            m,
-        );
-        (ubs, objs, rows).prop_map(move |(ubs, objs, rows)| {
-            let mut lp = LpProblem::with_columns(n);
-            for (j, ub) in ubs.iter().enumerate() {
-                lp.upper[j] = *ub as f64;
-            }
-            lp.objective = objs.iter().map(|&c| c as f64).collect();
-            for (coeffs, cmp, rhs) in rows {
-                let sparse: Vec<(usize, f64)> = coeffs
-                    .into_iter()
-                    .enumerate()
-                    .filter(|&(_, c)| c != 0)
-                    .map(|(j, c)| (j, c as f64))
-                    .collect();
-                lp.push_row(sparse, cmp, rhs);
-            }
-            MilpProblem {
-                lp,
-                integers: (0..n).collect(),
-            }
-        })
-    })
-}
-
-/// Enumerate every lattice point in the box; return the best feasible
-/// objective, or None if none is feasible.
+/// Best lattice objective only (this file never needs the witness point).
+/// Note the shared generator also emits `Eq` rows, which this file's old
+/// private copy did not — strictly more coverage.
 fn brute_force(p: &MilpProblem) -> Option<f64> {
-    let n = p.lp.num_cols();
-    let ubs: Vec<i64> = p.lp.upper.iter().map(|&u| u as i64).collect();
-    let mut x = vec![0i64; n];
-    let mut best: Option<f64> = None;
-    loop {
-        let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
-        if p.lp.max_violation(&xf) < 1e-9 {
-            let obj = p.lp.objective_at(&xf);
-            best = Some(best.map_or(obj, |b: f64| b.min(obj)));
-        }
-        // Odometer increment.
-        let mut i = 0;
-        loop {
-            if i == n {
-                return best;
-            }
-            if x[i] < ubs[i] {
-                x[i] += 1;
-                break;
-            }
-            x[i] = 0;
-            i += 1;
-        }
-    }
+    brute_force_milp(p).map(|(obj, _)| obj)
 }
 
 proptest! {

@@ -1,74 +1,41 @@
 //! Property tests for the newer solver layers: presolve soundness and
 //! warm-start handling, cross-validated against brute force.
+//!
+//! The IP generator and lattice brute force live in
+//! `birp_conformance::strategies`, shared with the other solver proptests.
 
-use birp_solver::lp::{LpProblem, RowCmp};
+use birp_conformance::strategies::{arb_ip, brute_force_milp as brute_force};
 use birp_solver::milp::{branch_and_bound, BnbConfig, MilpProblem, MilpStatus};
 use birp_solver::presolve::{presolve, PresolveStatus};
 use birp_solver::simplex::{solve_bounded, solve_reference};
 use birp_solver::LpStatus;
 use proptest::prelude::*;
 
-fn arb_ip() -> impl Strategy<Value = MilpProblem> {
-    (1usize..=4, 1usize..=4).prop_flat_map(|(n, m)| {
-        let ubs = proptest::collection::vec(0u8..=4, n);
-        let objs = proptest::collection::vec(-5i32..=5, n);
-        let rows = proptest::collection::vec(
-            (
-                proptest::collection::vec(-3i32..=3, n),
-                prop_oneof![Just(RowCmp::Le), Just(RowCmp::Ge), Just(RowCmp::Eq)],
-                -5.0f64..15.0,
-            ),
-            m,
-        );
-        (ubs, objs, rows).prop_map(move |(ubs, objs, rows)| {
-            let mut lp = LpProblem::with_columns(n);
-            for (j, ub) in ubs.iter().enumerate() {
-                lp.upper[j] = *ub as f64;
-            }
-            lp.objective = objs.iter().map(|&c| c as f64).collect();
-            for (coeffs, cmp, rhs) in rows {
-                let sparse: Vec<(usize, f64)> = coeffs
-                    .into_iter()
-                    .enumerate()
-                    .filter(|&(_, c)| c != 0)
-                    .map(|(j, c)| (j, c as f64))
-                    .collect();
-                lp.push_row(sparse, cmp, rhs);
-            }
-            MilpProblem {
-                lp,
-                integers: (0..n).collect(),
-            }
-        })
-    })
-}
-
-fn brute_force(p: &MilpProblem) -> Option<(f64, Vec<f64>)> {
-    let n = p.lp.num_cols();
-    let ubs: Vec<i64> = p.lp.upper.iter().map(|&u| u as i64).collect();
-    let mut x = vec![0i64; n];
-    let mut best: Option<(f64, Vec<f64>)> = None;
-    loop {
-        let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
-        if p.lp.max_violation(&xf) < 1e-9 {
-            let obj = p.lp.objective_at(&xf);
-            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
-                best = Some((obj, xf));
-            }
-        }
-        let mut i = 0;
-        loop {
-            if i == n {
-                return best;
-            }
-            if x[i] < ubs[i] {
-                x[i] += 1;
-                break;
-            }
-            x[i] = 0;
-            i += 1;
-        }
-    }
+/// Promoted from `warm_and_presolve.proptest-regressions`: a single binary
+/// variable with zero objective constrained by the equality row
+/// `x = 0.3150751831996301`. The LP relaxation is feasible (and optimal at
+/// the fractional point) while the integer lattice is empty — the exact
+/// shape that once tripped the presolve/bnb infeasibility handshake. Runs
+/// unconditionally so the seed can never rot in a sidecar file.
+#[test]
+fn regression_fractional_equality_is_integer_infeasible() {
+    let mut lp = birp_solver::lp::LpProblem::with_columns(1);
+    lp.upper[0] = 1.0;
+    lp.push_row(
+        vec![(0, 1.0)],
+        birp_solver::lp::RowCmp::Eq,
+        0.3150751831996301,
+    );
+    let p = MilpProblem {
+        lp,
+        integers: vec![0],
+    };
+    assert!(
+        brute_force(&p).is_none(),
+        "no lattice point satisfies the row"
+    );
+    let r = branch_and_bound(&p, &BnbConfig::default());
+    assert_eq!(r.status, MilpStatus::Infeasible);
 }
 
 proptest! {

@@ -11,6 +11,7 @@
 //!    cold configuration on random MILPs, and the same seeded run must be
 //!    bitwise reproducible (same incumbent vector), warm or not.
 
+use birp_conformance::strategies::arb_ip;
 use birp_solver::lp::{LpProblem, RowCmp};
 use birp_solver::milp::{branch_and_bound, BnbConfig, MilpProblem, MilpStatus};
 use birp_solver::simplex::solve_bounded;
@@ -70,42 +71,6 @@ fn arb_tightened_lp() -> impl Strategy<Value = (LpProblem, Vec<f64>, Vec<f64>)> 
                 }
             }
             (lp, lo, hi)
-        })
-    })
-}
-
-/// Random small MILP (same family as `warm_and_presolve`).
-fn arb_ip() -> impl Strategy<Value = MilpProblem> {
-    (1usize..=4, 1usize..=4).prop_flat_map(|(n, m)| {
-        let ubs = proptest::collection::vec(0u8..=4, n);
-        let objs = proptest::collection::vec(-5i32..=5, n);
-        let rows = proptest::collection::vec(
-            (
-                proptest::collection::vec(-3i32..=3, n),
-                prop_oneof![Just(RowCmp::Le), Just(RowCmp::Ge), Just(RowCmp::Eq)],
-                -5.0f64..15.0,
-            ),
-            m,
-        );
-        (ubs, objs, rows).prop_map(move |(ubs, objs, rows)| {
-            let mut lp = LpProblem::with_columns(n);
-            for (j, ub) in ubs.iter().enumerate() {
-                lp.upper[j] = *ub as f64;
-            }
-            lp.objective = objs.iter().map(|&c| c as f64).collect();
-            for (coeffs, cmp, rhs) in rows {
-                let sparse: Vec<(usize, f64)> = coeffs
-                    .into_iter()
-                    .enumerate()
-                    .filter(|&(_, c)| c != 0)
-                    .map(|(j, c)| (j, c as f64))
-                    .collect();
-                lp.push_row(sparse, cmp, rhs);
-            }
-            MilpProblem {
-                lp,
-                integers: (0..n).collect(),
-            }
         })
     })
 }

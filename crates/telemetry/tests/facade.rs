@@ -1,0 +1,124 @@
+//! Integration tests for the telemetry facade.
+//!
+//! The facade keeps one process-global registry, so everything touching
+//! `init`/`counter`/`observe`/`shutdown`/`reset` lives in a single `#[test]`
+//! (Rust runs tests in one process; two tests fighting over the registry
+//! would race). Pure-value types (`LogHistogram`, `MemorySink`, `Event`)
+//! are tested separately without global state.
+
+use birp_telemetry as telemetry;
+use telemetry::{Event, Level, LogHistogram, MemorySink, Sink, Value};
+
+/// End-to-end JSONL round trip: init a file sink, emit counters /
+/// histograms / events, shut down, and parse every line back.
+#[test]
+fn jsonl_sink_round_trip() {
+    let path = std::env::temp_dir().join(format!(
+        "birp-telemetry-roundtrip-{}.jsonl",
+        std::process::id()
+    ));
+    telemetry::init_jsonl(&path, Level::Debug).expect("open sink");
+    assert!(telemetry::enabled());
+
+    telemetry::counter("test.requests", 3);
+    telemetry::counter("test.requests", 4);
+    telemetry::observe("test.latency_ms", 12.5);
+    telemetry::observe("test.latency_ms", 25.0);
+    telemetry::event(
+        Level::Info,
+        "test.marker",
+        &[("answer", Value::Int(42)), ("who", Value::Str("t".into()))],
+    );
+    // Below the Debug threshold: must not be written.
+    telemetry::event(Level::Trace, "test.invisible", &[]);
+
+    let summary = telemetry::summary();
+    assert_eq!(summary.counter("test.requests"), Some(7));
+    let h = summary.histogram("test.latency_ms").expect("histogram");
+    assert_eq!(h.count, 2);
+    assert!((h.sum - 37.5).abs() < 1e-9);
+
+    telemetry::shutdown();
+    telemetry::reset();
+    assert!(!telemetry::enabled());
+
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("every line is valid JSON"))
+        .collect();
+    let names: Vec<&str> = lines
+        .iter()
+        .map(|v| v.get("name").and_then(|n| n.as_str()).unwrap())
+        .collect();
+    assert!(names.contains(&"test.marker"));
+    assert!(
+        !names.contains(&"test.invisible"),
+        "trace event leaked past the Debug threshold"
+    );
+    // The shutdown record carries the aggregated snapshot.
+    let last = lines.last().expect("at least the summary line");
+    assert_eq!(
+        last.get("name").and_then(|n| n.as_str()),
+        Some("telemetry.summary")
+    );
+    let parsed: telemetry::TelemetrySummary =
+        serde_json::from_value(last.get("summary").expect("summary field"))
+            .expect("summary deserializes");
+    assert_eq!(parsed.counter("test.requests"), Some(7));
+    assert_eq!(
+        parsed.histogram("test.latency_ms").map(|h| h.count),
+        Some(2)
+    );
+}
+
+#[test]
+fn memory_sink_buffers_and_drains() {
+    let sink = MemorySink::new();
+    assert!(sink.is_empty());
+    for i in 0..5 {
+        sink.record(&Event {
+            level: Level::Info,
+            name: format!("e{i}"),
+            t_ms: i as f64,
+            fields: vec![],
+        });
+    }
+    assert_eq!(sink.len(), 5);
+    let events = sink.drain();
+    assert_eq!(events.len(), 5);
+    assert_eq!(events[3].name, "e3");
+    assert!(sink.is_empty(), "drain must leave the sink empty");
+}
+
+#[test]
+fn log_histogram_aggregation() {
+    let mut h = LogHistogram::new();
+    for v in [1.0, 2.0, 4.0, 8.0] {
+        h.observe(v);
+    }
+    // Non-finite values must be ignored, not corrupt the aggregates.
+    h.observe(f64::NAN);
+    h.observe(f64::INFINITY);
+    assert_eq!(h.count, 4);
+    assert!((h.sum - 15.0).abs() < 1e-9);
+    assert!((h.mean() - 3.75).abs() < 1e-9);
+
+    let mut other = LogHistogram::new();
+    other.observe(16.0);
+    h.merge(&other);
+    assert_eq!(h.count, 5);
+    assert!((h.sum - 31.0).abs() < 1e-9);
+
+    let s = h.summarize();
+    assert_eq!(s.count, 5);
+    assert!((s.min - 1.0).abs() < 1e-9);
+    assert!((s.max - 16.0).abs() < 1e-9);
+    // Log-bucketed quantiles carry <= sqrt(2) relative error.
+    let q50 = h.quantile(0.5);
+    assert!(
+        q50 >= 4.0 / 2f64.sqrt() && q50 <= 4.0 * 2f64.sqrt(),
+        "q50={q50}"
+    );
+}

@@ -8,7 +8,9 @@
 //! - each test's RNG is seeded from a hash of its fully-qualified name, so
 //!   failures reproduce run-over-run without a persistence file;
 //! - failing cases are reported with their case index and message, but are
-//!   **not shrunk** (the tests here assert invariants, not minimal inputs).
+//!   **not shrunk** (the tests here assert invariants, not minimal inputs);
+//! - a `PROPTEST_CASES` environment variable overrides every configured
+//!   case count (the CI nightly deep sweep sets `PROPTEST_CASES=4096`).
 
 use std::ops::{Range, RangeInclusive};
 
@@ -50,6 +52,18 @@ pub struct ProptestConfig {
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
+    }
+
+    /// Case count actually run: a valid `PROPTEST_CASES` environment
+    /// variable overrides the configured count (upstream reads it into the
+    /// default config; here it also overrides explicit `with_cases` so the
+    /// nightly deep sweep can scale every suite without editing tests).
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.cases)
     }
 }
 
@@ -289,9 +303,10 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::ProptestConfig = $cfg;
+                let __cases = __cfg.resolved_cases();
                 let mut __rng = $crate::TestRng::from_name(
                     concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__cfg.cases {
+                for __case in 0..__cases {
                     $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
                     let __outcome: ::core::result::Result<(), ::std::string::String> =
                         (|| {
@@ -300,7 +315,7 @@ macro_rules! proptest {
                         })();
                     if let ::core::result::Result::Err(__msg) = __outcome {
                         panic!("property `{}` failed on case {}/{}: {}",
-                               stringify!($name), __case + 1, __cfg.cases, __msg);
+                               stringify!($name), __case + 1, __cases, __msg);
                     }
                 }
             }
