@@ -1,0 +1,171 @@
+//! Multi-slot decide-latency benchmark for cross-slot temporal reuse
+//! (DESIGN.md §11).
+//!
+//! Runs the Fig. 6 small-scale BIRP workload twice over the same trace —
+//! temporal reuse on and off — timing every `decide` call, and writes the
+//! mean per-slot latencies plus their ratio to `BENCH_runner.json` at the
+//! repo root. The acceptance bar is a ≥ 1.5× mean improvement with reuse
+//! on, while the conformance layer (reuse-on goldens, the
+//! `temporal_differential` suite) pins the objectives to equality.
+
+use std::time::Instant;
+
+use birp_core::{run_scheduler, Birp, DemandMatrix, RunConfig, Scheduler, TemporalReuse};
+use birp_mab::MabConfig;
+use birp_models::Catalog;
+use birp_sim::{Schedule, SlotOutcome};
+use birp_solver::SolverConfig;
+use birp_workload::{Trace, TraceConfig};
+use serde::Serialize;
+
+const SLOTS: usize = 32;
+const MEAN_RATE: f64 = 7.0;
+const SEED: u64 = 42;
+const REPS: usize = 5;
+
+/// Times every `decide` call, delegating everything else unchanged.
+struct TimedDecide<S> {
+    inner: S,
+    total_ms: f64,
+    calls: usize,
+}
+
+impl<S: Scheduler> Scheduler for TimedDecide<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn decide(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
+        let start = Instant::now();
+        let s = self.inner.decide(t, demand, prev);
+        self.total_ms += start.elapsed().as_secs_f64() * 1e3;
+        self.calls += 1;
+        s
+    }
+
+    fn observe(&mut self, outcome: &SlotOutcome) {
+        self.inner.observe(outcome);
+    }
+
+    fn set_edge_mask(&mut self, mask: Option<&[bool]>) {
+        self.inner.set_edge_mask(mask);
+    }
+}
+
+/// One full run; returns (mean decide ms, total loss).
+fn run_once(catalog: &Catalog, trace: &Trace, reuse: TemporalReuse) -> (f64, f64) {
+    let mut timed = TimedDecide {
+        inner: Birp::new(catalog.clone(), MabConfig::paper_preset())
+            .with_solver(SolverConfig::scheduling())
+            .with_reuse(reuse),
+        total_ms: 0.0,
+        calls: 0,
+    };
+    let result = run_scheduler(catalog, trace, &mut timed, &RunConfig::default());
+    (
+        timed.total_ms / timed.calls.max(1) as f64,
+        result.metrics.total_loss,
+    )
+}
+
+#[derive(Serialize)]
+struct Workload {
+    scale: &'static str,
+    slots: usize,
+    mean_rate: f64,
+    seed: u64,
+}
+
+#[derive(Serialize)]
+struct Losses {
+    reuse_off: f64,
+    reuse_on: f64,
+}
+
+#[derive(Serialize)]
+struct Acceptance {
+    decide_speedup_required: f64,
+    decide_speedup_measured: f64,
+    objective_equality: &'static str,
+}
+
+#[derive(Serialize)]
+struct Record {
+    description: &'static str,
+    workload: Workload,
+    reuse_off_mean_decide_ms: f64,
+    reuse_on_mean_decide_ms: f64,
+    speedup: f64,
+    total_loss: Losses,
+    acceptance: Acceptance,
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. --bench); a bare `--no-run`
+    // compile guard never executes this, and any argument beyond the binary
+    // name is ignored.
+    let catalog = Catalog::small_scale(SEED);
+    let trace = TraceConfig {
+        num_slots: SLOTS,
+        mean_rate: MEAN_RATE,
+        ..TraceConfig::small_scale(SEED)
+    }
+    .generate();
+
+    // Warm-up: populate caches/codegen so neither variant pays first-run
+    // costs.
+    run_once(&catalog, &trace, TemporalReuse::disabled());
+
+    let mut on_ms = f64::INFINITY;
+    let mut off_ms = f64::INFINITY;
+    let (mut on_loss, mut off_loss) = (0.0, 0.0);
+    for _ in 0..REPS {
+        let (ms, loss) = run_once(&catalog, &trace, TemporalReuse::disabled());
+        if ms < off_ms {
+            off_ms = ms;
+        }
+        off_loss = loss;
+        let (ms, loss) = run_once(&catalog, &trace, TemporalReuse::default());
+        if ms < on_ms {
+            on_ms = ms;
+        }
+        on_loss = loss;
+    }
+    let speedup = off_ms / on_ms;
+
+    println!("--- runner decide latency (Fig. 6 small scale, {SLOTS} slots) ---");
+    println!("reuse off  mean decide {off_ms:.3} ms/slot   total loss {off_loss:.2}");
+    println!("reuse on   mean decide {on_ms:.3} ms/slot   total loss {on_loss:.2}");
+    println!("speedup    {speedup:.2}x (acceptance: >= 1.5x)");
+
+    let record = Record {
+        description: "Mean per-slot BIRP decide latency on the Fig. 6 small-scale workload \
+                      (crates/bench/benches/runner_decide.rs), temporal reuse on vs off, same \
+                      trace, best of 5 runs.",
+        workload: Workload {
+            scale: "small",
+            slots: SLOTS,
+            mean_rate: MEAN_RATE,
+            seed: SEED,
+        },
+        reuse_off_mean_decide_ms: off_ms,
+        reuse_on_mean_decide_ms: on_ms,
+        speedup,
+        total_loss: Losses {
+            reuse_off: off_loss,
+            reuse_on: on_loss,
+        },
+        acceptance: Acceptance {
+            decide_speedup_required: 1.5,
+            decide_speedup_measured: speedup,
+            objective_equality: "temporal_differential proptests + reuse-on golden snapshots",
+        },
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runner.json");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&record).expect("serialisable"),
+    )
+    .expect("write BENCH_runner.json");
+    println!("wrote {path}");
+}

@@ -38,7 +38,7 @@ use birp_core::experiments::{
     compare_schedulers, epsilon_sweep, fig2_experiment, resilience_experiment, table1_experiment,
     ComparisonConfig, ResilienceConfig, SchedulerKind, SweepConfig,
 };
-use birp_core::{run_scheduler, HealthConfig, RunConfig};
+use birp_core::{run_scheduler, HealthConfig, RunConfig, TemporalReuse};
 use birp_mab::MabConfig;
 use birp_models::Catalog;
 use birp_solver::SolverConfig;
@@ -109,6 +109,8 @@ CONFORMANCE:
 ROBUSTNESS (run / compare):
     --faults <plan.json>       inject a serialized FaultPlan into the executor
     --resilience on|off        failure detector + quarantine-and-reroute (default: off)
+    --no-reuse                 disable cross-slot temporal reuse (warm-start install
+                               and schedule cache) in the MILP schedulers
 
 OBSERVABILITY (any command):
     --telemetry <path.jsonl>   capture structured events to a JSON Lines file
@@ -136,8 +138,12 @@ fn trace_cfg_for(scale: &str, seed: u64, slots: usize) -> TraceConfig {
     }
 }
 
-/// Apply `--faults <plan.json>` and `--resilience on|off` to a run config.
+/// Apply `--faults <plan.json>`, `--resilience on|off` and `--no-reuse` to a
+/// run config.
 fn apply_robustness(args: &Args, run: &mut RunConfig) -> Result<(), ExitCode> {
+    if args.has("no-reuse") {
+        run.reuse = TemporalReuse::disabled();
+    }
     if let Some(path) = args.get("faults") {
         let text = std::fs::read_to_string(path).map_err(|e| {
             eprintln!("cannot read fault plan {path}: {e}");
@@ -187,7 +193,13 @@ fn cmd_run(args: &Args) -> ExitCode {
     if let Err(code) = apply_robustness(args, &mut run_cfg) {
         return code;
     }
-    let mut scheduler = kind.build(&catalog, MabConfig::paper_preset(), seed, &solver);
+    let mut scheduler = kind.build_with_reuse(
+        &catalog,
+        MabConfig::paper_preset(),
+        seed,
+        &solver,
+        &run_cfg.reuse,
+    );
     let result = run_scheduler(&catalog, &trace, scheduler.as_mut(), &run_cfg);
     let m = &result.metrics;
     println!("scheduler      {}", result.scheduler);

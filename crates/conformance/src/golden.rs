@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use birp_core::{run_scheduler, Birp, BirpOff, DemandMatrix, RunConfig, Scheduler};
+use birp_core::{run_scheduler, Birp, BirpOff, DemandMatrix, RunConfig, Scheduler, TemporalReuse};
 use birp_mab::MabConfig;
 use birp_models::{AppId, Catalog, EdgeId};
 use birp_sim::{Schedule, SlotOutcome};
@@ -45,11 +45,17 @@ pub struct GoldenScenario {
     pub seed: u64,
     pub num_slots: usize,
     pub mean_rate: f64,
+    /// Cross-slot temporal reuse (DESIGN.md §11). The pre-reuse scenarios
+    /// pin this off so their snapshots stay byte-identical to the era they
+    /// were recorded in; the `-reuse` variants run the reuse path and catch
+    /// drift in the warm-start install / schedule-cache machinery.
+    pub reuse: bool,
 }
 
 /// The committed scenario set. Short horizons keep the snapshots reviewable
-/// and the replay fast enough for every CI run; the two scenarios cover
-/// both MILP schedulers (learned and ground-truth TIRs) on distinct seeds.
+/// and the replay fast enough for every CI run; the scenarios cover both
+/// MILP schedulers (learned and ground-truth TIRs) on distinct seeds, each
+/// with temporal reuse off (the original contract) and on.
 pub fn scenarios() -> Vec<GoldenScenario> {
     vec![
         GoldenScenario {
@@ -58,6 +64,7 @@ pub fn scenarios() -> Vec<GoldenScenario> {
             seed: 42,
             num_slots: 8,
             mean_rate: 6.0,
+            reuse: false,
         },
         GoldenScenario {
             name: "small-birp-s7",
@@ -65,6 +72,23 @@ pub fn scenarios() -> Vec<GoldenScenario> {
             seed: 7,
             num_slots: 6,
             mean_rate: 5.0,
+            reuse: false,
+        },
+        GoldenScenario {
+            name: "small-birpoff-s42-reuse",
+            scheduler: SchedulerKind::BirpOff,
+            seed: 42,
+            num_slots: 8,
+            mean_rate: 6.0,
+            reuse: true,
+        },
+        GoldenScenario {
+            name: "small-birp-s7-reuse",
+            scheduler: SchedulerKind::Birp,
+            seed: 7,
+            num_slots: 6,
+            mean_rate: 5.0,
+            reuse: true,
         },
     ]
 }
@@ -133,11 +157,18 @@ pub fn replay(sc: &GoldenScenario) -> String {
         ..TraceConfig::small_scale(sc.seed)
     }
     .generate();
+    let reuse = if sc.reuse {
+        TemporalReuse::default()
+    } else {
+        TemporalReuse::disabled()
+    };
     let inner = match sc.scheduler {
-        SchedulerKind::Birp => {
-            AnyScheduler::Birp(Birp::new(catalog.clone(), MabConfig::paper_preset()))
+        SchedulerKind::Birp => AnyScheduler::Birp(
+            Birp::new(catalog.clone(), MabConfig::paper_preset()).with_reuse(reuse),
+        ),
+        SchedulerKind::BirpOff => {
+            AnyScheduler::BirpOff(BirpOff::new(catalog.clone()).with_reuse(reuse))
         }
-        SchedulerKind::BirpOff => AnyScheduler::BirpOff(BirpOff::new(catalog.clone())),
     };
     let mut rec = RecordingScheduler {
         inner,

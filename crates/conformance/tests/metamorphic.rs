@@ -21,6 +21,7 @@ fn exact() -> SolverConfig {
         rel_gap: 1e-9,
         parallel: false,
         root_dive: true,
+        trust_warm: false,
         warm_nodes: true,
         presolve: true,
         simplex: SimplexOptions::default(),

@@ -20,6 +20,7 @@ fn exact_base() -> SolverConfig {
         rel_gap: 1e-9,
         parallel: false,
         root_dive: true,
+        trust_warm: false,
         warm_nodes: true,
         presolve: true,
         simplex: SimplexOptions::default(),

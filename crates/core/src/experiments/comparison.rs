@@ -15,7 +15,7 @@ use birp_solver::SolverConfig;
 use birp_workload::{Trace, TraceConfig};
 
 use crate::runner::{run_scheduler, RunConfig, RunResult};
-use crate::schedulers::{Birp, BirpOff, MaxBatch, Oaei, Scheduler};
+use crate::schedulers::{Birp, BirpOff, MaxBatch, Oaei, Scheduler, TemporalReuse};
 
 /// Which algorithm to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,13 +34,28 @@ impl SchedulerKind {
         seed: u64,
         solver: &SolverConfig,
     ) -> Box<dyn Scheduler + Send> {
+        self.build_with_reuse(catalog, mab, seed, solver, &TemporalReuse::default())
+    }
+
+    pub fn build_with_reuse(
+        self,
+        catalog: &Catalog,
+        mab: MabConfig,
+        seed: u64,
+        solver: &SolverConfig,
+        reuse: &TemporalReuse,
+    ) -> Box<dyn Scheduler + Send> {
         match self {
-            SchedulerKind::Birp => {
-                Box::new(Birp::new(catalog.clone(), mab).with_solver(solver.clone()))
-            }
-            SchedulerKind::BirpOff => {
-                Box::new(BirpOff::new(catalog.clone()).with_solver(solver.clone()))
-            }
+            SchedulerKind::Birp => Box::new(
+                Birp::new(catalog.clone(), mab)
+                    .with_solver(solver.clone())
+                    .with_reuse(reuse.clone()),
+            ),
+            SchedulerKind::BirpOff => Box::new(
+                BirpOff::new(catalog.clone())
+                    .with_solver(solver.clone())
+                    .with_reuse(reuse.clone()),
+            ),
             SchedulerKind::Oaei => {
                 Box::new(Oaei::new(catalog.clone(), seed).with_solver(solver.clone()))
             }
@@ -131,7 +146,8 @@ pub fn compare_schedulers(cfg: &ComparisonConfig) -> Vec<ComparisonResult> {
     cfg.schedulers
         .par_iter()
         .map(|&kind| {
-            let mut scheduler = kind.build(&cfg.catalog, cfg.mab, cfg.seed, &cfg.solver);
+            let mut scheduler =
+                kind.build_with_reuse(&cfg.catalog, cfg.mab, cfg.seed, &cfg.solver, &cfg.run.reuse);
             let run = run_scheduler(&cfg.catalog, &trace, scheduler.as_mut(), &cfg.run);
             ComparisonResult { kind, run }
         })

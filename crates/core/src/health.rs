@@ -427,6 +427,81 @@ mod tests {
     }
 
     #[test]
+    fn probe_interval_zero_clamps_to_every_slot() {
+        // A zero interval would otherwise make `t >= last_probe + 0` true
+        // forever — the `.max(1)` clamp turns it into every-slot probing
+        // instead of a degenerate config footgun.
+        let cfg = HealthConfig {
+            probe_interval: 0,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(1, cfg);
+        m.observe(&outcome(0, vec![dark(0)]));
+        m.observe(&outcome(1, vec![dark(0)]));
+        assert_eq!(m.state(EdgeId(0)), HealthState::Quarantined);
+        m.mark_probed(EdgeId(0), 2);
+        assert!(m.probes_due(2).is_empty(), "not due twice within one slot");
+        assert_eq!(m.probes_due(3), vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn probe_interval_one_probes_every_slot() {
+        let cfg = HealthConfig {
+            probe_interval: 1,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(1, cfg);
+        m.observe(&outcome(0, vec![dark(0)]));
+        m.observe(&outcome(1, vec![dark(0)]));
+        assert_eq!(m.state(EdgeId(0)), HealthState::Quarantined);
+        m.mark_probed(EdgeId(0), 2);
+        assert_eq!(m.probes_due(3), vec![EdgeId(0)]);
+        m.mark_probed(EdgeId(0), 3);
+        assert_eq!(m.probes_due(4), vec![EdgeId(0)]);
+    }
+
+    #[test]
+    fn probation_relapse_then_full_recovery() {
+        // Quarantine -> probation -> relapse -> and the ladder must still
+        // be climbable afterwards: two fresh consecutive successes close
+        // the same (single) episode.
+        let mut m = HealthMonitor::new(1, HealthConfig::default());
+        m.observe(&outcome(0, vec![dark(0)]));
+        m.observe(&outcome(1, vec![dark(0)]));
+        m.observe(&outcome(2, vec![healthy(0)])); // probe ok -> probation
+        assert_eq!(m.state(EdgeId(0)), HealthState::Probation);
+        m.observe(&outcome(3, vec![dark(0)])); // relapse
+        assert_eq!(m.state(EdgeId(0)), HealthState::Quarantined);
+        // The relapse must also have reset the consecutive-success count:
+        // one success now only reaches probation, not healthy.
+        m.observe(&outcome(4, vec![healthy(0)]));
+        assert_eq!(m.state(EdgeId(0)), HealthState::Probation);
+        assert!(m.is_masked(EdgeId(0)));
+        m.observe(&outcome(5, vec![healthy(0)]));
+        assert_eq!(m.state(EdgeId(0)), HealthState::Healthy);
+        assert_eq!(m.suspicion(EdgeId(0)), 0.0);
+        assert_eq!(m.events().len(), 1, "relapse stays within one episode");
+        assert_eq!(m.events()[0].released, Some(5));
+    }
+
+    #[test]
+    fn quarantine_on_the_very_first_slot() {
+        // With alpha = 1 the EWMA adopts the first observation outright, so
+        // a fully dark first slot quarantines at t = 0 — and the edge is
+        // immediately owed a probe (it has never been probed).
+        let cfg = HealthConfig {
+            ewma_alpha: 1.0,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(2, cfg);
+        m.observe(&outcome(0, vec![dark(0), healthy(1)]));
+        assert_eq!(m.state(EdgeId(0)), HealthState::Quarantined);
+        assert_eq!(m.events()[0].entered, 0);
+        assert_eq!(m.mask(), Some(vec![true, false]));
+        assert_eq!(m.probes_due(0), vec![EdgeId(0)]);
+    }
+
+    #[test]
     fn suspect_clears_after_good_slots() {
         let mut m = HealthMonitor::new(1, HealthConfig::default());
         m.observe(&outcome(0, vec![dark(0)]));

@@ -31,6 +31,6 @@ pub mod schedulers;
 
 pub use demand::DemandMatrix;
 pub use health::{HealthConfig, HealthMonitor, HealthState, QuarantineEvent};
-pub use problem::{ExecutionMode, ProblemConfig, SlotProblem, TirMatrix};
+pub use problem::{ExecutionMode, ProblemConfig, ReuseOutcome, SlotProblem, TirMatrix};
 pub use runner::{run_scheduler, RunConfig, RunResult};
-pub use schedulers::{Birp, BirpOff, LocalOnly, MaxBatch, Oaei, Scheduler};
+pub use schedulers::{Birp, BirpOff, LocalOnly, MaxBatch, Oaei, Scheduler, TemporalReuse};

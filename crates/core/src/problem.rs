@@ -113,6 +113,22 @@ impl Default for ProblemConfig {
     }
 }
 
+/// What happened to the temporal-reuse candidate a
+/// [`SlotProblem::build_with_reuse`] call was given (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseOutcome {
+    /// The repaired previous-slot schedule beat the LP-guided greedy point
+    /// and was installed as the solver's starting incumbent.
+    Installed,
+    /// The repaired point was feasible but no better than the LP-guided
+    /// greedy warm start, which was kept instead.
+    NotBetter,
+    /// The repair pass produced an infeasible point (defensive check — the
+    /// projection is feasible by construction); the greedy warm start was
+    /// kept.
+    RepairFail,
+}
+
 /// Solve statistics surfaced to experiment logs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SolveStats {
@@ -162,6 +178,14 @@ pub struct SlotProblem {
     /// computed at build time; branch and bound starts from its objective
     /// as the incumbent cutoff.
     warm: Vec<f64>,
+    /// Objective of the root LP relaxation, captured from the warm-start
+    /// guide solve (the dual bound any integer point is certified against).
+    root_obj: Option<f64>,
+    /// Outcome of the temporal-reuse repair pass, when one ran.
+    reuse_outcome: Option<ReuseOutcome>,
+    /// Objective coefficient per variable (point-evaluation without
+    /// re-lowering the model).
+    obj_coeffs: Vec<f64>,
 }
 
 impl SlotProblem {
@@ -174,6 +198,60 @@ impl SlotProblem {
         tir: &TirMatrix,
         prev: Option<&Schedule>,
         cfg: &ProblemConfig,
+    ) -> SlotProblem {
+        Self::build_with_reuse(catalog, t, demand, tir, prev, cfg, None)
+    }
+
+    /// [`build`](Self::build), plus a temporal-reuse candidate: `reuse` is
+    /// the previous slot's executed schedule, repaired onto this slot's
+    /// constraints (current demand, masks and TIR estimates) by replaying
+    /// its routing/deployment structure through the same budget-disciplined
+    /// packing that produces the greedy warm start. Whichever point is
+    /// better becomes the installed incumbent; [`reuse_outcome`]
+    /// (Self::reuse_outcome) reports what happened.
+    pub fn build_with_reuse(
+        catalog: &Catalog,
+        t: usize,
+        demand: &DemandMatrix,
+        tir: &TirMatrix,
+        prev: Option<&Schedule>,
+        cfg: &ProblemConfig,
+        reuse: Option<&Schedule>,
+    ) -> SlotProblem {
+        Self::build_inner(catalog, t, demand, tir, prev, cfg, reuse, true)
+    }
+
+    /// [`build_with_reuse`](Self::build_with_reuse) without the guide-LP
+    /// solve. The heuristic-regime skip path (DESIGN.md §11) only needs the
+    /// repaired candidate checked against current-slot feasibility and the
+    /// greedy warm floor — paying for the root relaxation on a slot that
+    /// will never run branch and bound is pure overhead. The floor here is
+    /// the *unguided* greedy packing and [`root_bound`](Self::root_bound)
+    /// is `None`, so certification-based paths are unavailable on a lean
+    /// problem; callers that end up solving must rebuild with
+    /// [`build_with_reuse`](Self::build_with_reuse).
+    pub fn build_reuse_lean(
+        catalog: &Catalog,
+        t: usize,
+        demand: &DemandMatrix,
+        tir: &TirMatrix,
+        prev: Option<&Schedule>,
+        cfg: &ProblemConfig,
+        reuse: Option<&Schedule>,
+    ) -> SlotProblem {
+        Self::build_inner(catalog, t, demand, tir, prev, cfg, reuse, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_inner(
+        catalog: &Catalog,
+        t: usize,
+        demand: &DemandMatrix,
+        tir: &TirMatrix,
+        prev: Option<&Schedule>,
+        cfg: &ProblemConfig,
+        reuse: Option<&Schedule>,
+        guide_lp: bool,
     ) -> SlotProblem {
         let na = catalog.num_apps();
         let ne = catalog.num_edges();
@@ -402,14 +480,24 @@ impl SlotProblem {
         // receivers, pass 3 mops up anywhere with spare compute. Feasible
         // by construction — the incumbent cutoff branch and bound starts
         // from.
-        let lp_guide: Option<Vec<f64>> = model
-            .solve_relaxation()
-            .ok()
-            .filter(|s| s.status == birp_solver::LpStatus::Optimal)
-            .map(|s| s.x);
-        let mut warm = vec![0.0; model.num_vars()];
-        {
-            let guide = |v: VarId| -> f64 { lp_guide.as_ref().map_or(0.0, |g| g[v.index()]) };
+        let lp_root = if guide_lp {
+            model
+                .solve_relaxation()
+                .ok()
+                .filter(|s| s.status == birp_solver::LpStatus::Optimal)
+        } else {
+            None
+        };
+        let root_obj = lp_root.as_ref().map(|s| s.objective);
+        let lp_guide: Option<Vec<f64>> = lp_root.map(|s| s.x);
+        // Guide-driven packing, shared by the LP warm start and the
+        // temporal-reuse repair pass: the guide says which models should
+        // carry which cell's traffic and what ships where; the passes add
+        // the integrality and budget discipline, so the result is feasible
+        // by construction whatever the guide.
+        let build_packed = |guide_vec: Option<&Vec<f64>>| -> Vec<f64> {
+            let mut warm = vec![0.0; model.num_vars()];
+            let guide = |v: VarId| -> f64 { guide_vec.map_or(0.0, |g| g[v.index()]) };
             let mut mem_left: Vec<f64> = catalog.edges.iter().map(|e| e.memory_mb).collect();
             let mut compute_left = vec![catalog.slot_ms; ne];
             let mut net_left: Vec<f64> =
@@ -499,7 +587,7 @@ impl SlotProblem {
                 for i in 0..na {
                     let app = birp_models::AppId(i);
                     let d = demand.get(app, EdgeId(k));
-                    let want = if lp_guide.is_some() {
+                    let want = if guide_vec.is_some() {
                         d.min((guide(local[i][k]) + 0.999).floor() as u32)
                     } else {
                         d
@@ -613,6 +701,72 @@ impl SlotProblem {
                     }
                 }
             }
+            warm
+        };
+        let mut warm = build_packed(lp_guide.as_ref());
+
+        // Point objective without re-lowering: `Σ loss·b + penalty·o` (the
+        // only variables with objective coefficients).
+        let obj_coeffs: Vec<f64> = {
+            let mut c = vec![0.0; model.num_vars()];
+            for e in 0..ne {
+                for m in 0..nm {
+                    c[b[e][m].index()] = catalog.models[m].loss;
+                }
+            }
+            for row in &o {
+                for &ov in row {
+                    c[ov.index()] = cfg.drop_penalty;
+                }
+            }
+            c
+        };
+        let point_obj = |p: &[f64]| -> f64 { obj_coeffs.iter().zip(p).map(|(&c, &v)| c * v).sum() };
+
+        // --- temporal reuse: repair the previous schedule into a candidate -
+        // Encode the reused schedule into this slot's variable space and
+        // run it through the same packing passes: stale structure (masked
+        // edges, shrunken batch caps, vanished demand) is projected onto
+        // the current constraints instead of carried over verbatim.
+        let mut reuse_outcome = None;
+        if let Some(reused) = reuse.filter(|r| r.serial == serial) {
+            let mut g = vec![0.0; model.num_vars()];
+            for (e, ds) in reused.deployments.iter().enumerate().take(ne) {
+                for d in ds {
+                    let m = d.model.index();
+                    if m < nm {
+                        g[x[e][m].index()] = 1.0;
+                        g[b[e][m].index()] += d.batch as f64;
+                    }
+                }
+            }
+            for i in 0..na.min(reused.unserved.len()) {
+                let app = birp_models::AppId(i);
+                for src in 0..ne {
+                    for dst in 0..ne {
+                        let r = reused.routing.get(app, EdgeId(src), EdgeId(dst)) as f64;
+                        if r == 0.0 {
+                            continue;
+                        }
+                        if src == dst {
+                            g[local[i][src].index()] += r;
+                        } else {
+                            g[out[i][src].index()] += r;
+                            g[inn[i][dst].index()] += r;
+                        }
+                    }
+                }
+            }
+            let temporal = build_packed(Some(&g));
+            let violation = model.max_violation(&temporal);
+            reuse_outcome = Some(if violation >= 1e-6 {
+                ReuseOutcome::RepairFail
+            } else if point_obj(&temporal) <= point_obj(&warm) + 1e-12 {
+                warm = temporal;
+                ReuseOutcome::Installed
+            } else {
+                ReuseOutcome::NotBetter
+            });
         }
 
         SlotProblem {
@@ -630,6 +784,9 @@ impl SlotProblem {
             inn,
             o,
             warm,
+            root_obj,
+            reuse_outcome,
+            obj_coeffs,
         }
     }
 
@@ -639,6 +796,166 @@ impl SlotProblem {
 
     pub fn num_constraints(&self) -> usize {
         self.model.num_constraints()
+    }
+
+    /// What the temporal-reuse repair pass did (`None` when
+    /// [`build`](Self::build) ran without a reuse candidate).
+    pub fn reuse_outcome(&self) -> Option<ReuseOutcome> {
+        self.reuse_outcome
+    }
+
+    /// Objective of the root LP relaxation — a lower bound on every
+    /// feasible integer point. `None` when the guide LP failed.
+    pub fn root_bound(&self) -> Option<f64> {
+        self.root_obj
+    }
+
+    /// Direct (un-repaired) encoding of a schedule into this problem's
+    /// variable space. No projection is applied: a schedule built for a
+    /// different slot state encodes verbatim and will fail
+    /// [`violation_at`](Self::violation_at) — exactly how stale cache
+    /// entries are caught.
+    pub fn encode_schedule(&self, s: &Schedule) -> Vec<f64> {
+        let mut p = vec![0.0; self.model.num_vars()];
+        for (e, ds) in s.deployments.iter().enumerate().take(self.num_edges) {
+            for d in ds {
+                let m = d.model.index();
+                if m < self.num_models {
+                    p[self.x[e][m].index()] = 1.0;
+                    p[self.b[e][m].index()] += d.batch as f64;
+                }
+            }
+        }
+        for i in 0..self.num_apps {
+            let app = birp_models::AppId(i);
+            for src in 0..self.num_edges {
+                for dst in 0..self.num_edges {
+                    let r = s.routing.get(app, EdgeId(src), EdgeId(dst)) as f64;
+                    if r == 0.0 {
+                        continue;
+                    }
+                    if src == dst {
+                        p[self.local[i][src].index()] += r;
+                    } else {
+                        p[self.out[i][src].index()] += r;
+                        p[self.inn[i][dst].index()] += r;
+                    }
+                }
+            }
+            for (k, &u) in s
+                .unserved
+                .get(i)
+                .map_or(&[][..], |row| row)
+                .iter()
+                .enumerate()
+            {
+                if k < self.num_edges {
+                    p[self.o[i][k].index()] = u as f64;
+                }
+            }
+        }
+        p
+    }
+
+    /// Objective value of a point in this problem's variable space.
+    pub fn point_objective(&self, p: &[f64]) -> f64 {
+        self.obj_coeffs.iter().zip(p).map(|(&c, &v)| c * v).sum()
+    }
+
+    /// Maximum constraint/bound violation at a point (0 = feasible).
+    pub fn violation_at(&self, p: &[f64]) -> f64 {
+        self.model.max_violation(p)
+    }
+
+    /// Certify a candidate schedule against this problem without solving
+    /// it: the direct encoding must be feasible here, and its objective
+    /// must sit within relative tolerance `tol` of the LP root bound — the
+    /// same `(objective - bound) / max(1, |objective|)` criterion branch
+    /// and bound terminates on. On success returns `(objective, gap)`;
+    /// `None` means the candidate is stale or not provably good enough and
+    /// the caller must solve.
+    pub fn certify_schedule(&self, s: &Schedule, tol: f64) -> Option<(f64, f64)> {
+        let root = self.root_obj?;
+        let p = self.encode_schedule(s);
+        if self.model.max_violation(&p) >= 1e-6 {
+            return None;
+        }
+        let obj = self.point_objective(&p);
+        let gap = (obj - root).max(0.0) / obj.abs().max(1.0);
+        (gap <= tol + 1e-12).then_some((obj, gap))
+    }
+
+    /// Certify the already-built warm-start point against the LP root
+    /// bound and, on success, decode it into a schedule without running
+    /// branch and bound at all. This is the incumbent-skip lever of the
+    /// temporal-reuse layer (DESIGN.md §11): when slot `t-1`'s repaired
+    /// schedule is already within the solver's own termination gap of the
+    /// root bound, any branch and bound run would accept it and stop — so
+    /// the search is pure overhead. Returns `None` when the warm point is
+    /// not provably good enough (the caller must solve) or the root LP
+    /// failed.
+    pub fn certified_warm(&self, tol: f64) -> Option<(Schedule, SolveStats)> {
+        let root = self.root_obj?;
+        if self.model.max_violation(&self.warm) >= 1e-6 {
+            return None;
+        }
+        let obj = self.point_objective(&self.warm);
+        let gap = (obj - root).max(0.0) / obj.abs().max(1.0);
+        if gap > tol + 1e-12 {
+            return None;
+        }
+        let sol = Solution {
+            status: ModelStatus::Optimal,
+            objective: obj,
+            values: self.warm.clone(),
+            bound: root,
+            gap,
+            nodes: 0,
+            degraded: false,
+        };
+        let stats = SolveStats {
+            objective: obj,
+            gap,
+            nodes: 0,
+            optimal: true,
+            degraded: false,
+        };
+        Some((self.decode(&sol), stats))
+    }
+
+    /// Decode the built warm-start point into a schedule *without* running
+    /// branch and bound or certifying anything: the greedy packing, improved
+    /// by the repaired previous-slot schedule whenever that carried a lower
+    /// objective ([`ReuseOutcome::Installed`]). This point is feasible by
+    /// construction and is exactly the floor a budget-exhausted
+    /// branch-and-bound run falls back to, which is why the heuristic-regime
+    /// skip path (DESIGN.md §11) may serve it while the solver is returning
+    /// degraded incumbents anyway. The returned stats carry the honest
+    /// (possibly large, or unbounded on a lean build) gap against the LP
+    /// root bound and are never marked optimal — this is a floor, not a
+    /// proof.
+    pub fn warm_schedule(&self) -> (Schedule, SolveStats) {
+        let obj = self.point_objective(&self.warm);
+        let gap = self.root_obj.map_or(f64::INFINITY, |root| {
+            (obj - root).max(0.0) / obj.abs().max(1.0)
+        });
+        let sol = Solution {
+            status: ModelStatus::Feasible,
+            objective: obj,
+            values: self.warm.clone(),
+            bound: self.root_obj.unwrap_or(f64::NEG_INFINITY),
+            gap,
+            nodes: 0,
+            degraded: false,
+        };
+        let stats = SolveStats {
+            objective: obj,
+            gap,
+            nodes: 0,
+            optimal: false,
+            degraded: false,
+        };
+        (self.decode(&sol), stats)
     }
 
     /// Solve and decode into a schedule. The loss-greedy warm start built

@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::demand::DemandMatrix;
 use crate::health::{HealthConfig, HealthMonitor, QuarantineEvent};
-use crate::schedulers::Scheduler;
+use crate::schedulers::{Scheduler, TemporalReuse};
 
 /// Runner configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +46,11 @@ pub struct RunConfig {
     /// given tuning. `None` (the default) runs fault-blind: the exact
     /// pre-resilience behaviour.
     pub resilience: Option<HealthConfig>,
+    /// Cross-slot temporal reuse for the MILP schedulers (DESIGN.md §11).
+    /// The runner itself never reads this — it is the canonical place an
+    /// experiment carries the knob so scheduler builders (and the CLI's
+    /// `--no-reuse`) agree on one setting.
+    pub reuse: TemporalReuse,
 }
 
 impl Default for RunConfig {
@@ -55,6 +60,7 @@ impl Default for RunConfig {
             max_carryover: 1,
             strict: true,
             resilience: None,
+            reuse: TemporalReuse::default(),
         }
     }
 }

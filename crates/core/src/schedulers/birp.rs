@@ -15,16 +15,157 @@
 //! disables tuning (paper Section 5.2).
 
 use birp_mab::{MabConfig, Tuner};
-use birp_models::Catalog;
+use birp_models::{AppId, Catalog, EdgeId, ModelId};
 use birp_sim::{Schedule, SlotOutcome};
 use birp_solver::SolverConfig;
 use birp_telemetry as telemetry;
 use birp_tir::TirParams;
 
 use crate::demand::DemandMatrix;
-use crate::problem::{ExecutionMode, ProblemConfig, SlotProblem, SolveStats, TirMatrix};
+use crate::problem::{
+    ExecutionMode, ProblemConfig, ReuseOutcome, SlotProblem, SolveStats, TirMatrix,
+};
 use crate::schedulers::local::greedy_local;
 use crate::schedulers::Scheduler;
+
+/// Cross-slot temporal reuse knobs (DESIGN.md §11).
+///
+/// Consecutive slots differ by smooth demand drift and occasional MAB
+/// updates, so the previous slot's schedule is almost always a strong
+/// starting incumbent — and, when the slot state recurs exactly, the
+/// finished answer. Both levers are verification-gated, so behaviour
+/// stays equivalent to solving from scratch (the conformance layer's
+/// `temporal_differential` suite and the reuse-on goldens hold it there).
+#[derive(Debug, Clone)]
+pub struct TemporalReuse {
+    /// Master switch (`--no-reuse` from the CLI). Off reproduces the
+    /// pre-reuse decision path exactly.
+    pub enabled: bool,
+    /// Cache admission tolerance: a cached schedule is returned without
+    /// branch and bound only if its relative gap to the current LP root
+    /// bound is at most this. `None` uses the solver's `rel_gap` — the
+    /// same criterion branch and bound itself terminates on.
+    pub cache_tolerance: Option<f64>,
+    /// Schedule-cache entries kept (oldest evicted).
+    pub cache_capacity: usize,
+    /// Maximum consecutive slots the heuristic-regime skip may serve from
+    /// the repaired previous-slot schedule before a true solve is forced.
+    /// The skip only ever activates while the budgeted solver is returning
+    /// degraded (budget-truncated) incumbents — in a regime where the
+    /// solver proves optimality it is structurally inert, so `0` is only
+    /// needed to ablate it explicitly.
+    pub max_skip_streak: usize,
+}
+
+impl Default for TemporalReuse {
+    fn default() -> Self {
+        TemporalReuse {
+            enabled: true,
+            cache_tolerance: None,
+            cache_capacity: 16,
+            max_skip_streak: 3,
+        }
+    }
+}
+
+impl TemporalReuse {
+    /// The escape hatch: no warm-start install, no cache.
+    pub fn disabled() -> Self {
+        TemporalReuse {
+            enabled: false,
+            ..TemporalReuse::default()
+        }
+    }
+}
+
+/// Exact fingerprint of everything that shapes one slot's problem: the
+/// demand matrix, the quarantine mask, the planner's (eta, beta) estimates
+/// (quantised at machine precision via the eta bit pattern) and the full
+/// previous executed schedule (its deployment set enters the network
+/// constraint; its routing shapes the installed incumbent). Two equal keys
+/// lower to byte-identical problems, so a cached answer is the answer the
+/// deterministic solver would recompute.
+#[derive(Debug, Clone, PartialEq)]
+struct SlotKey {
+    demand: Vec<u32>,
+    mask: Vec<bool>,
+    tir: Vec<u64>,
+    prev: Vec<u64>,
+}
+
+impl SlotKey {
+    fn new(
+        demand: &DemandMatrix,
+        mask: Option<&[bool]>,
+        tir: &TirMatrix,
+        prev: Option<&Schedule>,
+        num_models: usize,
+    ) -> Self {
+        let (na, ne) = (demand.num_apps(), demand.num_edges());
+        let mut d = Vec::with_capacity(na * ne);
+        for i in 0..na {
+            for k in 0..ne {
+                d.push(demand.get(AppId(i), EdgeId(k)));
+            }
+        }
+        let mut t = Vec::with_capacity(ne * num_models * 3);
+        for e in 0..ne {
+            for m in 0..num_models {
+                let p = tir.get(EdgeId(e), ModelId(m));
+                t.extend([p.eta.to_bits(), u64::from(p.beta), p.c.to_bits()]);
+            }
+        }
+        SlotKey {
+            demand: d,
+            mask: mask.map(<[bool]>::to_vec).unwrap_or_default(),
+            tir: t,
+            prev: schedule_digest(prev, na, ne),
+        }
+    }
+}
+
+struct CacheEntry {
+    key: SlotKey,
+    schedule: Schedule,
+}
+
+/// Canonical digest of a schedule for [`SlotKey::prev`]: deployments,
+/// non-zero routing entries, unserved counts and the serial flag. The
+/// digest covers the *full* schedule, not just the deployed set, because
+/// the previous routing seeds the repaired incumbent and thereby the
+/// branch-and-bound trajectory.
+fn schedule_digest(s: Option<&Schedule>, num_apps: usize, num_edges: usize) -> Vec<u64> {
+    let Some(s) = s else { return Vec::new() };
+    let mut d = vec![u64::from(s.serial)];
+    for (e, ds) in s.deployments.iter().enumerate() {
+        let mut ds: Vec<_> = ds
+            .iter()
+            .map(|d| (d.app.index(), d.model.index(), d.batch))
+            .collect();
+        ds.sort_unstable();
+        for (a, m, batch) in ds {
+            d.extend([e as u64, a as u64, m as u64, u64::from(batch)]);
+        }
+    }
+    d.push(u64::MAX); // section separator
+    for i in 0..num_apps {
+        for src in 0..num_edges {
+            for dst in 0..num_edges {
+                let r = s.routing.get(AppId(i), EdgeId(src), EdgeId(dst));
+                if r > 0 {
+                    d.extend([i as u64, src as u64, dst as u64, u64::from(r)]);
+                }
+            }
+        }
+    }
+    d.push(u64::MAX);
+    for row in &s.unserved {
+        for &u in row {
+            d.push(u64::from(u));
+        }
+    }
+    d
+}
 
 /// The batch-aware, MAB-tuned scheduler (the paper's contribution).
 pub struct Birp {
@@ -42,6 +183,18 @@ pub struct Birp {
     /// Quarantine mask from the runner's health monitor (see
     /// [`Scheduler::set_edge_mask`]).
     mask: Option<Vec<bool>>,
+    /// Cross-slot temporal reuse configuration (DESIGN.md §11).
+    reuse: TemporalReuse,
+    /// Schedule cache: exact slot fingerprints of past solved slots and the
+    /// schedule branch and bound produced for them, newest last.
+    cache: Vec<CacheEntry>,
+    /// Consecutive slots served by the heuristic-regime skip since the last
+    /// true solve (bounded by [`TemporalReuse::max_skip_streak`]).
+    skip_streak: usize,
+    /// True while the budgeted solver is returning degraded
+    /// (budget-truncated) incumbents — the only regime in which the
+    /// heuristic-regime skip is allowed to fire.
+    heuristic_regime: bool,
     /// Solve statistics of the most recent slot (for experiment logs).
     pub last_stats: Option<SolveStats>,
     /// Cumulative absolute TIR estimation error (LCB estimate vs ground
@@ -65,6 +218,10 @@ impl Birp {
             tune: true,
             use_lcb: true,
             mask: None,
+            reuse: TemporalReuse::default(),
+            cache: Vec::new(),
+            skip_streak: 0,
+            heuristic_regime: false,
             last_stats: None,
             cum_regret: 0.0,
         }
@@ -81,6 +238,15 @@ impl Birp {
     /// Override the branch-and-bound configuration.
     pub fn with_solver(mut self, cfg: SolverConfig) -> Self {
         self.solver_cfg = cfg;
+        self
+    }
+
+    /// Override the temporal-reuse configuration (e.g. [`TemporalReuse::disabled`]).
+    pub fn with_reuse(mut self, reuse: TemporalReuse) -> Self {
+        self.reuse = reuse;
+        self.cache.clear();
+        self.skip_streak = 0;
+        self.heuristic_regime = false;
         self
     }
 
@@ -114,8 +280,149 @@ impl Birp {
             masked_edges: self.mask.clone(),
             ..self.problem_cfg.clone()
         };
-        let problem = SlotProblem::build(&self.catalog, t, demand, &tir, prev, &cfg);
-        match problem.solve(&self.solver_cfg) {
+        // Heuristic-regime skip: while the budgeted solver is returning
+        // degraded (budget-truncated) incumbents, its output carries no
+        // optimality proof — its guaranteed floor is the warm-start point
+        // it was handed. A lean build (no guide-LP solve — the skip path
+        // never certifies and never branches, so the root relaxation is
+        // pure overhead here) produces exactly that floor: the greedy
+        // packing, improved by the repaired previous-slot schedule whenever
+        // that carries a lower objective. Serve it directly and save the
+        // whole branch-and-bound run. The streak bound forces a true
+        // re-solve every few slots so quality re-anchors on fresh search,
+        // and the gate is structurally inert wherever the solver proves
+        // optimality (no degraded solves → no skips), which is what keeps
+        // the certifying-config differential suite exact.
+        if self.reuse.enabled
+            && self.heuristic_regime
+            && self.skip_streak < self.reuse.max_skip_streak
+        {
+            let lean =
+                SlotProblem::build_reuse_lean(&self.catalog, t, demand, &tir, prev, &cfg, prev);
+            match lean.reuse_outcome() {
+                Some(ReuseOutcome::Installed) => telemetry::counter("scheduler.reuse_install", 1),
+                Some(ReuseOutcome::RepairFail) => {
+                    telemetry::counter("scheduler.reuse_repair_fail", 1);
+                }
+                _ => {}
+            }
+            let (schedule, stats) = lean.warm_schedule();
+            self.skip_streak += 1;
+            telemetry::counter("scheduler.reuse_budget_skip", 1);
+            if telemetry::enabled() {
+                telemetry::event(
+                    telemetry::Level::Debug,
+                    "birp.slot_reused",
+                    &[
+                        ("t", (t as u64).into()),
+                        ("objective", stats.objective.into()),
+                        ("gap", stats.gap.into()),
+                    ],
+                );
+            }
+            self.last_stats = Some(stats);
+            return schedule;
+        }
+
+        let problem = SlotProblem::build_with_reuse(
+            &self.catalog,
+            t,
+            demand,
+            &tir,
+            prev,
+            &cfg,
+            if self.reuse.enabled { prev } else { None },
+        );
+        match problem.reuse_outcome() {
+            Some(ReuseOutcome::Installed) => telemetry::counter("scheduler.reuse_install", 1),
+            Some(ReuseOutcome::RepairFail) => telemetry::counter("scheduler.reuse_repair_fail", 1),
+            _ => {}
+        }
+
+        let tol = self
+            .reuse
+            .cache_tolerance
+            .unwrap_or(self.solver_cfg.rel_gap);
+
+        // Incumbent skip: when a temporal candidate was repaired into the
+        // warm start and that point already sits within the solver's own
+        // termination gap of the LP root bound, branch and bound would
+        // accept it on arrival — skip the search.
+        if self.reuse.enabled && problem.reuse_outcome().is_some() {
+            if let Some((schedule, stats)) = problem.certified_warm(tol) {
+                telemetry::counter("scheduler.reuse_warm_skip", 1);
+                if telemetry::enabled() {
+                    telemetry::event(
+                        telemetry::Level::Debug,
+                        "birp.slot_reused",
+                        &[
+                            ("t", (t as u64).into()),
+                            ("objective", stats.objective.into()),
+                            ("gap", stats.gap.into()),
+                        ],
+                    );
+                }
+                self.last_stats = Some(stats);
+                return schedule;
+            }
+        }
+
+        // Schedule cache: when this slot's exact fingerprint (demand, mask,
+        // TIR estimates, full previous schedule) was solved before, the
+        // deterministic solver would retrace the same search — so return the
+        // cached schedule, provided it re-certifies against *this* problem's
+        // LP root bound within the solver's own optimality tolerance.
+        let key = (self.reuse.enabled && self.reuse.cache_capacity > 0).then(|| {
+            SlotKey::new(
+                demand,
+                self.mask.as_deref(),
+                &tir,
+                prev,
+                self.catalog.num_models(),
+            )
+        });
+        if let Some(key) = &key {
+            if let Some(entry) = self.cache.iter().find(|e| &e.key == key) {
+                match problem.certify_schedule(&entry.schedule, tol) {
+                    Some((objective, gap)) => {
+                        telemetry::counter("scheduler.reuse_cache_hit", 1);
+                        if telemetry::enabled() {
+                            telemetry::event(
+                                telemetry::Level::Debug,
+                                "birp.slot_reused",
+                                &[
+                                    ("t", (t as u64).into()),
+                                    ("objective", objective.into()),
+                                    ("gap", gap.into()),
+                                ],
+                            );
+                        }
+                        self.last_stats = Some(SolveStats {
+                            objective,
+                            gap,
+                            nodes: 0,
+                            optimal: true,
+                            degraded: false,
+                        });
+                        let mut schedule = entry.schedule.clone();
+                        schedule.t = t;
+                        return schedule;
+                    }
+                    None => telemetry::counter("scheduler.reuse_cache_reject", 1),
+                }
+            }
+        }
+
+        // When the repair pass installed the previous slot's schedule as the
+        // incumbent, branch and bound no longer needs its diving heuristics
+        // (their only role is incumbent supply, and they dominate the LP
+        // count under the scheduling node budget) — trust the incumbent and
+        // spend the whole budget on the tree.
+        let mut solver_cfg = self.solver_cfg.clone();
+        if matches!(problem.reuse_outcome(), Some(ReuseOutcome::Installed)) {
+            solver_cfg.trust_warm = true;
+        }
+        match problem.solve(&solver_cfg) {
             Ok((schedule, stats)) => {
                 if telemetry::enabled() {
                     telemetry::event(
@@ -130,6 +437,22 @@ impl Birp {
                         ],
                     );
                 }
+                self.skip_streak = 0;
+                self.heuristic_regime = stats.degraded;
+                if let Some(key) = key {
+                    // Only proven (non-degraded) answers are worth replaying;
+                    // a budget-truncated incumbent would freeze a weak
+                    // schedule into every recurrence of this slot state.
+                    if !stats.degraded {
+                        if self.cache.len() >= self.reuse.cache_capacity {
+                            self.cache.remove(0);
+                        }
+                        self.cache.push(CacheEntry {
+                            key,
+                            schedule: schedule.clone(),
+                        });
+                    }
+                }
                 self.last_stats = Some(stats);
                 schedule
             }
@@ -138,6 +461,8 @@ impl Birp {
                 // reaching this means the solve budget produced no incumbent.
                 // Degrade to the loss-greedy strictly-local packing — still a
                 // valid, demand-balanced schedule — rather than stall a slot.
+                self.skip_streak = 0;
+                self.heuristic_regime = false;
                 telemetry::counter("birp.fallback_local", 1);
                 if telemetry::enabled() {
                     telemetry::event(
@@ -230,7 +555,16 @@ impl Scheduler for Birp {
     }
 
     fn set_edge_mask(&mut self, mask: Option<&[bool]>) {
-        self.mask = mask.map(|m| m.to_vec());
+        let mask = mask.map(|m| m.to_vec());
+        if mask != self.mask {
+            // A quarantine change is a structural break: the previous
+            // slot's schedule was planned for a different edge set, so
+            // cross-slot continuity — the whole premise of the
+            // heuristic-regime skip — no longer holds. Force a true solve.
+            self.heuristic_regime = false;
+            self.skip_streak = 0;
+        }
+        self.mask = mask;
     }
 }
 
@@ -255,6 +589,12 @@ impl BirpOff {
 
     pub fn with_solver(mut self, cfg: SolverConfig) -> Self {
         self.inner.solver_cfg = cfg;
+        self
+    }
+
+    /// Override the temporal-reuse configuration (e.g. [`TemporalReuse::disabled`]).
+    pub fn with_reuse(mut self, reuse: TemporalReuse) -> Self {
+        self.inner = self.inner.with_reuse(reuse);
         self
     }
 

@@ -17,7 +17,7 @@ mod local;
 mod max;
 mod oaei;
 
-pub use birp::{Birp, BirpOff};
+pub use birp::{Birp, BirpOff, TemporalReuse};
 pub use local::LocalOnly;
 pub use max::MaxBatch;
 pub use oaei::Oaei;

@@ -95,6 +95,14 @@ pub struct BnbConfig {
     /// Guarantees the search always returns *something* under tight node
     /// budgets.
     pub warm_start: Option<Vec<f64>>,
+    /// Treat an *accepted* warm start as a strong incumbent: skip the root
+    /// and in-tree diving heuristics, whose only role is incumbent supply.
+    /// Under tight node budgets the dives dominate the LP-solve count, so
+    /// a caller that already holds a high-quality incumbent (e.g. the
+    /// repaired previous-slot schedule of the temporal-reuse layer) buys a
+    /// large constant-factor speedup. Ignored when the warm start is
+    /// rejected or absent — the dives then run as usual.
+    pub trust_warm: bool,
     /// Run the presolve reductions before the search (recommended; on the
     /// BIRP per-slot problems it cuts node LP time several-fold).
     pub presolve: bool,
@@ -121,6 +129,7 @@ impl Default for BnbConfig {
             parallel: false,
             root_dive: true,
             warm_start: None,
+            trust_warm: false,
             presolve: true,
             warm_nodes: true,
             warm_memory_budget: 256 << 20,
@@ -343,6 +352,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     let mut nodes_solved = 0usize;
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
     let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    let mut warm_installed = false;
 
     // Install a validated warm start as the initial incumbent.
     if let Some(ws) = &cfg.warm_start {
@@ -381,6 +391,13 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
             },
             1,
         );
+        warm_installed = installed;
+    }
+    // Dives exist to manufacture an incumbent; a trusted warm start already
+    // is one, so the dive budget collapses to zero.
+    let trust_dives_off = cfg.trust_warm && warm_installed;
+    if trust_dives_off {
+        telemetry::counter("solver.trusted_warm", 1);
     }
 
     // --- root -----------------------------------------------------------
@@ -422,7 +439,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
             // of LP solves) and fall straight through to the report with
             // whatever incumbent the warm start installed.
             budget_hit = true;
-        } else if cfg.root_dive {
+        } else if cfg.root_dive && !trust_dives_off {
             telemetry::counter("solver.dive_attempts", 1);
             if let Some((obj, x)) = dive(
                 &problem.lp,
@@ -465,7 +482,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     };
     // In-tree dives are expensive (a dive is dozens of LP solves); a few
     // well-placed ones capture nearly all their value.
-    let mut tree_dives_left = 3usize;
+    let mut tree_dives_left = if trust_dives_off { 0 } else { 3 };
     'outer: while !budget_hit && !heap.is_empty() {
         if nodes_solved >= node_limit || cfg.budget.exhausted(pivots_total, budget_clock) {
             budget_hit = true;
@@ -655,6 +672,14 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
         telemetry::observe("solver.nodes_per_solve", result.nodes as f64);
         if result.gap.is_finite() {
             telemetry::observe("solver.final_gap", result.gap);
+        } else if result.bound.is_finite() {
+            // Budget exhausted with no incumbent: the formal gap is infinite
+            // and the log histogram drops non-finite samples, which used to
+            // erase these solves from the gap record entirely. Clamp to 1.0
+            // (100%) so they stay visible, and keep the dual bound the
+            // frontier did prove.
+            telemetry::observe("solver.final_gap", 1.0);
+            telemetry::observe("solver.final_bound", result.bound);
         }
         telemetry::event(
             telemetry::Level::Debug,

@@ -27,6 +27,11 @@ pub struct SolverConfig {
     pub parallel: bool,
     /// Run the diving heuristic at the root.
     pub root_dive: bool,
+    /// Skip the diving heuristics entirely when a warm start was accepted
+    /// as the initial incumbent (see [`BnbConfig::trust_warm`]). Set per
+    /// solve by callers that hold a known-strong incumbent, such as the
+    /// temporal-reuse layer's repaired previous-slot schedule.
+    pub trust_warm: bool,
     /// Warm-start node LPs from parent basis snapshots (dual-simplex
     /// re-optimisation). Disable only for A/B validation of the warm path.
     pub warm_nodes: bool,
@@ -49,6 +54,7 @@ impl Default for SolverConfig {
             rel_gap: 1e-6,
             parallel: false,
             root_dive: true,
+            trust_warm: false,
             warm_nodes: true,
             presolve: true,
             simplex: SimplexOptions::default(),
@@ -378,6 +384,7 @@ impl Model {
             rel_gap: cfg.rel_gap,
             parallel: cfg.parallel,
             root_dive: cfg.root_dive,
+            trust_warm: cfg.trust_warm,
             warm_start,
             presolve: cfg.presolve,
             warm_nodes: cfg.warm_nodes,
@@ -413,6 +420,11 @@ impl Model {
     pub fn solve_relaxation(&self) -> Result<LpSolution, SolverError> {
         let milp = self.to_milp()?;
         Ok(solve_bounded(&milp.lp))
+    }
+
+    /// Objective value `c · x` at a point (no feasibility check).
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
     }
 
     /// Maximum violation of this model's rows and bounds at `x`
