@@ -16,6 +16,8 @@ use std::path::{Path, PathBuf};
 
 use serde::Serialize;
 
+pub mod diff;
+
 /// Directory the `repro-*` binaries write JSON records into.
 pub fn results_dir() -> PathBuf {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");

@@ -10,6 +10,8 @@
 //! birp fig2       [--reps N] [--seed S]
 //! birp trace      [--scale small|large] [--slots N] [--seed S] [--csv|--json]
 //! birp report     <run.jsonl>
+//! birp profile    <run.jsonl> [--out-dir DIR]
+//! birp bench-diff [--solver-bench out.txt] [--runner-json new.json] [--tolerance X]
 //! birp conformance [--check] [--update-golden] [--oracle N] [--seed S]
 //! ```
 //!
@@ -23,7 +25,15 @@
 //! a structured event stream (solver search, MAB tuning, per-slot runner
 //! records) and `--log-level trace|debug|info|warn|error` to set the event
 //! threshold (default `debug`). `birp report` renders a captured stream as
-//! per-event counts plus the end-of-run counter/histogram table.
+//! per-event counts plus the end-of-run counter/histogram table;
+//! `birp profile` renders the same capture's causal spans as a Chrome
+//! trace-event file and a collapsed-stack (flamegraph) file plus the
+//! per-slot decision provenance table; `birp bench-diff` is the automated
+//! perf-regression gate against the committed `BENCH_*.json` baselines.
+//!
+//! Naming note: `birp trace` dumps a synthetic *workload* trace (demand per
+//! slot). Telemetry captures — execution traces — are produced by
+//! `--telemetry` and consumed by `report`/`profile`.
 //!
 //! Argument parsing is hand-rolled over `std::env::args` — the workspace
 //! deliberately keeps its dependency set to the paper-relevant crates
@@ -98,7 +108,11 @@ USAGE:
     birp table1     [--windows N] [--seed S]
     birp fig2       [--reps N] [--seed S]
     birp trace      [--scale small|large] [--slots N] [--seed S] [--csv] [--json]
+                    (dumps the synthetic *workload* trace; for telemetry/execution
+                    traces see --telemetry with `report` / `profile` below)
     birp report     <run.jsonl>
+    birp profile    <run.jsonl> [--out-dir DIR]
+    birp bench-diff [--solver-bench out.txt] [--runner-json new.json] [--tolerance X]
     birp conformance [--check] [--update-golden] [--oracle N] [--seed S]
 
 CONFORMANCE:
@@ -114,7 +128,24 @@ ROBUSTNESS (run / compare):
 
 OBSERVABILITY (any command):
     --telemetry <path.jsonl>   capture structured events to a JSON Lines file
-    --log-level <level>        trace|debug|info|warn|error (default: debug)
+                               (opens with a telemetry.meta attribution header)
+    --log-level <level>        trace|debug|info|warn|error (default: debug;
+                               `trace` adds per-wave/per-node solver spans)
+
+PROFILE:
+    birp profile <run.jsonl> [--out-dir DIR]
+        renders a --telemetry capture as <stem>.chrome.json (chrome://tracing,
+        Perfetto) and <stem>.folded.txt (flamegraph.pl / speedscope), and
+        prints the capture header plus the per-slot decision provenance table
+
+BENCH-DIFF (perf-regression gate):
+    --solver-bench <out.txt>   captured `cargo bench -p birp-bench --bench
+                               solver_micro` output, diffed vs BENCH_solver.json
+    --runner-json <new.json>   regenerated runner_decide record (use
+                               BIRP_BENCH_RUNNER_OUT), diffed vs BENCH_runner.json
+    --baseline-solver <path>   committed solver baseline (default BENCH_solver.json)
+    --baseline-runner <path>   committed runner baseline (default BENCH_runner.json)
+    --tolerance <X>            fail when measured > baseline * X (default 2.0)
 "
     );
     ExitCode::from(2)
@@ -390,6 +421,7 @@ fn cmd_report(rest: &[String]) -> ExitCode {
     };
     let mut counts: std::collections::BTreeMap<String, u64> = Default::default();
     let mut summary: Option<telemetry::TelemetrySummary> = None;
+    let mut meta: Option<serde_json::Value> = None;
     let (mut records, mut unparsable) = (0u64, 0u64);
     for line in text.lines() {
         if line.trim().is_empty() {
@@ -412,9 +444,16 @@ fn cmd_report(rest: &[String]) -> ExitCode {
                 summary = serde_json::from_value(s).ok();
             }
         }
+        if name == "telemetry.meta" {
+            meta = Some(v.clone());
+        }
         *counts.entry(name).or_insert(0) += 1;
     }
     println!("{records} event records ({unparsable} unparsable lines)");
+    if let Some(meta) = &meta {
+        println!("\ncapture header:");
+        print!("{}", telemetry::profile::render_meta(meta));
+    }
     if !counts.is_empty() {
         let width = counts
             .keys()
@@ -437,6 +476,171 @@ fn cmd_report(rest: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_profile(args: &Args, rest: &[String]) -> ExitCode {
+    use telemetry::profile;
+
+    // First positional operand (skipping --flag value pairs).
+    let mut path: Option<&str> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i].starts_with("--") {
+            i += 2;
+        } else {
+            path = Some(&rest[i]);
+            break;
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: birp profile <run.jsonl> [--out-dir DIR]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let cap = profile::parse_capture(&text);
+
+    if let Some(meta) = &cap.meta {
+        println!("capture header:");
+        print!("{}", profile::render_meta(meta));
+        println!();
+    }
+    println!(
+        "{} span record(s), max depth {}, {} provenance record(s), {} malformed line(s)",
+        cap.spans.len(),
+        profile::max_depth(&cap.spans),
+        cap.provenance.len(),
+        cap.malformed
+    );
+    if cap.spans.is_empty() {
+        println!(
+            "(no spans — capture at --log-level trace for per-wave/per-node \
+             solver spans; decide/solve-level spans record at any level)"
+        );
+    }
+
+    let input = std::path::Path::new(path);
+    let stem = input
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "capture".to_string());
+    let out_dir = args
+        .get("out-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            input
+                .parent()
+                .unwrap_or(std::path::Path::new("."))
+                .to_path_buf()
+        });
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(1);
+    }
+    for (suffix, contents) in [
+        (".chrome.json", profile::chrome_trace(&cap.spans)),
+        (".folded.txt", profile::collapsed_stacks(&cap.spans)),
+    ] {
+        let out = out_dir.join(format!("{stem}{suffix}"));
+        if let Err(e) = std::fs::write(&out, contents) {
+            eprintln!("cannot write {}: {e}", out.display());
+            return ExitCode::from(1);
+        }
+        println!("wrote {}", out.display());
+    }
+
+    if !cap.provenance.is_empty() {
+        println!("\nper-slot decision provenance:");
+        print!("{}", profile::provenance_table(&cap.provenance));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench_diff(args: &Args) -> ExitCode {
+    use birp_bench::diff;
+
+    let tolerance = args.num("tolerance", 2.0f64);
+    if tolerance <= 0.0 {
+        eprintln!("--tolerance must be positive");
+        return ExitCode::from(2);
+    }
+    let solver_bench = args.get("solver-bench");
+    let runner_json = args.get("runner-json");
+    if solver_bench.is_none() && runner_json.is_none() {
+        eprintln!(
+            "bench-diff needs a fresh measurement: --solver-bench <criterion-out.txt> \
+             and/or --runner-json <regenerated BENCH_runner.json>"
+        );
+        return ExitCode::from(2);
+    }
+
+    let read = |path: &str| -> Result<String, ExitCode> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::from(1)
+        })
+    };
+
+    let mut failed = false;
+    if let Some(bench_out) = solver_bench {
+        let baseline_path = args.get("baseline-solver").unwrap_or("BENCH_solver.json");
+        let (bench_text, baseline_text) = match (read(bench_out), read(baseline_path)) {
+            (Ok(b), Ok(base)) => (b, base),
+            (Err(c), _) | (_, Err(c)) => return c,
+        };
+        let baseline = match diff::parse_solver_baseline(&baseline_text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{baseline_path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let measured = diff::parse_criterion_output(&bench_text);
+        if measured.is_empty() {
+            eprintln!("{bench_out}: no `bench <name> <ns> ns/iter` lines found");
+            return ExitCode::from(1);
+        }
+        let report = diff::compare(&baseline, &measured, tolerance);
+        println!("solver_micro vs {baseline_path} (tolerance {tolerance}x):");
+        print!("{}", report.render());
+        failed |= report.failed();
+    }
+    if let Some(fresh) = runner_json {
+        let baseline_path = args.get("baseline-runner").unwrap_or("BENCH_runner.json");
+        let (fresh_text, baseline_text) = match (read(fresh), read(baseline_path)) {
+            (Ok(f), Ok(base)) => (f, base),
+            (Err(c), _) | (_, Err(c)) => return c,
+        };
+        let report = match (
+            diff::parse_runner_record(&baseline_text),
+            diff::parse_runner_record(&fresh_text),
+        ) {
+            (Ok(base), Ok(meas)) => diff::compare(&base, &meas, tolerance),
+            (Err(e), _) => {
+                eprintln!("{baseline_path}: {e}");
+                return ExitCode::from(1);
+            }
+            (_, Err(e)) => {
+                eprintln!("{fresh}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        println!("\nrunner_decide vs {baseline_path} (tolerance {tolerance}x):");
+        print!("{}", report.render());
+        failed |= report.failed();
+    }
+    if failed {
+        eprintln!("\nperf regression gate FAILED (see REGRESSED rows above)");
+        ExitCode::from(1)
+    } else {
+        println!("\nperf regression gate passed");
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_conformance(args: &Args) -> ExitCode {
@@ -535,7 +739,13 @@ fn main() -> ExitCode {
             .get("log-level")
             .and_then(telemetry::Level::parse)
             .unwrap_or(telemetry::Level::Debug);
-        if let Err(e) = telemetry::init_jsonl(path, level) {
+        // Stamp the capture with its invocation so the file is
+        // self-describing (`birp report`/`profile` print this header).
+        let meta = telemetry::RunMeta {
+            command: format!("birp {}", raw.join(" ")),
+            config_fingerprint: telemetry::fingerprint_args(&raw),
+        };
+        if let Err(e) = telemetry::init_jsonl_with_meta(path, level, meta) {
             eprintln!("cannot open telemetry sink {path}: {e}");
             return ExitCode::from(1);
         }
@@ -549,6 +759,8 @@ fn main() -> ExitCode {
         "fig2" => cmd_fig2(&args),
         "trace" => cmd_trace(&args),
         "report" => cmd_report(&raw[1..]),
+        "profile" => cmd_profile(&args, &raw[1..]),
+        "bench-diff" => cmd_bench_diff(&args),
         "conformance" => cmd_conformance(&args),
         _ => usage(),
     };

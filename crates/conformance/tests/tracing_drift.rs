@@ -1,0 +1,71 @@
+//! Observer effect check: running the full golden scenarios with the
+//! telemetry facade enabled at its most verbose level (`trace`, which adds
+//! per-wave/per-node solver spans and per-slot provenance records) must not
+//! change a single byte of any schedule. Spans and events are read-only
+//! taps on the decision path; this test is the contract that keeps them so.
+//!
+//! This lives in its own integration-test binary because the telemetry
+//! facade is process-global.
+
+use std::sync::Arc;
+
+use birp_conformance::golden::{check_all, replay, scenarios, GoldenStatus};
+use birp_telemetry as telemetry;
+use telemetry::{Level, MemorySink};
+
+#[test]
+fn trace_level_telemetry_changes_no_schedule() {
+    // Baseline replays with the facade disabled.
+    telemetry::reset();
+    let baseline: Vec<(String, String)> = scenarios()
+        .into_iter()
+        .map(|sc| {
+            let out = replay(&sc);
+            (sc.name.to_string(), out)
+        })
+        .collect();
+
+    // Same replays, fully instrumented.
+    let sink = Arc::new(MemorySink::new());
+    telemetry::init(sink.clone(), Level::Trace);
+    let traced: Vec<(String, String)> = scenarios()
+        .into_iter()
+        .map(|sc| {
+            let out = replay(&sc);
+            (sc.name.to_string(), out)
+        })
+        .collect();
+    telemetry::shutdown();
+
+    // The instrumented run actually recorded something (otherwise this test
+    // would pass vacuously with tracing broken)...
+    let events = sink.drain();
+    assert!(
+        events.iter().any(|e| e.name == "span"),
+        "trace-level replay recorded no spans"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "birp.provenance"),
+        "trace-level replay recorded no provenance records"
+    );
+    telemetry::reset();
+
+    // ... and changed nothing.
+    for ((name_a, a), (name_b, b)) in baseline.iter().zip(&traced) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(
+            a, b,
+            "scenario {name_a}: trace-level telemetry perturbed the schedule"
+        );
+    }
+
+    // The committed snapshots still match with the facade off again —
+    // end-to-end, tracing left no residue.
+    for (sc, status) in check_all() {
+        assert!(
+            matches!(status, GoldenStatus::Match),
+            "golden {} drifted after instrumented replay: {status:?}",
+            sc.name
+        );
+    }
+}

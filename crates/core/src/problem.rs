@@ -28,6 +28,7 @@ use birp_sim::{Deployment, Schedule};
 use birp_solver::{
     LinExpr, Model, ModelStatus, Solution, SolverConfig, SolverError, VarId, VarKind,
 };
+use birp_telemetry as telemetry;
 use birp_tir::{linear_coeffs, TirParams};
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +141,12 @@ pub struct SolveStats {
     /// not a proven (near-)optimum.
     #[serde(default)]
     pub degraded: bool,
+    /// Incumbent trajectory `(nodes_solved, objective, gap)` in install
+    /// order — the convergence signature surfaced by the per-slot decision
+    /// provenance record. Empty for schedules that bypassed branch and
+    /// bound (cache hits carry a single synthetic point).
+    #[serde(default)]
+    pub incumbents: Vec<(u64, f64, f64)>,
 }
 
 /// The lowered per-slot problem plus the variable maps needed to decode.
@@ -253,6 +260,7 @@ impl SlotProblem {
         reuse: Option<&Schedule>,
         guide_lp: bool,
     ) -> SlotProblem {
+        let _build_span = telemetry::span("problem.build");
         let na = catalog.num_apps();
         let ne = catalog.num_edges();
         let nm = catalog.num_models();
@@ -481,6 +489,7 @@ impl SlotProblem {
         // by construction — the incumbent cutoff branch and bound starts
         // from.
         let lp_root = if guide_lp {
+            let _guide_span = telemetry::span("problem.guide_lp");
             model
                 .solve_relaxation()
                 .ok()
@@ -912,6 +921,7 @@ impl SlotProblem {
             gap,
             nodes: 0,
             degraded: false,
+            incumbents: vec![(0, obj, gap)],
         };
         let stats = SolveStats {
             objective: obj,
@@ -919,6 +929,7 @@ impl SlotProblem {
             nodes: 0,
             optimal: true,
             degraded: false,
+            incumbents: vec![(0, obj, gap)],
         };
         Some((self.decode(&sol), stats))
     }
@@ -947,6 +958,7 @@ impl SlotProblem {
             gap,
             nodes: 0,
             degraded: false,
+            incumbents: vec![(0, obj, gap)],
         };
         let stats = SolveStats {
             objective: obj,
@@ -954,6 +966,7 @@ impl SlotProblem {
             nodes: 0,
             optimal: false,
             degraded: false,
+            incumbents: vec![(0, obj, gap)],
         };
         (self.decode(&sol), stats)
     }
@@ -969,6 +982,7 @@ impl SlotProblem {
             nodes: sol.nodes,
             optimal: sol.status == ModelStatus::Optimal,
             degraded: sol.degraded,
+            incumbents: sol.incumbents.clone(),
         };
         Ok((self.decode(&sol), stats))
     }
@@ -1022,6 +1036,7 @@ impl SlotProblem {
             nodes: sol.nodes,
             optimal: sol.status == ModelStatus::Optimal,
             degraded: sol.degraded,
+            incumbents: sol.incumbents.clone(),
         };
         Ok((self.decode(&sol), stats))
     }

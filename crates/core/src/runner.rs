@@ -222,7 +222,13 @@ pub fn run_scheduler(
 
         // --- decide + validate ---------------------------------------------
         let decide_start = instrument.then(Instant::now);
-        let schedule = scheduler.decide(t, &demand, prev.as_ref());
+        let schedule = {
+            // Root of the per-slot causal trace: everything the scheduler
+            // does (reuse probes, problem build, branch and bound) nests
+            // under this span.
+            let _decide_span = telemetry::span("runner.decide");
+            scheduler.decide(t, &demand, prev.as_ref())
+        };
         let decide_ms = decide_start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1000.0);
         let demand_fn = |a: AppId, e: EdgeId| demand.get(a, e);
         if let Err(err) = validate(catalog, &demand_fn, &schedule, prev.as_ref()) {
@@ -266,7 +272,10 @@ pub fn run_scheduler(
 
         // --- execute ---------------------------------------------------------
         let execute_start = instrument.then(Instant::now);
-        let outcome = sim.execute_slot(exec_schedule.as_ref().unwrap_or(&schedule), prev.as_ref());
+        let outcome = {
+            let _execute_span = telemetry::span("runner.execute");
+            sim.execute_slot(exec_schedule.as_ref().unwrap_or(&schedule), prev.as_ref())
+        };
         let execute_ms = execute_start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1000.0);
         // The monitor digests the full outcome (probe batches included —
         // they are its recovery evidence) ...

@@ -167,6 +167,77 @@ fn schedule_digest(s: Option<&Schedule>, num_apps: usize, num_edges: usize) -> V
     d
 }
 
+/// Warm/cold LP counter values at decide entry, for per-slot deltas in the
+/// provenance record.
+fn lp_counter_snapshot() -> (u64, u64) {
+    (
+        telemetry::counter_value("solver.lp_warm").unwrap_or(0),
+        telemetry::counter_value("solver.lp_cold").unwrap_or(0),
+    )
+}
+
+/// Emit the per-slot decision provenance record: exactly one Info-level
+/// `birp.provenance` event per decide, tagged with the path that produced
+/// the schedule (`skip` | `repair` | `cache_hit` | `full_solve` |
+/// `fallback`) plus the evidence behind it — objective/gap/node counts,
+/// warm/cold LP deltas since decide entry, the quarantine mask in force and
+/// the incumbent trajectory. The path tag is mirrored into a `reuse.<path>`
+/// counter so aggregate reports cross-check against the per-slot records.
+fn emit_provenance(
+    t: usize,
+    path: &'static str,
+    stats: Option<&SolveStats>,
+    mask: Option<&[bool]>,
+    lp0: (u64, u64),
+) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter(&format!("reuse.{path}"), 1);
+    let lp_warm = telemetry::counter_value("solver.lp_warm")
+        .unwrap_or(0)
+        .saturating_sub(lp0.0);
+    let lp_cold = telemetry::counter_value("solver.lp_cold")
+        .unwrap_or(0)
+        .saturating_sub(lp0.1);
+    let masked = mask.map_or(0, |m| m.iter().filter(|&&q| q).count()) as u64;
+    let num = |v: Option<f64>| v.map_or(telemetry::Value::Null, telemetry::Value::Float);
+    let incumbents = telemetry::Value::Array(
+        stats
+            .map(|s| s.incumbents.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|&(n, obj, gap)| {
+                telemetry::Value::Array(vec![
+                    telemetry::Value::UInt(n),
+                    telemetry::Value::Float(obj),
+                    telemetry::Value::Float(gap),
+                ])
+            })
+            .collect(),
+    );
+    telemetry::event(
+        telemetry::Level::Info,
+        "birp.provenance",
+        &[
+            ("slot", (t as u64).into()),
+            ("path", path.into()),
+            ("objective", num(stats.map(|s| s.objective))),
+            ("gap", num(stats.map(|s| s.gap))),
+            (
+                "nodes",
+                telemetry::Value::UInt(stats.map_or(0, |s| s.nodes as u64)),
+            ),
+            ("optimal", stats.is_some_and(|s| s.optimal).into()),
+            ("degraded", stats.is_some_and(|s| s.degraded).into()),
+            ("lp_warm", telemetry::Value::UInt(lp_warm)),
+            ("lp_cold", telemetry::Value::UInt(lp_cold)),
+            ("masked_edges", telemetry::Value::UInt(masked)),
+            ("incumbents", incumbents),
+        ],
+    );
+}
+
 /// The batch-aware, MAB-tuned scheduler (the paper's contribution).
 pub struct Birp {
     catalog: Catalog,
@@ -276,6 +347,7 @@ impl Birp {
         prev: Option<&Schedule>,
     ) -> Schedule {
         let tir = self.estimates();
+        let lp0 = lp_counter_snapshot();
         let cfg = ProblemConfig {
             masked_edges: self.mask.clone(),
             ..self.problem_cfg.clone()
@@ -320,6 +392,7 @@ impl Birp {
                     ],
                 );
             }
+            emit_provenance(t, "skip", Some(&stats), self.mask.as_deref(), lp0);
             self.last_stats = Some(stats);
             return schedule;
         }
@@ -344,6 +417,10 @@ impl Birp {
             .cache_tolerance
             .unwrap_or(self.solver_cfg.rel_gap);
 
+        // The certification probes below (warm-incumbent gap check, cache
+        // lookup + re-certify) are one causal step of the decide trace.
+        let probe_span = telemetry::span("birp.reuse_probe");
+
         // Incumbent skip: when a temporal candidate was repaired into the
         // warm start and that point already sits within the solver's own
         // termination gap of the LP root bound, branch and bound would
@@ -362,6 +439,7 @@ impl Birp {
                         ],
                     );
                 }
+                emit_provenance(t, "repair", Some(&stats), self.mask.as_deref(), lp0);
                 self.last_stats = Some(stats);
                 return schedule;
             }
@@ -397,13 +475,16 @@ impl Birp {
                                 ],
                             );
                         }
-                        self.last_stats = Some(SolveStats {
+                        let stats = SolveStats {
                             objective,
                             gap,
                             nodes: 0,
                             optimal: true,
                             degraded: false,
-                        });
+                            incumbents: vec![(0, objective, gap)],
+                        };
+                        emit_provenance(t, "cache_hit", Some(&stats), self.mask.as_deref(), lp0);
+                        self.last_stats = Some(stats);
                         let mut schedule = entry.schedule.clone();
                         schedule.t = t;
                         return schedule;
@@ -412,6 +493,8 @@ impl Birp {
                 }
             }
         }
+
+        drop(probe_span);
 
         // When the repair pass installed the previous slot's schedule as the
         // incumbent, branch and bound no longer needs its diving heuristics
@@ -437,6 +520,7 @@ impl Birp {
                         ],
                     );
                 }
+                emit_provenance(t, "full_solve", Some(&stats), self.mask.as_deref(), lp0);
                 self.skip_streak = 0;
                 self.heuristic_regime = stats.degraded;
                 if let Some(key) = key {
@@ -474,6 +558,7 @@ impl Birp {
                         ],
                     );
                 }
+                emit_provenance(t, "fallback", None, self.mask.as_deref(), lp0);
                 self.last_stats = None;
                 greedy_local(
                     &self.catalog,

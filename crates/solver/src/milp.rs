@@ -168,6 +168,11 @@ pub struct MilpResult {
     /// The search stopped on a node/pivot/deadline budget before proving
     /// optimality — the incumbent (if any) is best-effort.
     pub degraded: bool,
+    /// Incumbent trajectory: one `(nodes_solved, objective, gap)` point per
+    /// incumbent installed, in installation order. The gap series is the
+    /// solve's convergence signature, surfaced per slot by the decision
+    /// provenance record.
+    pub incumbents: Vec<(u64, f64, f64)>,
 }
 
 /// Frontier node: a box (bound vectors) plus an optimistic objective bound
@@ -271,9 +276,17 @@ fn incumbent_gap(objective: f64, bound: f64) -> f64 {
     (objective - bound).max(0.0) / objective.abs().max(1.0)
 }
 
-/// Emit an incumbent-trajectory trace point (objective / bound / gap after
-/// `nodes` LPs). The gap series is the solver's convergence signature.
-fn note_incumbent(source: &'static str, objective: f64, bound: f64, nodes: usize) {
+/// Record an incumbent-trajectory point (objective / bound / gap after
+/// `nodes` LPs) into `traj` and emit it as a trace event. The gap series is
+/// the solver's convergence signature.
+fn note_incumbent(
+    traj: &mut Vec<(u64, f64, f64)>,
+    source: &'static str,
+    objective: f64,
+    bound: f64,
+    nodes: usize,
+) {
+    traj.push((nodes as u64, objective, incumbent_gap(objective, bound)));
     if telemetry::enabled() {
         telemetry::event(
             telemetry::Level::Trace,
@@ -291,6 +304,7 @@ fn note_incumbent(source: &'static str, objective: f64, bound: f64, nodes: usize
 
 /// Solve the MILP by branch and bound.
 pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
+    let _solve_span = telemetry::span("solver.solve");
     telemetry::counter("solver.solves", 1);
     // Effective budgets: the node limit folds into the classic knob, pivots
     // and the (optional, nondeterministic) deadline are checked at node
@@ -310,6 +324,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     // shrinks every node LP.
     let mut reduced = original.clone();
     if cfg.presolve {
+        let _presolve_span = telemetry::span("solver.presolve_ms");
         let (status, red) = crate::presolve::presolve(&mut reduced.lp, &reduced.integers);
         if telemetry::enabled() {
             telemetry::counter("solver.presolve_rows_removed", red.rows_removed as u64);
@@ -334,6 +349,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 gap: 0.0,
                 nodes: 0,
                 degraded: false,
+                incumbents: Vec::new(),
             };
         }
     }
@@ -351,6 +367,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
 
     let mut nodes_solved = 0usize;
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut traj: Vec<(u64, f64, f64)> = Vec::new();
     let mut heap: BinaryHeap<Node> = BinaryHeap::new();
     let mut warm_installed = false;
 
@@ -367,7 +384,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
             let violation = problem.lp.max_violation(&snapped);
             if integral && violation < 1e-6 {
                 let obj = problem.lp.objective_at(&snapped);
-                note_incumbent("warm_start", obj, f64::NEG_INFINITY, 0);
+                note_incumbent(&mut traj, "warm_start", obj, f64::NEG_INFINITY, 0);
                 incumbent = Some((obj, snapped));
                 installed = true;
             } else if telemetry::enabled() {
@@ -401,7 +418,10 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     }
 
     // --- root -----------------------------------------------------------
-    let (root_sol, root_snap) = solve_node_lp(&problem.lp, &root, &cfg.simplex, cfg.warm_nodes);
+    let (root_sol, root_snap) = {
+        let _root_span = telemetry::span("solver.root_lp");
+        solve_node_lp(&problem.lp, &root, &cfg.simplex, cfg.warm_nodes)
+    };
     nodes_solved += 1;
     pivots_total += root_sol.iterations as u64;
     telemetry::counter("solver.pivots", root_sol.iterations as u64);
@@ -415,6 +435,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 gap: 0.0,
                 nodes: nodes_solved,
                 degraded: false,
+                incumbents: traj,
             };
         }
         LpStatus::Unbounded => {
@@ -426,6 +447,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 gap: 0.0,
                 nodes: nodes_solved,
                 degraded: false,
+                incumbents: traj,
             };
         }
         LpStatus::Optimal => {}
@@ -440,6 +462,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
             // whatever incumbent the warm start installed.
             budget_hit = true;
         } else if cfg.root_dive && !trust_dives_off {
+            let _dive_span = telemetry::span("solver.root_dive");
             telemetry::counter("solver.dive_attempts", 1);
             if let Some((obj, x)) = dive(
                 &problem.lp,
@@ -451,7 +474,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
             ) {
                 if incumbent.as_ref().is_none_or(|(best, _)| obj < *best) {
                     telemetry::counter("solver.dive_hits", 1);
-                    note_incumbent("root_dive", obj, root_bound, nodes_solved);
+                    note_incumbent(&mut traj, "root_dive", obj, root_bound, nodes_solved);
                     incumbent = Some((obj, x));
                 }
             }
@@ -462,7 +485,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
         snap_integers(&mut x, &problem.integers);
         let obj = problem.lp.objective_at(&x);
         telemetry::counter("solver.nodes", nodes_solved as u64);
-        note_incumbent("integral_root", obj, root_bound, nodes_solved);
+        note_incumbent(&mut traj, "integral_root", obj, root_bound, nodes_solved);
         return MilpResult {
             status: MilpStatus::Optimal,
             objective: obj,
@@ -471,6 +494,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
             gap: 0.0,
             nodes: nodes_solved,
             degraded: false,
+            incumbents: traj,
         };
     }
 
@@ -528,15 +552,23 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
         if cfg.warm_nodes && !want_snaps {
             telemetry::counter("solver.warm_budget_skips", wave.len() as u64);
         }
-        let solved: Vec<_> = if cfg.parallel && wave.len() > 1 {
-            wave.par_iter()
-                .map(|node| solve_node_lp(&problem.lp, node, &cfg.simplex, want_snaps))
-                .collect()
-        } else {
-            wave.iter()
-                .map(|node| solve_node_lp(&problem.lp, node, &cfg.simplex, want_snaps))
-                .collect()
+        // Per-wave and per-node spans only at trace level: the gate keeps
+        // the default-level per-node cost at zero. Node spans derive their
+        // child index from the wave *item* index through the captured
+        // context, so the tree is identical whichever worker ran the node.
+        let wave_span = telemetry::trace_spans().then(|| telemetry::span("solver.wave"));
+        let wave_ctx = wave_span.as_ref().map(|s| s.context());
+        let indexed: Vec<(usize, &Node)> = wave.iter().enumerate().collect();
+        let solve_indexed = |&(i, node): &(usize, &Node)| {
+            let _node_span = wave_ctx.map(|c| c.span_at("solver.node_lp", i as u32));
+            solve_node_lp(&problem.lp, node, &cfg.simplex, want_snaps)
         };
+        let solved: Vec<_> = if cfg.parallel && wave.len() > 1 {
+            indexed.par_iter().map(solve_indexed).collect()
+        } else {
+            indexed.iter().map(solve_indexed).collect()
+        };
+        drop(indexed);
         nodes_solved += wave.len();
         pivots_total += solved.iter().map(|(s, _)| s.iterations as u64).sum::<u64>();
         if telemetry::enabled() {
@@ -561,6 +593,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                         gap: 0.0,
                         nodes: nodes_solved,
                         degraded: false,
+                        incumbents: traj,
                     };
                 }
                 LpStatus::Optimal => {}
@@ -577,7 +610,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                     snap_integers(&mut x, &problem.integers);
                     let obj = problem.lp.objective_at(&x);
                     if obj < cutoff {
-                        note_incumbent("leaf", obj, root_bound, nodes_solved);
+                        note_incumbent(&mut traj, "leaf", obj, root_bound, nodes_solved);
                         incumbent = Some((obj, x));
                     }
                 }
@@ -599,7 +632,13 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                             let cutoff = incumbent.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
                             if obj < cutoff {
                                 telemetry::counter("solver.dive_hits", 1);
-                                note_incumbent("tree_dive", obj, root_bound, nodes_solved);
+                                note_incumbent(
+                                    &mut traj,
+                                    "tree_dive",
+                                    obj,
+                                    root_bound,
+                                    nodes_solved,
+                                );
                                 incumbent = Some((obj, x));
                             }
                         }
@@ -637,6 +676,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                 gap,
                 nodes: nodes_solved,
                 degraded: budget_hit && status != MilpStatus::Optimal,
+                incumbents: traj,
             }
         }
         None => {
@@ -649,6 +689,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                     gap: 0.0,
                     nodes: nodes_solved,
                     degraded: false,
+                    incumbents: Vec::new(),
                 }
             } else {
                 // Budget ran out with open nodes and no incumbent.
@@ -660,6 +701,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                     gap: f64::INFINITY,
                     nodes: nodes_solved,
                     degraded: true,
+                    incumbents: Vec::new(),
                 }
             }
         }

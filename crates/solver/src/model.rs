@@ -102,6 +102,9 @@ pub struct Solution {
     /// The solve budget ran out before the gap closed: the point is the best
     /// incumbent found, not a proven (near-)optimum.
     pub degraded: bool,
+    /// Incumbent trajectory `(nodes_solved, objective, gap)` in install
+    /// order (see [`crate::milp::MilpResult::incumbents`]).
+    pub incumbents: Vec<(u64, f64, f64)>,
 }
 
 impl Solution {
@@ -411,6 +414,7 @@ impl Model {
                 gap: res.gap,
                 nodes: res.nodes,
                 degraded: res.degraded,
+                incumbents: res.incumbents,
             }),
         }
     }

@@ -27,14 +27,24 @@
 //!   [`Sink`] (`event(Level::Info, "runner.slot", &[...])`).
 //!
 //! [`Span`] guards time a scope and feed the elapsed milliseconds into a
-//! histogram on drop. [`summary()`] snapshots counters and histogram
-//! quantiles for end-of-run reporting, and [`render_summary`] pretty-prints
-//! that snapshot as the table `birp report` shows.
+//! histogram on drop. Spans additionally form a **causal tree**: every span
+//! carries a stable id derived from `(parent id, name, child index)`, so
+//! identical seeded runs produce identical tree structure (only the duration
+//! fields vary) and `birp profile` can rebuild the decide → presolve → wave
+//! → node-LP hierarchy from a JSONL capture. [`SpanContext`] carries the
+//! current span id across thread boundaries (rayon waves, the thread-local
+//! simplex-engine pools) with caller-supplied deterministic child indices.
+//! [`summary()`] snapshots counters and histogram quantiles for end-of-run
+//! reporting, and [`render_summary`] pretty-prints that snapshot as the
+//! table `birp report` shows.
 
+pub mod profile;
+
+use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -379,22 +389,100 @@ fn registry() -> &'static Mutex<Registry> {
     REGISTRY.get_or_init(|| Mutex::new(Registry::new()))
 }
 
+/// Version of the JSONL record layout written by [`JsonlSink`] captures —
+/// bumped whenever the shape of the header/span/summary records changes.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Capture attribution carried by the [`init_with_meta`] header record: the
+/// command line that produced the run and a fingerprint of its resolved
+/// configuration (see [`fingerprint_args`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunMeta {
+    /// Human-readable invocation (e.g. the joined CLI argv).
+    pub command: String,
+    /// Stable hash of the resolved run configuration.
+    pub config_fingerprint: u64,
+}
+
+/// Stable FNV-1a fingerprint of an argument list — the config id stamped
+/// into the capture header so telemetry files, goldens and BENCH json are
+/// attributable to the exact invocation that produced them.
+pub fn fingerprint_args<I, S>(args: I) -> u64
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut h = FNV_OFFSET;
+    for a in args {
+        for &b in a.as_ref().as_bytes() {
+            h = fnv_step(h, b);
+        }
+        h = fnv_step(h, 0x1f); // unit separator between arguments
+    }
+    h
+}
+
 /// Enable telemetry with the given sink and minimum event level. Clears any
 /// state accumulated by a previous run.
 pub fn init(sink: std::sync::Arc<dyn Sink>, min_level: Level) {
-    let mut reg = registry().lock();
-    reg.counters.clear();
-    reg.histograms.clear();
-    reg.sink = sink;
-    reg.epoch = Instant::now();
+    init_with_meta(sink, min_level, None);
+}
+
+/// [`init`], plus an attribution header: when `meta` is given, a
+/// `telemetry.meta` record (schema version, build/commit id, command line,
+/// config fingerprint) is written to the sink before anything else, so a
+/// JSONL capture is self-describing. Like `telemetry.summary`, the header
+/// bypasses the level filter — it is attribution, not an event.
+pub fn init_with_meta(sink: std::sync::Arc<dyn Sink>, min_level: Level, meta: Option<RunMeta>) {
+    {
+        let mut reg = registry().lock();
+        reg.counters.clear();
+        reg.histograms.clear();
+        reg.sink = sink.clone();
+        reg.epoch = Instant::now();
+    }
+    // New trace generation: every thread's span stack resets lazily, so
+    // span ids restart from the same seeds on every run.
+    TRACE_GEN.fetch_add(1, Ordering::Relaxed);
     MIN_LEVEL.store(min_level as u8, Ordering::Relaxed);
     ENABLED.store(true, Ordering::Relaxed);
+    if let Some(meta) = meta {
+        sink.record(&Event {
+            level: Level::Info,
+            name: "telemetry.meta".to_string(),
+            t_ms: 0.0,
+            fields: vec![
+                ("schema_version", SCHEMA_VERSION.into()),
+                ("build", env!("CARGO_PKG_VERSION").into()),
+                (
+                    "commit",
+                    option_env!("BIRP_BUILD_COMMIT").unwrap_or("unknown").into(),
+                ),
+                ("command", meta.command.into()),
+                (
+                    "config_fingerprint",
+                    format!("{:016x}", meta.config_fingerprint).into(),
+                ),
+                ("min_level", min_level.as_str().into()),
+            ],
+        });
+    }
 }
 
 /// Convenience: enable telemetry writing JSON Lines to `path`.
 pub fn init_jsonl(path: impl AsRef<Path>, min_level: Level) -> std::io::Result<()> {
+    init_jsonl_with_meta(path, min_level, RunMeta::default())
+}
+
+/// [`init_jsonl`] with capture attribution: the file opens with a
+/// `telemetry.meta` header record (see [`init_with_meta`]).
+pub fn init_jsonl_with_meta(
+    path: impl AsRef<Path>,
+    min_level: Level,
+    meta: RunMeta,
+) -> std::io::Result<()> {
     let sink = JsonlSink::create(path)?;
-    init(std::sync::Arc::new(sink), min_level);
+    init_with_meta(std::sync::Arc::new(sink), min_level, Some(meta));
     Ok(())
 }
 
@@ -450,6 +538,16 @@ pub fn counter(name: &str, delta: u64) {
     } else {
         reg.counters.insert(name.to_string(), delta);
     }
+}
+
+/// Current value of a named counter (`None` when absent or telemetry is
+/// off). Provenance records use before/after reads of the solver counters
+/// to attribute warm/cold LP work to a single slot.
+pub fn counter_value(name: &str) -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    registry().lock().counters.get(name).copied()
 }
 
 /// Record `value` into the named histogram.
@@ -511,11 +609,106 @@ pub fn reset() {
 
 // --- spans ---------------------------------------------------------------
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+#[inline]
+fn fnv_step(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// Stable span id: FNV-1a over `(parent id, name, child index)`. Id 0 is
+/// reserved for the implicit per-thread root, so a hash landing on 0 is
+/// remapped to 1.
+fn derive_span_id(parent: u64, name: &str, seq: u32) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in &parent.to_le_bytes() {
+        h = fnv_step(h, b);
+    }
+    for &b in name.as_bytes() {
+        h = fnv_step(h, b);
+    }
+    for &b in &seq.to_le_bytes() {
+        h = fnv_step(h, b);
+    }
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Trace generation: bumped by [`init`] so per-thread span stacks (which may
+/// hold frames from a previous run in the same process) reset lazily, making
+/// span ids reproducible run-to-run.
+static TRACE_GEN: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic lane ids for Chrome-trace rendering. The thread id is the one
+/// deliberately non-deterministic span field: it names the OS thread a span
+/// happened to run on and never feeds into span ids.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+struct Frame {
+    id: u64,
+    next_child: u32,
+}
+
+struct SpanStack {
+    generation: u64,
+    frames: Vec<Frame>,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<SpanStack> = const {
+        RefCell::new(SpanStack {
+            generation: 0,
+            frames: Vec::new(),
+        })
+    };
+    static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(u64::MAX) };
+}
+
+fn local_tid() -> u64 {
+    TID.with(|t| {
+        if t.get() == u64::MAX {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+fn with_stack<R>(f: impl FnOnce(&mut SpanStack) -> R) -> R {
+    SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let generation = TRACE_GEN.load(Ordering::Relaxed);
+        if s.generation != generation || s.frames.is_empty() {
+            s.generation = generation;
+            s.frames.clear();
+            s.frames.push(Frame {
+                id: 0,
+                next_child: 0,
+            });
+        }
+        f(&mut s)
+    })
+}
+
 /// Times a scope; on drop, the elapsed milliseconds are observed into the
-/// histogram `<name>` and (at trace level) emitted as a `span` event.
+/// histogram `<name>` and (at trace level) emitted as a `span` event carrying
+/// the causal-tree fields `id`/`parent`/`seq`/`tid`.
+///
+/// Spans are strict scope guards: on any one thread they must drop in LIFO
+/// order (the natural order for `let _span = span(...)` guards). Sequential
+/// siblings get consecutive child indices from their parent's frame; work
+/// fanned out across threads must instead derive children from an explicit
+/// [`SpanContext`] so the index is the *item* index, not thread arrival
+/// order.
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    id: u64,
+    parent: u64,
+    seq: u32,
 }
 
 impl Span {
@@ -525,27 +718,127 @@ impl Span {
             .map(|s| s.elapsed().as_secs_f64() * 1000.0)
             .unwrap_or(0.0)
     }
+
+    /// Stable id of this span (0 when telemetry is disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Context handle for deterministic cross-thread children.
+    pub fn context(&self) -> SpanContext {
+        SpanContext { id: self.id }
+    }
 }
 
 /// Start a span feeding the named histogram. When telemetry is disabled the
-/// guard is inert (no clock read).
+/// guard is inert (no clock read, no stack touch).
 pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            name,
+            start: None,
+            id: 0,
+            parent: 0,
+            seq: 0,
+        };
+    }
+    let (id, parent, seq) = with_stack(|s| {
+        let top = s.frames.last_mut().expect("root frame");
+        let parent = top.id;
+        let seq = top.next_child;
+        top.next_child += 1;
+        let id = derive_span_id(parent, name, seq);
+        s.frames.push(Frame { id, next_child: 0 });
+        (id, parent, seq)
+    });
     Span {
         name,
-        start: enabled().then(Instant::now),
+        start: Some(Instant::now()),
+        id,
+        parent,
+        seq,
     }
+}
+
+/// A position in the span tree that can be shipped across threads (`Copy`,
+/// `Send`). Rayon wave workers and the thread-local `with_engine` pools
+/// capture the parent's context before the fan-out and open children with
+/// [`SpanContext::span_at`], passing the *item index* as the child index —
+/// so the resulting tree is identical no matter which worker ran which item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    id: u64,
+}
+
+impl SpanContext {
+    /// Context of the innermost open span on this thread (the per-thread
+    /// root when none is open, id 0 when telemetry is disabled).
+    pub fn current() -> SpanContext {
+        if !enabled() {
+            return SpanContext { id: 0 };
+        }
+        SpanContext {
+            id: with_stack(|s| s.frames.last().expect("root frame").id),
+        }
+    }
+
+    /// Open a child of this context with a caller-supplied child index.
+    pub fn span_at(self, name: &'static str, seq: u32) -> Span {
+        if !enabled() {
+            return Span {
+                name,
+                start: None,
+                id: 0,
+                parent: 0,
+                seq: 0,
+            };
+        }
+        let id = derive_span_id(self.id, name, seq);
+        with_stack(|s| s.frames.push(Frame { id, next_child: 0 }));
+        Span {
+            name,
+            start: Some(Instant::now()),
+            id,
+            parent: self.id,
+            seq,
+        }
+    }
+}
+
+/// True when fine-grained (per-wave / per-node) spans should be created:
+/// telemetry is on *and* the minimum level is `Trace`. Hot loops check this
+/// once so the default `Debug` level pays nothing per node (the ≤ 5%
+/// overhead budget on `runner_decide`).
+#[inline]
+pub fn trace_spans() -> bool {
+    enabled() && MIN_LEVEL.load(Ordering::Relaxed) == Level::Trace as u8
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
+            // Balance the frame pushed at construction. After a mid-span
+            // re-init the generation check has already cleared the stack and
+            // the guard below leaves the fresh root frame alone.
+            with_stack(|s| {
+                if s.frames.len() > 1 {
+                    s.frames.pop();
+                }
+            });
             if enabled() {
                 let ms = start.elapsed().as_secs_f64() * 1000.0;
                 observe(self.name, ms);
                 event(
                     Level::Trace,
                     "span",
-                    &[("span", self.name.into()), ("ms", round3(ms).into())],
+                    &[
+                        ("span", self.name.into()),
+                        ("id", Value::UInt(self.id)),
+                        ("parent", Value::UInt(self.parent)),
+                        ("seq", Value::UInt(self.seq as u64)),
+                        ("ms", round3(ms).into()),
+                        ("tid", Value::UInt(local_tid())),
+                    ],
                 );
             }
         }

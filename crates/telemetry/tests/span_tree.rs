@@ -1,0 +1,154 @@
+//! Causal span-tree tests: well-formed forest, stable ids under parallel
+//! fan-out, and run-to-run determinism of everything except durations.
+//!
+//! The facade is process-global, so every test here serializes on one lock
+//! (see `facade.rs` for the same convention).
+
+use std::sync::Arc;
+
+use birp_telemetry as telemetry;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use telemetry::{Level, MemorySink, Value};
+
+static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+/// Structure-only view of a span event: (name, id, parent, seq).
+type Shape = (String, u64, u64, u64);
+
+fn field_u64(fields: &[(&'static str, Value)], key: &str) -> u64 {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.as_u64())
+        .unwrap_or_else(|| panic!("span event missing field {key}"))
+}
+
+fn field_str(fields: &[(&'static str, Value)], key: &str) -> String {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("span event missing field {key}"))
+        .to_string()
+}
+
+/// Run a miniature decide-shaped workload: a root span, a sequential probe
+/// child, then a solve child fanning `node` spans across rayon workers with
+/// item-index child ids. Returns the captured span shapes and durations.
+fn run_workload() -> (Vec<Shape>, Vec<f64>) {
+    let sink = Arc::new(MemorySink::new());
+    telemetry::init(sink.clone(), Level::Trace);
+    {
+        let decide = telemetry::span("decide");
+        let _ = decide.context();
+        {
+            let _probe = telemetry::span("probe");
+        }
+        {
+            let solve = telemetry::span("solve");
+            let ctx = solve.context();
+            let out: Vec<u64> = (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    let _node = ctx.span_at("node", i as u32);
+                    i as u64
+                })
+                .collect();
+            assert_eq!(out.len(), 8);
+        }
+    }
+    telemetry::shutdown();
+    let mut shapes = Vec::new();
+    let mut durations = Vec::new();
+    for ev in sink.drain() {
+        if ev.name != "span" {
+            continue;
+        }
+        shapes.push((
+            field_str(&ev.fields, "span"),
+            field_u64(&ev.fields, "id"),
+            field_u64(&ev.fields, "parent"),
+            field_u64(&ev.fields, "seq"),
+        ));
+        durations.push(
+            ev.fields
+                .iter()
+                .find(|(k, _)| *k == "ms")
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap(),
+        );
+    }
+    telemetry::reset();
+    shapes.sort();
+    (shapes, durations)
+}
+
+#[test]
+fn parallel_spans_form_a_well_formed_forest() {
+    let _g = TEST_GUARD.lock();
+    let (shapes, _) = run_workload();
+    // 1 decide + 1 probe + 1 solve + 8 nodes.
+    assert_eq!(shapes.len(), 11);
+
+    // Every id is nonzero and unique; every parent is 0 (root) or an id
+    // that exists in the capture.
+    let ids: std::collections::BTreeSet<u64> = shapes.iter().map(|s| s.1).collect();
+    assert_eq!(ids.len(), shapes.len(), "span ids must be unique");
+    assert!(!ids.contains(&0), "id 0 is reserved for the root");
+    for (name, _, parent, _) in &shapes {
+        assert!(
+            *parent == 0 || ids.contains(parent),
+            "span {name} has dangling parent {parent}"
+        );
+    }
+
+    // The decide span roots the tree; probe and solve are its children in
+    // declaration order; all 8 nodes hang off solve with seq = item index.
+    let decide = shapes.iter().find(|s| s.0 == "decide").unwrap();
+    assert_eq!(decide.2, 0);
+    let probe = shapes.iter().find(|s| s.0 == "probe").unwrap();
+    let solve = shapes.iter().find(|s| s.0 == "solve").unwrap();
+    assert_eq!((probe.2, probe.3), (decide.1, 0));
+    assert_eq!((solve.2, solve.3), (decide.1, 1));
+    let mut node_seqs: Vec<u64> = shapes
+        .iter()
+        .filter(|s| s.0 == "node")
+        .map(|s| {
+            assert_eq!(s.2, solve.1, "node spans must parent to solve");
+            s.3
+        })
+        .collect();
+    node_seqs.sort_unstable();
+    assert_eq!(node_seqs, (0..8).collect::<Vec<u64>>());
+}
+
+#[test]
+fn identical_runs_differ_only_in_durations() {
+    let _g = TEST_GUARD.lock();
+    let (first, first_ms) = run_workload();
+    let (second, second_ms) = run_workload();
+    // Structure (names, ids, parents, seqs) is bitwise identical across
+    // runs — re-init resets the per-thread span stacks via the trace
+    // generation, even though rayon re-spawns worker threads.
+    assert_eq!(first, second);
+    // Durations exist for every span in both runs (values naturally vary).
+    assert_eq!(first_ms.len(), second_ms.len());
+    assert!(first_ms.iter().all(|ms| *ms >= 0.0));
+}
+
+#[test]
+fn disabled_spans_carry_no_ids_and_touch_no_state() {
+    let _g = TEST_GUARD.lock();
+    telemetry::reset();
+    let s = telemetry::span("inert");
+    assert_eq!(s.id(), 0);
+    let ctx = telemetry::SpanContext::current();
+    let child = ctx.span_at("child", 3);
+    assert_eq!(child.id(), 0);
+    drop(child);
+    drop(s);
+    // Re-enabling afterwards still produces a clean forest.
+    let (shapes, _) = run_workload();
+    assert_eq!(shapes.len(), 11);
+}
