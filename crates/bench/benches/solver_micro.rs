@@ -10,7 +10,9 @@ use birp_core::{DemandMatrix, ProblemConfig, SlotProblem, TirMatrix};
 use birp_models::{AppId, Catalog, EdgeId};
 use birp_solver::lp::{LpProblem, RowCmp};
 use birp_solver::milp::{branch_and_bound, BnbConfig, MilpProblem};
-use birp_solver::simplex::{solve_bounded, solve_reference};
+use birp_solver::simplex::{
+    solve_bounded, solve_reference, with_engine, SimplexMode, SimplexOptions,
+};
 use birp_solver::SolverConfig;
 
 /// A dense-ish random LP with `n` columns and `m` rows (deterministic).
@@ -66,6 +68,79 @@ fn bench_simplex(c: &mut Criterion) {
     g.bench_function("reference_40x25", |b| {
         b.iter(|| black_box(solve_reference(&lp)))
     });
+    g.finish();
+}
+
+/// Sparse revised core vs dense tableau core, back to back on identical
+/// instances — the differential table recorded in BENCH_solver.json. Also
+/// sweeps the scheduled refactorization cadence on the large instance
+/// (too-small intervals pay rebuilds, too-large ones pay eta-file drag).
+fn bench_simplex_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex_sparse");
+    for &(n, m) in &[(120usize, 80usize), (300, 200)] {
+        let lp = random_lp(n, m, 42);
+        for (tag, mode) in [
+            ("sparse", SimplexMode::Sparse),
+            ("dense", SimplexMode::Dense),
+        ] {
+            let opts = SimplexOptions {
+                mode,
+                ..SimplexOptions::default()
+            };
+            g.bench_function(format!("{tag}_{n}x{m}"), |b| {
+                b.iter(|| {
+                    with_engine(|eng| black_box(eng.solve_cold(&lp, &lp.lower, &lp.upper, &opts)))
+                })
+            });
+        }
+    }
+    let lp = random_lp(300, 200, 42);
+    for interval in [8usize, 32, 64, 128] {
+        let opts = SimplexOptions {
+            mode: SimplexMode::Sparse,
+            refactor_interval: interval,
+            ..SimplexOptions::default()
+        };
+        g.bench_function(format!("refactor_cadence_{interval}"), |b| {
+            b.iter(|| {
+                with_engine(|eng| black_box(eng.solve_cold(&lp, &lp.lower, &lp.upper, &opts)))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Dive-chain guard: one cold solve, then a chain of in-place
+/// `resolve_with_bounds` re-solves under successive bound tightenings —
+/// the diving heuristic's access pattern. Guards the satellite scratch
+/// reuse in the dense extract/compact path and the sparse eta-file
+/// carry-over (a regression to per-call allocation or per-step
+/// refactorization shows up here first).
+fn bench_dive_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dive_chain");
+    let lp = random_lp(120, 80, 42);
+    for (tag, mode) in [
+        ("sparse", SimplexMode::Sparse),
+        ("dense", SimplexMode::Dense),
+    ] {
+        let opts = SimplexOptions {
+            mode,
+            ..SimplexOptions::default()
+        };
+        g.bench_function(format!("resolve_chain_{tag}"), |b| {
+            b.iter(|| {
+                with_engine(|eng| {
+                    let cold = eng.solve_cold(&lp, &lp.lower, &lp.upper, &opts);
+                    let mut hi = lp.upper.clone();
+                    for j in 0..8 {
+                        hi[j] *= 0.5;
+                        black_box(eng.resolve_with_bounds(&lp, &lp.lower, &hi, &opts));
+                    }
+                    black_box(cold)
+                })
+            })
+        });
+    }
     g.finish();
 }
 
@@ -163,6 +238,8 @@ fn bench_node_throughput(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_simplex,
+    bench_simplex_sparse,
+    bench_dive_chain,
     bench_bnb,
     bench_slot_problem,
     bench_node_throughput

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! birp run        [--scale small|large] [--slots N] [--seed S] [--scheduler birp|birp-off|oaei|max]
-//!                 [--faults plan.json] [--resilience on|off]
+//!                 [--faults plan.json] [--resilience on|off] [--dense-simplex]
 //! birp compare    [--scale small|large] [--slots N] [--seed S] [--faults plan.json] [--resilience on|off]
+//!                 [--dense-simplex]
 //! birp resilience [--slots N] [--seed S] [--smoke] [--out result.json]
 //! birp sweep      [--slots N] [--seed S]
 //! birp table1     [--windows N] [--seed S]
@@ -51,6 +52,7 @@ use birp_core::experiments::{
 use birp_core::{run_scheduler, HealthConfig, RunConfig, TemporalReuse};
 use birp_mab::MabConfig;
 use birp_models::Catalog;
+use birp_solver::simplex::SimplexMode;
 use birp_solver::SolverConfig;
 use birp_workload::{io as trace_io, TraceConfig, TraceStats};
 
@@ -125,6 +127,8 @@ ROBUSTNESS (run / compare):
     --resilience on|off        failure detector + quarantine-and-reroute (default: off)
     --no-reuse                 disable cross-slot temporal reuse (warm-start install
                                and schedule cache) in the MILP schedulers
+    --dense-simplex            force the dense tableau simplex core instead of the
+                               sparse revised core (A/B validation and triage)
 
 OBSERVABILITY (any command):
     --telemetry <path.jsonl>   capture structured events to a JSON Lines file
@@ -212,7 +216,7 @@ fn cmd_run(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let solver = if scale == "large" {
+    let mut solver = if scale == "large" {
         SolverConfig {
             node_limit: 16,
             ..SolverConfig::scheduling()
@@ -220,6 +224,9 @@ fn cmd_run(args: &Args) -> ExitCode {
     } else {
         SolverConfig::scheduling()
     };
+    if args.has("dense-simplex") {
+        solver.simplex.mode = SimplexMode::Dense;
+    }
     let mut run_cfg = RunConfig::default();
     if let Err(code) = apply_robustness(args, &mut run_cfg) {
         return code;
@@ -263,6 +270,9 @@ fn cmd_compare(args: &Args) -> ExitCode {
     };
     if let Err(code) = apply_robustness(args, &mut cfg.run) {
         return code;
+    }
+    if args.has("dense-simplex") {
+        cfg.solver.simplex.mode = SimplexMode::Dense;
     }
     let results = compare_schedulers(&cfg);
     println!(

@@ -116,6 +116,12 @@ impl LpProblem {
         self.rows.len()
     }
 
+    /// Structural constraint-matrix nonzeros (slacks excluded). The sparse
+    /// revised simplex scales with this, not with `m × n`.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(|r| r.coeffs.len()).sum()
+    }
+
     /// Append a sparse row. Coefficients are sorted and merged.
     pub fn push_row(&mut self, mut coeffs: Vec<(usize, f64)>, cmp: RowCmp, rhs: f64) {
         coeffs.sort_unstable_by_key(|&(j, _)| j);

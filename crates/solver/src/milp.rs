@@ -337,6 +337,8 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
                     ("bounds_tightened", (red.bounds_tightened as u64).into()),
                     ("vars_fixed", (red.vars_fixed as u64).into()),
                     ("rounds", (red.rounds as u64).into()),
+                    ("nnz_removed", (red.nnz_removed as u64).into()),
+                    ("nnz_after", (reduced.lp.nnz() as u64).into()),
                 ],
             );
         }
@@ -363,7 +365,7 @@ pub fn branch_and_bound(original: &MilpProblem, cfg: &BnbConfig) -> MilpResult {
     };
     // Deterministic snapshot budget: estimated per-snapshot footprint,
     // computed once from the (presolved) problem shape.
-    let est_snap_bytes = EngineSnapshot::estimate_bytes(&problem.lp).max(1);
+    let est_snap_bytes = EngineSnapshot::estimate_bytes(&problem.lp, &cfg.simplex).max(1);
 
     let mut nodes_solved = 0usize;
     let mut incumbent: Option<(f64, Vec<f64>)> = None;

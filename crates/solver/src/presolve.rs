@@ -41,6 +41,10 @@ pub struct Reduction {
     pub bounds_tightened: usize,
     pub vars_fixed: usize,
     pub rounds: usize,
+    /// Constraint-matrix nonzeros eliminated with the removed rows. The
+    /// sparse revised simplex's per-iteration cost is O(nonzeros touched),
+    /// so this — not the row count — is the unit presolve saves in.
+    pub nnz_removed: usize,
 }
 
 /// Presolve `lp` in place (bounds may tighten, rows may disappear).
@@ -243,13 +247,21 @@ pub fn presolve(lp: &mut LpProblem, integers: &[usize]) -> (PresolveStatus, Redu
             }
         }
 
-        // Drop removed rows.
+        // Drop removed rows, tracking the nonzeros that go with them.
         if keep.iter().any(|&k| !k) {
+            let dropped_nnz: usize = lp
+                .rows
+                .iter()
+                .zip(&keep)
+                .filter(|&(_, &k)| !k)
+                .map(|(r, _)| r.coeffs.len())
+                .sum();
             let mut ki = keep.iter();
             lp.rows.retain(|_| *ki.next().unwrap());
             red.rows_removed = red
                 .rows_removed
                 .saturating_add(keep.iter().filter(|&&k| !k).count());
+            red.nnz_removed = red.nnz_removed.saturating_add(dropped_nnz);
         }
 
         if !changed {

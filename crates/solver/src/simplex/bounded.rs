@@ -32,7 +32,8 @@ use std::cell::RefCell;
 use birp_telemetry as telemetry;
 
 use crate::lp::{LpProblem, LpSolution, LpStatus, RowCmp};
-use crate::simplex::{reference, COST_TOL, PIVOT_TOL};
+use crate::simplex::revised::{RevisedCore, SparseSnapshot};
+use crate::simplex::{reference, VState, COST_TOL, PIVOT_TOL};
 
 /// Primal feasibility tolerance for warm-restore bound violations.
 const WARM_FEAS_TOL: f64 = 1e-7;
@@ -40,12 +41,39 @@ const WARM_FEAS_TOL: f64 = 1e-7;
 /// Default upper bound on the candidate list kept by partial pricing.
 const CAND_MAX: usize = 24;
 
-/// Where a non-basic variable currently rests.
+/// Above this `m × ncols` work product, `SimplexMode::Auto` routes a cold
+/// solve to the sparse revised core; at or below it the dense tableau core
+/// wins on constant factors (the whole tableau fits in L2) and keeps its
+/// PR 4 golden traces bitwise identical.
+const AUTO_DENSE_CUTOVER: usize = 8192;
+
+/// Which simplex core executes a solve.
+///
+/// `Auto` picks per problem by the `m × ncols` work product (see
+/// [`AUTO_DENSE_CUTOVER`]); warm restarts follow the core that produced the
+/// snapshot. The dense tableau core remains fully supported as the
+/// differential anchor for the sparse rewrite — force it with `Dense`, the
+/// `--dense-simplex` CLI flag, or the `dense-fallback` cargo feature (which
+/// flips the default for an entire build).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VState {
-    Basic,
-    AtLower,
-    AtUpper,
+pub enum SimplexMode {
+    /// Choose per problem size (default).
+    Auto,
+    /// Always the dense tableau core.
+    Dense,
+    /// Always the sparse revised core (still falls back to dense, then
+    /// reference, on numerical trouble).
+    Sparse,
+}
+
+impl Default for SimplexMode {
+    fn default() -> Self {
+        if cfg!(feature = "dense-fallback") {
+            SimplexMode::Dense
+        } else {
+            SimplexMode::Auto
+        }
+    }
 }
 
 /// Tunables for the bounded-variable engine.
@@ -66,6 +94,21 @@ pub struct SimplexOptions {
     /// Dantzig pricing; either extreme must produce the same optimum, which
     /// the conformance suite exercises.
     pub candidate_cap: usize,
+    /// Sparse-core ceiling on the candidate list. The revised core prices
+    /// candidates on demand against the current multipliers, so a short
+    /// list that refills often keeps devex scores fresher than a long one
+    /// coasting on stale weights — measurably fewer iterations on the
+    /// dense-ish bench instances. Applied as
+    /// `min(candidate_cap, sparse_candidate_cap)`, so conformance configs
+    /// that pin `candidate_cap` to an extreme still exercise the sparse
+    /// core at that extreme. The dense tableau core ignores this knob.
+    pub sparse_candidate_cap: usize,
+    /// Which core runs the solve (see [`SimplexMode`]).
+    pub mode: SimplexMode,
+    /// Sparse core: scheduled refactorization cadence — rebuild the LU
+    /// after this many eta updates (fill-in and instability can trigger
+    /// one sooner). Tiny values are a test hook for the rebuild path.
+    pub refactor_interval: usize,
 }
 
 impl Default for SimplexOptions {
@@ -74,6 +117,9 @@ impl Default for SimplexOptions {
             pivot_cap_base: 200_000,
             pivot_cap_per_dim: 100,
             candidate_cap: CAND_MAX,
+            sparse_candidate_cap: 8,
+            mode: SimplexMode::default(),
+            refactor_interval: 64,
         }
     }
 }
@@ -88,9 +134,21 @@ impl SimplexOptions {
 
 /// Frozen engine state captured at a solved vertex, sufficient to restore
 /// the solve in O(copy) and re-optimise after bound shifts. Opaque outside
-/// the engine; obtain one with [`SimplexEngine::snapshot`].
+/// the engine; obtain one with [`SimplexEngine::snapshot`]. Wraps either
+/// core's state: a dense tableau copy, or the sparse core's O(m+n) basis
+/// record (which refactorizes on restore). Warm restarts always resume on
+/// the core that produced the snapshot.
 #[derive(Debug, Clone)]
-pub struct EngineSnapshot {
+pub struct EngineSnapshot(SnapKind);
+
+#[derive(Debug, Clone)]
+enum SnapKind {
+    Dense(DenseSnapshot),
+    Sparse(SparseSnapshot),
+}
+
+#[derive(Debug, Clone)]
+struct DenseSnapshot {
     d: Vec<f64>,
     xb: Vec<f64>,
     basis: Vec<usize>,
@@ -108,21 +166,43 @@ impl EngineSnapshot {
     /// Approximate heap footprint, used by branch and bound to budget how
     /// many node snapshots may live on the frontier at once.
     pub fn bytes(&self) -> usize {
-        (self.d.capacity() + self.xb.capacity() + self.lower.capacity() + self.upper.capacity())
-            * std::mem::size_of::<f64>()
-            + self.z.capacity() * std::mem::size_of::<f64>()
-            + self.basis.capacity() * std::mem::size_of::<usize>()
-            + self.state.capacity()
+        match &self.0 {
+            SnapKind::Dense(s) => {
+                (s.d.capacity() + s.xb.capacity() + s.lower.capacity() + s.upper.capacity())
+                    * std::mem::size_of::<f64>()
+                    + s.z.capacity() * std::mem::size_of::<f64>()
+                    + s.basis.capacity() * std::mem::size_of::<usize>()
+                    + s.state.capacity()
+            }
+            SnapKind::Sparse(s) => s.bytes(),
+        }
     }
 
-    /// Estimate the snapshot footprint for `lp` without solving it.
-    pub fn estimate_bytes(lp: &LpProblem) -> usize {
+    /// Estimate the snapshot footprint for `lp` without solving it, under
+    /// the engine-selection policy of `opts`.
+    pub fn estimate_bytes(lp: &LpProblem, opts: &SimplexOptions) -> usize {
         let m = lp.num_rows();
+        let n = lp.num_cols();
         let num_slacks = lp.rows.iter().filter(|r| r.cmp != RowCmp::Eq).count();
-        // Post-compaction column count: structural + slacks + a handful of
-        // surviving artificials (bounded by m, usually ~0).
-        let ncols = lp.num_cols() + num_slacks;
-        (m * ncols + 4 * ncols + 2 * m) * std::mem::size_of::<f64>()
+        if wants_sparse(opts.mode, m, n + num_slacks) {
+            SparseSnapshot::estimate_bytes(m, n, num_slacks)
+        } else {
+            // Post-compaction column count: structural + slacks + a handful
+            // of surviving artificials (bounded by m, usually ~0).
+            let ncols = n + num_slacks;
+            (m * ncols + 4 * ncols + 2 * m) * std::mem::size_of::<f64>()
+        }
+    }
+}
+
+/// Engine-selection policy: which core should a cold solve of an
+/// `m × ncols` problem use?
+#[inline]
+fn wants_sparse(mode: SimplexMode, m: usize, ncols: usize) -> bool {
+    match mode {
+        SimplexMode::Dense => false,
+        SimplexMode::Sparse => true,
+        SimplexMode::Auto => m * ncols > AUTO_DENSE_CUTOVER,
     }
 }
 
@@ -160,6 +240,16 @@ pub struct SimplexEngine {
     costs: Vec<f64>,
     /// Pivot-row copy reused by [`pivot`](Self::pivot).
     scratch: Vec<f64>,
+    /// Full-width solution buffer reused by [`extract`](Self::extract) —
+    /// dive chains call it once per re-solve, so a fresh `vec![0.0; ncols]`
+    /// per call shows up as allocator traffic.
+    xfull: Vec<f64>,
+    /// Surviving-column list and old→new index map reused by
+    /// [`compact`](Self::compact).
+    keep: Vec<usize>,
+    remap: Vec<usize>,
+    /// Compaction staging for the tableau (swapped with `d`).
+    dscratch: Vec<f64>,
     /// Partial-pricing candidate list and round-robin scan cursor.
     cands: Vec<usize>,
     cursor: usize,
@@ -175,6 +265,12 @@ pub struct SimplexEngine {
     /// dual-feasible infeasibility certificate), i.e. a snapshot taken now
     /// can seed warm restarts.
     ready: bool,
+    /// Sparse revised core; shares this engine's lifetime so its matrix,
+    /// factorization and work vectors are reused across solves too.
+    sparse: RevisedCore,
+    /// Which core produced the most recent solve (drives `snapshot()`,
+    /// `resolve_with_bounds` and `last_iterations` dispatch).
+    sparse_active: bool,
 }
 
 impl SimplexEngine {
@@ -185,17 +281,50 @@ impl SimplexEngine {
     /// Simplex iterations spent by the most recent solve (both phases, or
     /// dual + primal clean-up for warm solves).
     pub fn last_iterations(&self) -> usize {
-        self.iterations
+        if self.sparse_active {
+            self.sparse.last_iterations()
+        } else {
+            self.iterations
+        }
+    }
+
+    /// Test support: which core produced the last solve, plus its
+    /// structural-column rest states (-1 lower / 0 basic / +1 upper) and
+    /// reduced costs. Used by the sparse-vs-dense parity suite to check
+    /// each engine's dual certificate; not a stable API.
+    #[doc(hidden)]
+    pub fn vertex_report(&self) -> Option<(bool, Vec<i8>, Vec<f64>)> {
+        if self.sparse_active {
+            return self.sparse.vertex_report().map(|(s, z)| (true, s, z));
+        }
+        if !self.ready {
+            return None;
+        }
+        let states = self.state[..self.nstruct]
+            .iter()
+            .map(|s| match s {
+                VState::Basic => 0i8,
+                VState::AtLower => -1,
+                VState::AtUpper => 1,
+            })
+            .collect();
+        Some((false, states, self.z[..self.nstruct].to_vec()))
     }
 
     /// Capture the current optimal state for later warm restarts. Returns
     /// `None` unless the engine just finished a successful solve (a
     /// reference fallback or failed solve leaves no usable state).
     pub fn snapshot(&self) -> Option<EngineSnapshot> {
+        if self.sparse_active {
+            return self
+                .sparse
+                .snapshot()
+                .map(|s| EngineSnapshot(SnapKind::Sparse(s)));
+        }
         if !self.ready {
             return None;
         }
-        Some(EngineSnapshot {
+        Some(EngineSnapshot(SnapKind::Dense(DenseSnapshot {
             d: self.d.clone(),
             xb: self.xb.clone(),
             basis: self.basis.clone(),
@@ -207,7 +336,7 @@ impl SimplexEngine {
             ncols: self.ncols,
             nstruct: self.nstruct,
             num_slacks: self.num_slacks,
-        })
+        })))
     }
 
     // --- shared pivoting machinery ------------------------------------
@@ -582,10 +711,13 @@ impl SimplexEngine {
         }
     }
 
-    /// Dense solution vector for the current basis/state.
-    fn extract(&self) -> Vec<f64> {
-        let mut x = vec![0.0; self.ncols];
-        for (j, xj) in x.iter_mut().enumerate() {
+    /// Fill `self.xfull` with the dense solution vector for the current
+    /// basis/state. Returns it as a slice; the buffer is engine-owned so
+    /// dive chains don't allocate per re-solve.
+    fn extract(&mut self) -> &[f64] {
+        self.xfull.clear();
+        self.xfull.resize(self.ncols, 0.0);
+        for (j, xj) in self.xfull.iter_mut().enumerate() {
             *xj = match self.state[j] {
                 VState::AtLower => self.lower[j],
                 VState::AtUpper => self.upper[j],
@@ -593,9 +725,9 @@ impl SimplexEngine {
             };
         }
         for i in 0..self.m {
-            x[self.basis[i]] = self.xb[i];
+            self.xfull[self.basis[i]] = self.xb[i];
         }
-        x
+        &self.xfull
     }
 
     fn has_nan(&self) -> bool {
@@ -673,38 +805,50 @@ impl SimplexEngine {
     /// artificials (redundant rows) survive with frozen [0, 0] bounds.
     fn compact(&mut self) {
         let m = self.m;
-        let keep: Vec<usize> = (0..self.ncols)
-            .filter(|&j| j < self.nstruct + self.num_slacks || self.state[j] == VState::Basic)
-            .collect();
+        let mut keep = std::mem::take(&mut self.keep);
+        keep.clear();
+        keep.extend(
+            (0..self.ncols)
+                .filter(|&j| j < self.nstruct + self.num_slacks || self.state[j] == VState::Basic),
+        );
         if keep.len() < self.ncols {
-            let mut remap = vec![usize::MAX; self.ncols];
+            self.remap.clear();
+            self.remap.resize(self.ncols, usize::MAX);
             for (new_j, &old_j) in keep.iter().enumerate() {
-                remap[old_j] = new_j;
+                self.remap[old_j] = new_j;
             }
             let new_c = keep.len();
-            let mut nd = vec![0.0; m * new_c];
+            // Compact the tableau into the staging buffer, then swap — the
+            // two buffers ping-pong across solves, so after the first solve
+            // neither is reallocated.
+            self.dscratch.clear();
+            self.dscratch.resize(m * new_c, 0.0);
             for i in 0..m {
                 let src = &self.d[i * self.ncols..(i + 1) * self.ncols];
-                let dst = &mut nd[i * new_c..(i + 1) * new_c];
+                let dst = &mut self.dscratch[i * new_c..(i + 1) * new_c];
                 for (new_j, &old_j) in keep.iter().enumerate() {
                     dst[new_j] = src[old_j];
                 }
             }
-            self.d = nd;
-            let lower_new: Vec<f64> = keep.iter().map(|&j| self.lower[j]).collect();
-            let upper_new: Vec<f64> = keep.iter().map(|&j| self.upper[j]).collect();
-            let state_new: Vec<VState> = keep.iter().map(|&j| self.state[j]).collect();
-            self.lower = lower_new;
-            self.upper = upper_new;
-            self.state = state_new;
+            std::mem::swap(&mut self.d, &mut self.dscratch);
+            // `keep` is ascending, so bounds/state compact in place.
+            for (new_j, &old_j) in keep.iter().enumerate() {
+                self.lower[new_j] = self.lower[old_j];
+                self.upper[new_j] = self.upper[old_j];
+                self.state[new_j] = self.state[old_j];
+            }
+            self.lower.truncate(new_c);
+            self.upper.truncate(new_c);
+            self.state.truncate(new_c);
             for b in self.basis.iter_mut() {
-                *b = remap[*b];
+                *b = self.remap[*b];
                 debug_assert!(*b != usize::MAX, "basic column dropped");
             }
             self.z.clear();
             self.z.resize(new_c, 0.0);
             self.ncols = new_c;
         }
+        self.keep = keep;
         // Freeze surviving artificials at zero for phase 2.
         for j in self.nstruct + self.num_slacks..self.ncols {
             self.lower[j] = 0.0;
@@ -712,9 +856,11 @@ impl SimplexEngine {
         }
     }
 
-    /// Full two-phase solve of `lp` over the box `[lo, hi]`, reusing this
-    /// engine's buffers. `None` signals numerical trouble; the caller
-    /// decides the fallback.
+    /// Full solve of `lp` over the box `[lo, hi]`, reusing this engine's
+    /// buffers. Dispatches to the sparse revised core or the dense tableau
+    /// core per `opts.mode`; a sparse numerical failure falls through to
+    /// the dense core before giving up. `None` signals numerical trouble in
+    /// every core; the caller decides the final (reference) fallback.
     pub fn try_solve_cold(
         &mut self,
         lp: &LpProblem,
@@ -727,6 +873,33 @@ impl SimplexEngine {
                 panic!("invalid bounds on column {j}; validate before solving");
             }
         }
+        let num_slacks = lp.rows.iter().filter(|r| r.cmp != RowCmp::Eq).count();
+        if wants_sparse(opts.mode, lp.num_rows(), lp.num_cols() + num_slacks) {
+            if let Some(sol) = self.sparse.try_solve_cold(lp, lo, hi, opts) {
+                telemetry::counter("solver.pricing_mode.devex", 1);
+                self.sparse_active = true;
+                self.ready = false;
+                return Some(sol);
+            }
+            // Sick basis in the sparse core: the dense tableau core is the
+            // first fallback tier (reference engine is the second).
+            telemetry::counter("solver.sparse_fallback", 1);
+        }
+        self.sparse_active = false;
+        self.sparse.ready = false;
+        telemetry::counter("solver.pricing_mode.dantzig", 1);
+        self.dense_try_solve_cold(lp, lo, hi, opts)
+    }
+
+    /// Dense-core two-phase solve (the pre-sparse production path, kept as
+    /// the differential anchor and fallback tier).
+    fn dense_try_solve_cold(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &SimplexOptions,
+    ) -> Option<LpSolution> {
         self.load(lp, lo, hi);
         self.cand_cap = opts.candidate_cap;
         let n = self.nstruct;
@@ -799,8 +972,8 @@ impl SimplexEngine {
         if self.has_nan() {
             return None;
         }
-        let full = self.extract();
-        let x = full[..self.nstruct].to_vec();
+        let nstruct = self.nstruct;
+        let x = self.extract()[..nstruct].to_vec();
         // Guard: numerical drift can leave tiny violations; if they are
         // large the fast path is not trustworthy and the caller falls back.
         if lp.max_violation_with_bounds(&x, lo, hi) > 1e-5 {
@@ -860,6 +1033,38 @@ impl SimplexEngine {
         hi: &[f64],
         opts: &SimplexOptions,
     ) -> Option<LpSolution> {
+        match &snap.0 {
+            SnapKind::Sparse(s) => {
+                let sol = self.sparse.solve_warm(lp, s, lo, hi, opts);
+                if sol.is_some() {
+                    telemetry::counter("solver.pricing_mode.devex", 1);
+                    self.sparse_active = true;
+                    self.ready = false;
+                } else {
+                    self.sparse_active = false;
+                }
+                sol
+            }
+            SnapKind::Dense(s) => {
+                self.sparse_active = false;
+                self.sparse.ready = false;
+                let sol = self.dense_solve_warm(lp, s, lo, hi, opts);
+                if sol.is_some() {
+                    telemetry::counter("solver.pricing_mode.dantzig", 1);
+                }
+                sol
+            }
+        }
+    }
+
+    fn dense_solve_warm(
+        &mut self,
+        lp: &LpProblem,
+        snap: &DenseSnapshot,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &SimplexOptions,
+    ) -> Option<LpSolution> {
         if snap.nstruct != lp.num_cols() || snap.m != lp.num_rows() {
             return None;
         }
@@ -898,6 +1103,15 @@ impl SimplexEngine {
         hi: &[f64],
         opts: &SimplexOptions,
     ) -> Option<LpSolution> {
+        if self.sparse_active {
+            // Dive-chain fast path on the sparse core: the factorization
+            // and eta file carry over untouched.
+            let sol = self.sparse.resolve_with_bounds(lp, lo, hi, opts);
+            if sol.is_none() {
+                self.sparse_active = false;
+            }
+            return sol;
+        }
         if !self.ready || self.nstruct != lp.num_cols() || self.m != lp.num_rows() {
             return None;
         }
@@ -1288,7 +1502,7 @@ mod tests {
         let opts = SimplexOptions {
             pivot_cap_base: 1,
             pivot_cap_per_dim: 0,
-            candidate_cap: CAND_MAX,
+            ..SimplexOptions::default()
         };
         let mut eng = SimplexEngine::new();
         // try_solve_cold must give up (None) under a 1-pivot cap…

@@ -17,13 +17,25 @@
 //! thousands of random LPs.
 
 pub mod bounded;
+pub(crate) mod factor;
 pub mod reference;
+pub(crate) mod revised;
+pub(crate) mod sparse;
 
 pub use bounded::solve as solve_bounded;
-pub use bounded::{with_engine, EngineSnapshot, SimplexEngine, SimplexOptions};
+pub use bounded::{with_engine, EngineSnapshot, SimplexEngine, SimplexMode, SimplexOptions};
 pub use reference::solve as solve_reference;
 
 /// Pivot tolerance shared by both engines.
 pub(crate) const PIVOT_TOL: f64 = 1e-9;
 /// Tolerance for reduced-cost optimality tests.
 pub(crate) const COST_TOL: f64 = 1e-9;
+
+/// Where a non-basic variable currently rests. Shared by the dense tableau
+/// core and the sparse revised core so snapshots can carry either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VState {
+    Basic,
+    AtLower,
+    AtUpper,
+}
