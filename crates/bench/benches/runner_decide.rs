@@ -14,11 +14,25 @@
 //! A third pass re-runs the reuse-on workload with the telemetry facade
 //! enabled at its default (`debug`) level to measure the flight recorder's
 //! decide-path overhead — the observability acceptance bar is ≤ 5%.
+//!
+//! A fourth pass measures the durability layer (DESIGN.md §12): the Fig. 7
+//! large-scale workload driven through `run_scheduler_resumable` with a
+//! `--checkpoint-every 10` policy writing to a scratch file, timed on whole
+//! run wall clock (checkpoint serialisation happens *between* slots, so
+//! decide-only timing would not see it). It uses the large scale because
+//! that is the production-shaped denominator: per-slot decide there is
+//! ~10 ms, while the small-scale toy slots are sub-ms and would measure the
+//! fixed per-save cost against almost no work. The acceptance bar is ≤ 3%
+//! run overhead; `birp bench-diff` enforces it as an absolute bound on the
+//! fresh record.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use birp_core::{run_scheduler, Birp, DemandMatrix, RunConfig, Scheduler, TemporalReuse};
+use birp_core::{
+    run_scheduler, run_scheduler_resumable, Birp, CheckpointPolicy, DemandMatrix, RunConfig,
+    RunOutcome, Scheduler, TemporalReuse,
+};
 use birp_mab::MabConfig;
 use birp_models::Catalog;
 use birp_sim::{Schedule, SlotOutcome};
@@ -31,6 +45,9 @@ const SLOTS: usize = 32;
 const MEAN_RATE: f64 = 7.0;
 const SEED: u64 = 42;
 const REPS: usize = 5;
+/// Slots for the checkpoint-overhead pass (Fig. 7 large scale, ~10 ms/slot):
+/// two periodic saves at `--checkpoint-every 10` land inside the horizon.
+const CKPT_SLOTS: usize = 24;
 
 /// Times every `decide` call, delegating everything else unchanged.
 struct TimedDecide<S> {
@@ -77,6 +94,27 @@ fn run_once(catalog: &Catalog, trace: &Trace, reuse: TemporalReuse) -> (f64, f64
     )
 }
 
+/// One full reuse-on run timed on wall clock, optionally checkpointing.
+/// Returns mean wall ms per slot (includes serialisation + atomic writes).
+fn run_wall_once(catalog: &Catalog, trace: &Trace, policy: Option<&CheckpointPolicy>) -> f64 {
+    let mut scheduler = Birp::new(catalog.clone(), MabConfig::paper_preset())
+        .with_solver(SolverConfig::scheduling())
+        .with_reuse(TemporalReuse::default());
+    let start = Instant::now();
+    let outcome = run_scheduler_resumable(
+        catalog,
+        trace,
+        &mut scheduler,
+        &RunConfig::default(),
+        policy,
+        None,
+        None,
+    )
+    .expect("bench run cannot fail to checkpoint to a scratch file");
+    assert!(matches!(outcome, RunOutcome::Complete(_)));
+    start.elapsed().as_secs_f64() * 1e3 / trace.num_slots() as f64
+}
+
 #[derive(Serialize)]
 struct Workload {
     scale: &'static str,
@@ -96,6 +134,9 @@ struct Acceptance {
     decide_speedup_required: f64,
     decide_speedup_measured: f64,
     objective_equality: &'static str,
+    /// Absolute bound on `checkpoint_overhead_pct`, enforced by
+    /// `birp bench-diff` on the fresh record (not a baseline ratio).
+    checkpoint_overhead_max_pct: f64,
 }
 
 #[derive(Serialize)]
@@ -108,6 +149,9 @@ struct Record {
     /// Decide-path slowdown with telemetry enabled at the default (`debug`)
     /// level, percent relative to the facade-disabled run.
     telemetry_overhead_pct: f64,
+    /// Whole-run wall-clock slowdown with `--checkpoint-every 10` durable
+    /// snapshots enabled, percent relative to the checkpoint-free run.
+    checkpoint_overhead_pct: f64,
     total_loss: Losses,
     acceptance: Acceptance,
 }
@@ -161,17 +205,50 @@ fn main() {
     }
     let overhead_pct = (instr_ms / on_ms - 1.0) * 100.0;
 
+    // Checkpoint overhead: whole-run wall clock (snapshotting runs between
+    // slots, outside `decide`), plain vs `every: 10` durable checkpoints to
+    // a scratch file, on the Fig. 7 large-scale workload (see module docs
+    // for why the denominator is the large scale). Best-of-REPS both sides.
+    let large_catalog = Catalog::large_scale(SEED);
+    let large_trace = TraceConfig {
+        num_slots: CKPT_SLOTS,
+        ..TraceConfig::large_scale(SEED)
+    }
+    .generate();
+    let ckpt_path = std::env::temp_dir().join(format!("birp-bench-ckpt-{}", std::process::id()));
+    let policy = CheckpointPolicy {
+        path: ckpt_path.clone(),
+        every: 10,
+        spec: serde::Value::Null,
+    };
+    run_wall_once(&large_catalog, &large_trace, None); // warm-up
+    let mut plain_wall_ms = f64::INFINITY;
+    let mut ckpt_wall_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        plain_wall_ms = plain_wall_ms.min(run_wall_once(&large_catalog, &large_trace, None));
+        ckpt_wall_ms = ckpt_wall_ms.min(run_wall_once(&large_catalog, &large_trace, Some(&policy)));
+    }
+    let _ = std::fs::remove_file(&ckpt_path);
+    let ckpt_overhead_pct = (ckpt_wall_ms / plain_wall_ms - 1.0) * 100.0;
+
     println!("--- runner decide latency (Fig. 6 small scale, {SLOTS} slots) ---");
     println!("reuse off  mean decide {off_ms:.3} ms/slot   total loss {off_loss:.2}");
     println!("reuse on   mean decide {on_ms:.3} ms/slot   total loss {on_loss:.2}");
     println!("speedup    {speedup:.2}x (acceptance: >= 1.5x)");
     println!("telemetry  mean decide {instr_ms:.3} ms/slot at debug level");
     println!("overhead   {overhead_pct:.1}% (acceptance: <= 5%)");
+    println!(
+        "checkpoint mean wall {ckpt_wall_ms:.3} ms/slot at --checkpoint-every 10 \
+         (plain {plain_wall_ms:.3}, Fig. 7 large scale, {CKPT_SLOTS} slots)"
+    );
+    println!("overhead   {ckpt_overhead_pct:.1}% (acceptance: <= 3%)");
 
     let record = Record {
         description: "Mean per-slot BIRP decide latency on the Fig. 6 small-scale workload \
                       (crates/bench/benches/runner_decide.rs), temporal reuse on vs off, same \
-                      trace, best of 5 runs.",
+                      trace, best of 5 runs. checkpoint_overhead_pct is whole-run wall overhead \
+                      of --checkpoint-every 10 durable snapshots on the Fig. 7 large-scale \
+                      workload (24 slots).",
         workload: Workload {
             scale: "small",
             slots: SLOTS,
@@ -182,6 +259,7 @@ fn main() {
         reuse_on_mean_decide_ms: on_ms,
         speedup,
         telemetry_overhead_pct: overhead_pct,
+        checkpoint_overhead_pct: ckpt_overhead_pct,
         total_loss: Losses {
             reuse_off: off_loss,
             reuse_on: on_loss,
@@ -190,6 +268,7 @@ fn main() {
             decide_speedup_required: 1.5,
             decide_speedup_measured: speedup,
             objective_equality: "temporal_differential proptests + reuse-on golden snapshots",
+            checkpoint_overhead_max_pct: 3.0,
         },
     };
     let path = std::env::var("BIRP_BENCH_RUNNER_OUT").unwrap_or_else(|_| {

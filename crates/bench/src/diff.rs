@@ -144,6 +144,30 @@ pub fn parse_runner_record(json: &str) -> Result<BTreeMap<String, f64>, String> 
     Ok(out)
 }
 
+/// Absolute acceptance bounds carried inside a `BENCH_runner.json` record
+/// itself (DESIGN.md §12): `checkpoint_overhead_pct` must stay at or below
+/// `acceptance.checkpoint_overhead_max_pct` (default 3%). Percent overheads
+/// hover near zero, so a baseline-ratio gate would be meaningless noise —
+/// the bound is checked on the *fresh* record alone. Returns one message
+/// per violated bound; an old-format record without the field passes.
+pub fn runner_acceptance_failures(json: &str) -> Result<Vec<String>, String> {
+    let v: Value = serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e}"))?;
+    let mut failures = Vec::new();
+    if let Some(pct) = v.get("checkpoint_overhead_pct").and_then(Value::as_f64) {
+        let max = v
+            .get("acceptance")
+            .and_then(|a| a.get("checkpoint_overhead_max_pct"))
+            .and_then(Value::as_f64)
+            .unwrap_or(3.0);
+        if pct > max {
+            failures.push(format!(
+                "checkpoint_overhead_pct {pct:.2}% exceeds the {max}% acceptance bound"
+            ));
+        }
+    }
+    Ok(failures)
+}
+
 /// Compare measurements against a baseline: a benchmark regresses when
 /// `measured > baseline * tolerance` (tolerance 2.0 = "no more than twice
 /// as slow").
@@ -260,5 +284,32 @@ mod tests {
         let m = parse_runner_record(json).unwrap();
         assert_eq!(m.len(), 2);
         assert!((m["runner_decide/reuse_off_mean_decide_ms"] - 0.959).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_overhead_bound_is_enforced_absolutely() {
+        // Inside the bound (and the record's own bound wins over the default).
+        let ok = r#"{
+            "checkpoint_overhead_pct": 1.9,
+            "acceptance": { "checkpoint_overhead_max_pct": 3.0 }
+        }"#;
+        assert!(runner_acceptance_failures(ok).unwrap().is_empty());
+
+        // Over the bound: one violation naming the numbers.
+        let bad = r#"{
+            "checkpoint_overhead_pct": 7.25,
+            "acceptance": { "checkpoint_overhead_max_pct": 3.0 }
+        }"#;
+        let fails = runner_acceptance_failures(bad).unwrap();
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("7.25"), "{fails:?}");
+
+        // No acceptance block: the 3% default applies.
+        let default_bound = r#"{ "checkpoint_overhead_pct": 4.0 }"#;
+        assert_eq!(runner_acceptance_failures(default_bound).unwrap().len(), 1);
+
+        // Old-format record without the field passes untouched.
+        let legacy = r#"{ "reuse_on_mean_decide_ms": 0.4 }"#;
+        assert!(runner_acceptance_failures(legacy).unwrap().is_empty());
     }
 }

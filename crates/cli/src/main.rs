@@ -3,6 +3,9 @@
 //! ```text
 //! birp run        [--scale small|large] [--slots N] [--seed S] [--scheduler birp|birp-off|oaei|max]
 //!                 [--faults plan.json] [--resilience on|off] [--dense-simplex]
+//!                 [--checkpoint run.ckpt] [--checkpoint-every N] [--out result.json]
+//! birp resume     <run.ckpt> [--checkpoint-every N] [--out result.json]
+//! birp chaos      [--slots N] [--seed S] [--kills N] [--out report.json]
 //! birp compare    [--scale small|large] [--slots N] [--seed S] [--faults plan.json] [--resilience on|off]
 //!                 [--dense-simplex]
 //! birp resilience [--slots N] [--seed S] [--smoke] [--out result.json]
@@ -21,6 +24,16 @@
 //! on` enables the failure detector / quarantine-and-reroute layer
 //! (DESIGN.md §10). `birp resilience` runs the canned three-way
 //! BIRP ± resilience experiment and optionally writes its JSON record.
+//!
+//! `--checkpoint` makes `birp run` crash-safe (DESIGN.md §12): the full run
+//! state is written atomically every `--checkpoint-every` slots (default 10)
+//! and on SIGTERM/SIGINT, and the checkpoint embeds the resolved invocation
+//! so `birp resume <run.ckpt>` is self-contained — it rebuilds the catalog,
+//! trace and scheduler from the stored spec and continues mid-trace with
+//! bitwise-identical remaining output. `birp chaos` runs the in-process
+//! failure-injection harness (scheduler panics, kill–resume cycles,
+//! checkpoint corruption, torn writes, sink IO failures) and exits non-zero
+//! if any leg breaks the crash-safety contract.
 //!
 //! Every command additionally accepts `--telemetry <path.jsonl>` to capture
 //! a structured event stream (solver search, MAB tuning, per-slot runner
@@ -41,20 +54,68 @@
 //! (DESIGN.md, dependency section).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use birp_telemetry as telemetry;
 
 use birp_core::experiments::{
-    compare_schedulers, epsilon_sweep, fig2_experiment, resilience_experiment, table1_experiment,
-    ComparisonConfig, ResilienceConfig, SchedulerKind, SweepConfig,
+    chaos_experiment, compare_schedulers, epsilon_sweep, fig2_experiment, resilience_experiment,
+    table1_experiment, ChaosConfig, ComparisonConfig, ResilienceConfig, SchedulerKind, SweepConfig,
 };
-use birp_core::{run_scheduler, HealthConfig, RunConfig, TemporalReuse};
+use birp_core::{
+    checkpoint, run_scheduler, run_scheduler_resumable, CheckpointPolicy, HealthConfig, RunConfig,
+    RunOutcome, RunResult, TemporalReuse,
+};
 use birp_mab::MabConfig;
 use birp_models::Catalog;
 use birp_solver::simplex::SimplexMode;
 use birp_solver::SolverConfig;
 use birp_workload::{io as trace_io, TraceConfig, TraceStats};
+use serde::{Deserialize, Serialize, Value};
+
+/// Cooperative shutdown flag raised by SIGTERM/SIGINT when checkpointing is
+/// active — the runner observes it at the next slot boundary, saves, and
+/// stops cleanly.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT to the shutdown flag. Installed only when a
+/// checkpoint path is in play — plain runs keep the default fatal behaviour.
+fn install_signal_handlers() {
+    // libc's `signal` is already linked via std; declaring it directly keeps
+    // the workspace's no-new-dependencies rule intact.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+/// The resolved `birp run` invocation, embedded verbatim in every checkpoint
+/// so `birp resume` can rebuild catalog, trace and scheduler without the
+/// original command line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RunSpec {
+    scale: String,
+    seed: u64,
+    slots: usize,
+    scheduler: String,
+    resilience: bool,
+    no_reuse: bool,
+    dense_simplex: bool,
+    /// The serialized [`birp_sim::FaultPlan`] (inlined: the plan file may
+    /// not exist anymore at resume time).
+    faults: Value,
+}
 
 struct Args {
     flags: HashMap<String, String>,
@@ -104,6 +165,9 @@ fn usage() -> ExitCode {
 
 USAGE:
     birp run        [--scale small|large] [--slots N] [--seed S] [--scheduler birp|birp-off|oaei|max]
+                    [--checkpoint run.ckpt] [--checkpoint-every N] [--out result.json]
+    birp resume     <run.ckpt> [--checkpoint-every N] [--out result.json]
+    birp chaos      [--slots N] [--seed S] [--kills N] [--out report.json]
     birp compare    [--scale small|large] [--slots N] [--seed S]
     birp resilience [--slots N] [--seed S] [--smoke] [--out result.json]
     birp sweep      [--slots N] [--seed S]
@@ -129,6 +193,17 @@ ROBUSTNESS (run / compare):
                                and schedule cache) in the MILP schedulers
     --dense-simplex            force the dense tableau simplex core instead of the
                                sparse revised core (A/B validation and triage)
+
+DURABILITY (run / resume):
+    --checkpoint <run.ckpt>    write the full run state atomically every
+                               --checkpoint-every slots (default 10) and on
+                               SIGTERM/SIGINT; the file embeds the invocation,
+                               so `birp resume <run.ckpt>` continues mid-trace
+                               with bitwise-identical remaining output
+    birp chaos                 in-process failure-injection harness: scheduler
+                               panics, kill-resume cycles, corrupted checkpoints,
+                               torn writes, telemetry sink IO failures; exits
+                               non-zero if any leg breaks the contract
 
 OBSERVABILITY (any command):
     --telemetry <path.jsonl>   capture structured events to a JSON Lines file
@@ -200,22 +275,17 @@ fn apply_robustness(args: &Args, run: &mut RunConfig) -> Result<(), ExitCode> {
     Ok(())
 }
 
-fn cmd_run(args: &Args) -> ExitCode {
-    let scale = args.get("scale").unwrap_or("small").to_string();
-    let seed = args.num("seed", 42u64);
-    let slots = args.num("slots", 48usize);
-    let catalog = catalog_for(&scale, seed);
-    let trace = trace_cfg_for(&scale, seed, slots).generate();
-    let kind = match args.get("scheduler").unwrap_or("birp") {
-        "birp" => SchedulerKind::Birp,
-        "birp-off" => SchedulerKind::BirpOff,
-        "oaei" => SchedulerKind::Oaei,
-        "max" => SchedulerKind::Max,
-        other => {
-            eprintln!("unknown scheduler '{other}'");
-            return ExitCode::from(2);
-        }
-    };
+fn parse_kind(name: &str) -> Option<SchedulerKind> {
+    match name {
+        "birp" => Some(SchedulerKind::Birp),
+        "birp-off" => Some(SchedulerKind::BirpOff),
+        "oaei" => Some(SchedulerKind::Oaei),
+        "max" => Some(SchedulerKind::Max),
+        _ => None,
+    }
+}
+
+fn solver_for(scale: &str, dense_simplex: bool) -> SolverConfig {
     let mut solver = if scale == "large" {
         SolverConfig {
             node_limit: 16,
@@ -224,21 +294,13 @@ fn cmd_run(args: &Args) -> ExitCode {
     } else {
         SolverConfig::scheduling()
     };
-    if args.has("dense-simplex") {
+    if dense_simplex {
         solver.simplex.mode = SimplexMode::Dense;
     }
-    let mut run_cfg = RunConfig::default();
-    if let Err(code) = apply_robustness(args, &mut run_cfg) {
-        return code;
-    }
-    let mut scheduler = kind.build_with_reuse(
-        &catalog,
-        MabConfig::paper_preset(),
-        seed,
-        &solver,
-        &run_cfg.reuse,
-    );
-    let result = run_scheduler(&catalog, &trace, scheduler.as_mut(), &run_cfg);
+    solver
+}
+
+fn print_run_result(result: &RunResult) {
     let m = &result.metrics;
     println!("scheduler      {}", result.scheduler);
     println!("slots          {}", result.slots);
@@ -257,7 +319,239 @@ fn cmd_run(args: &Args) -> ExitCode {
         println!("rerouted       {}", h.rerouted);
         println!("probes         {}", h.probes);
     }
-    ExitCode::SUCCESS
+    if let Some(t) = &result.telemetry {
+        if t.panic_isolated > 0 {
+            println!("panics isolated {}", t.panic_isolated);
+        }
+    }
+}
+
+/// Print / persist a finished-or-interrupted resumable run. `--out` writes
+/// the full `RunResult` JSON of a completed run.
+fn finish_resumable(
+    args: &Args,
+    ckpt_path: &std::path::Path,
+    outcome: Result<RunOutcome, checkpoint::ResumeError>,
+) -> ExitCode {
+    match outcome {
+        Ok(RunOutcome::Complete(result)) => {
+            print_run_result(&result);
+            if let Some(out) = args.get("out") {
+                let json = serde_json::to_string_pretty(&*result).expect("serializable");
+                if let Err(e) = std::fs::write(out, json) {
+                    eprintln!("cannot write {out}: {e}");
+                    return ExitCode::from(1);
+                }
+                println!("wrote {out}");
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(RunOutcome::Interrupted { next_slot }) => {
+            eprintln!(
+                "interrupted before slot {next_slot}; checkpoint saved to {} — \
+                 continue with `birp resume {}`",
+                ckpt_path.display(),
+                ckpt_path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let scale = args.get("scale").unwrap_or("small").to_string();
+    let seed = args.num("seed", 42u64);
+    let slots = args.num("slots", 48usize);
+    let catalog = catalog_for(&scale, seed);
+    let trace = trace_cfg_for(&scale, seed, slots).generate();
+    let scheduler_name = args.get("scheduler").unwrap_or("birp").to_string();
+    let Some(kind) = parse_kind(&scheduler_name) else {
+        eprintln!("unknown scheduler '{scheduler_name}'");
+        return ExitCode::from(2);
+    };
+    let solver = solver_for(&scale, args.has("dense-simplex"));
+    let mut run_cfg = RunConfig::default();
+    if let Err(code) = apply_robustness(args, &mut run_cfg) {
+        return code;
+    }
+    let mut scheduler = kind.build_with_reuse(
+        &catalog,
+        MabConfig::paper_preset(),
+        seed,
+        &solver,
+        &run_cfg.reuse,
+    );
+
+    let Some(ckpt_path) = args.get("checkpoint").map(PathBuf::from) else {
+        // No durability requested: the plain, non-resumable path.
+        let result = run_scheduler(&catalog, &trace, scheduler.as_mut(), &run_cfg);
+        print_run_result(&result);
+        if let Some(out) = args.get("out") {
+            let json = serde_json::to_string_pretty(&result).expect("serializable");
+            if let Err(e) = std::fs::write(out, json) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::from(1);
+            }
+            println!("wrote {out}");
+        }
+        return ExitCode::SUCCESS;
+    };
+
+    let spec = RunSpec {
+        scale,
+        seed,
+        slots,
+        scheduler: scheduler_name,
+        resilience: run_cfg.resilience.is_some(),
+        no_reuse: args.has("no-reuse"),
+        dense_simplex: args.has("dense-simplex"),
+        faults: Serialize::to_value(&run_cfg.sim.faults),
+    };
+    let policy = CheckpointPolicy {
+        path: ckpt_path.clone(),
+        every: args.num("checkpoint-every", 10usize),
+        spec: Serialize::to_value(&spec),
+    };
+    install_signal_handlers();
+    let outcome = run_scheduler_resumable(
+        &catalog,
+        &trace,
+        scheduler.as_mut(),
+        &run_cfg,
+        Some(&policy),
+        None,
+        Some(&SHUTDOWN),
+    );
+    finish_resumable(args, &ckpt_path, outcome)
+}
+
+fn cmd_resume(args: &Args, rest: &[String]) -> ExitCode {
+    // First positional operand (skipping --flag value pairs).
+    let mut path: Option<&str> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i].starts_with("--") {
+            i += 2;
+        } else {
+            path = Some(&rest[i]);
+            break;
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: birp resume <run.ckpt> [--checkpoint-every N] [--out result.json]");
+        return ExitCode::from(2);
+    };
+    let ckpt_path = PathBuf::from(path);
+    let ck = match checkpoint::load(&ckpt_path) {
+        Ok(ck) => ck,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let spec = match RunSpec::from_value(&ck.spec) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "{path}: checkpoint has no usable run spec ({}) — was it written by `birp run --checkpoint`?",
+                e.0
+            );
+            return ExitCode::from(1);
+        }
+    };
+    let Some(kind) = parse_kind(&spec.scheduler) else {
+        eprintln!("{path}: spec names unknown scheduler '{}'", spec.scheduler);
+        return ExitCode::from(1);
+    };
+    let catalog = catalog_for(&spec.scale, spec.seed);
+    let trace = trace_cfg_for(&spec.scale, spec.seed, spec.slots).generate();
+    let mut run_cfg = RunConfig::default();
+    if spec.no_reuse {
+        run_cfg.reuse = TemporalReuse::disabled();
+    }
+    if spec.resilience {
+        run_cfg.resilience = Some(HealthConfig::default());
+    }
+    match Deserialize::from_value(&spec.faults) {
+        Ok(plan) => run_cfg.sim.faults = plan,
+        Err(e) => {
+            eprintln!("{path}: spec carries an unreadable fault plan: {}", e.0);
+            return ExitCode::from(1);
+        }
+    }
+    let solver = solver_for(&spec.scale, spec.dense_simplex);
+    let mut scheduler = kind.build_with_reuse(
+        &catalog,
+        MabConfig::paper_preset(),
+        spec.seed,
+        &solver,
+        &run_cfg.reuse,
+    );
+    println!(
+        "resuming {} ({} scale, seed {}) at slot {}/{}",
+        spec.scheduler, spec.scale, spec.seed, ck.runner.next_slot, spec.slots
+    );
+    // Keep checkpointing to the same file so the resumed run is itself
+    // crash-safe.
+    let policy = CheckpointPolicy {
+        path: ckpt_path.clone(),
+        every: args.num("checkpoint-every", 10usize),
+        spec: ck.spec.clone(),
+    };
+    install_signal_handlers();
+    let outcome = run_scheduler_resumable(
+        &catalog,
+        &trace,
+        scheduler.as_mut(),
+        &run_cfg,
+        Some(&policy),
+        Some(ck.runner),
+        Some(&SHUTDOWN),
+    );
+    finish_resumable(args, &ckpt_path, outcome)
+}
+
+fn cmd_chaos(args: &Args) -> ExitCode {
+    let seed = args.num("seed", 42u64);
+    let mut cfg = ChaosConfig::quick(seed);
+    cfg.slots = args.num("slots", cfg.slots);
+    cfg.kills = args.num("kills", cfg.kills);
+    let report = chaos_experiment(&cfg);
+    let width = report
+        .legs
+        .iter()
+        .map(|l| l.name.len())
+        .max()
+        .unwrap_or(0)
+        .max("leg".len());
+    println!("{:<width$}  {:<6}  detail", "leg", "result");
+    for leg in &report.legs {
+        println!(
+            "{:<width$}  {:<6}  {}",
+            leg.name,
+            if leg.passed { "ok" } else { "FAILED" },
+            leg.detail
+        );
+    }
+    if let Some(out) = args.get("out") {
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote {out}");
+    }
+    if report.all_passed() {
+        println!("\nchaos harness: every leg held");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nchaos harness: crash-safety contract BROKEN (see FAILED legs)");
+        ExitCode::from(1)
+    }
 }
 
 fn cmd_compare(args: &Args) -> ExitCode {
@@ -643,6 +937,21 @@ fn cmd_bench_diff(args: &Args) -> ExitCode {
         println!("\nrunner_decide vs {baseline_path} (tolerance {tolerance}x):");
         print!("{}", report.render());
         failed |= report.failed();
+        // Absolute bounds the fresh record carries for itself (checkpoint
+        // overhead ≤ 3%) — near-zero percentages would make a baseline
+        // ratio meaningless, so they gate on the measurement alone.
+        match diff::runner_acceptance_failures(&fresh_text) {
+            Ok(violations) => {
+                for v in &violations {
+                    println!("{v}  ABSOLUTE BOUND FAILED");
+                }
+                failed |= !violations.is_empty();
+            }
+            Err(e) => {
+                eprintln!("{fresh}: {e}");
+                return ExitCode::from(1);
+            }
+        }
     }
     if failed {
         eprintln!("\nperf regression gate FAILED (see REGRESSED rows above)");
@@ -762,6 +1071,8 @@ fn main() -> ExitCode {
     }
     let code = match cmd.as_str() {
         "run" => cmd_run(&args),
+        "resume" => cmd_resume(&args, &raw[1..]),
+        "chaos" => cmd_chaos(&args),
         "compare" => cmd_compare(&args),
         "resilience" => cmd_resilience(&args),
         "sweep" => cmd_sweep(&args),

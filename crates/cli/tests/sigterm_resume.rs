@@ -1,0 +1,139 @@
+//! Process-level crash-safety: a real `birp run --checkpoint` process is
+//! SIGTERMed mid-run, must exit gracefully with a valid checkpoint on disk,
+//! and `birp resume` must produce a result file identical to the
+//! uninterrupted run's (DESIGN.md §12 — the subprocess counterpart of the
+//! in-process kill–resume proptests in birp-core).
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+#[test]
+fn sigterm_checkpoint_then_resume_matches_uninterrupted_run() {
+    let bin = env!("CARGO_BIN_EXE_birp");
+    let dir = std::env::temp_dir().join(format!("birp-sigterm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let ckpt = dir.join("run.ckpt");
+    let resumed = dir.join("resumed.json");
+    let run_args = [
+        "run",
+        "--slots",
+        "150",
+        "--scheduler",
+        "birp",
+        "--seed",
+        "9",
+    ];
+
+    // Uninterrupted baseline.
+    let status = Command::new(bin)
+        .args(run_args)
+        .args(["--out", base.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "baseline run failed");
+
+    // Checkpointed run; SIGTERM as soon as the first periodic checkpoint
+    // lands (so the signal provably arrives mid-run, not at startup).
+    let mut child = Command::new(bin)
+        .args(run_args)
+        .args([
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "3",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut finished_early = false;
+    while !ckpt.exists() {
+        if child.try_wait().unwrap().is_some() {
+            finished_early = true;
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint appeared within 120s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if !finished_early {
+        let term = Command::new("kill")
+            .args(["-s", "TERM", &child.id().to_string()])
+            .status()
+            .unwrap();
+        assert!(term.success(), "could not signal the run");
+    }
+    let status = child.wait().unwrap();
+    assert!(
+        status.success(),
+        "SIGTERM must be a graceful, zero-exit shutdown, got {status}"
+    );
+    assert!(ckpt.exists(), "no checkpoint on disk after shutdown");
+
+    // The checkpoint must resume to the exact uninterrupted result. (If the
+    // run won the race and completed, the last periodic checkpoint still
+    // resumes the tail — the equality below holds either way.)
+    let status = Command::new(bin)
+        .args([
+            "resume",
+            ckpt.to_str().unwrap(),
+            "--out",
+            resumed.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "resume failed");
+    let a = std::fs::read_to_string(&base).unwrap();
+    let b = std::fs::read_to_string(&resumed).unwrap();
+    assert_eq!(a, b, "resumed result differs from the uninterrupted run");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_corrupted_checkpoint_with_clean_error() {
+    let bin = env!("CARGO_BIN_EXE_birp");
+    let dir = std::env::temp_dir().join(format!("birp-sigterm-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("run.ckpt");
+
+    // Produce a real checkpoint, then flip a payload byte.
+    let status = Command::new(bin)
+        .args(["run", "--slots", "8", "--scheduler", "birp-off"])
+        .args([
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+        ])
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&ckpt, &bytes).unwrap();
+
+    let out = Command::new(bin)
+        .args(["resume", ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "resume must fail on a corrupted checkpoint"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checksum mismatch"),
+        "expected a typed checksum diagnosis, got: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,460 @@
+//! Process-level chaos harness (DESIGN.md §12).
+//!
+//! Injects the failure modes the durability layer claims to survive —
+//! scheduler panics, kill–resume cycles at arbitrary slots, checkpoint
+//! corruption, deaths mid-checkpoint-write, telemetry sink IO failures —
+//! into short real runs and verifies the crash-safety contract leg by leg:
+//!
+//! | leg | injected fault | must hold |
+//! |-----|----------------|-----------|
+//! | `panic-isolation` | `decide` panics on random slots | run completes, conservation holds, every panic counted |
+//! | `kill-resume` | shutdown at random slot boundaries | resumed result identical to the uninterrupted run |
+//! | `corruption` | bit flips / truncations of the file | typed [`ResumeError`], never a panic |
+//! | `mid-write-kill` | stale garbage `.tmp` from a torn write | previous checkpoint still loads; next save recovers |
+//! | `sink-io-failure` | telemetry writer that always errors | sink degrades to memory, no event lost |
+//!
+//! The harness is deliberately in-process (fast, deterministic, no
+//! subprocess scaffolding); the CLI integration tests add the true
+//! process-level SIGTERM leg on top.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use birp_models::Catalog;
+use birp_sim::{Schedule, SlotOutcome};
+use birp_telemetry::{DegradingSink, Event, Level, Sink};
+use birp_workload::{Trace, TraceConfig};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::checkpoint::{self, RunCheckpoint};
+use crate::demand::DemandMatrix;
+use crate::runner::{
+    run_scheduler, run_scheduler_resumable, CheckpointPolicy, RunConfig, RunOutcome, RunResult,
+};
+use crate::schedulers::{BirpOff, Scheduler};
+
+/// Chaos harness tuning.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    pub seed: u64,
+    /// Trace length for the injected runs.
+    pub slots: usize,
+    /// Kill–resume cycles (each at a different derived slot).
+    pub kills: usize,
+    /// Panic injections in the isolation leg.
+    pub panics: usize,
+    /// Corrupted-checkpoint mutations to fuzz.
+    pub corruptions: usize,
+    /// Scratch directory for checkpoint files (created, then removed).
+    pub dir: PathBuf,
+}
+
+impl ChaosConfig {
+    pub fn quick(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            slots: 10,
+            kills: 4,
+            panics: 3,
+            corruptions: 32,
+            dir: std::env::temp_dir().join(format!("birp-chaos-{}-{seed}", std::process::id())),
+        }
+    }
+}
+
+/// One verified failure-injection leg.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosLeg {
+    pub name: String,
+    pub passed: bool,
+    /// What was injected and what was observed (one line, human-readable).
+    pub detail: String,
+}
+
+/// Full harness outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosReport {
+    pub legs: Vec<ChaosLeg>,
+}
+
+impl ChaosReport {
+    pub fn all_passed(&self) -> bool {
+        self.legs.iter().all(|l| l.passed)
+    }
+}
+
+/// Small deterministic generator (splitmix64) so legs derive independent
+/// fault points from the seed without dragging a full RNG dependency in.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn setup(cfg: &ChaosConfig) -> (Catalog, Trace) {
+    let catalog = Catalog::small_scale(cfg.seed);
+    let trace = TraceConfig {
+        num_slots: cfg.slots,
+        mean_rate: 5.0,
+        ..TraceConfig::small_scale(cfg.seed.wrapping_add(1))
+    }
+    .generate();
+    (catalog, trace)
+}
+
+/// Wrapper that panics on the chosen slots (the injected fault for the
+/// isolation leg) and raises the shutdown flag on another (the injected
+/// SIGTERM for the kill legs).
+struct Saboteur {
+    inner: BirpOff,
+    panic_on: Vec<usize>,
+    kill_at: Option<usize>,
+    flag: std::sync::Arc<AtomicBool>,
+}
+
+impl Scheduler for Saboteur {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn decide(&mut self, t: usize, demand: &DemandMatrix, prev: Option<&Schedule>) -> Schedule {
+        if self.kill_at == Some(t) {
+            self.flag.store(true, Ordering::SeqCst);
+        }
+        assert!(
+            !self.panic_on.contains(&t),
+            "chaos: injected panic at t={t}"
+        );
+        self.inner.decide(t, demand, prev)
+    }
+    fn observe(&mut self, outcome: &SlotOutcome) {
+        self.inner.observe(outcome);
+    }
+    fn set_edge_mask(&mut self, mask: Option<&[bool]>) {
+        self.inner.set_edge_mask(mask);
+    }
+    fn export_state(&self) -> Value {
+        self.inner.export_state()
+    }
+    fn import_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.inner.import_state(state)
+    }
+}
+
+fn saboteur(catalog: &Catalog) -> Saboteur {
+    Saboteur {
+        inner: BirpOff::new(catalog.clone()),
+        panic_on: Vec::new(),
+        kill_at: None,
+        flag: std::sync::Arc::new(AtomicBool::new(false)),
+    }
+}
+
+/// Compare the parts of a result that are deterministic (telemetry carries
+/// wall-clock latencies, so the full record is excluded by design).
+fn deterministic_digest(r: &RunResult) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("scheduler".into(), Value::Str(r.scheduler.clone())),
+        ("metrics".into(), Serialize::to_value(&r.metrics)),
+        ("health".into(), Serialize::to_value(&r.health)),
+        ("offered".into(), r.offered.into()),
+    ]))
+    .expect("Value serialization cannot fail")
+}
+
+/// Run every chaos leg and report what survived.
+pub fn chaos_experiment(cfg: &ChaosConfig) -> ChaosReport {
+    std::fs::create_dir_all(&cfg.dir).ok();
+    // Isolated panics unwind through the default hook, which would spray
+    // backtrace banners over the report; silence it for the harness run.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut mix = Mix(cfg.seed ^ 0xC4A05);
+    let (catalog, trace) = setup(cfg);
+    let run_cfg = RunConfig::default();
+    let baseline = run_scheduler(
+        &catalog,
+        &trace,
+        &mut BirpOff::new(catalog.clone()),
+        &run_cfg,
+    );
+    let expected = deterministic_digest(&baseline);
+    let mut legs = Vec::new();
+
+    // --- leg 1: panic isolation -------------------------------------------
+    {
+        let mut panic_on = Vec::new();
+        while panic_on.len() < cfg.panics.min(cfg.slots.saturating_sub(1)) {
+            let t = mix.below(cfg.slots.saturating_sub(1).max(1));
+            if !panic_on.contains(&t) {
+                panic_on.push(t);
+            }
+        }
+        let path = cfg.dir.join("panic.ckpt");
+        let policy = CheckpointPolicy {
+            path: path.clone(),
+            every: 1,
+            spec: Value::Null,
+        };
+        let mut s = saboteur(&catalog);
+        s.panic_on = panic_on.clone();
+        let outcome = run_scheduler_resumable(
+            &catalog,
+            &trace,
+            &mut s,
+            &run_cfg,
+            Some(&policy),
+            None,
+            None,
+        );
+        let (passed, detail) = match outcome {
+            Ok(RunOutcome::Complete(r)) => {
+                let conserved = r.metrics.served + r.metrics.dropped == r.offered;
+                // The last periodic checkpoint (top of the final slot) has
+                // seen every injected panic: none were placed on the final
+                // slot.
+                let counted = checkpoint::load(&path)
+                    .map(|ck| ck.runner.panic_isolated)
+                    .unwrap_or(0);
+                (
+                    conserved && counted == panic_on.len() as u64,
+                    format!(
+                        "injected {} panic(s) at slots {:?}; run completed, {} isolated, conservation {}",
+                        panic_on.len(),
+                        panic_on,
+                        counted,
+                        if conserved { "held" } else { "BROKEN" },
+                    ),
+                )
+            }
+            Ok(RunOutcome::Interrupted { .. }) => (false, "run interrupted unexpectedly".into()),
+            Err(e) => (false, format!("run failed: {e}")),
+        };
+        legs.push(ChaosLeg {
+            name: "panic-isolation".into(),
+            passed,
+            detail,
+        });
+    }
+
+    // --- leg 2: kill–resume cycles ----------------------------------------
+    {
+        let mut passed = true;
+        let mut details = Vec::new();
+        for i in 0..cfg.kills {
+            let kill_at = mix.below(cfg.slots.saturating_sub(1).max(1));
+            let path = cfg.dir.join(format!("kill-{i}.ckpt"));
+            let policy = CheckpointPolicy {
+                path: path.clone(),
+                every: 0,
+                spec: Value::Null,
+            };
+            let mut s = saboteur(&catalog);
+            s.kill_at = Some(kill_at);
+            let flag = std::sync::Arc::clone(&s.flag);
+            let first = run_scheduler_resumable(
+                &catalog,
+                &trace,
+                &mut s,
+                &run_cfg,
+                Some(&policy),
+                None,
+                Some(&flag),
+            );
+            match first {
+                Ok(RunOutcome::Interrupted { next_slot }) => {
+                    let resumed = checkpoint::load(&path).and_then(|ck| {
+                        run_scheduler_resumable(
+                            &catalog,
+                            &trace,
+                            &mut BirpOff::new(catalog.clone()),
+                            &run_cfg,
+                            None,
+                            Some(ck.runner),
+                            None,
+                        )
+                    });
+                    match resumed {
+                        Ok(RunOutcome::Complete(r)) if deterministic_digest(&r) == expected => {
+                            details.push(format!("t={next_slot} ok"));
+                        }
+                        Ok(RunOutcome::Complete(_)) => {
+                            passed = false;
+                            details.push(format!("t={next_slot} DIVERGED"));
+                        }
+                        Ok(RunOutcome::Interrupted { .. }) | Err(_) => {
+                            passed = false;
+                            details.push(format!("t={next_slot} resume failed"));
+                        }
+                    }
+                }
+                _ => {
+                    passed = false;
+                    details.push(format!("kill at {kill_at} never interrupted"));
+                }
+            }
+        }
+        legs.push(ChaosLeg {
+            name: "kill-resume".into(),
+            passed,
+            detail: format!(
+                "{} cycle(s), resumed runs vs uninterrupted baseline: [{}]",
+                cfg.kills,
+                details.join(", ")
+            ),
+        });
+    }
+
+    // --- leg 3: corrupted checkpoints -------------------------------------
+    {
+        let path = cfg.dir.join("corrupt.ckpt");
+        let ck = RunCheckpoint {
+            spec: Value::Null,
+            runner: crate::runner::RunnerCheckpoint::fresh(catalog.num_apps(), catalog.num_edges()),
+        };
+        let (mut passed, mut survived, mut detail) = (true, 0usize, String::new());
+        if let Err(e) = checkpoint::save(&path, &ck) {
+            passed = false;
+            detail = format!("seed checkpoint save failed: {e}");
+        } else {
+            let bytes = std::fs::read(&path).unwrap_or_default();
+            for _ in 0..cfg.corruptions {
+                let mutated = if mix.below(2) == 0 {
+                    let mut m = bytes.clone();
+                    let at = mix.below(m.len());
+                    m[at] ^= 1 << mix.below(8);
+                    m
+                } else {
+                    bytes[..mix.below(bytes.len())].to_vec()
+                };
+                // `parse` must return a typed error — and must not panic
+                // even if it has a bug (that is what this leg exists to
+                // catch).
+                let outcome = std::panic::catch_unwind(|| checkpoint::parse(&mutated));
+                match outcome {
+                    Ok(Err(_)) => survived += 1,
+                    Ok(Ok(_)) => {
+                        // A mutation that still parses is possible only if
+                        // it left header + payload semantically intact;
+                        // flips and truncations here never do.
+                        passed = false;
+                        detail = "a corrupted checkpoint parsed successfully".into();
+                    }
+                    Err(_) => {
+                        passed = false;
+                        detail = "checkpoint parser panicked on corrupted input".into();
+                    }
+                }
+            }
+            if passed {
+                detail = format!(
+                    "{survived}/{} mutation(s) (bit flips + truncations) rejected with typed errors",
+                    cfg.corruptions
+                );
+            }
+        }
+        legs.push(ChaosLeg {
+            name: "corruption".into(),
+            passed,
+            detail,
+        });
+    }
+
+    // --- leg 4: death mid-checkpoint-write --------------------------------
+    {
+        let path = cfg.dir.join("midwrite.ckpt");
+        let ck = RunCheckpoint {
+            spec: Value::Null,
+            runner: crate::runner::RunnerCheckpoint::fresh(catalog.num_apps(), catalog.num_edges()),
+        };
+        let run = || -> Result<(), String> {
+            checkpoint::save(&path, &ck).map_err(|e| e.to_string())?;
+            // A process killed mid-write leaves a torn `.tmp`; the real file
+            // must be untouched and the next save must recover.
+            std::fs::write(checkpoint::tmp_path(&path), b"torn partial write")
+                .map_err(|e| e.to_string())?;
+            checkpoint::load(&path).map_err(|e| format!("previous checkpoint lost: {e}"))?;
+            checkpoint::save(&path, &ck).map_err(|e| format!("save over torn tmp: {e}"))?;
+            if checkpoint::tmp_path(&path).exists() {
+                return Err("temp file survived the recovering save".into());
+            }
+            checkpoint::load(&path).map_err(|e| format!("recovered checkpoint invalid: {e}"))?;
+            Ok(())
+        };
+        let (passed, detail) = match run() {
+            Ok(()) => (
+                true,
+                "torn .tmp ignored; prior checkpoint intact; next save recovered atomically".into(),
+            ),
+            Err(e) => (false, e),
+        };
+        legs.push(ChaosLeg {
+            name: "mid-write-kill".into(),
+            passed,
+            detail,
+        });
+    }
+
+    // --- leg 5: telemetry sink IO failure ---------------------------------
+    {
+        struct BrokenPipe;
+        impl Write for BrokenPipe {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = DegradingSink::from_writer(Box::new(BrokenPipe));
+        for i in 0..3u64 {
+            sink.record(&Event {
+                level: Level::Info,
+                name: "chaos.probe".to_string(),
+                t_ms: i as f64,
+                fields: vec![("i", i.into())],
+            });
+        }
+        let degraded = sink.is_degraded();
+        let kept = sink.drain_fallback().len();
+        legs.push(ChaosLeg {
+            name: "sink-io-failure".into(),
+            passed: degraded && kept == 3,
+            detail: format!(
+                "writer failed on first record; degraded={degraded}, {kept}/3 event(s) preserved in memory"
+            ),
+        });
+    }
+
+    std::panic::set_hook(prev_hook);
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    ChaosReport { legs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_harness_passes_every_leg() {
+        let report = chaos_experiment(&ChaosConfig {
+            dir: std::env::temp_dir().join(format!("birp-chaos-test-{}", std::process::id())),
+            ..ChaosConfig::quick(13)
+        });
+        for leg in &report.legs {
+            assert!(leg.passed, "{}: {}", leg.name, leg.detail);
+        }
+        assert_eq!(report.legs.len(), 5);
+    }
+}

@@ -98,7 +98,7 @@ pub struct QuarantineEvent {
     pub released: Option<usize>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct EdgeHealth {
     state: HealthState,
     suspicion: f64,
@@ -121,7 +121,11 @@ impl EdgeHealth {
 
 /// The per-run health monitor. Owned by the runner; fed every executed
 /// slot's outcome, queried for the planning mask and due probes.
-#[derive(Debug, Clone)]
+///
+/// Serializable as a whole: the suspicion EWMAs, the quarantine/probation
+/// FSM and the episode log are exactly the state a crash would otherwise
+/// lose, so the checkpoint layer persists the monitor verbatim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HealthMonitor {
     cfg: HealthConfig,
     edges: Vec<EdgeHealth>,

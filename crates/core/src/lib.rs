@@ -15,13 +15,17 @@
 //!   learning plus randomised rounding) and [`schedulers::MaxBatch`]
 //!   (fixed large batches),
 //! * [`runner`] — drives a scheduler over a trace slot by slot, with
-//!   carry-over of unserved requests and full metric collection,
+//!   carry-over of unserved requests, full metric collection, per-slot
+//!   panic isolation, and opt-in durable checkpointing,
+//! * [`checkpoint`] — the versioned, checksummed on-disk checkpoint format
+//!   and its typed load/parse errors (DESIGN.md §12),
 //! * [`health`] — outcome-only failure detection: per-edge suspicion
 //!   scores, quarantine-and-probe state machine (DESIGN.md §10); the
 //!   runner uses it to mask failed edges out of planning,
 //! * [`experiments`] — one entry point per paper table/figure, producing
 //!   serialisable result records the bench harness prints.
 
+pub mod checkpoint;
 pub mod demand;
 pub mod experiments;
 pub mod health;
@@ -29,8 +33,12 @@ pub mod problem;
 pub mod runner;
 pub mod schedulers;
 
+pub use checkpoint::{ResumeError, RunCheckpoint};
 pub use demand::DemandMatrix;
 pub use health::{HealthConfig, HealthMonitor, HealthState, QuarantineEvent};
 pub use problem::{ExecutionMode, ProblemConfig, ReuseOutcome, SlotProblem, TirMatrix};
-pub use runner::{run_scheduler, RunConfig, RunResult};
+pub use runner::{
+    run_scheduler, run_scheduler_resumable, CheckpointPolicy, RunConfig, RunOutcome, RunResult,
+    RunnerCheckpoint,
+};
 pub use schedulers::{Birp, BirpOff, LocalOnly, MaxBatch, Oaei, Scheduler, TemporalReuse};

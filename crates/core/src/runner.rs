@@ -15,8 +15,19 @@
 //!   out of planning, reroutes demand stranded on them back into the
 //!   global queue, and places single-request recovery probes (DESIGN.md
 //!   §10). The monitor never sees the fault plan — outcomes only,
-//! * **metrics** — per-slot loss, cumulative loss, completion CDF, `p%`.
+//! * **metrics** — per-slot loss, cumulative loss, completion CDF, `p%`,
+//! * **durability** (opt-in via [`CheckpointPolicy`]) — periodic atomic
+//!   checkpoints plus a cooperative shutdown flag, so a killed run resumes
+//!   mid-trace with bitwise-identical remaining output (DESIGN.md §12),
+//! * **panic isolation** (on by default) — a panicking `decide` is caught,
+//!   the slot falls back to the loss-greedy strictly-local packing, and the
+//!   run continues instead of taking the process down.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
 use std::time::Instant;
 
 use birp_models::{AppId, Catalog, EdgeId, ModelId};
@@ -26,12 +37,14 @@ use birp_sim::{
 };
 use birp_telemetry as telemetry;
 use birp_telemetry::{HistogramSummary, Level, LogHistogram};
+use birp_tir::TirParams;
 use birp_workload::Trace;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
+use crate::checkpoint::{self, ResumeError, RunCheckpoint};
 use crate::demand::DemandMatrix;
 use crate::health::{HealthConfig, HealthMonitor, QuarantineEvent};
-use crate::schedulers::{Scheduler, TemporalReuse};
+use crate::schedulers::{greedy_local, Scheduler, TemporalReuse};
 
 /// Runner configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +64,11 @@ pub struct RunConfig {
     /// experiment carries the knob so scheduler builders (and the CLI's
     /// `--no-reuse`) agree on one setting.
     pub reuse: TemporalReuse,
+    /// Catch panics escaping `scheduler.decide` and serve the slot with the
+    /// greedy-LOCAL fallback instead of aborting the run (on by default).
+    /// The runner's own strict-validation panic is *not* isolated — an
+    /// invalid schedule is a bug, not a transient.
+    pub isolate_panics: bool,
 }
 
 impl Default for RunConfig {
@@ -61,8 +79,33 @@ impl Default for RunConfig {
             strict: true,
             resilience: None,
             reuse: TemporalReuse::default(),
+            isolate_panics: true,
         }
     }
+}
+
+/// When and where [`run_scheduler_resumable`] persists checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (written atomically: `<path>.tmp` + rename).
+    pub path: PathBuf,
+    /// Write after every `every`-th slot, on the *absolute* slot index, so
+    /// the cadence is stable across kill–resume cycles. `0` disables
+    /// periodic writes (the shutdown flag still triggers one).
+    pub every: usize,
+    /// Opaque embedder spec stored verbatim in the file — whatever the
+    /// caller needs to rebuild catalog/trace/scheduler for `resume`.
+    pub spec: Value,
+}
+
+/// How a resumable run ended.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The trace ran to completion.
+    Complete(Box<RunResult>),
+    /// The shutdown flag was observed; state up to (not including)
+    /// `next_slot` was checkpointed and the run stopped early.
+    Interrupted { next_slot: usize },
 }
 
 /// Output of one run.
@@ -108,19 +151,171 @@ pub struct RunTelemetry {
     pub dropped: u64,
     /// Largest carry-over queue depth observed at any slot start.
     pub carried_peak: u64,
+    /// Slots whose `decide` panicked and were served by the greedy-LOCAL
+    /// fallback instead (`RunConfig::isolate_panics`). Older serialized
+    /// results deserialize to `0`.
+    #[serde(default)]
+    pub panic_isolated: u64,
 }
 
 /// Requests waiting at (app, edge), grouped by age in slots.
-#[derive(Debug, Clone, Default)]
-struct PendingCell {
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PendingCell {
     /// `by_age[a]` = requests that have already waited `a+1` slots... index 0
     /// holds requests that arrived in the previous slot.
-    by_age: Vec<u32>,
+    pub by_age: Vec<u32>,
 }
 
 impl PendingCell {
     fn total(&self) -> u32 {
         self.by_age.iter().sum()
+    }
+}
+
+/// The runner's complete mid-trace state: everything
+/// [`run_scheduler_resumable`] mutates across slots, snapshotted at the
+/// *top* of slot `next_slot` (before demand assembly). Resuming from it on
+/// freshly rebuilt catalog/trace/scheduler reproduces the uninterrupted
+/// run's remaining trace bitwise — the kill–resume property the proptests
+/// certify.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunnerCheckpoint {
+    /// First slot the resumed run will execute.
+    pub next_slot: usize,
+    /// Carry-over queues, `[app][edge]`.
+    pub pending: Vec<Vec<PendingCell>>,
+    /// The previous slot's *executed* schedule (drives transfer costs).
+    pub prev: Option<Schedule>,
+    /// Streaming metric state (losses, CDF, drop counts).
+    pub collector: MetricsCollector,
+    /// Health-monitor FSM, present iff the run had resilience on.
+    pub monitor: Option<HealthMonitor>,
+    pub decide_hist: LogHistogram,
+    pub execute_hist: LogHistogram,
+    pub total_redistributed: u64,
+    pub total_dropped: u64,
+    pub carried_peak: u64,
+    pub total_rerouted: u64,
+    pub total_probes: u64,
+    #[serde(default)]
+    pub panic_isolated: u64,
+    /// Name of the scheduler that produced `scheduler_state`; resume
+    /// refuses a different scheduler (empty = fresh, matches any).
+    pub scheduler_name: String,
+    /// The scheduler's own exported state ([`Scheduler::export_state`]).
+    pub scheduler_state: Value,
+}
+
+impl RunnerCheckpoint {
+    /// The state of a run that has not executed any slot yet.
+    pub fn fresh(num_apps: usize, num_edges: usize) -> Self {
+        RunnerCheckpoint {
+            next_slot: 0,
+            pending: vec![vec![PendingCell::default(); num_edges]; num_apps],
+            prev: None,
+            collector: MetricsCollector::new(),
+            monitor: None,
+            decide_hist: LogHistogram::new(),
+            execute_hist: LogHistogram::new(),
+            total_redistributed: 0,
+            total_dropped: 0,
+            carried_peak: 0,
+            total_rerouted: 0,
+            total_probes: 0,
+            panic_isolated: 0,
+            scheduler_name: String::new(),
+            scheduler_state: Value::Null,
+        }
+    }
+}
+
+/// Snapshot the loop state at the top of `next_slot`.
+#[allow(clippy::too_many_arguments)]
+fn snapshot(
+    next_slot: usize,
+    pending: &[Vec<PendingCell>],
+    prev: Option<&Schedule>,
+    collector: &MetricsCollector,
+    monitor: Option<&HealthMonitor>,
+    decide_hist: &LogHistogram,
+    execute_hist: &LogHistogram,
+    aggregates: [u64; 6],
+    scheduler: &dyn Scheduler,
+) -> RunnerCheckpoint {
+    let [total_redistributed, total_dropped, carried_peak, total_rerouted, total_probes, panic_isolated] =
+        aggregates;
+    RunnerCheckpoint {
+        next_slot,
+        pending: pending.to_vec(),
+        prev: prev.cloned(),
+        collector: collector.clone(),
+        monitor: monitor.cloned(),
+        decide_hist: decide_hist.clone(),
+        execute_hist: execute_hist.clone(),
+        total_redistributed,
+        total_dropped,
+        carried_peak,
+        total_rerouted,
+        total_probes,
+        panic_isolated,
+        scheduler_name: scheduler.name().to_string(),
+        scheduler_state: scheduler.export_state(),
+    }
+}
+
+/// Background writer for *periodic* checkpoints: Value conversion, JSON,
+/// the atomic write protocol, and the fsync all run off the slot loop's
+/// critical path — the loop only pays for the in-memory [`snapshot`]
+/// (~tens of µs) instead of the full save (~ms, fsync-dominated). A single
+/// worker applies saves in submission order, so the file on disk is always
+/// the latest fully-written snapshot. *Shutdown* saves stay synchronous:
+/// the process is about to exit and durability beats latency there.
+struct AsyncCheckpointer {
+    tx: Option<mpsc::Sender<RunCheckpoint>>,
+    worker: Option<thread::JoinHandle<()>>,
+    /// Last write error; taken by the loop and surfaced as a warn event
+    /// (one save late — the warn-and-continue semantics are unchanged).
+    error: Arc<Mutex<Option<String>>>,
+}
+
+impl AsyncCheckpointer {
+    fn new(path: PathBuf) -> Self {
+        let (tx, rx) = mpsc::channel::<RunCheckpoint>();
+        let error = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&error);
+        let worker = thread::spawn(move || {
+            while let Ok(ck) = rx.recv() {
+                if let Err(e) = checkpoint::save(&path, &ck) {
+                    *slot.lock().unwrap() = Some(e.to_string());
+                }
+            }
+        });
+        AsyncCheckpointer {
+            tx: Some(tx),
+            worker: Some(worker),
+            error,
+        }
+    }
+
+    fn submit(&self, ck: RunCheckpoint) {
+        // A send only fails if the worker died; the error slot then already
+        // carries the diagnosis from its last save.
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(ck);
+        }
+    }
+
+    fn take_error(&self) -> Option<String> {
+        self.error.lock().unwrap().take()
+    }
+
+    /// Drain queued saves, join the worker, and report its last error.
+    fn finish(mut self) -> Option<String> {
+        drop(self.tx.take());
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        self.error.lock().unwrap().take()
     }
 }
 
@@ -131,6 +326,38 @@ pub fn run_scheduler(
     scheduler: &mut dyn Scheduler,
     cfg: &RunConfig,
 ) -> RunResult {
+    match run_scheduler_resumable(catalog, trace, scheduler, cfg, None, None, None) {
+        Ok(RunOutcome::Complete(r)) => *r,
+        Ok(RunOutcome::Interrupted { .. }) => {
+            unreachable!("no shutdown flag was supplied")
+        }
+        Err(e) => unreachable!("checkpointing was off but failed: {e}"),
+    }
+}
+
+/// Run `scheduler` over `trace`, optionally writing durable checkpoints
+/// (`policy`), starting from a prior checkpoint (`resume`), and honouring a
+/// cooperative shutdown flag (`shutdown`, e.g. set from a SIGTERM handler).
+///
+/// With all three `None` this is exactly [`run_scheduler`]. On shutdown the
+/// state is checkpointed (when a policy is given) and
+/// [`RunOutcome::Interrupted`] returned; a failed *shutdown* save is an
+/// error (the state would be lost), while a failed *periodic* save only
+/// warns and continues (the run itself is still healthy).
+///
+/// Periodic saves are written by a background thread ([`AsyncCheckpointer`])
+/// so the slot loop only pays for the in-memory snapshot; the writer is
+/// joined before this function returns, so callers always observe the final
+/// fully-written checkpoint on disk.
+pub fn run_scheduler_resumable(
+    catalog: &Catalog,
+    trace: &Trace,
+    scheduler: &mut dyn Scheduler,
+    cfg: &RunConfig,
+    policy: Option<&CheckpointPolicy>,
+    resume: Option<RunnerCheckpoint>,
+    shutdown: Option<&AtomicBool>,
+) -> Result<RunOutcome, ResumeError> {
     assert_eq!(
         trace.num_apps(),
         catalog.num_apps(),
@@ -145,26 +372,116 @@ pub fn run_scheduler(
     let na = catalog.num_apps();
     let ne = catalog.num_edges();
     let sim = EdgeSim::new(catalog.clone(), cfg.sim.clone());
-    let mut collector = MetricsCollector::new();
-    let mut pending: Vec<Vec<PendingCell>> = vec![vec![PendingCell::default(); ne]; na];
-    let mut prev: Option<Schedule> = None;
+
+    // Resume (or start fresh). Validation order: cheap structural checks
+    // first, then the scheduler's own state import — so a checkpoint from a
+    // different run shape fails with a `SpecMismatch` before any state is
+    // half-applied.
+    let resumed = resume.is_some();
+    let ck = match resume {
+        Some(ck) => {
+            if !ck.scheduler_name.is_empty() && ck.scheduler_name != scheduler.name() {
+                return Err(ResumeError::SpecMismatch(format!(
+                    "checkpoint was written by scheduler {:?}, resuming with {:?}",
+                    ck.scheduler_name,
+                    scheduler.name()
+                )));
+            }
+            if ck.pending.len() != na || ck.pending.iter().any(|row| row.len() != ne) {
+                return Err(ResumeError::SpecMismatch(format!(
+                    "checkpoint queue shape {}x{} does not match catalog {na}x{ne}",
+                    ck.pending.len(),
+                    ck.pending.first().map_or(0, Vec::len),
+                )));
+            }
+            if ck.next_slot > trace.num_slots() {
+                return Err(ResumeError::SpecMismatch(format!(
+                    "checkpoint next_slot {} exceeds trace length {}",
+                    ck.next_slot,
+                    trace.num_slots()
+                )));
+            }
+            if ck.monitor.is_some() != cfg.resilience.is_some() {
+                return Err(ResumeError::SpecMismatch(
+                    "checkpoint and run disagree on resilience (health monitor presence)".into(),
+                ));
+            }
+            scheduler.import_state(&ck.scheduler_state)?;
+            ck
+        }
+        None => RunnerCheckpoint::fresh(na, ne),
+    };
+    let start = ck.next_slot;
+    let mut pending = ck.pending;
+    let mut prev = ck.prev;
+    let mut collector = ck.collector;
+    // Resilience layer (opt-in). The monitor only ever sees executed
+    // outcomes — never `cfg.sim.faults`. A resumed run continues the
+    // checkpointed monitor FSM rather than re-learning health from scratch.
+    let mut monitor = if resumed {
+        ck.monitor
+    } else {
+        cfg.resilience.map(|hc| HealthMonitor::new(ne, hc))
+    };
 
     // Per-run observability state. Only touched when the global facade is
     // enabled, so a disabled run takes the exact same decision path.
     let instrument = telemetry::enabled();
-    let mut decide_hist = LogHistogram::new();
-    let mut execute_hist = LogHistogram::new();
-    let mut total_redistributed = 0u64;
-    let mut total_dropped = 0u64;
-    let mut carried_peak = 0u64;
+    let mut decide_hist = ck.decide_hist;
+    let mut execute_hist = ck.execute_hist;
+    let mut total_redistributed = ck.total_redistributed;
+    let mut total_dropped = ck.total_dropped;
+    let mut carried_peak = ck.carried_peak;
+    let mut total_rerouted = ck.total_rerouted;
+    let mut total_probes = ck.total_probes;
+    let mut panic_isolated = ck.panic_isolated;
 
-    // Resilience layer (opt-in). The monitor only ever sees executed
-    // outcomes — never `cfg.sim.faults`.
-    let mut monitor = cfg.resilience.map(|hc| HealthMonitor::new(ne, hc));
-    let mut total_rerouted = 0u64;
-    let mut total_probes = 0u64;
+    // Spawned lazily at the first periodic save; joined before returning so
+    // the on-disk checkpoint is final when the caller regains control.
+    let mut writer: Option<AsyncCheckpointer> = None;
 
-    for t in 0..trace.num_slots() {
+    for t in start..trace.num_slots() {
+        // --- cooperative shutdown ------------------------------------------
+        // Checked at the slot boundary: the checkpoint always captures a
+        // whole number of executed slots, never a torn slot.
+        if shutdown.is_some_and(|s| s.load(Ordering::SeqCst)) {
+            if let Some(p) = policy {
+                // Flush any in-flight periodic save first so the synchronous
+                // shutdown save below lands last (and therefore wins).
+                if let Some(e) = writer.take().and_then(AsyncCheckpointer::finish) {
+                    telemetry::event(
+                        Level::Warn,
+                        "runner.checkpoint_failed",
+                        &[("t", (t as u64).into()), ("error", e.into())],
+                    );
+                }
+                checkpoint::save(
+                    &p.path,
+                    &RunCheckpoint {
+                        spec: p.spec.clone(),
+                        runner: snapshot(
+                            t,
+                            &pending,
+                            prev.as_ref(),
+                            &collector,
+                            monitor.as_ref(),
+                            &decide_hist,
+                            &execute_hist,
+                            [
+                                total_redistributed,
+                                total_dropped,
+                                carried_peak,
+                                total_rerouted,
+                                total_probes,
+                                panic_isolated,
+                            ],
+                            scheduler,
+                        ),
+                    },
+                )?;
+            }
+            return Ok(RunOutcome::Interrupted { next_slot: t });
+        }
         // --- quarantine: mask planning, reroute stranded work --------------
         let mask = monitor.as_ref().and_then(|m| m.mask());
         scheduler.set_edge_mask(mask.as_deref());
@@ -222,7 +539,46 @@ pub fn run_scheduler(
 
         // --- decide + validate ---------------------------------------------
         let decide_start = instrument.then(Instant::now);
-        let schedule = {
+        let schedule = if cfg.isolate_panics {
+            // A panicking scheduler loses this slot's optimisation, not the
+            // run: fall back to the loss-greedy strictly-local packing (the
+            // same engine LocalOnly uses) and keep going. The provenance
+            // event carries the panic message so `birp report` can attribute
+            // the fallback decision.
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                let _decide_span = telemetry::span("runner.decide");
+                scheduler.decide(t, &demand, prev.as_ref())
+            }));
+            match caught {
+                Ok(s) => s,
+                Err(payload) => {
+                    panic_isolated += 1;
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    telemetry::counter("runner.panic_isolated", 1);
+                    telemetry::event(
+                        Level::Warn,
+                        "runner.panic_isolated",
+                        &[
+                            ("t", (t as u64).into()),
+                            ("scheduler", scheduler.name().to_string().into()),
+                            ("panic", msg.into()),
+                        ],
+                    );
+                    greedy_local(
+                        catalog,
+                        &TirParams::paper_initial(),
+                        t,
+                        &demand,
+                        prev.as_ref(),
+                        mask.as_deref(),
+                    )
+                }
+            }
+        } else {
             // Root of the per-slot causal trace: everything the scheduler
             // does (reuse probes, problem build, branch and bound) nests
             // under this span.
@@ -414,6 +770,58 @@ pub fn run_scheduler(
         // Next slot's transfer accounting must see what actually ran —
         // including probe deployments.
         prev = Some(exec_schedule.unwrap_or(schedule));
+
+        // --- periodic checkpoint -------------------------------------------
+        // Cadence on the *absolute* slot index so it is identical across
+        // kill–resume cycles; skipped on the final slot (the run result is
+        // about to land anyway). Only the in-memory snapshot happens here —
+        // serialisation and the fsynced atomic write run on the background
+        // writer. A failed periodic save must not kill a healthy run: warn
+        // and carry on.
+        if let Some(p) = policy {
+            if p.every > 0 && (t + 1) % p.every == 0 && t + 1 < trace.num_slots() {
+                let ck = RunCheckpoint {
+                    spec: p.spec.clone(),
+                    runner: snapshot(
+                        t + 1,
+                        &pending,
+                        prev.as_ref(),
+                        &collector,
+                        monitor.as_ref(),
+                        &decide_hist,
+                        &execute_hist,
+                        [
+                            total_redistributed,
+                            total_dropped,
+                            carried_peak,
+                            total_rerouted,
+                            total_probes,
+                            panic_isolated,
+                        ],
+                        scheduler,
+                    ),
+                };
+                let w = writer.get_or_insert_with(|| AsyncCheckpointer::new(p.path.clone()));
+                w.submit(ck);
+                if let Some(e) = w.take_error() {
+                    telemetry::event(
+                        Level::Warn,
+                        "runner.checkpoint_failed",
+                        &[("t", (t as u64).into()), ("error", e.into())],
+                    );
+                }
+            }
+        }
+    }
+
+    // Join the writer: when this function returns the checkpoint on disk is
+    // the last periodic snapshot, fully written.
+    if let Some(e) = writer.and_then(AsyncCheckpointer::finish) {
+        telemetry::event(
+            Level::Warn,
+            "runner.checkpoint_failed",
+            &[("error", e.into())],
+        );
     }
 
     // Anything still waiting at the end of the horizon was never served.
@@ -430,7 +838,7 @@ pub fn run_scheduler(
         }
     }
 
-    RunResult {
+    Ok(RunOutcome::Complete(Box::new(RunResult {
         scheduler: scheduler.name().to_string(),
         metrics: collector.finish(),
         slots: trace.num_slots(),
@@ -441,13 +849,14 @@ pub fn run_scheduler(
             redistributed: total_redistributed,
             dropped: total_dropped,
             carried_peak,
+            panic_isolated,
         }),
         health: monitor.map(|m| HealthReport {
             events: m.events().to_vec(),
             rerouted: total_rerouted,
             probes: total_probes,
         }),
-    }
+    })))
 }
 
 /// Emit the per-slot decision audit record: the chosen `x`/`b` digest and

@@ -20,6 +20,7 @@ use birp_sim::{Schedule, SlotOutcome};
 use birp_solver::SolverConfig;
 use birp_telemetry as telemetry;
 use birp_tir::TirParams;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::demand::DemandMatrix;
 use crate::problem::{
@@ -85,7 +86,7 @@ impl TemporalReuse {
 /// constraint; its routing shapes the installed incumbent). Two equal keys
 /// lower to byte-identical problems, so a cached answer is the answer the
 /// deterministic solver would recompute.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct SlotKey {
     demand: Vec<u32>,
     mask: Vec<bool>,
@@ -124,9 +125,26 @@ impl SlotKey {
     }
 }
 
+#[derive(Serialize, Deserialize)]
 struct CacheEntry {
     key: SlotKey,
     schedule: Schedule,
+}
+
+/// Everything [`Birp`] mutates across slots, in serializable form — the
+/// scheduler half of a run checkpoint (DESIGN.md §12). The stored quarantine
+/// `mask` is part of it deliberately: [`Birp::set_edge_mask`] resets the
+/// skip streak on mask *change*, so a resumed scheduler must remember the
+/// mask it last planned under or the first post-resume slot would spuriously
+/// re-anchor.
+#[derive(Serialize, Deserialize)]
+struct BirpState {
+    tuner: Tuner,
+    cum_regret: f64,
+    mask: Option<Vec<bool>>,
+    skip_streak: usize,
+    heuristic_regime: bool,
+    cache: Vec<CacheEntry>,
 }
 
 /// Canonical digest of a schedule for [`SlotKey::prev`]: deployments,
@@ -651,6 +669,46 @@ impl Scheduler for Birp {
         }
         self.mask = mask;
     }
+
+    fn export_state(&self) -> Value {
+        Serialize::to_value(&BirpState {
+            tuner: self.tuner.clone(),
+            cum_regret: self.cum_regret,
+            mask: self.mask.clone(),
+            skip_streak: self.skip_streak,
+            heuristic_regime: self.heuristic_regime,
+            cache: self
+                .cache
+                .iter()
+                .map(|e| CacheEntry {
+                    key: e.key.clone(),
+                    schedule: e.schedule.clone(),
+                })
+                .collect(),
+        })
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), DeError> {
+        if state.is_null() {
+            return Ok(());
+        }
+        let s = BirpState::from_value(state)?;
+        if s.tuner.num_arms() != self.tuner.num_arms() {
+            return Err(DeError::custom(format!(
+                "BIRP state arm count {} does not match catalog ({} arms)",
+                s.tuner.num_arms(),
+                self.tuner.num_arms()
+            )));
+        }
+        self.tuner = s.tuner;
+        self.cum_regret = s.cum_regret;
+        self.mask = s.mask;
+        self.skip_streak = s.skip_streak;
+        self.heuristic_regime = s.heuristic_regime;
+        self.cache = s.cache;
+        self.last_stats = None;
+        Ok(())
+    }
 }
 
 /// BIRP with offline-profiled (oracle) TIR curves and no online tuning.
@@ -703,6 +761,14 @@ impl Scheduler for BirpOff {
 
     fn set_edge_mask(&mut self, mask: Option<&[bool]>) {
         self.inner.set_edge_mask(mask);
+    }
+
+    fn export_state(&self) -> Value {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), DeError> {
+        self.inner.import_state(state)
     }
 }
 

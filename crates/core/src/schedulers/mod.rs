@@ -18,11 +18,13 @@ mod max;
 mod oaei;
 
 pub use birp::{Birp, BirpOff, TemporalReuse};
+pub(crate) use local::greedy_local;
 pub use local::LocalOnly;
 pub use max::MaxBatch;
 pub use oaei::Oaei;
 
 use birp_sim::{Schedule, SlotOutcome};
+use serde::{DeError, Value};
 
 use crate::demand::DemandMatrix;
 
@@ -45,6 +47,30 @@ pub trait Scheduler {
     /// default implementation ignores the mask, so mask-unaware schedulers
     /// keep their original behaviour.
     fn set_edge_mask(&mut self, _mask: Option<&[bool]>) {}
+
+    /// Serializable snapshot of every piece of state this scheduler mutates
+    /// across slots (learned estimates, caches, streaks, RNG position, the
+    /// stored quarantine mask). The checkpoint layer persists it so
+    /// [`import_state`](Self::import_state) on a freshly built scheduler
+    /// resumes the exact decision trajectory. Stateless schedulers return
+    /// [`Value::Null`], which imports as a no-op.
+    fn export_state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Restore a snapshot produced by [`export_state`](Self::export_state)
+    /// on a scheduler built with the *same* constructor parameters.
+    /// `Value::Null` always succeeds (the stateless case).
+    fn import_state(&mut self, state: &Value) -> Result<(), DeError> {
+        if state.is_null() {
+            Ok(())
+        } else {
+            Err(DeError::custom(format!(
+                "{}: unexpected scheduler state (this scheduler is stateless)",
+                self.name()
+            )))
+        }
+    }
 }
 
 /// A safe fallback when a solver hiccups: serve nothing, carry everything.

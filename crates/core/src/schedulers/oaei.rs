@@ -19,6 +19,7 @@ use rand::{RngExt, SeedableRng};
 use birp_models::Catalog;
 use birp_sim::{Schedule, SlotOutcome};
 use birp_solver::SolverConfig;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::demand::DemandMatrix;
 use crate::problem::{ExecutionMode, ProblemConfig, SlotProblem, TirMatrix};
@@ -36,6 +37,16 @@ pub struct Oaei {
     solver_cfg: SolverConfig,
     rng: StdRng,
     mask: Option<Vec<bool>>,
+}
+
+/// OAEI's cross-slot mutable state: the learned latencies and the exact
+/// position of the rounding RNG stream (the raw xoshiro256++ words, so a
+/// resumed run draws the same Bernoulli sequence the uninterrupted run
+/// would).
+#[derive(Serialize, Deserialize)]
+struct OaeiState {
+    gamma_est: Vec<Vec<f64>>,
+    rng: Vec<u64>,
 }
 
 impl Oaei {
@@ -139,6 +150,38 @@ impl Scheduler for Oaei {
 
     fn set_edge_mask(&mut self, mask: Option<&[bool]>) {
         self.mask = mask.map(|m| m.to_vec());
+    }
+
+    fn export_state(&self) -> Value {
+        Serialize::to_value(&OaeiState {
+            gamma_est: self.gamma_est.clone(),
+            rng: self.rng.to_state().to_vec(),
+        })
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), DeError> {
+        if state.is_null() {
+            return Ok(());
+        }
+        let s = OaeiState::from_value(state)?;
+        if s.gamma_est.len() != self.gamma_est.len()
+            || s.gamma_est
+                .iter()
+                .zip(&self.gamma_est)
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(DeError::custom(
+                "OAEI state gamma_est shape does not match catalog",
+            ));
+        }
+        let rng: [u64; 4] = s
+            .rng
+            .as_slice()
+            .try_into()
+            .map_err(|_| DeError::custom("OAEI rng state must be 4 words"))?;
+        self.gamma_est = s.gamma_est;
+        self.rng = StdRng::from_state(rng);
+        Ok(())
     }
 }
 

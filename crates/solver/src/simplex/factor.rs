@@ -55,6 +55,9 @@ pub(crate) struct FactorStats {
     pub refactorizations: u64,
     pub eta_updates: u64,
     pub ftran_nnz: u64,
+    /// Refactorizations forced by a failed spike-stability check (the
+    /// numerical-instability path), a subset of `refactorizations`.
+    pub instability_rebuilds: u64,
 }
 
 #[derive(Debug, Default)]

@@ -229,6 +229,9 @@ impl RevisedCore {
             if s.ftran_nnz > 0 {
                 telemetry::counter("solver.ftran_nnz", s.ftran_nnz);
             }
+            if s.instability_rebuilds > 0 {
+                telemetry::counter("solver.lu_instability", s.instability_rebuilds);
+            }
         }
     }
 
@@ -697,6 +700,7 @@ impl RevisedCore {
                     // drowned by the eta file means the factorization has
                     // degraded — rebuild and retry this iteration.
                     if !self.factor.spike_stable(r, &self.wpos) && self.factor.num_etas() > 0 {
+                        self.factor.stats.instability_rebuilds += 1;
                         if self.refactor_now().is_err() {
                             return PhaseOutcome::NumericalTrouble;
                         }
@@ -968,6 +972,7 @@ impl RevisedCore {
             // --- entering spike + pivot ---------------------------------
             self.ftran_column(q);
             if !self.factor.spike_stable(r, &self.wpos) && self.factor.num_etas() > 0 {
+                self.factor.stats.instability_rebuilds += 1;
                 if self.refactor_now().is_err() {
                     return DualOutcome::NumericalTrouble;
                 }

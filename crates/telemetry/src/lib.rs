@@ -42,14 +42,14 @@ pub mod profile;
 
 use std::cell::RefCell;
 use std::fs::File;
-use std::io::{BufWriter, Write as _};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 pub use serde::Value;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize};
 
 // --- levels --------------------------------------------------------------
 
@@ -199,6 +199,105 @@ impl Sink for MemorySink {
     }
 }
 
+/// JSONL sink that survives IO failures (disk full, EPIPE, yanked volume).
+///
+/// On a failed write it retries once after a short backoff, then degrades
+/// permanently: the writer is dropped, a `telemetry.sink_degraded` counter
+/// is bumped, and every event from the failing one onward is buffered in an
+/// in-memory fallback instead. The run itself never sees the error — losing
+/// a telemetry file must not abort a long service run.
+pub struct DegradingSink {
+    primary: Mutex<Option<Box<dyn Write + Send>>>,
+    fallback: MemorySink,
+    degraded: AtomicBool,
+    retry_backoff: Duration,
+}
+
+impl DegradingSink {
+    /// Open `path` for buffered JSONL writing, as [`JsonlSink::create`].
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Wrap an arbitrary writer (tests inject failing writers here).
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        DegradingSink {
+            primary: Mutex::new(Some(writer)),
+            fallback: MemorySink::new(),
+            degraded: AtomicBool::new(false),
+            retry_backoff: Duration::from_millis(10),
+        }
+    }
+
+    /// True once the primary writer has been abandoned.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Events captured after degradation (empty while the file is healthy).
+    pub fn drain_fallback(&self) -> Vec<Event> {
+        self.fallback.drain()
+    }
+
+    /// Drop the primary writer and route everything to the fallback.
+    /// Must be called without `self.primary` held (it bumps a counter,
+    /// which takes the registry lock).
+    fn degrade(&self) {
+        *self.primary.lock() = None;
+        if !self.degraded.swap(true, Ordering::AcqRel) {
+            counter("telemetry.sink_degraded", 1);
+        }
+    }
+}
+
+impl Sink for DegradingSink {
+    fn record(&self, event: &Event) {
+        if self.is_degraded() {
+            self.fallback.record(event);
+            return;
+        }
+        let line = serde_json::to_string(&event.to_value()).unwrap_or_default();
+        let ok = {
+            let mut guard = self.primary.lock();
+            match guard.as_mut() {
+                Some(w) => {
+                    if writeln!(w, "{line}").is_ok() {
+                        true
+                    } else {
+                        // One retry after a short backoff: transient
+                        // conditions (pipe pressure, NFS hiccup) recover;
+                        // persistent ones (ENOSPC, EPIPE) degrade.
+                        std::thread::sleep(self.retry_backoff);
+                        writeln!(w, "{line}").is_ok()
+                    }
+                }
+                None => false,
+            }
+        };
+        if !ok {
+            self.degrade();
+            self.fallback.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        if self.is_degraded() {
+            return;
+        }
+        let ok = {
+            let mut guard = self.primary.lock();
+            match guard.as_mut() {
+                Some(w) => w.flush().is_ok(),
+                None => false,
+            }
+        };
+        if !ok {
+            self.degrade();
+        }
+    }
+}
+
 // --- histograms ----------------------------------------------------------
 
 /// Fixed-size log₂-bucketed histogram.
@@ -322,6 +421,69 @@ impl LogHistogram {
                 self.quantile(0.99)
             },
         }
+    }
+}
+
+// Hand-written serde: the `[u64; 64]` bucket array is not derive-supported
+// by the vendored serde, and the empty-histogram ±∞ sentinels would lower to
+// JSON `null`. Buckets serialize with trailing zeros trimmed; min/max are
+// omitted for empty histograms and restored to the sentinels on read.
+impl Serialize for LogHistogram {
+    fn to_value(&self) -> Value {
+        let trimmed = self
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        let buckets: Vec<Value> = self.buckets[..trimmed]
+            .iter()
+            .map(|&n| Value::UInt(n))
+            .collect();
+        let mut obj = vec![
+            ("count".to_string(), Value::UInt(self.count)),
+            ("sum".to_string(), Value::Float(self.sum)),
+        ];
+        if self.count > 0 {
+            obj.push(("min".to_string(), Value::Float(self.min)));
+            obj.push(("max".to_string(), Value::Float(self.max)));
+        }
+        obj.push(("buckets".to_string(), Value::Array(buckets)));
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for LogHistogram {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::custom("LogHistogram: expected object"))?;
+        let mut h = LogHistogram::new();
+        h.count = serde::field(obj, "count")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DeError::custom("LogHistogram: missing count"))?;
+        h.sum = serde::field(obj, "sum")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| DeError::custom("LogHistogram: missing sum"))?;
+        if h.count > 0 {
+            h.min = serde::field(obj, "min")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| DeError::custom("LogHistogram: missing min"))?;
+            h.max = serde::field(obj, "max")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| DeError::custom("LogHistogram: missing max"))?;
+        }
+        let buckets = serde::field(obj, "buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| DeError::custom("LogHistogram: missing buckets"))?;
+        if buckets.len() > h.buckets.len() {
+            return Err(DeError::custom("LogHistogram: too many buckets"));
+        }
+        for (slot, v) in h.buckets.iter_mut().zip(buckets.iter()) {
+            *slot = v
+                .as_u64()
+                .ok_or_else(|| DeError::custom("LogHistogram: bad bucket"))?;
+        }
+        Ok(h)
     }
 }
 
@@ -1028,6 +1190,95 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: TelemetrySummary = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn log_histogram_serde_round_trip() {
+        let mut h = LogHistogram::new();
+        for v in [0.25, 1.0, 3.0, 900.0, 1e6] {
+            h.observe(v);
+        }
+        let json = serde_json::to_string(&Serialize::to_value(&h)).unwrap();
+        let back = LogHistogram::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back.count, h.count);
+        assert_eq!(back.sum, h.sum);
+        assert_eq!(back.min, h.min);
+        assert_eq!(back.max, h.max);
+        assert_eq!(back.buckets, h.buckets);
+
+        // Empty histograms survive the ±∞ sentinels.
+        let empty = LogHistogram::new();
+        let json = serde_json::to_string(&Serialize::to_value(&empty)).unwrap();
+        let back = LogHistogram::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back.count, 0);
+        assert_eq!(back.min, f64::INFINITY);
+        assert_eq!(back.max, f64::NEG_INFINITY);
+    }
+
+    /// Writer that accepts `good_lines` complete lines, then fails forever
+    /// (a `writeln!` may arrive as several `write` calls, so count newlines
+    /// rather than calls).
+    struct FlakyWriter {
+        good_lines: usize,
+        written: usize,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.written >= self.good_lines {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "disk full",
+                ));
+            }
+            self.written += buf.iter().filter(|&&b| b == b'\n').count();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn degrading_sink_falls_back_to_memory() {
+        let _g = TEST_GUARD.lock();
+        let sink = Arc::new(DegradingSink::from_writer(Box::new(FlakyWriter {
+            good_lines: 2,
+            written: 0,
+        })));
+        init(sink.clone(), Level::Info);
+        event(Level::Info, "a", &[]); // written
+        event(Level::Info, "b", &[]); // written
+        assert!(!sink.is_degraded());
+        event(Level::Info, "c", &[]); // fails, retries, degrades — kept in memory
+        event(Level::Info, "d", &[]); // straight to fallback
+        assert!(sink.is_degraded());
+        let s = summary();
+        assert_eq!(s.counter("telemetry.sink_degraded"), Some(1));
+        let kept: Vec<String> = sink
+            .drain_fallback()
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
+        assert_eq!(kept, vec!["c".to_string(), "d".to_string()]);
+        reset();
+    }
+
+    #[test]
+    fn degrading_sink_healthy_path_writes_jsonl() {
+        let _g = TEST_GUARD.lock();
+        let dir = std::env::temp_dir().join(format!("birp-degrade-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let sink = Arc::new(DegradingSink::create(&path).unwrap());
+        init(sink.clone(), Level::Info);
+        event(Level::Info, "hello", &[("k", 1u64.into())]);
+        sink.flush();
+        assert!(!sink.is_degraded());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"name\": \"hello\"") || text.contains("\"name\":\"hello\""));
+        reset();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -114,6 +114,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Export the raw xoshiro256++ state, e.g. for checkpointing.
+        /// Mirrors upstream `rand`'s `serde` support on `StdRng`.
+        pub fn to_state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a previously exported state. The
+        /// resulting stream continues exactly where [`Self::to_state`]
+        /// left off.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -159,6 +174,18 @@ mod tests {
             let i = r.random_range(-5i32..5);
             assert!((-5..5).contains(&i));
         }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..37 {
+            r.random_range(0.0..1.0);
+        }
+        let mut resumed = StdRng::from_state(r.to_state());
+        let a: Vec<f64> = (0..16).map(|_| r.random_range(0.0..1.0)).collect();
+        let b: Vec<f64> = (0..16).map(|_| resumed.random_range(0.0..1.0)).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

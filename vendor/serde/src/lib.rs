@@ -16,8 +16,9 @@ pub use serde_derive::{Deserialize, Serialize};
 ///
 /// Objects are ordered key/value lists — preserving field order keeps the
 /// emitted JSON deterministic, which the telemetry layer relies on.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
+    #[default]
     Null,
     Bool(bool),
     Int(i64),
@@ -283,6 +284,23 @@ impl Deserialize for char {
     }
 }
 
+// Identity impls: a `Value` field in a derived struct passes through
+// untouched (mirrors upstream serde_json's `Value: Serialize + Deserialize`;
+// `Value::default() == Null` — derived on the enum — makes
+// `#[serde(default)]` work on `Value`-typed fields).
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
@@ -368,18 +386,6 @@ ser_de_tuple! {
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
     (0 A, 1 B, 2 C, 3 D, 4 E)
-}
-
-impl Serialize for Value {
-    fn to_value(&self) -> Value {
-        self.clone()
-    }
-}
-
-impl Deserialize for Value {
-    fn from_value(v: &Value) -> Result<Self, DeError> {
-        Ok(v.clone())
-    }
 }
 
 #[cfg(test)]
