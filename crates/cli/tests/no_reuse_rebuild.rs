@@ -1,0 +1,68 @@
+//! `--no-reuse` must disable the whole temporal reuse stack — including the
+//! incremental delta path (DESIGN.md §13). The contract is observable in
+//! the telemetry capture: every slot's `birp.delta` provenance record shows
+//! `path=rebuild reason=disabled` under `--no-reuse`, while a default run
+//! over the same trace refreshes the persistent model (`path=delta`) on
+//! every slot after the first.
+
+use std::process::{Command, Stdio};
+
+use serde_json::Value;
+
+/// Run `birp run` with a telemetry capture and return the parsed
+/// `birp.delta` records in slot order.
+fn delta_records(tag: &str, extra: &[&str]) -> Vec<Value> {
+    let bin = env!("CARGO_BIN_EXE_birp");
+    let dir = std::env::temp_dir().join(format!("birp-noreuse-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("run.jsonl");
+    let status = Command::new(bin)
+        .args(["run", "--slots", "6", "--scheduler", "birp", "--seed", "11"])
+        .args(["--telemetry", jsonl.to_str().unwrap()])
+        .args(extra)
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "birp run failed ({tag})");
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    let records: Vec<Value> = text
+        .lines()
+        .filter_map(|l| serde_json::from_str::<Value>(l).ok())
+        .filter(|v| v.get("name").and_then(Value::as_str) == Some("birp.delta"))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    records
+}
+
+fn field<'a>(r: &'a Value, key: &str) -> &'a str {
+    r.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("birp.delta record missing `{key}`: {r:?}"))
+}
+
+#[test]
+fn no_reuse_rebuilds_every_slot_and_default_takes_the_delta_path() {
+    // --no-reuse: one provenance record per slot, all full rebuilds, all
+    // attributed to the disabled reuse layer.
+    let disabled = delta_records("off", &["--no-reuse"]);
+    assert_eq!(disabled.len(), 6, "one birp.delta record per slot");
+    for r in &disabled {
+        assert_eq!(field(r, "path"), "rebuild", "record: {r:?}");
+        assert_eq!(field(r, "reason"), "disabled", "record: {r:?}");
+    }
+
+    // Default run: slot 0 is a first build, and the persistent model must
+    // actually absorb at least one later slot as deltas.
+    let default = delta_records("on", &[]);
+    assert_eq!(default.len(), 6, "one birp.delta record per slot");
+    assert_eq!(field(&default[0], "path"), "rebuild");
+    assert_eq!(field(&default[0], "reason"), "first_build");
+    let deltas = default
+        .iter()
+        .filter(|r| field(r, "path") == "delta")
+        .count();
+    assert!(
+        deltas >= 1,
+        "default run never took the delta path: {default:?}"
+    );
+}

@@ -36,7 +36,10 @@ pub mod schedulers;
 pub use checkpoint::{ResumeError, RunCheckpoint};
 pub use demand::DemandMatrix;
 pub use health::{HealthConfig, HealthMonitor, HealthState, QuarantineEvent};
-pub use problem::{ExecutionMode, ProblemConfig, ReuseOutcome, SlotProblem, TirMatrix};
+pub use problem::{
+    DeltaOutcome, DeltaSummary, ExecutionMode, ProblemConfig, RebuildReason, ReuseOutcome,
+    SlotDelta, SlotInputs, SlotProblem, TirMatrix,
+};
 pub use runner::{
     run_scheduler, run_scheduler_resumable, CheckpointPolicy, RunConfig, RunOutcome, RunResult,
     RunnerCheckpoint,

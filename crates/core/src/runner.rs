@@ -18,7 +18,11 @@
 //! * **metrics** — per-slot loss, cumulative loss, completion CDF, `p%`,
 //! * **durability** (opt-in via [`CheckpointPolicy`]) — periodic atomic
 //!   checkpoints plus a cooperative shutdown flag, so a killed run resumes
-//!   mid-trace with bitwise-identical remaining output (DESIGN.md §12),
+//!   mid-trace with bitwise-identical remaining output (DESIGN.md §12).
+//!   This includes the MILP schedulers' persistent slot model: its input
+//!   fingerprint rides in the exported scheduler state, so a resumed run
+//!   re-lowers once and continues the interrupted delta sequence
+//!   (DESIGN.md §13) exactly as the uninterrupted run would,
 //! * **panic isolation** (on by default) — a panicking `decide` is caught,
 //!   the slot falls back to the loss-greedy strictly-local packing, and the
 //!   run continues instead of taking the process down.

@@ -24,7 +24,8 @@ use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::demand::DemandMatrix;
 use crate::problem::{
-    ExecutionMode, ProblemConfig, ReuseOutcome, SlotProblem, SolveStats, TirMatrix,
+    DeltaOutcome, ExecutionMode, ProblemConfig, RebuildReason, ReuseOutcome, SlotInputs,
+    SlotProblem, SolveStats, TirMatrix,
 };
 use crate::schedulers::local::greedy_local;
 use crate::schedulers::Scheduler;
@@ -56,6 +57,13 @@ pub struct TemporalReuse {
     /// solver proves optimality it is structurally inert, so `0` is only
     /// needed to ablate it explicitly.
     pub max_skip_streak: usize,
+    /// Incremental re-solve (DESIGN.md §13): keep one persistent
+    /// [`SlotProblem`] alive across slots and absorb each new slot as typed
+    /// deltas (demand drift, quarantine mask, TIR estimate moves, previous
+    /// deployments, budgets) instead of lowering from scratch. The refreshed
+    /// model is bitwise-identical to a rebuild (the `temporal_differential`
+    /// delta suite pins this), so this is purely a build-cost lever.
+    pub deltas: bool,
 }
 
 impl Default for TemporalReuse {
@@ -65,15 +73,18 @@ impl Default for TemporalReuse {
             cache_tolerance: None,
             cache_capacity: 16,
             max_skip_streak: 3,
+            deltas: true,
         }
     }
 }
 
 impl TemporalReuse {
-    /// The escape hatch: no warm-start install, no cache.
+    /// The escape hatch (`--no-reuse`): no warm-start install, no cache,
+    /// and no persistent slot model — every slot lowers from scratch.
     pub fn disabled() -> Self {
         TemporalReuse {
             enabled: false,
+            deltas: false,
             ..TemporalReuse::default()
         }
     }
@@ -145,6 +156,14 @@ struct BirpState {
     skip_streak: usize,
     heuristic_regime: bool,
     cache: Vec<CacheEntry>,
+    /// Input fingerprint of the persistent slot model (DESIGN.md §13), when
+    /// one was alive at checkpoint time. Restore re-lowers the skeleton from
+    /// it and lets the first post-resume refresh recompute the derived
+    /// state — so a resumed run diffs against exactly the inputs the
+    /// uninterrupted run would have diffed against. `default` keeps
+    /// pre-delta checkpoints readable (absent field → no persistent model).
+    #[serde(default)]
+    slot_inputs: Option<SlotInputs>,
 }
 
 /// Canonical digest of a schedule for [`SlotKey::prev`]: deployments,
@@ -256,6 +275,57 @@ fn emit_provenance(
     );
 }
 
+/// Emit the per-slot delta provenance record (DESIGN.md §13): exactly one
+/// `birp.delta` event per decide saying how this slot's problem came to be —
+/// `path: "delta"` with per-kind edit counts when the persistent model
+/// absorbed the slot, `path: "rebuild"` with the reason when it was lowered
+/// from scratch. Mirrored into the `solver.delta_applied` /
+/// `solver.full_rebuild` counters so aggregate reports cross-check against
+/// the per-slot records.
+fn emit_delta(t: usize, outcome: &DeltaOutcome) {
+    match outcome {
+        DeltaOutcome::Applied(s) => {
+            telemetry::counter("solver.delta_applied", 1);
+            if telemetry::enabled() {
+                telemetry::event(
+                    telemetry::Level::Info,
+                    "birp.delta",
+                    &[
+                        ("slot", (t as u64).into()),
+                        ("path", "delta".into()),
+                        ("demand", (s.demand as u64).into()),
+                        ("mask", (s.mask as u64).into()),
+                        ("tir", (s.tir as u64).into()),
+                        ("prev_deploy", (s.prev_deploy as u64).into()),
+                        ("budget", (s.budget as u64).into()),
+                        ("total", (s.total() as u64).into()),
+                    ],
+                );
+            }
+        }
+        DeltaOutcome::Rebuilt(reason) => {
+            telemetry::counter("solver.full_rebuild", 1);
+            if telemetry::enabled() {
+                let reason = match reason {
+                    RebuildReason::FirstBuild => "first_build",
+                    RebuildReason::Disabled => "disabled",
+                    RebuildReason::StructureChanged => "structure_changed",
+                    RebuildReason::CatalogChanged => "catalog_changed",
+                };
+                telemetry::event(
+                    telemetry::Level::Info,
+                    "birp.delta",
+                    &[
+                        ("slot", (t as u64).into()),
+                        ("path", "rebuild".into()),
+                        ("reason", reason.into()),
+                    ],
+                );
+            }
+        }
+    }
+}
+
 /// The batch-aware, MAB-tuned scheduler (the paper's contribution).
 pub struct Birp {
     catalog: Catalog,
@@ -284,6 +354,14 @@ pub struct Birp {
     /// (budget-truncated) incumbents — the only regime in which the
     /// heuristic-regime skip is allowed to fire.
     heuristic_regime: bool,
+    /// The persistent slot model (DESIGN.md §13): lowered once, then
+    /// refreshed in place with typed deltas each slot while
+    /// [`TemporalReuse::deltas`] is on. `None` until the first decide, and
+    /// whenever the delta path is off.
+    slot_model: Option<SlotProblem>,
+    /// Input fingerprint restored from a checkpoint, consumed by the first
+    /// decide after resume to re-lower the persistent model skeleton.
+    restored_inputs: Option<SlotInputs>,
     /// Solve statistics of the most recent slot (for experiment logs).
     pub last_stats: Option<SolveStats>,
     /// Cumulative absolute TIR estimation error (LCB estimate vs ground
@@ -311,6 +389,8 @@ impl Birp {
             cache: Vec::new(),
             skip_streak: 0,
             heuristic_regime: false,
+            slot_model: None,
+            restored_inputs: None,
             last_stats: None,
             cum_regret: 0.0,
         }
@@ -336,6 +416,8 @@ impl Birp {
         self.cache.clear();
         self.skip_streak = 0;
         self.heuristic_regime = false;
+        self.slot_model = None;
+        self.restored_inputs = None;
         self
     }
 
@@ -358,6 +440,72 @@ impl Birp {
         )
     }
 
+    /// Produce this slot's lowered problem. While the delta path is on
+    /// ([`TemporalReuse::deltas`]) the persistent model is refreshed in
+    /// place — consecutive slots are diffed into typed deltas and a full
+    /// rebuild only happens on a structure/catalog fingerprint mismatch.
+    /// Otherwise (or on the very first slot) the problem is lowered from
+    /// scratch, exactly as the pre-delta decision path did. Also the
+    /// restore half of the persistent-model checkpoint: a fingerprint
+    /// imported by [`Scheduler::import_state`] is re-lowered here, and the
+    /// refresh that follows recomputes the derived state just as the
+    /// uninterrupted run's refresh would have.
+    #[allow(clippy::too_many_arguments)]
+    fn acquire_problem(
+        &mut self,
+        t: usize,
+        demand: &DemandMatrix,
+        tir: &TirMatrix,
+        prev: Option<&Schedule>,
+        cfg: &ProblemConfig,
+        reuse: Option<&Schedule>,
+        guide_lp: bool,
+    ) -> (SlotProblem, DeltaOutcome) {
+        let deltas_on = self.reuse.enabled && self.reuse.deltas;
+        if deltas_on {
+            if self.slot_model.is_none() {
+                if let Some(inputs) = self.restored_inputs.take() {
+                    // Dimension guard: a fingerprint from a checkpoint taken
+                    // under a different catalog cannot be re-lowered (the
+                    // refresh would reject it anyway via the statics digest).
+                    if inputs.num_apps == self.catalog.num_apps()
+                        && inputs.num_edges == self.catalog.num_edges()
+                        && inputs.num_models == self.catalog.num_models()
+                    {
+                        self.slot_model = Some(SlotProblem::from_inputs(&self.catalog, inputs));
+                    }
+                }
+            }
+            if let Some(mut model) = self.slot_model.take() {
+                let outcome = model.refresh_with_reuse(
+                    &self.catalog,
+                    t,
+                    demand,
+                    tir,
+                    prev,
+                    cfg,
+                    reuse,
+                    guide_lp,
+                );
+                return (model, outcome);
+            }
+        } else {
+            self.slot_model = None;
+            self.restored_inputs = None;
+        }
+        let problem = if guide_lp {
+            SlotProblem::build_with_reuse(&self.catalog, t, demand, tir, prev, cfg, reuse)
+        } else {
+            SlotProblem::build_reuse_lean(&self.catalog, t, demand, tir, prev, cfg, reuse)
+        };
+        let reason = if deltas_on {
+            RebuildReason::FirstBuild
+        } else {
+            RebuildReason::Disabled
+        };
+        (problem, DeltaOutcome::Rebuilt(reason))
+    }
+
     fn decide_inner(
         &mut self,
         t: usize,
@@ -373,7 +521,7 @@ impl Birp {
         // Heuristic-regime skip: while the budgeted solver is returning
         // degraded (budget-truncated) incumbents, its output carries no
         // optimality proof — its guaranteed floor is the warm-start point
-        // it was handed. A lean build (no guide-LP solve — the skip path
+        // it was handed. A lean refresh (no guide-LP solve — the skip path
         // never certifies and never branches, so the root relaxation is
         // pure overhead here) produces exactly that floor: the greedy
         // packing, improved by the repaired previous-slot schedule whenever
@@ -383,20 +531,21 @@ impl Birp {
         // and the gate is structurally inert wherever the solver proves
         // optimality (no degraded solves → no skips), which is what keeps
         // the certifying-config differential suite exact.
-        if self.reuse.enabled
+        let skip = self.reuse.enabled
             && self.heuristic_regime
-            && self.skip_streak < self.reuse.max_skip_streak
-        {
-            let lean =
-                SlotProblem::build_reuse_lean(&self.catalog, t, demand, &tir, prev, &cfg, prev);
-            match lean.reuse_outcome() {
+            && self.skip_streak < self.reuse.max_skip_streak;
+        let candidate = if self.reuse.enabled { prev } else { None };
+        let (problem, delta) = self.acquire_problem(t, demand, &tir, prev, &cfg, candidate, !skip);
+        emit_delta(t, &delta);
+        if skip {
+            match problem.reuse_outcome() {
                 Some(ReuseOutcome::Installed) => telemetry::counter("scheduler.reuse_install", 1),
                 Some(ReuseOutcome::RepairFail) => {
                     telemetry::counter("scheduler.reuse_repair_fail", 1);
                 }
                 _ => {}
             }
-            let (schedule, stats) = lean.warm_schedule();
+            let (schedule, stats) = problem.warm_schedule();
             self.skip_streak += 1;
             telemetry::counter("scheduler.reuse_budget_skip", 1);
             if telemetry::enabled() {
@@ -412,18 +561,10 @@ impl Birp {
             }
             emit_provenance(t, "skip", Some(&stats), self.mask.as_deref(), lp0);
             self.last_stats = Some(stats);
+            self.slot_model = Some(problem);
             return schedule;
         }
 
-        let problem = SlotProblem::build_with_reuse(
-            &self.catalog,
-            t,
-            demand,
-            &tir,
-            prev,
-            &cfg,
-            if self.reuse.enabled { prev } else { None },
-        );
         match problem.reuse_outcome() {
             Some(ReuseOutcome::Installed) => telemetry::counter("scheduler.reuse_install", 1),
             Some(ReuseOutcome::RepairFail) => telemetry::counter("scheduler.reuse_repair_fail", 1),
@@ -459,6 +600,7 @@ impl Birp {
                 }
                 emit_provenance(t, "repair", Some(&stats), self.mask.as_deref(), lp0);
                 self.last_stats = Some(stats);
+                self.slot_model = Some(problem);
                 return schedule;
             }
         }
@@ -505,6 +647,7 @@ impl Birp {
                         self.last_stats = Some(stats);
                         let mut schedule = entry.schedule.clone();
                         schedule.t = t;
+                        self.slot_model = Some(problem);
                         return schedule;
                     }
                     None => telemetry::counter("scheduler.reuse_cache_reject", 1),
@@ -556,6 +699,7 @@ impl Birp {
                     }
                 }
                 self.last_stats = Some(stats);
+                self.slot_model = Some(problem);
                 schedule
             }
             Err(err) => {
@@ -578,6 +722,7 @@ impl Birp {
                 }
                 emit_provenance(t, "fallback", None, self.mask.as_deref(), lp0);
                 self.last_stats = None;
+                self.slot_model = Some(problem);
                 greedy_local(
                     &self.catalog,
                     &TirParams::paper_initial(),
@@ -685,6 +830,7 @@ impl Scheduler for Birp {
                     schedule: e.schedule.clone(),
                 })
                 .collect(),
+            slot_inputs: self.slot_model.as_ref().map(|p| p.inputs().clone()),
         })
     }
 
@@ -706,6 +852,8 @@ impl Scheduler for Birp {
         self.skip_streak = s.skip_streak;
         self.heuristic_regime = s.heuristic_regime;
         self.cache = s.cache;
+        self.slot_model = None;
+        self.restored_inputs = s.slot_inputs;
         self.last_stats = None;
         Ok(())
     }

@@ -17,6 +17,7 @@ use birp_core::checkpoint::{self, ResumeError};
 use birp_core::{
     run_scheduler, run_scheduler_resumable, Birp, BirpOff, CheckpointPolicy, HealthConfig,
     MaxBatch, Oaei, RunCheckpoint, RunConfig, RunOutcome, RunResult, RunnerCheckpoint, Scheduler,
+    TemporalReuse,
 };
 use birp_mab::MabConfig;
 use birp_models::{Catalog, EdgeId};
@@ -43,6 +44,21 @@ fn make_scheduler(catalog: &Catalog, which: usize) -> Box<dyn Scheduler> {
         1 => Box::new(BirpOff::new(catalog.clone())),
         2 => Box::new(Oaei::new(catalog.clone(), 3)),
         _ => Box::new(MaxBatch::paper_default(catalog.clone())),
+    }
+}
+
+/// BIRP variants with the incremental re-solve path leaned on hard: deltas
+/// on (the default) plus a skip streak longer than the trace, so the
+/// persistent slot model is refreshed — never rebuilt — across every slot a
+/// kill can land between.
+fn delta_scheduler(catalog: &Catalog, which: usize) -> Box<dyn Scheduler> {
+    let reuse = TemporalReuse {
+        max_skip_streak: 6,
+        ..TemporalReuse::default()
+    };
+    match which {
+        0 => Box::new(Birp::new(catalog.clone(), MabConfig::paper_preset()).with_reuse(reuse)),
+        _ => Box::new(BirpOff::new(catalog.clone()).with_reuse(reuse)),
     }
 }
 
@@ -115,14 +131,14 @@ fn killed_and_resumed(
     catalog: &Catalog,
     trace: &Trace,
     cfg: &RunConfig,
-    which: usize,
+    mk: &dyn Fn(&Catalog) -> Box<dyn Scheduler>,
     kill_at: usize,
     tag: &str,
 ) -> RunResult {
     let path = tmp_ckpt(tag);
     let flag = Arc::new(AtomicBool::new(false));
     let mut killed = KillAt {
-        inner: make_scheduler(catalog, which),
+        inner: mk(catalog),
         kill_at,
         flag: Arc::clone(&flag),
     };
@@ -148,7 +164,7 @@ fn killed_and_resumed(
 
     let ck = checkpoint::load(&path).unwrap();
     assert_eq!(ck.runner.next_slot, kill_at + 1);
-    let mut fresh = make_scheduler(catalog, which);
+    let mut fresh = mk(catalog);
     let resumed = run_scheduler_resumable(
         catalog,
         trace,
@@ -183,8 +199,33 @@ proptest! {
         let cfg = config(resilience);
         let baseline = run_scheduler(&catalog, &trace, make_scheduler(&catalog, which).as_mut(), &cfg);
         let resumed = killed_and_resumed(
-            &catalog, &trace, &cfg, which, kill_at,
+            &catalog, &trace, &cfg, &|c| make_scheduler(c, which), kill_at,
             &format!("prop-{which}-{kill_at}-{resilience}"),
+        );
+        prop_assert_eq!(result_json(&baseline), result_json(&resumed));
+    }
+
+    /// Delta-path kill–resume (DESIGN.md §13): with the persistent slot
+    /// model refreshing across every slot, a kill lands mid-delta-sequence
+    /// by construction. The checkpoint carries only the model's input
+    /// fingerprint; the resumed scheduler re-lowers from it and refreshes
+    /// on, and the final result must still be bitwise identical to the
+    /// uninterrupted run.
+    #[test]
+    fn kill_resume_mid_delta_sequence_is_bitwise_equivalent(
+        kill_at in 0..SLOTS - 1,
+        which in 0usize..2,
+        resilience_bit in 0usize..2,
+    ) {
+        let resilience = resilience_bit == 1;
+        let (catalog, trace) = setup();
+        let cfg = config(resilience);
+        let baseline = run_scheduler(
+            &catalog, &trace, delta_scheduler(&catalog, which).as_mut(), &cfg,
+        );
+        let resumed = killed_and_resumed(
+            &catalog, &trace, &cfg, &|c| delta_scheduler(c, which), kill_at,
+            &format!("delta-{which}-{kill_at}-{resilience}"),
         );
         prop_assert_eq!(result_json(&baseline), result_json(&resumed));
     }
@@ -233,7 +274,7 @@ fn every_kill_point_resumes_exactly_under_faults() {
             &catalog,
             &trace,
             &cfg,
-            1,
+            &|c| make_scheduler(c, 1),
             kill_at,
             &format!("all-{kill_at}"),
         );

@@ -52,7 +52,7 @@ pub use expr::{LinExpr, VarId, VarKind};
 pub use lp::{LpProblem, LpSolution, LpStatus};
 pub use lpwrite::to_lp_format;
 pub use milp::{MilpProblem, MilpResult, MilpStatus, SolveBudget};
-pub use model::{Model, ModelStatus, Solution, SolverConfig};
+pub use model::{Model, ModelStatus, RowId, Solution, SolverConfig};
 pub use presolve::{presolve, PresolveStatus, Reduction};
 pub use simplex::{EngineSnapshot, SimplexEngine, SimplexOptions};
 

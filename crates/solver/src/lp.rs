@@ -21,7 +21,7 @@ pub enum RowCmp {
 }
 
 /// One sparse constraint row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LpRow {
     /// `(column, coefficient)` pairs; columns unique and sorted.
     pub coeffs: Vec<(usize, f64)>,
@@ -47,7 +47,11 @@ impl LpRow {
 }
 
 /// A standard-form LP.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every column bound, objective entry and sparse row
+/// bitwise (f64 `==`, no tolerance) — the incremental-edit differential
+/// suites assert edited problems against fresh builds with it.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LpProblem {
     /// Objective coefficients, one per column.
     pub objective: Vec<f64>,
@@ -135,6 +139,65 @@ impl LpProblem {
         });
         coeffs.retain(|&(_, c)| c != 0.0);
         self.rows.push(LpRow { coeffs, cmp, rhs });
+    }
+
+    /// Replace the right-hand side of row `i` in place. The row's sparsity
+    /// pattern is untouched, so a simplex engine holding a factorization of
+    /// the current basis stays valid (only `x_B = B⁻¹ b` must be refreshed).
+    pub fn set_rhs(&mut self, i: usize, rhs: f64) {
+        self.rows[i].rhs = rhs;
+    }
+
+    /// Set (or insert, or remove when `c == 0`) the coefficient of column
+    /// `col` in row `i`, preserving the sorted-unique invariant of
+    /// [`LpRow::coeffs`]. Zero coefficients are dropped, matching
+    /// [`push_row`](Self::push_row), so an edited row is structurally
+    /// identical to one built fresh with the same values.
+    pub fn set_coeff(&mut self, i: usize, col: usize, c: f64) {
+        let coeffs = &mut self.rows[i].coeffs;
+        match coeffs.binary_search_by_key(&col, |&(j, _)| j) {
+            Ok(pos) => {
+                if c == 0.0 {
+                    coeffs.remove(pos);
+                } else {
+                    coeffs[pos].1 = c;
+                }
+            }
+            Err(pos) => {
+                if c != 0.0 {
+                    coeffs.insert(pos, (col, c));
+                }
+            }
+        }
+    }
+
+    /// Append a new column with the given bounds and objective coefficient;
+    /// returns its index. The column starts with no row coefficients
+    /// (populate via [`set_coeff`](Self::set_coeff)).
+    pub fn add_col(&mut self, lower: f64, upper: f64, obj: f64) -> usize {
+        let j = self.num_cols();
+        self.objective.push(obj);
+        self.lower.push(lower);
+        self.upper.push(upper);
+        j
+    }
+
+    /// Remove the last column, stripping any row coefficients that
+    /// reference it. Only the *last* column is removable so surviving
+    /// column indices never shift — the invariant the incremental model
+    /// layer relies on for handle stability.
+    pub fn remove_last_col(&mut self) {
+        let j = self.num_cols() - 1;
+        self.objective.pop();
+        self.lower.pop();
+        self.upper.pop();
+        for row in &mut self.rows {
+            if let Some(last) = row.coeffs.last() {
+                if last.0 == j {
+                    row.coeffs.pop();
+                }
+            }
+        }
     }
 
     /// Maximum feasibility violation of `x` over all rows and bounds.
@@ -236,6 +299,44 @@ mod tests {
         assert_eq!(lp.validate_bounds(), Err(1));
         lp.upper[1] = 2.0;
         assert_eq!(lp.validate_bounds(), Ok(()));
+    }
+
+    #[test]
+    fn set_coeff_matches_fresh_row() {
+        // Start from one row, edit it coefficient-by-coefficient into the
+        // shape of another, and require bitwise structural equality with a
+        // fresh build of the target.
+        let mut edited = LpProblem::with_columns(4);
+        edited.push_row(vec![(0, 1.0), (2, 3.0)], RowCmp::Le, 5.0);
+        edited.set_coeff(0, 1, 2.0); // insert in the middle
+        edited.set_coeff(0, 2, 0.0); // remove
+        edited.set_coeff(0, 3, -1.0); // append
+        edited.set_coeff(0, 0, 4.0); // update
+        edited.set_rhs(0, 9.0);
+
+        let mut fresh = LpProblem::with_columns(4);
+        fresh.push_row(vec![(0, 4.0), (1, 2.0), (3, -1.0)], RowCmp::Le, 9.0);
+        assert_eq!(edited, fresh);
+    }
+
+    #[test]
+    fn add_and_remove_columns_round_trip() {
+        let mut edited = LpProblem::with_columns(2);
+        edited.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 4.0);
+        let j = edited.add_col(0.0, 2.0, 7.0);
+        assert_eq!(j, 2);
+        edited.set_coeff(0, j, 5.0);
+
+        let mut fresh = LpProblem::with_columns(3);
+        fresh.upper[2] = 2.0;
+        fresh.objective[2] = 7.0;
+        fresh.push_row(vec![(0, 1.0), (1, 1.0), (2, 5.0)], RowCmp::Le, 4.0);
+        assert_eq!(edited, fresh);
+
+        edited.remove_last_col();
+        let mut back = LpProblem::with_columns(2);
+        back.push_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 4.0);
+        assert_eq!(edited, back);
     }
 
     #[test]

@@ -34,7 +34,11 @@ use crate::simplex::{with_engine, EngineSnapshot, SimplexOptions};
 use crate::INT_TOL;
 
 /// A MILP: an [`LpProblem`] plus the set of columns required to be integral.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is bitwise over the LP and the integer set — the
+/// incremental-edit differential suites use it to prove an edited model
+/// lowers to exactly the problem a fresh build produces.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MilpProblem {
     pub lp: LpProblem,
     /// Column indices with integrality requirements, strictly increasing.

@@ -121,6 +121,22 @@ impl Solution {
     }
 }
 
+/// Opaque handle to a constraint row inside a [`Model`], returned by
+/// [`Model::add_le`]/[`add_ge`](Model::add_ge)/[`add_eq`](Model::add_eq) and
+/// consumed by the in-place edit API ([`Model::set_rhs`],
+/// [`Model::set_row_coeff`]). Handles are dense insertion indices and stay
+/// valid for the life of the model — rows are never removed or reordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub(crate) usize);
+
+impl RowId {
+    /// The dense row index of this constraint (insertion order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 #[derive(Debug, Clone)]
 struct VarInfo {
     name: String,
@@ -224,32 +240,83 @@ impl Model {
         &self.rows[i].name
     }
 
-    fn add_row(&mut self, name: &str, expr: impl Into<LinExpr>, cmp: RowCmp, rhs: f64) {
+    fn add_row(&mut self, name: &str, expr: impl Into<LinExpr>, cmp: RowCmp, rhs: f64) -> RowId {
         let mut expr = expr.into();
         expr.compact();
         let adj_rhs = rhs - expr.constant;
         expr.constant = 0.0;
+        let id = RowId(self.rows.len());
         self.rows.push(RowInfo {
             name: name.to_string(),
             expr,
             cmp,
             rhs: adj_rhs,
         });
+        id
     }
 
-    /// Add constraint `expr <= rhs`.
-    pub fn add_le(&mut self, name: &str, expr: impl Into<LinExpr>, rhs: f64) {
-        self.add_row(name, expr, RowCmp::Le, rhs);
+    /// Add constraint `expr <= rhs`; returns the row's handle.
+    pub fn add_le(&mut self, name: &str, expr: impl Into<LinExpr>, rhs: f64) -> RowId {
+        self.add_row(name, expr, RowCmp::Le, rhs)
     }
 
-    /// Add constraint `expr >= rhs`.
-    pub fn add_ge(&mut self, name: &str, expr: impl Into<LinExpr>, rhs: f64) {
-        self.add_row(name, expr, RowCmp::Ge, rhs);
+    /// Add constraint `expr >= rhs`; returns the row's handle.
+    pub fn add_ge(&mut self, name: &str, expr: impl Into<LinExpr>, rhs: f64) -> RowId {
+        self.add_row(name, expr, RowCmp::Ge, rhs)
     }
 
-    /// Add constraint `expr == rhs`.
-    pub fn add_eq(&mut self, name: &str, expr: impl Into<LinExpr>, rhs: f64) {
-        self.add_row(name, expr, RowCmp::Eq, rhs);
+    /// Add constraint `expr == rhs`; returns the row's handle.
+    pub fn add_eq(&mut self, name: &str, expr: impl Into<LinExpr>, rhs: f64) -> RowId {
+        self.add_row(name, expr, RowCmp::Eq, rhs)
+    }
+
+    /// Replace the right-hand side of a constraint in place.
+    ///
+    /// Note [`add_le`](Self::add_le) et al. fold the expression's constant
+    /// into the stored rhs at insertion; `set_rhs` sets the *folded* value
+    /// directly, so callers whose original expression carried a constant
+    /// must subtract it themselves (the BIRP slot rows carry none).
+    pub fn set_rhs(&mut self, row: RowId, rhs: f64) {
+        self.rows[row.0].rhs = rhs;
+    }
+
+    /// The (folded) right-hand side of a constraint.
+    pub fn rhs(&self, row: RowId) -> f64 {
+        self.rows[row.0].rhs
+    }
+
+    /// Set (insert, update, or — when `c == 0` — remove) the coefficient of
+    /// `v` in `row`, preserving the compacted sorted-unique-nonzero term
+    /// invariant. An edited row therefore lowers through
+    /// [`to_milp`](Self::to_milp) to exactly the bytes a fresh build with
+    /// the same values would produce, which is the invariant the
+    /// incremental re-solve differential suites pin down.
+    pub fn set_row_coeff(&mut self, row: RowId, v: VarId, c: f64) {
+        let terms = &mut self.rows[row.0].expr.terms;
+        match terms.binary_search_by_key(&v, |&(tv, _)| tv) {
+            Ok(pos) => {
+                if c == 0.0 {
+                    terms.remove(pos);
+                } else {
+                    terms[pos].1 = c;
+                }
+            }
+            Err(pos) => {
+                if c != 0.0 {
+                    terms.insert(pos, (v, c));
+                }
+            }
+        }
+    }
+
+    /// The coefficient of `v` in `row` (0 when absent).
+    pub fn row_coeff(&self, row: RowId, v: VarId) -> f64 {
+        self.rows[row.0]
+            .expr
+            .terms
+            .iter()
+            .find(|&&(tv, _)| tv == v)
+            .map_or(0.0, |&(_, c)| c)
     }
 
     /// Return a variable `w` that equals `a * b` at every feasible integer
@@ -577,6 +644,56 @@ mod tests {
         m.add_ge("shifted", LinExpr::from(x) + 3.0, 5.0);
         let sol = m.solve(&SolverConfig::default()).unwrap();
         assert!((sol.value(x) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edited_model_lowers_identically_to_fresh_build() {
+        // Build a model, mutate rhs / coefficients / bounds / objective in
+        // place, and require the lowering to match — bitwise — a model built
+        // fresh with the final values. This is the core invariant of the
+        // incremental re-solve path: delta-edited models are
+        // indistinguishable from rebuilds at the LpProblem level.
+        let build = |rhs: f64, c0: f64, c2: f64, ub: f64, obj: f64| {
+            let mut m = Model::new();
+            let x = m.add_var("x", VarKind::Integer, 0.0, ub, obj);
+            let y = m.add_var("y", VarKind::Continuous, 0.0, 10.0, -4.0);
+            let z = m.add_var("z", VarKind::Continuous, 0.0, 10.0, 0.0);
+            let mut e = LinExpr::new();
+            if c0 != 0.0 {
+                e.add_term(x, c0);
+            }
+            e.add_term(y, 4.0);
+            if c2 != 0.0 {
+                e.add_term(z, c2);
+            }
+            let r = m.add_le("r1", e, rhs);
+            m.add_le("r2", x + 2.0 * y, 6.0);
+            (m, x, z, r)
+        };
+        let (mut edited, x, z, r1) = build(24.0, 6.0, 0.0, 10.0, -5.0);
+        edited.set_rhs(r1, 30.0);
+        edited.set_row_coeff(r1, x, 0.0); // remove
+        edited.set_row_coeff(r1, z, 2.5); // insert
+        edited.set_bounds(x, 0.0, 8.0);
+        edited.set_objective(x, -6.0);
+        let (fresh, _, _, _) = build(30.0, 0.0, 2.5, 8.0, -6.0);
+        assert_eq!(edited.to_milp().unwrap(), fresh.to_milp().unwrap());
+        assert_eq!(edited.rhs(r1), 30.0);
+        assert_eq!(edited.row_coeff(r1, x), 0.0);
+        assert_eq!(edited.row_coeff(r1, z), 2.5);
+    }
+
+    #[test]
+    fn set_row_coeff_update_keeps_sorted_terms() {
+        let mut m = Model::new();
+        let a = m.add_nonneg("a", 0.0);
+        let b = m.add_nonneg("b", 0.0);
+        let c = m.add_nonneg("c", 0.0);
+        let r = m.add_ge("r", a + c, 1.0);
+        m.set_row_coeff(r, b, 3.0);
+        m.set_row_coeff(r, a, 2.0);
+        let milp = m.to_milp().unwrap();
+        assert_eq!(milp.lp.rows[0].coeffs, vec![(0, 2.0), (1, 3.0), (2, 1.0)]);
     }
 
     #[test]

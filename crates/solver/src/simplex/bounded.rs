@@ -1123,6 +1123,69 @@ impl SimplexEngine {
         self.reoptimize(lp, lo, hi, opts)
     }
 
+    /// Re-optimise the currently loaded problem after the caller edited
+    /// row right-hand sides (demand-drift / budget-change deltas). Sparse
+    /// core only: the dense tableau drops the `B⁻¹` columns of non-basic
+    /// artificials at `compact()`, so it cannot absorb an RHS move —
+    /// `None` sends the caller down the cold path.
+    pub fn resolve_with_rhs(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &SimplexOptions,
+    ) -> Option<LpSolution> {
+        if !self.sparse_active {
+            return None;
+        }
+        let sol = self.sparse.resolve_with_rhs(lp, lo, hi, opts);
+        if sol.is_none() {
+            self.sparse_active = false;
+        }
+        sol
+    }
+
+    /// Re-optimise after structural columns were appended to the loaded
+    /// problem (catalog-change delta). Sparse core only; `None` on any
+    /// shape surprise and the caller re-solves cold.
+    pub fn resolve_with_new_cols(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &SimplexOptions,
+    ) -> Option<LpSolution> {
+        if !self.sparse_active {
+            return None;
+        }
+        let sol = self.sparse.resolve_with_new_cols(lp, lo, hi, opts);
+        if sol.is_none() {
+            self.sparse_active = false;
+        }
+        sol
+    }
+
+    /// Re-optimise after the last structural columns were removed from the
+    /// loaded problem (catalog-change delta). Sparse core only; refuses —
+    /// returning `None`, the existing refactorization trigger — when a
+    /// removed column sits in the basis.
+    pub fn resolve_after_col_removal(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &SimplexOptions,
+    ) -> Option<LpSolution> {
+        if !self.sparse_active {
+            return None;
+        }
+        let sol = self.sparse.resolve_after_col_removal(lp, lo, hi, opts);
+        if sol.is_none() {
+            self.sparse_active = false;
+        }
+        sol
+    }
+
     /// Move the structural bounds to `[lo, hi]`, shifting the resting value
     /// of every non-basic variable whose active bound moved. Basic
     /// variables only need the bound arrays updated (violations are the

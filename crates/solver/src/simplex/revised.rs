@@ -1321,6 +1321,179 @@ impl RevisedCore {
         out
     }
 
+    /// Re-optimise in place after the caller edited row right-hand sides
+    /// (and possibly bounds) of the loaded problem. Contract: the
+    /// coefficient matrix and objective of `lp` are unchanged since the
+    /// last successful solve — only `rhs` and the `[lo, hi]` box may
+    /// differ. The basis, LU factorization and eta file carry over
+    /// untouched (an RHS change moves `x_B = B⁻¹b`, not `B`); the reduced
+    /// costs from the last `finish` stay exact because they depend only on
+    /// `A` and `c`. One `recompute_xb` FTRAN refreshes the basic values,
+    /// then the usual dual/primal tail restores optimality.
+    pub fn resolve_with_rhs(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &crate::simplex::SimplexOptions,
+    ) -> Option<LpSolution> {
+        if !self.ready || self.mat.nstruct != lp.num_cols() || self.mat.m != lp.num_rows() {
+            return None;
+        }
+        self.ready = false;
+        self.iterations = 0;
+        self.cursor = 0;
+        self.cands.clear();
+        self.y_exact = false;
+        self.rhs.clear();
+        self.rhs.extend(lp.rows.iter().map(|r| r.rhs));
+        self.apply_bound_deltas(lo, hi);
+        self.recompute_xb();
+        let out = self.reoptimize(lp, lo, hi, opts);
+        self.flush_stats();
+        out
+    }
+
+    /// Re-optimise in place after the caller *appended* structural columns
+    /// to the loaded problem (existing columns, rows and row comparisons
+    /// unchanged; `rhs`, objective entries of old columns and the box may
+    /// also have moved). The basis matrix `B` is untouched — appended
+    /// columns enter non-basic at their lower bound — so the LU
+    /// factorization and eta file stay valid; only the basis *indices*
+    /// are renumbered (slacks and artificials shift up by the number of
+    /// new columns). Returns `None` (caller falls back to a cold solve)
+    /// on shape mismatch.
+    pub fn resolve_with_new_cols(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &crate::simplex::SimplexOptions,
+    ) -> Option<LpSolution> {
+        let n0 = self.mat.nstruct;
+        let (old_slacks, old_m) = (self.mat.num_slacks, self.mat.m);
+        if !self.ready || lp.num_cols() < n0 || old_m != lp.num_rows() {
+            return None;
+        }
+        self.ready = false;
+        let k = lp.num_cols() - n0;
+        self.mat.load(lp);
+        if self.mat.num_slacks != old_slacks || self.mat.m != old_m {
+            return None; // row structure changed under us: not an append
+        }
+        // Renumber the basis: structural indices `< n0` are stable, slacks
+        // and artificials both shift by `k` (artificial `i` lives at
+        // `ncols + i` and `ncols` grew by exactly `k`).
+        for b in &mut self.basis {
+            if *b as usize >= n0 {
+                *b += k as u32;
+            }
+        }
+        self.rebind_loaded(lp, lo, hi, |state| {
+            state.splice(n0..n0, std::iter::repeat_n(VState::AtLower, k));
+        });
+        let out = self.reoptimize(lp, lo, hi, opts);
+        self.flush_stats();
+        out
+    }
+
+    /// Re-optimise in place after the caller removed the *last* `k`
+    /// structural columns of the loaded problem. Valid only when none of
+    /// the removed columns is basic — a basic removal would change `B`
+    /// itself, which is exactly the existing refactorization trigger, so
+    /// the method returns `None` and the caller rebuilds cold. Non-basic
+    /// removals leave `B` intact: the LU factorization and eta file carry
+    /// over, basis indices past the removed range shift down.
+    pub fn resolve_after_col_removal(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        opts: &crate::simplex::SimplexOptions,
+    ) -> Option<LpSolution> {
+        let n0 = self.mat.nstruct;
+        let n1 = lp.num_cols();
+        let (old_slacks, old_m) = (self.mat.num_slacks, self.mat.m);
+        if !self.ready || n1 > n0 || old_m != lp.num_rows() {
+            return None;
+        }
+        let k = n0 - n1;
+        if self.basis.iter().any(|&b| (n1..n0).contains(&(b as usize))) {
+            return None; // a removed column is basic: refactorization case
+        }
+        self.ready = false;
+        self.mat.load(lp);
+        if self.mat.num_slacks != old_slacks || self.mat.m != old_m {
+            return None;
+        }
+        for b in &mut self.basis {
+            if *b as usize >= n0 {
+                *b -= k as u32;
+            }
+        }
+        self.rebind_loaded(lp, lo, hi, |state| {
+            state.drain(n1..n0);
+        });
+        let out = self.reoptimize(lp, lo, hi, opts);
+        self.flush_stats();
+        out
+    }
+
+    /// Shared tail of the column add/remove paths: after `self.mat` was
+    /// reloaded and the basis renumbered, rebuild every per-column array
+    /// for the new column count (the `reseat` closure splices the state
+    /// vector so surviving columns keep their rest states), refresh `rhs`,
+    /// and recompute `x_B` and exact reduced costs through the *existing*
+    /// factorization — `B` did not change, so no refactorization.
+    fn rebind_loaded(
+        &mut self,
+        lp: &LpProblem,
+        lo: &[f64],
+        hi: &[f64],
+        reseat: impl FnOnce(&mut Vec<VState>),
+    ) {
+        let (m, ncols, n) = (self.mat.m, self.mat.ncols, self.mat.nstruct);
+        self.iterations = 0;
+        self.cursor = 0;
+        self.cands.clear();
+        self.y_exact = false;
+        reseat(&mut self.state);
+        debug_assert_eq!(self.state.len(), self.mat.ntot());
+        self.lower.clear();
+        self.lower.extend_from_slice(lo);
+        self.upper.clear();
+        self.upper.extend_from_slice(hi);
+        for _ in n..ncols {
+            self.lower.push(0.0);
+            self.upper.push(f64::INFINITY);
+        }
+        for _ in 0..m {
+            // Artificials stay frozen at zero (post-phase-1 invariant).
+            self.lower.push(0.0);
+            self.upper.push(0.0);
+        }
+        // A column resting on an upper bound that is now infinite has no
+        // finite resting value; re-seat it at its lower bound (mirrors
+        // `apply_bound_deltas`).
+        for j in 0..ncols {
+            if matches!(self.state[j], VState::AtUpper) && !self.upper[j].is_finite() {
+                self.state[j] = VState::AtLower;
+            }
+        }
+        self.rhs.clear();
+        self.rhs.extend(lp.rows.iter().map(|r| r.rhs));
+        self.costs.clear();
+        self.costs.resize(ncols, 0.0);
+        self.costs[..n].copy_from_slice(&lp.objective);
+        self.art_cost = 0.0;
+        self.z.clear();
+        self.z.resize(ncols, 0.0);
+        self.alpha.reset(ncols);
+        self.reset_devex();
+        self.recompute_xb();
+        self.recompute_z();
+    }
+
     /// Move structural bounds to `[lo, hi]`; non-basic variables resting
     /// on a moved bound shift, and the basics absorb the combined effect
     /// through a single FTRAN.
