@@ -66,7 +66,7 @@ use birp_core::experiments::{
 };
 use birp_core::{
     checkpoint, run_scheduler, run_scheduler_resumable, CheckpointPolicy, HealthConfig, RunConfig,
-    RunOutcome, RunResult, TemporalReuse,
+    RunOutcome, RunResult, ShardConfig, TemporalReuse,
 };
 use birp_mab::MabConfig;
 use birp_models::Catalog;
@@ -112,6 +112,14 @@ struct RunSpec {
     resilience: bool,
     no_reuse: bool,
     dense_simplex: bool,
+    /// `--shards N` (0 = sharding off). Resolved to a cluster size at build
+    /// time from the catalog's edge count.
+    #[serde(default)]
+    shards: usize,
+    /// `--cluster-size N` (0 = derive from `shards`). Takes precedence over
+    /// `shards` when both are given.
+    #[serde(default)]
+    cluster_size: usize,
     /// The serialized [`birp_sim::FaultPlan`] (inlined: the plan file may
     /// not exist anymore at resume time).
     faults: Value,
@@ -165,6 +173,7 @@ fn usage() -> ExitCode {
 
 USAGE:
     birp run        [--scale small|large] [--slots N] [--seed S] [--scheduler birp|birp-off|oaei|max]
+                    [--shards N | --cluster-size N]
                     [--checkpoint run.ckpt] [--checkpoint-every N] [--out result.json]
     birp resume     <run.ckpt> [--checkpoint-every N] [--out result.json]
     birp chaos      [--slots N] [--seed S] [--kills N] [--out report.json]
@@ -195,6 +204,16 @@ ROBUSTNESS (run / compare):
                                schedulers
     --dense-simplex            force the dense tableau simplex core instead of the
                                sparse revised core (A/B validation and triage)
+
+SHARDING (run):
+    --shards N                 decompose each slot MILP into N contiguous edge
+                               clusters solved concurrently under Lagrangian
+                               coupling prices (DESIGN.md §14); 0 (default)
+                               keeps the monolithic solve
+    --cluster-size N           set the cluster size directly instead of the
+                               cluster count (takes precedence over --shards);
+                               emits shard.iterations / shard.duality_gap
+                               telemetry per slot
 
 DURABILITY (run / resume):
     --checkpoint <run.ckpt>    write the full run state atomically every
@@ -302,6 +321,21 @@ fn solver_for(scale: &str, dense_simplex: bool) -> SolverConfig {
     solver
 }
 
+/// Resolve `--shards` / `--cluster-size` to a [`ShardConfig`]. An explicit
+/// cluster size wins; otherwise `shards > 0` derives one that splits the
+/// fleet into that many near-equal contiguous clusters. Both zero (the
+/// default) leaves the monolithic decide path untouched.
+fn shard_config_for(shards: usize, cluster_size: usize, num_edges: usize) -> Option<ShardConfig> {
+    let size = if cluster_size > 0 {
+        cluster_size
+    } else if shards > 0 {
+        num_edges.div_ceil(shards)
+    } else {
+        return None;
+    };
+    Some(ShardConfig::new(size))
+}
+
 fn print_run_result(result: &RunResult) {
     let m = &result.metrics;
     println!("scheduler      {}", result.scheduler);
@@ -380,12 +414,15 @@ fn cmd_run(args: &Args) -> ExitCode {
     if let Err(code) = apply_robustness(args, &mut run_cfg) {
         return code;
     }
-    let mut scheduler = kind.build_with_reuse(
+    let shards = args.num("shards", 0usize);
+    let cluster_size = args.num("cluster-size", 0usize);
+    let mut scheduler = kind.build_sharded(
         &catalog,
         MabConfig::paper_preset(),
         seed,
         &solver,
         &run_cfg.reuse,
+        shard_config_for(shards, cluster_size, catalog.num_edges()),
     );
 
     let Some(ckpt_path) = args.get("checkpoint").map(PathBuf::from) else {
@@ -411,6 +448,8 @@ fn cmd_run(args: &Args) -> ExitCode {
         resilience: run_cfg.resilience.is_some(),
         no_reuse: args.has("no-reuse"),
         dense_simplex: args.has("dense-simplex"),
+        shards,
+        cluster_size,
         faults: Serialize::to_value(&run_cfg.sim.faults),
     };
     let policy = CheckpointPolicy {
@@ -486,12 +525,13 @@ fn cmd_resume(args: &Args, rest: &[String]) -> ExitCode {
         }
     }
     let solver = solver_for(&spec.scale, spec.dense_simplex);
-    let mut scheduler = kind.build_with_reuse(
+    let mut scheduler = kind.build_sharded(
         &catalog,
         MabConfig::paper_preset(),
         spec.seed,
         &solver,
         &run_cfg.reuse,
+        shard_config_for(spec.shards, spec.cluster_size, catalog.num_edges()),
     );
     println!(
         "resuming {} ({} scale, seed {}) at slot {}/{}",

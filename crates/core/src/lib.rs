@@ -38,10 +38,13 @@ pub use demand::DemandMatrix;
 pub use health::{HealthConfig, HealthMonitor, HealthState, QuarantineEvent};
 pub use problem::{
     DeltaOutcome, DeltaSummary, ExecutionMode, ProblemConfig, RebuildReason, ReuseOutcome,
-    SlotDelta, SlotInputs, SlotProblem, TirMatrix,
+    ShardCoupling, SlotDelta, SlotInputs, SlotProblem, TirMatrix,
 };
 pub use runner::{
     run_scheduler, run_scheduler_resumable, CheckpointPolicy, RunConfig, RunOutcome, RunResult,
     RunnerCheckpoint,
 };
-pub use schedulers::{Birp, BirpOff, LocalOnly, MaxBatch, Oaei, Scheduler, TemporalReuse};
+pub use schedulers::{
+    shard_fault_stale_price, Birp, BirpOff, LocalOnly, MaxBatch, Oaei, Scheduler, ShardConfig,
+    ShardCoordinator, ShardOutcome, TemporalReuse,
+};

@@ -28,6 +28,7 @@ use crate::problem::{
     SlotProblem, SolveStats, TirMatrix,
 };
 use crate::schedulers::local::greedy_local;
+use crate::schedulers::sharded::{edge_clusters, ShardConfig, ShardCoordinator};
 use crate::schedulers::Scheduler;
 
 /// Cross-slot temporal reuse knobs (DESIGN.md §11).
@@ -164,6 +165,14 @@ struct BirpState {
     /// pre-delta checkpoints readable (absent field → no persistent model).
     #[serde(default)]
     slot_inputs: Option<SlotInputs>,
+    /// Dual prices of the sharded coordinator as IEEE-754 bit patterns
+    /// (DESIGN.md §14), when sharding is active. Cluster models need no
+    /// snapshot: refresh ≡ rebuild bitwise, and a cluster's slot inputs
+    /// are fully determined by (demand, TIR, prev, mask, prices) — all of
+    /// which the resumed run reproduces. `default` keeps pre-shard
+    /// checkpoints readable.
+    #[serde(default)]
+    shard_prices: Option<Vec<u64>>,
 }
 
 /// Canonical digest of a schedule for [`SlotKey::prev`]: deployments,
@@ -362,6 +371,11 @@ pub struct Birp {
     /// Input fingerprint restored from a checkpoint, consumed by the first
     /// decide after resume to re-lower the persistent model skeleton.
     restored_inputs: Option<SlotInputs>,
+    /// Sharded-decomposition coordinator (DESIGN.md §14). `Some` only when
+    /// [`with_shards`](Self::with_shards) produced at least two clusters —
+    /// a single-cluster partition is the monolithic problem and falls
+    /// through to the ordinary decide path bitwise.
+    shard: Option<ShardCoordinator>,
     /// Solve statistics of the most recent slot (for experiment logs).
     pub last_stats: Option<SolveStats>,
     /// Cumulative absolute TIR estimation error (LCB estimate vs ground
@@ -391,6 +405,7 @@ impl Birp {
             heuristic_regime: false,
             slot_model: None,
             restored_inputs: None,
+            shard: None,
             last_stats: None,
             cum_regret: 0.0,
         }
@@ -419,6 +434,26 @@ impl Birp {
         self.slot_model = None;
         self.restored_inputs = None;
         self
+    }
+
+    /// Enable the sharded decomposition scheduler (DESIGN.md §14): the
+    /// fleet is partitioned into clusters of `cfg.cluster_size` edges and
+    /// each slot is decided by the Lagrangian dual-price loop. A partition
+    /// with fewer than two clusters (cluster size 0, or at least the fleet
+    /// size) leaves the monolithic path in place, bitwise.
+    pub fn with_shards(mut self, cfg: ShardConfig) -> Self {
+        let clusters = if cfg.cluster_size == 0 {
+            1
+        } else {
+            edge_clusters(self.catalog.num_edges(), cfg.cluster_size).len()
+        };
+        self.shard = (clusters >= 2).then(|| ShardCoordinator::new(&self.catalog, cfg));
+        self
+    }
+
+    /// The sharded coordinator, when one is active (diagnostics/tests).
+    pub fn shard_coordinator(&self) -> Option<&ShardCoordinator> {
+        self.shard.as_ref()
     }
 
     /// Access the tuner (diagnostics and tests).
@@ -506,12 +541,48 @@ impl Birp {
         (problem, DeltaOutcome::Rebuilt(reason))
     }
 
+    /// Sharded decide path: delegate the slot to the dual-price
+    /// coordinator. The reuse/cache/skip machinery is bypassed — cluster
+    /// models already persist (and delta-refresh) inside the coordinator,
+    /// which is the sharded path's own incremental machinery.
+    fn decide_sharded(
+        &mut self,
+        t: usize,
+        demand: &DemandMatrix,
+        prev: Option<&Schedule>,
+    ) -> Schedule {
+        let tir = self.estimates();
+        let lp0 = lp_counter_snapshot();
+        let cfg = ProblemConfig {
+            masked_edges: self.mask.clone(),
+            ..self.problem_cfg.clone()
+        };
+        // Take the coordinator out to split the borrow against `catalog`.
+        let mut coord = self
+            .shard
+            .take()
+            .expect("decide_sharded without coordinator");
+        let out = coord.decide(&self.catalog, t, demand, &tir, prev, &cfg, &self.solver_cfg);
+        self.shard = Some(coord);
+        let path = if out.fallback_used {
+            "shard_fallback"
+        } else {
+            "shard"
+        };
+        emit_provenance(t, path, Some(&out.stats), self.mask.as_deref(), lp0);
+        self.last_stats = Some(out.stats);
+        out.schedule
+    }
+
     fn decide_inner(
         &mut self,
         t: usize,
         demand: &DemandMatrix,
         prev: Option<&Schedule>,
     ) -> Schedule {
+        if self.shard.is_some() {
+            return self.decide_sharded(t, demand, prev);
+        }
         let tir = self.estimates();
         let lp0 = lp_counter_snapshot();
         let cfg = ProblemConfig {
@@ -831,6 +902,10 @@ impl Scheduler for Birp {
                 })
                 .collect(),
             slot_inputs: self.slot_model.as_ref().map(|p| p.inputs().clone()),
+            shard_prices: self
+                .shard
+                .as_ref()
+                .map(|c| c.prices().iter().map(|p| p.to_bits()).collect()),
         })
     }
 
@@ -854,6 +929,9 @@ impl Scheduler for Birp {
         self.cache = s.cache;
         self.slot_model = None;
         self.restored_inputs = s.slot_inputs;
+        if let (Some(coord), Some(bits)) = (self.shard.as_mut(), s.shard_prices) {
+            coord.set_prices(bits.into_iter().map(f64::from_bits).collect());
+        }
         self.last_stats = None;
         Ok(())
     }
@@ -886,6 +964,12 @@ impl BirpOff {
     /// Override the temporal-reuse configuration (e.g. [`TemporalReuse::disabled`]).
     pub fn with_reuse(mut self, reuse: TemporalReuse) -> Self {
         self.inner = self.inner.with_reuse(reuse);
+        self
+    }
+
+    /// Enable the sharded decomposition scheduler (see [`Birp::with_shards`]).
+    pub fn with_shards(mut self, cfg: ShardConfig) -> Self {
+        self.inner = self.inner.with_shards(cfg);
         self
     }
 

@@ -17,7 +17,7 @@ use birp_core::checkpoint::{self, ResumeError};
 use birp_core::{
     run_scheduler, run_scheduler_resumable, Birp, BirpOff, CheckpointPolicy, HealthConfig,
     MaxBatch, Oaei, RunCheckpoint, RunConfig, RunOutcome, RunResult, RunnerCheckpoint, Scheduler,
-    TemporalReuse,
+    ShardConfig, TemporalReuse,
 };
 use birp_mab::MabConfig;
 use birp_models::{Catalog, EdgeId};
@@ -59,6 +59,24 @@ fn delta_scheduler(catalog: &Catalog, which: usize) -> Box<dyn Scheduler> {
     match which {
         0 => Box::new(Birp::new(catalog.clone(), MabConfig::paper_preset()).with_reuse(reuse)),
         _ => Box::new(BirpOff::new(catalog.clone()).with_reuse(reuse)),
+    }
+}
+
+/// BIRP variants with the sharded decomposition coordinator on (DESIGN.md
+/// §14): every slot runs the dual-price loop, the coupling prices carry
+/// across slots, and a kill between slots lands between price iterations of
+/// the coordinator's trajectory. The checkpoint persists the prices
+/// (`BirpState.shard_prices`); cluster models restore by re-lowering.
+fn shard_scheduler(catalog: &Catalog, which: usize) -> Box<dyn Scheduler> {
+    let cfg = ShardConfig {
+        cluster_size: 2,
+        max_iters: 3,
+        gap_tol: 0.05,
+        fallback: true,
+    };
+    match which {
+        0 => Box::new(Birp::new(catalog.clone(), MabConfig::paper_preset()).with_shards(cfg)),
+        _ => Box::new(BirpOff::new(catalog.clone()).with_shards(cfg)),
     }
 }
 
@@ -226,6 +244,30 @@ proptest! {
         let resumed = killed_and_resumed(
             &catalog, &trace, &cfg, &|c| delta_scheduler(c, which), kill_at,
             &format!("delta-{which}-{kill_at}-{resilience}"),
+        );
+        prop_assert_eq!(result_json(&baseline), result_json(&resumed));
+    }
+
+    /// Sharded kill–resume: the coordinator's dual prices evolve across
+    /// slots, so a kill anywhere splits its price trajectory. Resume must
+    /// restore the prices from the checkpoint and re-lower the cluster
+    /// models from scratch, and the final result must still be bitwise
+    /// identical to the uninterrupted sharded run.
+    #[test]
+    fn kill_resume_sharded_is_bitwise_equivalent(
+        kill_at in 0..SLOTS - 1,
+        which in 0usize..2,
+        resilience_bit in 0usize..2,
+    ) {
+        let resilience = resilience_bit == 1;
+        let (catalog, trace) = setup();
+        let cfg = config(resilience);
+        let baseline = run_scheduler(
+            &catalog, &trace, shard_scheduler(&catalog, which).as_mut(), &cfg,
+        );
+        let resumed = killed_and_resumed(
+            &catalog, &trace, &cfg, &|c| shard_scheduler(c, which), kill_at,
+            &format!("shard-{which}-{kill_at}-{resilience}"),
         );
         prop_assert_eq!(result_json(&baseline), result_json(&resumed));
     }

@@ -246,6 +246,64 @@ impl Catalog {
         cat
     }
 
+    /// Fleet-scale scenario for sharded-decomposition experiments: the
+    /// small-scale app/model zoo replicated across `num_edges` devices
+    /// cycling through the three testbed kinds. Edges keep per-id
+    /// bandwidth draws, so two instances of a kind still differ in their
+    /// network budgets exactly as in [`Catalog::small_scale`].
+    pub fn fleet_scale(seed: u64, num_edges: usize) -> Catalog {
+        let mut cat = Self::small_scale(seed);
+        let kinds = DeviceKind::all();
+        let models = cat.models.clone();
+        cat.edges = (0..num_edges)
+            .map(|i| {
+                let kind = kinds[(i / 2) % kinds.len()];
+                make_edge(
+                    EdgeId(i),
+                    kind,
+                    &format!("fleet-{}-{i}", kind.name().to_lowercase().replace(' ', "-")),
+                    &models,
+                    seed,
+                    cat.slot_ms,
+                )
+            })
+            .collect();
+        debug_assert!(cat.validate().is_ok());
+        cat
+    }
+
+    /// Sub-catalog over a contiguous edge range, for cluster subproblems.
+    ///
+    /// Edges are copied verbatim (same ground truth, gamma, utilisation
+    /// and — critically — the same per-original-id bandwidth draw) and
+    /// only re-indexed densely, so a cluster's rows are bitwise the rows
+    /// the same edges produce in the monolithic problem.
+    pub fn restrict_edges(&self, range: std::ops::Range<usize>) -> Catalog {
+        assert!(
+            range.end <= self.edges.len(),
+            "restrict_edges: range {range:?} exceeds {} edges",
+            self.edges.len()
+        );
+        let edges = self.edges[range]
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let mut e = e.clone();
+                e.id = EdgeId(i);
+                e
+            })
+            .collect();
+        let cat = Catalog {
+            apps: self.apps.clone(),
+            models: self.models.clone(),
+            edges,
+            slot_ms: self.slot_ms,
+            seed: self.seed,
+        };
+        debug_assert!(cat.validate().is_ok());
+        cat
+    }
+
     /// Fig. 2 scenario: the three image-recognition models on one Jetson
     /// Nano, with the paper's exact fitted TIR parameters as ground truth.
     pub fn fig2(seed: u64) -> Catalog {
@@ -555,5 +613,38 @@ mod tests {
         let mut c = Catalog::small_scale(42);
         c.models[0].app = AppId(7);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fleet_scale_has_requested_shape() {
+        let c = Catalog::fleet_scale(42, 25);
+        assert_eq!(c.num_edges(), 25);
+        assert_eq!(c.num_apps(), 1);
+        assert_eq!(c.num_models(), 3);
+        c.validate().unwrap();
+        // First 6 edges match the testbed kind layout of small_scale.
+        let small = Catalog::small_scale(42);
+        for i in 0..6 {
+            assert_eq!(c.edges[i].kind, small.edges[i].kind);
+        }
+    }
+
+    #[test]
+    fn restrict_edges_copies_edges_verbatim() {
+        let c = Catalog::small_scale(42);
+        let sub = c.restrict_edges(2..5);
+        assert_eq!(sub.num_edges(), 3);
+        sub.validate().unwrap();
+        for (i, e) in sub.edges.iter().enumerate() {
+            let orig = &c.edges[2 + i];
+            assert_eq!(e.id, EdgeId(i));
+            assert_eq!(e.kind, orig.kind);
+            assert_eq!(e.gamma_ms, orig.gamma_ms);
+            // Bandwidth must be the ORIGINAL edge's draw (seeded on the
+            // original id), not a fresh draw on the dense sub-index.
+            assert_eq!(e.bandwidth_mbps, orig.bandwidth_mbps);
+            assert_eq!(e.network_budget_mb, orig.network_budget_mb);
+            assert_eq!(e.memory_mb, orig.memory_mb);
+        }
     }
 }

@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod prelude {
-    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
 }
 
 /// Number of worker threads a parallel call fans out to.
@@ -67,6 +69,30 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// `par_iter_mut()` on borrowed collections (items are `&mut T`).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
 /// A materialized parallel iterator (rayon's lazy splitting replaced by an
 /// upfront item vector — every call site iterates bounded, in-memory data).
 pub struct ParIter<I> {
@@ -78,6 +104,10 @@ pub trait ParallelIterator: Sized {
     type Item: Send;
 
     fn map<O: Send, F: Fn(Self::Item) -> O + Sync + Send>(self, f: F) -> ParMap<Self::Item, F>;
+
+    /// Pair each item with its input-order index (rayon's indexed
+    /// `enumerate`; this shim is always indexed).
+    fn enumerate(self) -> ParIter<(usize, Self::Item)>;
 }
 
 impl<I: Send> ParallelIterator for ParIter<I> {
@@ -87,6 +117,12 @@ impl<I: Send> ParallelIterator for ParIter<I> {
         ParMap {
             items: self.items,
             f,
+        }
+    }
+
+    fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
         }
     }
 }
@@ -193,5 +229,33 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place_and_preserves_order() {
+        let mut data = vec![1u64, 2, 3, 4];
+        let seen: Vec<u64> = data
+            .par_iter_mut()
+            .map(|x| {
+                *x += 10;
+                *x
+            })
+            .collect();
+        assert_eq!(seen, vec![11, 12, 13, 14]);
+        assert_eq!(data, vec![11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn enumerate_pairs_input_order_indices() {
+        let data = vec!["a", "b", "c"];
+        let out: Vec<(usize, String)> = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, format!("{i}{s}")))
+            .collect();
+        assert_eq!(
+            out,
+            vec![(0, "0a".into()), (1, "1b".into()), (2, "2c".into())]
+        );
     }
 }
